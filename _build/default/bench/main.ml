@@ -1,0 +1,227 @@
+(* Benchmark harness: regenerates every figure and inline-number table
+   of the paper's evaluation (§5) in simulated cycles, then measures
+   host-side simulator throughput with one Bechamel benchmark per
+   experiment.
+
+   Usage:
+     dune exec bench/main.exe             # everything
+     dune exec bench/main.exe fig3 fig5   # selected experiments
+     dune exec bench/main.exe --no-bechamel
+     dune exec bench/main.exe --bechamel-only *)
+
+open M3_harness
+
+let ppf = Format.std_formatter
+
+let line () = Format.fprintf ppf "%s@." (String.make 78 '-')
+
+(* Results are retained so that a full run can end with the
+   reproduction verdict. *)
+let results_fig3 = ref None
+let results_fig4 = ref None
+let results_fig5 = ref None
+let results_fig6 = ref None
+let results_fig7 = ref None
+let results_t1 = ref None
+let results_t2 = ref None
+
+let keep cell v =
+  cell := Some v;
+  v
+
+let run_fig3 () = Fig3.print ppf (keep results_fig3 (Fig3.run ()))
+let run_fig4 () = Fig4.print ppf (keep results_fig4 (Fig4.run ()))
+let run_fig5 () = Fig5.print ppf (keep results_fig5 (Fig5.run ()))
+let run_fig6 () = Fig6.print ppf (keep results_fig6 (Fig6.run ()))
+let run_fig7 () = Fig7.print ppf (keep results_fig7 (Fig7.run ()))
+let run_t1 () = Tables.print_t1 ppf (keep results_t1 (Tables.run_t1 ()))
+let run_t2 () = Tables.print_t2 ppf (keep results_t2 (Tables.run_t2 ()))
+let run_ablations () = Ablations.print ppf (Ablations.run ())
+
+let run_verdict () =
+  let verdicts =
+    Report.validate ?fig3:!results_fig3 ?fig4:!results_fig4 ?fig5:!results_fig5
+      ?fig6:!results_fig6 ?fig7:!results_fig7 ?t1:!results_t1 ?t2:!results_t2
+      ()
+  in
+  if verdicts <> [] then Report.print ppf verdicts
+
+let experiments =
+  [
+    ("fig3", run_fig3);
+    ("fig4", run_fig4);
+    ("fig5", run_fig5);
+    ("fig6", run_fig6);
+    ("fig7", run_fig7);
+    ("t1", run_t1);
+    ("t2", run_t2);
+    ("ablations", run_ablations);
+  ]
+
+(* --- host-side throughput benchmarks (one per experiment) -------------- *)
+
+(* Scaled-down kernels so Bechamel can sample them repeatedly: each runs
+   a complete simulation from boot. *)
+
+let kernel_fig3 () =
+  ignore
+    (Runner.run_m3 ~pe_count:4 ~dram_mib:4 ~no_fs:true (fun env ~measured ->
+         measured (fun () -> M3.Errno.ok_exn (M3.Syscalls.noop env))))
+
+let small_file_seed =
+  [
+    { M3.M3fs.sd_path = "/small"; sd_size = 256 * 1024;
+      sd_blocks_per_extent = 64; sd_dir = false };
+  ]
+
+let kernel_fig4 () =
+  ignore
+    (Runner.run_m3 ~pe_count:4 ~dram_mib:8 ~seeds:small_file_seed (fun env ~measured ->
+         Runner.mounted env;
+         let buf = M3.Env.alloc_spm env ~size:4096 in
+         let file =
+           M3.Errno.ok_exn (M3.Vfs.open_ env "/small" ~flags:M3.Fs_proto.o_read)
+         in
+         measured (fun () ->
+             let rec drain () =
+               match
+                 M3.Errno.ok_exn (M3.File.read env file ~local:buf ~len:4096)
+               with
+               | 0 -> ()
+               | _ -> drain ()
+             in
+             drain ())))
+
+let kernel_fig5 () =
+  let spec = M3_trace.Workloads.find ~seed:1 in
+  ignore
+    (Runner.run_m3 ~pe_count:4 ~dram_mib:8 ~seeds:spec.M3_trace.Workloads.sp_seeds
+       (fun env ~measured ->
+         Runner.mounted env;
+         measured (fun () ->
+             match M3_trace.Replay_m3.run env spec.M3_trace.Workloads.sp_trace with
+             | Ok () -> ()
+             | Error e -> failwith (M3.Errno.to_string e))))
+
+(* A small two-VPE pipe transfer (the cat+tr communication pattern). *)
+let kernel_fig6 () =
+  ignore
+    (Runner.run_m3 ~pe_count:4 ~dram_mib:4 ~no_fs:true (fun env ~measured ->
+         let ok = M3.Errno.ok_exn in
+         let reader = ok (M3.Pipe.create_reader env ~ring_size:8192) in
+         let vpe =
+           ok
+             (M3.Vpe_api.create env ~name:"w"
+                ~core:M3_hw.Core_type.General_purpose)
+         in
+         ok
+           (M3.Pipe.delegate_writer_end env reader
+              ~vpe_sel:vpe.M3.Vpe_api.vpe_sel);
+         ok
+           (M3.Vpe_api.run env vpe (fun cenv ->
+                let w = ok (M3.Pipe.connect_writer cenv ~ring_size:8192) in
+                let buf = M3.Env.alloc_spm cenv ~size:2048 in
+                for _ = 1 to 16 do
+                  ok (M3.Pipe.write cenv w ~local:buf ~len:2048)
+                done;
+                ok (M3.Pipe.close_writer cenv w);
+                0));
+         let buf = M3.Env.alloc_spm env ~size:2048 in
+         measured (fun () ->
+             let rec drain () =
+               match ok (M3.Pipe.read env reader ~local:buf ~len:2048) with
+               | 0 -> ()
+               | _ -> drain ()
+             in
+             drain ());
+         ignore (M3.Vpe_api.wait env vpe)))
+
+let kernel_fig7 () =
+  let points = 2048 in
+  let re = Array.init points (fun i -> float_of_int (i mod 7)) in
+  let im = Array.make points 0.0 in
+  M3_hw.Fft.transform re im
+
+let kernel_t1 () = kernel_fig3 ()
+
+let kernel_t2 () =
+  ignore
+    (Runner.run_linux (fun m ->
+         match M3_linux.Machine.open_file m "/x" ~create:true ~trunc:true with
+         | None -> ()
+         | Some fd ->
+           for _ = 1 to 64 do
+             ignore (M3_linux.Machine.write m fd 4096)
+           done))
+
+let bechamel_tests =
+  let open Bechamel in
+  [
+    Test.make ~name:"fig3/null-syscall-sim" (Staged.stage kernel_fig3);
+    Test.make ~name:"fig4/fragmented-read-sim" (Staged.stage kernel_fig4);
+    Test.make ~name:"fig5/find-replay-sim" (Staged.stage kernel_fig5);
+    Test.make ~name:"fig6/cat-tr-2pe-sim" (Staged.stage kernel_fig6);
+    Test.make ~name:"fig7/fft-2048" (Staged.stage kernel_fig7);
+    Test.make ~name:"t1/null-syscall-sim" (Staged.stage kernel_t1);
+    Test.make ~name:"t2/linux-create-model" (Staged.stage kernel_t2);
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  let open Toolkit in
+  (* The figure runs above leave a large major heap (multi-MiB DRAM
+     stores); compact so the throughput numbers are not GC artifacts. *)
+  Gc.compact ();
+  Format.fprintf ppf
+    "Bechamel: host-side simulator throughput (one benchmark per \
+     experiment)@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"m3-repro" bechamel_tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> nan
+        in
+        (name, estimate) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      Format.fprintf ppf "  %-40s %12.3f ms/run@." name (ns /. 1e6))
+    (List.sort compare rows)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let no_bechamel = List.mem "--no-bechamel" args in
+  let bechamel_only = List.mem "--bechamel-only" args in
+  let wanted =
+    List.filter (fun a -> not (String.length a > 2 && a.[0] = '-')) args
+  in
+  if not bechamel_only then begin
+    Format.fprintf ppf
+      "M3 reproduction — paper evaluation tables (simulated cycles)@.";
+    line ();
+    List.iter
+      (fun (name, f) ->
+        if wanted = [] || List.mem name wanted then begin
+          f ();
+          line ()
+        end)
+      experiments;
+    run_verdict ();
+    line ()
+  end;
+  if (not no_bechamel) && (wanted = [] || bechamel_only) then run_bechamel ()

@@ -1,0 +1,188 @@
+(* Command-line driver for the M3 reproduction: run individual
+   experiments, inspect the platform, or boot a small demo.
+
+   Examples:
+     m3_repro run fig3 fig5
+     m3_repro run --all -v
+     m3_repro platform --pes 16
+     m3_repro demo *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (if verbose then Some Logs.Debug else Some Logs.Warning)
+
+let ppf = Format.std_formatter
+
+let experiments =
+  [
+    ("fig3", fun () -> M3_harness.Fig3.print ppf (M3_harness.Fig3.run ()));
+    ("fig4", fun () -> M3_harness.Fig4.print ppf (M3_harness.Fig4.run ()));
+    ("fig5", fun () -> M3_harness.Fig5.print ppf (M3_harness.Fig5.run ()));
+    ("fig6", fun () -> M3_harness.Fig6.print ppf (M3_harness.Fig6.run ()));
+    ("fig7", fun () -> M3_harness.Fig7.print ppf (M3_harness.Fig7.run ()));
+    ("t1", fun () -> M3_harness.Tables.print_t1 ppf (M3_harness.Tables.run_t1 ()));
+    ("t2", fun () -> M3_harness.Tables.print_t2 ppf (M3_harness.Tables.run_t2 ()));
+    ( "ablations",
+      fun () -> M3_harness.Ablations.print ppf (M3_harness.Ablations.run ()) );
+  ]
+
+let names = List.map fst experiments
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let which =
+    let doc =
+      Printf.sprintf "Experiments to run (any of %s)."
+        (String.concat ", " names)
+    in
+    Arg.(
+      value
+      & pos_all (enum (List.map (fun n -> (n, n)) names)) []
+      & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let all =
+    Arg.(value & flag & info [ "all"; "a" ] ~doc:"Run every experiment.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
+  in
+  let run which all verbose =
+    setup_logs verbose;
+    let which = if all || which = [] then names else which in
+    List.iter
+      (fun name ->
+        (List.assoc name experiments) ();
+        Format.fprintf ppf "@.")
+      which
+  in
+  let doc = "Reproduce the paper's evaluation figures and tables." in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ which $ all $ verbose)
+
+(* --- platform ------------------------------------------------------------ *)
+
+let platform_cmd =
+  let pes =
+    Arg.(value & opt int 16 & info [ "pes" ] ~doc:"Number of PEs." ~docv:"N")
+  in
+  let show pes =
+    let engine = M3_sim.Engine.create () in
+    let config = { M3_hw.Platform.default_config with pe_count = pes } in
+    let platform = M3_hw.Platform.create ~config engine in
+    let topo = M3_noc.Fabric.topology (M3_hw.Platform.fabric platform) in
+    Format.fprintf ppf "Tomahawk-like platform:@.";
+    Format.fprintf ppf "  PEs: %d (+1 DRAM node) on a %dx%d mesh@."
+      (M3_hw.Platform.pe_count platform)
+      (M3_noc.Topology.cols topo) (M3_noc.Topology.rows topo);
+    List.iter
+      (fun pe ->
+        Format.fprintf ppf "  pe%-3d %a, %d KiB SPM, %d endpoints@."
+          (M3_hw.Pe.id pe) M3_hw.Core_type.pp (M3_hw.Pe.core pe)
+          (M3_mem.Store.size (M3_hw.Pe.spm pe) / 1024)
+          (M3_dtu.Dtu.ep_count (M3_hw.Pe.dtu pe)))
+      (M3_hw.Platform.pes platform);
+    Format.fprintf ppf "  DRAM: %d MiB on node %d@."
+      (M3_mem.Store.size (M3_hw.Platform.dram platform) / 1024 / 1024)
+      (M3_hw.Platform.dram_node platform)
+  in
+  let doc = "Describe the simulated platform." in
+  Cmd.v (Cmd.info "platform" ~doc) Term.(const show $ pes)
+
+(* --- demo ------------------------------------------------------------------ *)
+
+let demo_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
+  in
+  let demo verbose =
+    setup_logs verbose;
+    let engine = M3_sim.Engine.create () in
+    let sys = M3.Bootstrap.start engine in
+    let exit =
+      M3.Bootstrap.launch sys ~name:"demo" (fun env ->
+          M3.Errno.ok_exn (M3.Vfs.mount_root env);
+          let file =
+            M3.Errno.ok_exn
+              (M3.Vfs.open_ env "/demo.txt"
+                 ~flags:(M3.Fs_proto.o_write lor M3.Fs_proto.o_create))
+          in
+          M3.Errno.ok_exn
+            (M3.File.write_string env file
+               "M3 booted: kernel PE + m3fs + demo VPE\n");
+          M3.Errno.ok_exn (M3.File.close env file);
+          let file =
+            M3.Errno.ok_exn
+              (M3.Vfs.open_ env "/demo.txt" ~flags:M3.Fs_proto.o_read)
+          in
+          let s = M3.Errno.ok_exn (M3.File.read_all env file ~max:1024) in
+          M3.Errno.ok_exn (M3.File.close env file);
+          print_string s;
+          0)
+    in
+    let cycles = M3_sim.Engine.run engine in
+    match M3_sim.Process.Ivar.peek exit with
+    | Some 0 -> Format.fprintf ppf "demo completed after %d cycles@." cycles
+    | Some c -> Format.fprintf ppf "demo FAILED with code %d@." c
+    | None -> Format.fprintf ppf "demo did not terminate@."
+  in
+  let doc = "Boot the system and exercise the filesystem once." in
+  Cmd.v (Cmd.info "demo" ~doc) Term.(const demo $ verbose)
+
+(* --- stats ------------------------------------------------------------------ *)
+
+let stats_cmd =
+  let stats () =
+    let engine = M3_sim.Engine.create () in
+    let sys = M3.Bootstrap.start engine in
+    (* A small workload so the counters have something to say. *)
+    let exit =
+      M3.Bootstrap.launch sys ~name:"workload" (fun env ->
+          M3.Errno.ok_exn (M3.Vfs.mount_root env);
+          let f =
+            M3.Errno.ok_exn
+              (M3.Vfs.open_ env "/stats-demo"
+                 ~flags:(M3.Fs_proto.o_write lor M3.Fs_proto.o_create))
+          in
+          let buf = M3.Env.alloc_spm env ~size:4096 in
+          for _ = 1 to 64 do
+            M3.Errno.ok_exn (M3.File.write env f ~local:buf ~len:4096)
+          done;
+          M3.Errno.ok_exn (M3.File.close env f);
+          0)
+    in
+    let cycles = M3_sim.Engine.run engine in
+    (match M3_sim.Process.Ivar.peek exit with
+    | Some 0 -> ()
+    | _ -> Format.fprintf ppf "warning: workload did not finish cleanly@.");
+    let platform = sys.M3.Bootstrap.platform in
+    Format.fprintf ppf
+      "Counters after writing a 256 KiB file (%d simulated cycles):@." cycles;
+    Format.fprintf ppf "  kernel: %d syscalls handled@."
+      (M3.Kernel.syscalls_handled sys.M3.Bootstrap.kernel);
+    let fabric = M3_hw.Platform.fabric platform in
+    Format.fprintf ppf "  noc: %d packets, %d payload bytes@."
+      (M3_noc.Fabric.packets_sent fabric)
+      (M3_noc.Fabric.bytes_sent fabric);
+    List.iter
+      (fun pe ->
+        let dtu = M3_hw.Pe.dtu pe in
+        let sent = M3_dtu.Dtu.msgs_sent dtu
+        and recv = M3_dtu.Dtu.msgs_received dtu
+        and dropped = M3_dtu.Dtu.msgs_dropped dtu
+        and rd = M3_dtu.Dtu.mem_bytes_read dtu
+        and wr = M3_dtu.Dtu.mem_bytes_written dtu in
+        if sent + recv + rd + wr > 0 then
+          Format.fprintf ppf
+            "  pe%-3d dtu: %4d msgs out, %4d in, %d dropped, %8d B read, %8d B written@."
+            (M3_hw.Pe.id pe) sent recv dropped rd wr)
+      (M3_hw.Platform.pes platform)
+  in
+  let doc = "Run a small workload and dump hardware/OS counters." in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const stats $ const ())
+
+let () =
+  let doc = "M3 (ASPLOS'16) hardware/OS co-design reproduction" in
+  let info = Cmd.info "m3_repro" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; platform_cmd; demo_cmd; stats_cmd ]))

@@ -1,0 +1,1 @@
+examples/capabilities.ml: M3 M3_dtu M3_hw M3_mem M3_sim Printf

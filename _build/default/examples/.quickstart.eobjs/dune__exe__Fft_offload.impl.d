@@ -1,0 +1,1 @@
+examples/fft_offload.ml: Float Int64 M3 M3_hw M3_mem M3_sim Printf

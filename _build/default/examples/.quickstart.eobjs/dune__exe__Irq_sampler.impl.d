@@ -1,0 +1,1 @@
+examples/irq_sampler.ml: Bytes List M3 M3_hw M3_mem M3_sim Printf String

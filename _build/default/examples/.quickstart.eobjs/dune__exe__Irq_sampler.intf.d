@@ -1,0 +1,1 @@
+examples/irq_sampler.mli:

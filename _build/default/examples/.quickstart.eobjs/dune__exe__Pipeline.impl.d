@@ -1,0 +1,1 @@
+examples/pipeline.ml: Char M3 M3_hw M3_mem M3_sim Printf String

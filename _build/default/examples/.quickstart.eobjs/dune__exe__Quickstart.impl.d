@@ -1,0 +1,1 @@
+examples/quickstart.ml: M3 M3_hw M3_sim Printf

@@ -1,0 +1,1 @@
+lib/core/bootstrap.ml: Kernel List M3_hw M3_sim M3fs Printf Program

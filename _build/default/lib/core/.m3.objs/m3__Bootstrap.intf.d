@@ -1,0 +1,1 @@
+lib/core/bootstrap.mli: Bytes Env Kernel M3_hw M3_mem M3_sim M3fs

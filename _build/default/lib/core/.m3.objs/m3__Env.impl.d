@@ -1,0 +1,1 @@
+lib/core/env.ml: Array Bytes Errno M3_dtu M3_hw M3_mem M3_noc M3_sim

@@ -1,0 +1,1 @@
+lib/core/env.mli: Bytes M3_dtu M3_hw M3_noc M3_sim

@@ -1,0 +1,1 @@
+lib/core/epmux.ml: Array Env Errno Hashtbl Syscalls

@@ -1,0 +1,1 @@
+lib/core/epmux.mli: Env Errno

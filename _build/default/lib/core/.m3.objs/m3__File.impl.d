@@ -1,0 +1,1 @@
+lib/core/file.ml: Buffer Env Errno Fs_proto Gate Hashtbl List M3_hw M3_mem M3_sim Msgbuf Pipe String Syscalls

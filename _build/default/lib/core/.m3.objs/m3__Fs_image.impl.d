@@ -1,0 +1,1 @@
+lib/core/fs_image.ml: Array Bytes Errno Int64 List M3_mem M3_sim Printf String

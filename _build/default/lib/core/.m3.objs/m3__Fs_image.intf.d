@@ -1,0 +1,1 @@
+lib/core/fs_image.mli: Errno M3_mem M3_sim

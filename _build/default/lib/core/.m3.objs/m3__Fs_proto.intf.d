@@ -1,0 +1,1 @@
+lib/core/fs_proto.mli:

@@ -1,0 +1,1 @@
+lib/core/gate.ml: Bytes Env Epmux Errno List M3_dtu M3_hw M3_sim Option Syscalls

@@ -1,0 +1,1 @@
+lib/core/gate.mli: Bytes Env Errno M3_dtu M3_mem

@@ -1,0 +1,1 @@
+lib/core/kdata.ml: Errno Hashtbl List M3_dtu M3_mem Printf

@@ -1,0 +1,1 @@
+lib/core/kdata.mli: Errno Hashtbl M3_dtu M3_mem

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Bytes Env Errno Hashtbl Int32 Int64 Kdata List Logs M3_dtu M3_hw M3_mem M3_noc M3_sim Msgbuf Option Printf Program Proto Syscalls

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Bytes Kdata M3_hw M3_sim

@@ -1,0 +1,1 @@
+lib/core/m3fs.ml: Env Errno Fs_image Fs_proto Gate Hashtbl Int64 List Logs M3_dtu M3_hw M3_mem M3_sim Msgbuf Program Proto Syscalls

@@ -1,0 +1,1 @@
+lib/core/m3fs.mli: Fs_image M3_mem

@@ -1,0 +1,1 @@
+lib/core/msgbuf.ml: Buffer Bytes Char Int64 String

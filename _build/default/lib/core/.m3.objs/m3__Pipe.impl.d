@@ -1,0 +1,1 @@
+lib/core/pipe.ml: Env Errno Gate M3_dtu M3_hw M3_mem M3_sim Msgbuf Syscalls

@@ -1,0 +1,1 @@
+lib/core/pipe.mli: Env Errno

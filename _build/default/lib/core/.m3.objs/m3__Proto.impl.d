@@ -1,0 +1,1 @@
+lib/core/proto.ml: List M3_dtu M3_hw

@@ -1,0 +1,1 @@
+lib/core/proto.mli: M3_dtu M3_hw

@@ -1,0 +1,1 @@
+lib/core/syscalls.ml: Bytes Env Errno List Logs M3_dtu M3_hw M3_mem M3_sim Msgbuf Proto

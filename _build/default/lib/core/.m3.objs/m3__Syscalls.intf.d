@@ -1,0 +1,1 @@
+lib/core/syscalls.mli: Bytes Env Errno M3_dtu M3_hw M3_mem

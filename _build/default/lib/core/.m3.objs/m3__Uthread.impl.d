@@ -1,0 +1,1 @@
+lib/core/uthread.ml: Effect Env List M3_sim

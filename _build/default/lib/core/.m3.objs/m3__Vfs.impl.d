@@ -1,0 +1,1 @@
+lib/core/vfs.ml: Env Errno File Hashtbl List String

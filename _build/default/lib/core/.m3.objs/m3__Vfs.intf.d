@@ -1,0 +1,1 @@
+lib/core/vfs.mli: Env Errno File Fs_proto

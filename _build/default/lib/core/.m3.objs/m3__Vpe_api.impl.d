@@ -1,0 +1,1 @@
+lib/core/vpe_api.ml: Bytes Env Errno File Fs_proto Gate M3_hw M3_mem M3_sim Program Syscalls Vfs

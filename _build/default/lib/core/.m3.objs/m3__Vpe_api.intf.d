@@ -1,0 +1,1 @@
+lib/core/vpe_api.mli: Bytes Env Errno M3_hw

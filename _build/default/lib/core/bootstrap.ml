@@ -1,0 +1,51 @@
+module Engine = M3_sim.Engine
+module Process = M3_sim.Process
+module Account = M3_sim.Account
+module Platform = M3_hw.Platform
+
+type t = {
+  engine : Engine.t;
+  platform : Platform.t;
+  kernel : Kernel.t;
+}
+
+let start ?platform_config ?fs ?(no_fs = false) engine =
+  let platform = Platform.create ?config:platform_config engine in
+  let kernel = Kernel.create platform ~kernel_pe:0 in
+  ignore (Kernel.boot kernel);
+  (* Devices run their hardware behavior from reset. *)
+  List.iter
+    (fun pe ->
+      if M3_hw.Core_type.equal (M3_hw.Pe.core pe) M3_hw.Core_type.Timer_device
+      then M3_hw.Timer.start pe)
+    (Platform.pes platform);
+  if not no_fs then begin
+    let dram = Platform.dram platform in
+    let config =
+      match fs with
+      | Some f -> f ~dram
+      | None -> M3fs.default_config ~dram
+    in
+    M3fs.register config;
+    ignore
+      (Kernel.launch kernel ~name:"m3fs" ~account:(Account.create ())
+         M3fs.program_name)
+  end;
+  { engine; platform; kernel }
+
+let counter = ref 0
+
+let launch t ~name ?account ?args main =
+  incr counter;
+  let prog_name = Printf.sprintf "boot.%s.%d" name !counter in
+  Program.register ~name:prog_name ~image_bytes:Program.default_image_bytes main;
+  let account = match account with Some a -> a | None -> Account.create () in
+  Kernel.launch t.kernel ~name ~account ?args prog_name
+
+let run_to_completion t = Engine.run t.engine
+
+let expect_exit _t ivar =
+  match Process.Ivar.peek ivar with
+  | None -> failwith "VPE did not exit (deadlock or starvation?)"
+  | Some 0 -> ()
+  | Some code -> failwith (Printf.sprintf "VPE exited with code %d" code)

@@ -1,0 +1,46 @@
+(** System bring-up: platform + kernel + m3fs, ready for applications.
+
+    The harness, tests and examples all start from here:
+    {[
+      let engine = M3_sim.Engine.create () in
+      let sys = Bootstrap.start engine in
+      let exit = Bootstrap.launch sys ~name:"app" (fun env -> ...) in
+      ignore (M3_sim.Engine.run engine)
+    ]} *)
+
+type t = {
+  engine : M3_sim.Engine.t;
+  platform : M3_hw.Platform.t;
+  kernel : Kernel.t;
+}
+
+(** [start ?platform_config ?fs ?no_fs engine] builds the platform
+    (kernel on PE 0), boots the kernel and, unless [no_fs], registers
+    and launches m3fs with configuration [fs] (seed files etc.;
+    defaults to an empty 16 MiB filesystem). Nothing has executed yet —
+    the caller drives the engine. *)
+val start :
+  ?platform_config:M3_hw.Platform.config ->
+  ?fs:(dram:M3_mem.Store.t -> M3fs.config) ->
+  ?no_fs:bool ->
+  M3_sim.Engine.t ->
+  t
+
+(** [launch t ~name ?account ?args main] registers [main] under a
+    fresh program name and starts it in a new VPE. Returns the exit
+    ivar. The default account is a throwaway. *)
+val launch :
+  t ->
+  name:string ->
+  ?account:M3_sim.Account.t ->
+  ?args:Bytes.t ->
+  (Env.t -> int) ->
+  int M3_sim.Process.Ivar.ivar
+
+(** [run_to_completion t] drives the engine until idle and returns the
+    final cycle. *)
+val run_to_completion : t -> int
+
+(** [expect_exit t ivar] reads a filled exit ivar after the run;
+    raises if the VPE never exited or exited non-zero. *)
+val expect_exit : t -> int M3_sim.Process.Ivar.ivar -> unit

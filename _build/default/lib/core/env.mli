@@ -1,0 +1,118 @@
+(** Per-application environment — the heart of libm3 on a PE.
+
+    Every VPE's program receives an [Env.t] when it starts. It wraps
+    the PE's DTU, tracks capability selectors, multiplexes the eight
+    hardware endpoints among gates, bump-allocates SPM space, and
+    charges cycle costs into the benchmark account. Applications talk
+    to the rest of the system exclusively through the DTU referenced
+    here — there is no back-door into the kernel. *)
+
+module Account = M3_sim.Account
+
+(** {1 Endpoint and selector conventions} *)
+
+val ep_syscall_send : int
+(** EP 0: send gate to the kernel, installed at VPE creation *)
+
+val ep_syscall_reply : int
+(** EP 1: receive buffer for syscall replies *)
+
+val first_free_ep : int
+(** EP 2: first endpoint available to gates *)
+
+val sel_vpe : int
+(** selector 0: the VPE's own capability *)
+
+val sel_mem : int
+(** selector 1: memory capability for the VPE's own SPM *)
+
+val first_free_sel : int
+
+(** SPM address of the syscall-reply ringbuffer. *)
+val reply_buf_addr : int
+
+(** Where the application data area (bump allocator) begins. *)
+val data_start : int
+
+(** {1 The environment} *)
+
+(** A gate's claim on a hardware endpoint (see {!Epmux}). *)
+type ep_user = {
+  eu_sel : int;
+  mutable eu_ep : int option;
+}
+
+(** State of one general-purpose endpoint. *)
+type ep_slot =
+  | Ep_free
+  | Ep_reserved        (** pinned by a receive gate — never multiplexed *)
+  | Ep_used of ep_user (** currently holds this gate's configuration *)
+
+type t = {
+  uid : int;
+      (** globally unique across all simulated systems in this host
+          process — keys for libm3 side tables (mount table, scratch
+          buffers) that cannot live in this record *)
+  pe : M3_hw.Pe.t;
+  dtu : M3_dtu.Dtu.t;
+  engine : M3_sim.Engine.t;
+  fabric : M3_noc.Fabric.t;
+  kernel_pe : int;
+  vpe_id : int;
+  name : string;
+  image_bytes : int;  (** size of code + static data, for clone costs *)
+  args : Bytes.t;     (** argument blob the parent passed along *)
+  account : Account.t;
+  mutable next_sel : int;
+  mutable spm_top : int;
+  ep_slots : ep_slot array; (** general EPs only, index 0 = EP 2 *)
+  mutable ep_clock : int;   (** round-robin victim pointer *)
+  mutable spin_transfers : bool;
+      (** Fig. 6 methodology: replace DRAM data transfers by an
+          equal-time spin so that only software contention remains *)
+}
+
+(** [create ~pe ~fabric ~kernel_pe ~vpe_id ~name ~image_bytes ~args
+    ~account] builds an environment; normally only the kernel calls
+    this when starting a VPE. *)
+val create :
+  pe:M3_hw.Pe.t ->
+  fabric:M3_noc.Fabric.t ->
+  kernel_pe:int ->
+  vpe_id:int ->
+  name:string ->
+  image_bytes:int ->
+  args:Bytes.t ->
+  account:Account.t ->
+  t
+
+(** {1 Cycle charging}
+
+    [charge] consumes simulated time {e and} books it; [charge_only]
+    books time that has already passed (e.g. while blocked on the
+    DTU). *)
+
+val charge : t -> Account.category -> int -> unit
+val charge_only : t -> Account.category -> int -> unit
+
+(** [charge_marshal t bytes] charges the per-word marshalling cost for
+    a [bytes]-byte message body. *)
+val charge_marshal : t -> int -> unit
+
+(** [timed t cat f] runs [f], books the simulated time it took under
+    [cat], and returns its result. *)
+val timed : t -> Account.category -> (unit -> 'a) -> 'a
+
+(** {1 Resources} *)
+
+(** [alloc_sel t] returns a fresh capability selector. *)
+val alloc_sel : t -> int
+
+(** [alloc_spm t ~size] bump-allocates SPM space (8-byte aligned).
+    @raise Errno.Error [E_no_space] when the scratchpad is full. *)
+val alloc_spm : t -> size:int -> int
+
+(** [msg_send_latency t ~dst ~bytes] estimates the congestion-free NoC
+    time of one message — used to split blocked time into transfer
+    versus OS overhead for the paper's breakdowns. *)
+val msg_send_latency : t -> dst:int -> bytes:int -> int

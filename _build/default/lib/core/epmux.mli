@@ -1,0 +1,27 @@
+(** Endpoint multiplexing (§4.5.4).
+
+    The DTU offers only 8 endpoints but applications may hold many more
+    send and memory gates, so libm3 checks before every gate use
+    whether the gate's capability is configured on an endpoint and, if
+    not, performs the [activate] syscall — possibly stealing the
+    endpoint of another gate (round-robin victim selection). Receive
+    gates get pinned endpoints, because moving a configured receive
+    buffer is unsafe while senders exist. *)
+
+(** [reserve env] claims a free endpoint permanently (for a receive
+    gate). Returns the endpoint number.
+    @raise Errno.Error [E_no_ep] when none is free. *)
+val reserve : Env.t -> int
+
+(** [acquire env user] ensures [user]'s capability is configured on
+    some endpoint, activating (and possibly evicting a victim) if
+    needed; returns the endpoint number. *)
+val acquire : Env.t -> Env.ep_user -> (int, Errno.t) result
+
+(** [drop env user] detaches [user] from its endpoint, freeing it for
+    others (no syscall — the configuration simply becomes garbage). *)
+val drop : Env.t -> Env.ep_user -> unit
+
+(** [activations env] counts activate syscalls performed so far —
+    lets tests assert that the multiplexer thrashes (or doesn't). *)
+val activations : Env.t -> int

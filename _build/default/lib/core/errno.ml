@@ -1,0 +1,79 @@
+type t =
+  | E_ok
+  | E_inv_args
+  | E_no_sel
+  | E_no_perm
+  | E_no_pe
+  | E_no_space
+  | E_not_found
+  | E_exists
+  | E_no_ep
+  | E_is_dir
+  | E_not_dir
+  | E_not_empty
+  | E_eof
+  | E_vpe_gone
+  | E_no_credits
+  | E_dtu of string
+
+let to_string = function
+  | E_ok -> "ok"
+  | E_inv_args -> "invalid arguments"
+  | E_no_sel -> "bad capability selector"
+  | E_no_perm -> "permission denied"
+  | E_no_pe -> "no free PE"
+  | E_no_space -> "no space"
+  | E_not_found -> "not found"
+  | E_exists -> "already exists"
+  | E_no_ep -> "no free endpoint"
+  | E_is_dir -> "is a directory"
+  | E_not_dir -> "not a directory"
+  | E_not_empty -> "directory not empty"
+  | E_eof -> "end of file"
+  | E_vpe_gone -> "VPE gone"
+  | E_no_credits -> "no credits"
+  | E_dtu m -> "hardware error: " ^ m
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let to_int = function
+  | E_ok -> 0
+  | E_inv_args -> 1
+  | E_no_sel -> 2
+  | E_no_perm -> 3
+  | E_no_pe -> 4
+  | E_no_space -> 5
+  | E_not_found -> 6
+  | E_exists -> 7
+  | E_no_ep -> 8
+  | E_is_dir -> 9
+  | E_not_dir -> 10
+  | E_not_empty -> 11
+  | E_eof -> 12
+  | E_vpe_gone -> 13
+  | E_no_credits -> 15
+  | E_dtu _ -> 14
+
+let of_int = function
+  | 0 -> E_ok
+  | 1 -> E_inv_args
+  | 2 -> E_no_sel
+  | 3 -> E_no_perm
+  | 4 -> E_no_pe
+  | 5 -> E_no_space
+  | 6 -> E_not_found
+  | 7 -> E_exists
+  | 8 -> E_no_ep
+  | 9 -> E_is_dir
+  | 10 -> E_not_dir
+  | 11 -> E_not_empty
+  | 12 -> E_eof
+  | 13 -> E_vpe_gone
+  | 15 -> E_no_credits
+  | _ -> E_dtu "remote"
+
+let equal a b = to_int a = to_int b
+
+exception Error of t
+
+let ok_exn = function Ok v -> v | Error e -> raise (Error e)

@@ -1,0 +1,35 @@
+(** Error codes shared by syscalls, services and libm3. *)
+
+type t =
+  | E_ok
+  | E_inv_args       (** malformed request *)
+  | E_no_sel         (** capability selector empty or occupied *)
+  | E_no_perm        (** operation not allowed by the capability *)
+  | E_no_pe          (** no free PE of the requested type *)
+  | E_no_space       (** out of memory / blocks / slots *)
+  | E_not_found      (** path, service or object does not exist *)
+  | E_exists         (** path already exists *)
+  | E_no_ep          (** no free endpoint *)
+  | E_is_dir         (** expected a file, found a directory *)
+  | E_not_dir        (** expected a directory *)
+  | E_not_empty      (** directory not empty *)
+  | E_eof            (** end of file / pipe closed *)
+  | E_vpe_gone       (** VPE already dead *)
+  | E_no_credits     (** send gate out of credits (flow control) *)
+  | E_dtu of string  (** unexpected hardware-level failure *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Numeric encoding used on the wire. [E_dtu] encodes as a generic
+    hardware error. *)
+val to_int : t -> int
+
+val of_int : int -> t
+
+(** Raised by libm3 convenience wrappers that do not return [result]. *)
+exception Error of t
+
+(** [ok_exn r] unwraps [Ok] or raises {!Error}. *)
+val ok_exn : (('a, t) result) -> 'a

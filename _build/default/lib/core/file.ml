@@ -1,0 +1,406 @@
+module Account = M3_sim.Account
+module Process = M3_sim.Process
+module Store = M3_mem.Store
+module Pe = M3_hw.Pe
+module Cost_model = M3_hw.Cost_model
+module W = Msgbuf.W
+module R = Msgbuf.R
+
+type 'a result_ = ('a, Errno.t) result
+
+type mount = {
+  m_sess_sel : int;
+  m_sgate : Gate.send_gate;
+  m_reply : Gate.recv_gate;
+  mutable m_append_blocks : int;
+  mutable m_loc_batch : int;
+  mutable m_loc_requests : int;
+  (* cached readdir batch: path, first index, entries *)
+  mutable m_dir_cache : (string * int * (string * int) list) option;
+}
+
+type extent = {
+  x_foff : int; (* file offset in bytes *)
+  x_len : int;  (* bytes *)
+  x_gate : Gate.mem_gate;
+}
+
+type regular = {
+  f_mount : mount;
+  f_fid : int;
+  mutable f_pos : int;
+  mutable f_size : int;
+  mutable f_extents : extent list; (* ascending file offset *)
+  mutable f_fetched : int;         (* extent index to request next *)
+  mutable f_alloc_end : int;       (* bytes covered by cached extents *)
+  f_writable : bool;
+}
+
+type t =
+  | Regular of regular
+  | Pipe_reader of Pipe.reader
+  | Pipe_writer of Pipe.writer
+
+(* --- session plumbing -------------------------------------------------- *)
+
+let call env mount fill =
+  let w = W.create () in
+  fill w;
+  match Gate.call env mount.m_sgate ~reply_gate:mount.m_reply (W.contents w) with
+  | Error e -> Error e
+  | Ok payload ->
+    let r = R.of_bytes payload in
+    (match Errno.of_int (R.u64 r) with
+    | Errno.E_ok -> Ok r
+    | e -> Error e)
+
+let mount_m3fs env ~service =
+  let rec open_retry tries =
+    match Syscalls.open_sess env ~srv:service ~arg:0 with
+    | Ok pair -> Ok pair
+    | Error Errno.E_not_found when tries > 0 ->
+      Process.wait 1000;
+      open_retry (tries - 1)
+    | Error e -> Error e
+  in
+  match open_retry 100_000 with
+  | Error e -> Error e
+  | Ok (sess_sel, sgate_sel) -> (
+    match Gate.create_recv env ~slot_order:Fs_proto.srv_msg_order ~slot_count:2 with
+    | Error e -> Error e
+    | Ok reply ->
+      Ok
+        {
+          m_sess_sel = sess_sel;
+          m_sgate = Gate.send_gate_of_sel sgate_sel;
+          m_reply = reply;
+          m_append_blocks = 256;
+          m_loc_batch = 1;
+          m_loc_requests = 0;
+          m_dir_cache = None;
+        })
+
+let set_append_blocks m n = if n > 0 then m.m_append_blocks <- n
+let set_loc_batch m n = if n > 0 then m.m_loc_batch <- n
+let loc_requests m = m.m_loc_requests
+
+(* --- extent cache -------------------------------------------------------- *)
+
+(* Parses the extent list from an exchange answer and registers the
+   delegated capabilities as memory gates. *)
+let absorb_extents f out sels =
+  let inner = R.of_bytes out in
+  let n = R.u64 inner in
+  let rec go i sels =
+    if i = n then ()
+    else begin
+      let foff = R.u64 inner in
+      let len = R.u64 inner in
+      match sels with
+      | [] -> ()
+      | sel :: rest ->
+        let x = { x_foff = foff; x_len = len;
+                  x_gate = Gate.mem_gate_of_sel ~sel ~size:len } in
+        f.f_extents <- f.f_extents @ [ x ];
+        f.f_fetched <- f.f_fetched + 1;
+        f.f_alloc_end <- max f.f_alloc_end (foff + len);
+        go (i + 1) rest
+    end
+  in
+  go 0 sels
+
+(* Asks m3fs for the next batch of extent locations; E_not_found means
+   the file has no more extents. *)
+let fetch_locs env f =
+  let mount = f.f_mount in
+  mount.m_loc_requests <- mount.m_loc_requests + 1;
+  Env.charge env Account.Os Cost_model.file_extent_request;
+  let args = W.create () in
+  W.u8 args (Fs_proto.xop_to_int Fs_proto.Fs_get_locs);
+  W.u64 args f.f_fid;
+  W.u64 args f.f_fetched;
+  W.u64 args mount.m_loc_batch;
+  match
+    Syscalls.exchange_sess env ~sess_sel:mount.m_sess_sel
+      ~args:(W.contents args) ~caps:mount.m_loc_batch
+  with
+  | Error e -> Error e
+  | Ok (out, sels) ->
+    absorb_extents f out sels;
+    Ok ()
+
+let append_alloc env f =
+  let mount = f.f_mount in
+  mount.m_loc_requests <- mount.m_loc_requests + 1;
+  Env.charge env Account.Os Cost_model.file_extent_request;
+  let args = W.create () in
+  W.u8 args (Fs_proto.xop_to_int Fs_proto.Fs_append);
+  W.u64 args f.f_fid;
+  W.u64 args mount.m_append_blocks;
+  match
+    Syscalls.exchange_sess env ~sess_sel:mount.m_sess_sel
+      ~args:(W.contents args) ~caps:1
+  with
+  | Error e -> Error e
+  | Ok (out, sels) ->
+    absorb_extents f out sels;
+    Ok ()
+
+let locate f pos =
+  List.find_opt (fun x -> pos >= x.x_foff && pos < x.x_foff + x.x_len) f.f_extents
+
+(* --- open/close ------------------------------------------------------------ *)
+
+let open_ env mount path ~flags =
+  Env.charge env Account.Os
+    (Cost_model.file_call_overhead + Cost_model.file_meta_client);
+  match
+    call env mount (fun w ->
+        W.u8 w (Fs_proto.op_to_int Fs_proto.Fs_open);
+        W.str w path;
+        W.u64 w flags)
+  with
+  | Error e -> Error e
+  | Ok r ->
+    let fid = R.u64 r in
+    let size = R.u64 r in
+    let size = if flags land Fs_proto.o_trunc <> 0 then 0 else size in
+    Ok
+      (Regular
+         {
+           f_mount = mount;
+           f_fid = fid;
+           f_pos = 0;
+           f_size = size;
+           f_extents = [];
+           f_fetched = 0;
+           f_alloc_end = 0;
+           f_writable = flags land Fs_proto.o_write <> 0;
+         })
+
+let of_pipe_reader r = Pipe_reader r
+let of_pipe_writer w = Pipe_writer w
+
+let close env t =
+  match t with
+  | Pipe_reader _ -> Ok ()
+  | Pipe_writer w -> Pipe.close_writer env w
+  | Regular f ->
+    Env.charge env Account.Os
+      (Cost_model.file_call_overhead + Cost_model.file_meta_client);
+    let final = if f.f_writable then f.f_size else -1 in
+    (match
+       call env f.f_mount (fun w ->
+           W.u8 w (Fs_proto.op_to_int Fs_proto.Fs_close);
+           W.u64 w f.f_fid;
+           W.u64 w final)
+     with
+    | Error e -> Error e
+    | Ok _ -> Ok ())
+
+(* --- read/write -------------------------------------------------------------- *)
+
+let rec read_chunks env f ~local ~len ~done_ =
+  let remaining = min len (f.f_size - f.f_pos) in
+  if remaining <= 0 then Ok done_
+  else
+    match locate f f.f_pos with
+    | Some x -> (
+      let off_in_ext = f.f_pos - x.x_foff in
+      let chunk = min remaining (x.x_len - off_in_ext) in
+      match Gate.read env x.x_gate ~off:off_in_ext ~local ~len:chunk with
+      | Error e -> Error e
+      | Ok () ->
+        f.f_pos <- f.f_pos + chunk;
+        read_chunks env f ~local:(local + chunk) ~len:(len - chunk)
+          ~done_:(done_ + chunk))
+    | None -> (
+      match fetch_locs env f with
+      | Ok () -> read_chunks env f ~local ~len ~done_
+      | Error Errno.E_not_found -> Ok done_ (* no more extents *)
+      | Error e -> Error e)
+
+let read env t ~local ~len =
+  match t with
+  | Pipe_reader r -> Pipe.read env r ~local ~len
+  | Pipe_writer _ -> Error Errno.E_no_perm
+  | Regular f ->
+    Env.charge env Account.Os
+      (Cost_model.file_call_overhead + Cost_model.file_locate);
+    read_chunks env f ~local ~len ~done_:0
+
+let rec write_chunks env f ~local ~len =
+  if len = 0 then Ok ()
+  else if f.f_pos >= f.f_alloc_end then begin
+    (* Try to learn about existing extents first (overwrite case); only
+       a genuinely new region needs an allocation. *)
+    match fetch_locs env f with
+    | Ok () -> write_chunks env f ~local ~len
+    | Error Errno.E_not_found -> (
+      match append_alloc env f with
+      | Error e -> Error e
+      | Ok () -> write_chunks env f ~local ~len)
+    | Error e -> Error e
+  end
+  else
+    match locate f f.f_pos with
+    | None -> Error Errno.E_no_space
+    | Some x -> (
+      let off_in_ext = f.f_pos - x.x_foff in
+      let chunk = min len (x.x_len - off_in_ext) in
+      match Gate.write env x.x_gate ~off:off_in_ext ~local ~len:chunk with
+      | Error e -> Error e
+      | Ok () ->
+        f.f_pos <- f.f_pos + chunk;
+        f.f_size <- max f.f_size f.f_pos;
+        write_chunks env f ~local:(local + chunk) ~len:(len - chunk))
+
+let write env t ~local ~len =
+  match t with
+  | Pipe_writer w -> Pipe.write env w ~local ~len
+  | Pipe_reader _ -> Error Errno.E_no_perm
+  | Regular f ->
+    if not f.f_writable then Error Errno.E_no_perm
+    else begin
+      Env.charge env Account.Os
+        (Cost_model.file_call_overhead + Cost_model.file_locate);
+      write_chunks env f ~local ~len
+    end
+
+let seek env t pos =
+  match t with
+  | Regular f ->
+    if pos < 0 then Error Errno.E_inv_args
+    else begin
+      (* Within cached extents this is pure libm3 work (§4.5.8). *)
+      Env.charge env Account.Os Cost_model.file_locate;
+      f.f_pos <- pos;
+      Ok ()
+    end
+  | Pipe_reader _ | Pipe_writer _ -> Error Errno.E_inv_args
+
+let size = function
+  | Regular f -> f.f_size
+  | Pipe_reader _ | Pipe_writer _ -> 0
+
+let pos = function
+  | Regular f -> f.f_pos
+  | Pipe_reader _ | Pipe_writer _ -> 0
+
+(* --- meta operations ----------------------------------------------------------- *)
+
+let stat env mount path =
+  Env.charge env Account.Os
+    (Cost_model.file_call_overhead + Cost_model.file_meta_client);
+  match
+    call env mount (fun w ->
+        W.u8 w (Fs_proto.op_to_int Fs_proto.Fs_stat);
+        W.str w path)
+  with
+  | Error e -> Error e
+  | Ok r ->
+    let st_size = R.u64 r in
+    let st_is_dir = R.u8 r = 1 in
+    let st_ino = R.u64 r in
+    let st_extents = R.u64 r in
+    Ok { Fs_proto.st_size; st_is_dir; st_ino; st_extents }
+
+let simple_meta env mount op path =
+  Env.charge env Account.Os
+    (Cost_model.file_call_overhead + Cost_model.file_meta_client);
+  match
+    call env mount (fun w ->
+        W.u8 w (Fs_proto.op_to_int op);
+        W.str w path)
+  with
+  | Error e -> Error e
+  | Ok _ -> Ok ()
+
+let mkdir env mount path = simple_meta env mount Fs_proto.Fs_mkdir path
+let unlink env mount path = simple_meta env mount Fs_proto.Fs_unlink path
+
+(* The server answers readdir with a batch of entries (like getdents);
+   libm3 caches the batch so a directory walk costs one message per
+   [Fs_proto.readdir_batch] entries. *)
+let readdir env mount path ~index =
+  let cached =
+    match mount.m_dir_cache with
+    | Some (p, start, entries)
+      when p = path && index >= start && index < start + List.length entries ->
+      Some (List.nth entries (index - start))
+    | Some _ | None -> None
+  in
+  match cached with
+  | Some entry ->
+    Env.charge env Account.Os Cost_model.file_call_overhead;
+    Ok (Some entry)
+  | None -> (
+    Env.charge env Account.Os
+      (Cost_model.file_call_overhead + Cost_model.file_meta_client);
+    match
+      call env mount (fun w ->
+          W.u8 w (Fs_proto.op_to_int Fs_proto.Fs_readdir);
+          W.str w path;
+          W.u64 w index)
+    with
+    | Error Errno.E_not_found -> Ok None
+    | Error e -> Error e
+    | Ok r ->
+      let count = R.u64 r in
+      let entries =
+        List.init count (fun _ ->
+            let name = R.str r in
+            let ino = R.u64 r in
+            (name, ino))
+      in
+      mount.m_dir_cache <- Some (path, index, entries);
+      (match entries with
+      | first :: _ -> Ok (Some first)
+      | [] -> Ok None))
+
+(* --- convenience (scratch-buffer copies) ------------------------------------------ *)
+
+let scratch_size = 4096
+
+let scratches : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let scratch (env : Env.t) =
+  match Hashtbl.find_opt scratches env.uid with
+  | Some addr -> addr
+  | None ->
+    let addr = Env.alloc_spm env ~size:scratch_size in
+    Hashtbl.replace scratches env.uid addr;
+    addr
+
+let write_string (env : Env.t) t s =
+  let spm = Pe.spm env.pe in
+  let buf = scratch env in
+  let rec go off =
+    if off >= String.length s then Ok ()
+    else begin
+      let chunk = min scratch_size (String.length s - off) in
+      Store.write_string spm ~addr:buf (String.sub s off chunk);
+      match write env t ~local:buf ~len:chunk with
+      | Error e -> Error e
+      | Ok () -> go (off + chunk)
+    end
+  in
+  go 0
+
+let read_all (env : Env.t) t ~max =
+  let spm = Pe.spm env.pe in
+  let buf = scratch env in
+  let out = Buffer.create 256 in
+  let rec go () =
+    if Buffer.length out >= max then Ok (Buffer.contents out)
+    else
+      match
+        read env t ~local:buf ~len:(min scratch_size (max - Buffer.length out))
+      with
+      | Error e -> Error e
+      | Ok 0 -> Ok (Buffer.contents out)
+      | Ok n ->
+        Buffer.add_string out (Store.read_string spm ~addr:buf ~len:n);
+        go ()
+  in
+  go ()

@@ -1,0 +1,78 @@
+(** libm3's POSIX-like file abstraction (§4.5.8).
+
+    Meta operations go to m3fs over the session channel; data access
+    works on cached extents: the client asks m3fs for the locations of
+    file fragments, receives memory capabilities for them, and then
+    reads/writes DRAM directly through its DTU — m3fs never sees the
+    data. Appending over-allocates [append_blocks] blocks at a time
+    (256 in the paper); close truncates to the real size.
+
+    A {!t} can also wrap a pipe end, making pipes and files
+    interchangeable for applications (the pipe filesystem of the
+    VFS). *)
+
+type 'a result_ = ('a, Errno.t) result
+
+(** A mounted m3fs session. *)
+type mount
+
+(** [mount_m3fs env ~service] opens a session with service [service],
+    retrying while the service has not registered yet. *)
+val mount_m3fs : Env.t -> service:string -> mount result_
+
+(** [set_append_blocks m n] tunes write over-allocation (Fig. 4). *)
+val set_append_blocks : mount -> int -> unit
+
+(** [set_loc_batch m n] tunes how many extents one location request
+    fetches (1 in the paper's client). *)
+val set_loc_batch : mount -> int -> unit
+
+type t
+
+(** [open_ env m path ~flags] opens (or with [o_create] creates) a
+    file. *)
+val open_ : Env.t -> mount -> string -> flags:int -> t result_
+
+(** [of_pipe_reader r] / [of_pipe_writer w] wrap pipe ends. *)
+val of_pipe_reader : Pipe.reader -> t
+val of_pipe_writer : Pipe.writer -> t
+
+(** [read env t ~local ~len] reads up to [len] bytes to SPM address
+    [local]; returns the byte count, [0] at end-of-file/stream. *)
+val read : Env.t -> t -> local:int -> len:int -> int result_
+
+(** [write env t ~local ~len] writes [len] bytes from SPM address
+    [local]. *)
+val write : Env.t -> t -> local:int -> len:int -> unit result_
+
+(** [seek env t pos] repositions a regular file (pipes cannot seek).
+    Seeking within already-cached extents costs only libm3 cycles. *)
+val seek : Env.t -> t -> int -> unit result_
+
+val size : t -> int
+val pos : t -> int
+
+(** [close env t] flushes the final size (writers) and releases the
+    file id; closing a pipe writer sends end-of-stream. *)
+val close : Env.t -> t -> unit result_
+
+(** {1 Meta operations on a mount} *)
+
+val stat : Env.t -> mount -> string -> Fs_proto.stat result_
+val mkdir : Env.t -> mount -> string -> unit result_
+val unlink : Env.t -> mount -> string -> unit result_
+
+(** [readdir env m path ~index] is the [index]-th entry. *)
+val readdir : Env.t -> mount -> string -> index:int -> (string * int) option result_
+
+(** {1 Convenience helpers (copy through a scratch SPM buffer)} *)
+
+(** [write_string env t s] writes a whole string. *)
+val write_string : Env.t -> t -> string -> unit result_
+
+(** [read_all env t ~max] reads to end-of-file (at most [max] bytes). *)
+val read_all : Env.t -> t -> max:int -> string result_
+
+(** Number of extent-location requests this mount performed (test and
+    Fig. 4 instrumentation). *)
+val loc_requests : mount -> int

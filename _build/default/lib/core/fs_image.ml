@@ -1,0 +1,588 @@
+module Store = M3_mem.Store
+
+type t = {
+  store : Store.t;
+  base : int;
+  block_size : int;
+  total_blocks : int;
+  inode_count : int;
+  ibmap_block : int;
+  bbmap_block : int;
+  bbmap_blocks : int;
+  itable_block : int;
+  first_data_block : int;
+}
+
+type extent = { e_start : int; e_len : int }
+
+type stat = {
+  size : int;
+  is_dir : bool;
+  ino : int;
+  extents : int;
+}
+
+let magic = 0x4D33_4653 (* "M3FS" *)
+let inode_bytes = 128
+let direct_extents = 8
+let dirent_bytes = 32
+let name_max = 26
+
+let block_size t = t.block_size
+let total_blocks t = t.total_blocks
+let block_addr t b = b * t.block_size
+
+(* --- raw access ----------------------------------------------------- *)
+
+let addr t off = t.base + off
+let baddr t b = addr t (b * t.block_size)
+
+let read_u32 t ~off = Store.read_u32 t.store ~addr:(addr t off)
+let write_u32 t ~off v = Store.write_u32 t.store ~addr:(addr t off) v
+let read_u64 t ~off = Int64.to_int (Store.read_i64 t.store ~addr:(addr t off))
+let write_u64 t ~off v = Store.write_i64 t.store ~addr:(addr t off) (Int64.of_int v)
+
+(* --- bitmaps --------------------------------------------------------- *)
+
+let bit_get t ~off ~index =
+  let byte = Store.read_u8 t.store ~addr:(addr t (off + (index / 8))) in
+  byte land (1 lsl (index mod 8)) <> 0
+
+let bit_set t ~off ~index v =
+  let a = addr t (off + (index / 8)) in
+  let byte = Store.read_u8 t.store ~addr:a in
+  let byte' =
+    if v then byte lor (1 lsl (index mod 8))
+    else byte land lnot (1 lsl (index mod 8))
+  in
+  Store.write_u8 t.store ~addr:a byte'
+
+let ibmap_off t = t.ibmap_block * t.block_size
+let bbmap_off t = t.bbmap_block * t.block_size
+
+let block_used t b = bit_get t ~off:(bbmap_off t) ~index:b
+let set_block_used t b v = bit_set t ~off:(bbmap_off t) ~index:b v
+
+let ino_used t i = bit_get t ~off:(ibmap_off t) ~index:i
+let set_ino_used t i v = bit_set t ~off:(ibmap_off t) ~index:i v
+
+(* Finds a run of free blocks: the longest run up to [want], starting
+   the search at the first data block (first-fit). *)
+let find_free_run t ~want =
+  let best = ref None in
+  let run_start = ref (-1) in
+  let run_len = ref 0 in
+  let consider () =
+    if !run_len > 0 then begin
+      match !best with
+      | Some (_, len) when len >= !run_len -> ()
+      | Some _ | None -> best := Some (!run_start, !run_len)
+    end
+  in
+  let b = ref t.first_data_block in
+  let found = ref None in
+  while !found = None && !b < t.total_blocks do
+    if block_used t !b then begin
+      consider ();
+      run_start := -1;
+      run_len := 0
+    end
+    else begin
+      if !run_start < 0 then run_start := !b;
+      incr run_len;
+      if !run_len >= want then found := Some (!run_start, want)
+    end;
+    incr b
+  done;
+  consider ();
+  match !found with
+  | Some run -> Some run
+  | None -> !best
+
+let alloc_run t ~want =
+  match find_free_run t ~want with
+  | None -> None
+  | Some (start, len) ->
+    for b = start to start + len - 1 do
+      set_block_used t b true
+    done;
+    Some { e_start = start; e_len = len }
+
+let free_run t ~start ~len =
+  for b = start to start + len - 1 do
+    set_block_used t b false
+  done
+
+let free_blocks t =
+  let n = ref 0 in
+  for b = t.first_data_block to t.total_blocks - 1 do
+    if not (block_used t b) then incr n
+  done;
+  !n
+
+(* --- inodes ----------------------------------------------------------- *)
+
+let inode_off t ino = (t.itable_block * t.block_size) + (ino * inode_bytes)
+
+let flag_used = 1
+let flag_dir = 2
+
+let inode_flags t ino = read_u32 t ~off:(inode_off t ino)
+let set_inode_flags t ino v = write_u32 t ~off:(inode_off t ino) v
+let inode_nextents t ino = read_u32 t ~off:(inode_off t ino + 4)
+let set_inode_nextents t ino v = write_u32 t ~off:(inode_off t ino + 4) v
+let file_size t ~ino = read_u64 t ~off:(inode_off t ino + 8)
+let set_file_size t ~ino v = write_u64 t ~off:(inode_off t ino + 8) v
+let inode_indirect t ino = read_u32 t ~off:(inode_off t ino + 16)
+let set_inode_indirect t ino v = write_u32 t ~off:(inode_off t ino + 16) v
+
+let is_dir t ~ino = inode_flags t ino land flag_dir <> 0
+
+let max_indirect t = t.block_size / 8
+
+(* Extent [i] of an inode lives in the inode for i < direct_extents and
+   in the indirect block otherwise. *)
+let extent_slot t ino i =
+  if i < direct_extents then inode_off t ino + 24 + (i * 8)
+  else begin
+    let ind = inode_indirect t ino in
+    assert (ind <> 0);
+    (ind * t.block_size) + ((i - direct_extents) * 8)
+  end
+
+let get_extent t ino i =
+  let off = extent_slot t ino i in
+  { e_start = read_u32 t ~off; e_len = read_u32 t ~off:(off + 4) }
+
+let set_extent t ino i e =
+  let off = extent_slot t ino i in
+  write_u32 t ~off e.e_start;
+  write_u32 t ~off:(off + 4) e.e_len
+
+let extents t ~ino =
+  List.init (inode_nextents t ino) (fun i -> get_extent t ino i)
+
+let alloc_ino t =
+  let rec go i =
+    if i >= t.inode_count then None
+    else if ino_used t i then go (i + 1)
+    else begin
+      set_ino_used t i true;
+      Some i
+    end
+  in
+  go 0
+
+let init_inode t ino ~dir =
+  set_inode_flags t ino (flag_used lor if dir then flag_dir else 0);
+  set_inode_nextents t ino 0;
+  set_file_size t ~ino 0;
+  set_inode_indirect t ino 0
+
+let append_extent t ~ino ~blocks =
+  if blocks <= 0 then Error Errno.E_inv_args
+  else begin
+    let n = inode_nextents t ino in
+    if n >= direct_extents + max_indirect t then Error Errno.E_no_space
+    else begin
+      (* The indirect extent table is allocated on first use. *)
+      let need_indirect = n >= direct_extents && inode_indirect t ino = 0 in
+      let indirect_ok =
+        if not need_indirect then true
+        else
+          match alloc_run t ~want:1 with
+          | Some { e_start; _ } ->
+            Store.fill t.store ~addr:(baddr t e_start) ~len:t.block_size '\000';
+            set_inode_indirect t ino e_start;
+            true
+          | None -> false
+      in
+      if not indirect_ok then Error Errno.E_no_space
+      else
+        match alloc_run t ~want:blocks with
+        | None -> Error Errno.E_no_space
+        | Some e ->
+          set_extent t ino n e;
+          set_inode_nextents t ino (n + 1);
+          Ok e
+    end
+  end
+
+let truncate t ~ino ~size =
+  let keep_blocks = (size + t.block_size - 1) / t.block_size in
+  let n = inode_nextents t ino in
+  let kept = ref 0 in
+  let covered = ref 0 in
+  for i = 0 to n - 1 do
+    let e = get_extent t ino i in
+    if !covered >= keep_blocks then
+      (* Whole extent beyond the end. *)
+      free_run t ~start:e.e_start ~len:e.e_len
+    else if !covered + e.e_len > keep_blocks then begin
+      (* Partially kept: shrink; later extents are freed above. *)
+      let keep = keep_blocks - !covered in
+      free_run t ~start:(e.e_start + keep) ~len:(e.e_len - keep);
+      set_extent t ino i { e with e_len = keep };
+      kept := i + 1
+    end
+    else kept := i + 1;
+    covered := !covered + e.e_len
+  done;
+  set_inode_nextents t ino !kept;
+  (* The indirect extent table itself is freed once unused. *)
+  if !kept <= direct_extents then begin
+    let ind = inode_indirect t ino in
+    if ind <> 0 then begin
+      free_run t ~start:ind ~len:1;
+      set_inode_indirect t ino 0
+    end
+  end;
+  set_file_size t ~ino size
+
+let free_inode t ino =
+  List.iter (fun e -> free_run t ~start:e.e_start ~len:e.e_len) (extents t ~ino);
+  let ind = inode_indirect t ino in
+  if ind <> 0 then free_run t ~start:ind ~len:1;
+  set_inode_flags t ino 0;
+  set_inode_nextents t ino 0;
+  set_file_size t ~ino 0;
+  set_inode_indirect t ino 0;
+  set_ino_used t ino false
+
+(* --- directories ------------------------------------------------------- *)
+
+(* A directory's data (via its extents) is an array of 32-byte entries:
+   u32 ino, u8 used, u8 namelen, name bytes. *)
+
+let dirent_addr t ~dir ~index =
+  let per_block = t.block_size / dirent_bytes in
+  let blk_index = index / per_block in
+  let rec find i covered =
+    if i >= inode_nextents t dir then None
+    else begin
+      let e = get_extent t dir i in
+      if blk_index < covered + e.e_len then
+        Some
+          (baddr t (e.e_start + blk_index - covered)
+          + (index mod per_block * dirent_bytes))
+      else find (i + 1) (covered + e.e_len)
+    end
+  in
+  find 0 0
+
+let dir_capacity t ~dir =
+  let blocks =
+    List.fold_left (fun acc e -> acc + e.e_len) 0 (extents t ~ino:dir)
+  in
+  blocks * (t.block_size / dirent_bytes)
+
+let dirent_read t addr =
+  let ino = Store.read_u32 t.store ~addr in
+  let used = Store.read_u8 t.store ~addr:(addr + 4) = 1 in
+  let len = Store.read_u8 t.store ~addr:(addr + 5) in
+  let name = Store.read_string t.store ~addr:(addr + 6) ~len in
+  (used, name, ino)
+
+let dirent_write t addr ~used ~name ~ino =
+  Store.write_u32 t.store ~addr ino;
+  Store.write_u8 t.store ~addr:(addr + 4) (if used then 1 else 0);
+  Store.write_u8 t.store ~addr:(addr + 5) (String.length name);
+  Store.write_string t.store ~addr:(addr + 6) name
+
+(* Scans a directory; returns (result, entries scanned). *)
+let dir_find t ~dir ~name =
+  let cap = dir_capacity t ~dir in
+  let rec go i =
+    if i >= cap then (None, i)
+    else
+      match dirent_addr t ~dir ~index:i with
+      | None -> (None, i)
+      | Some a ->
+        let used, n, ino = dirent_read t a in
+        if used && n = name then (Some (ino, a), i + 1) else go (i + 1)
+  in
+  go 0
+
+let dir_add t ~dir ~name ~ino =
+  if String.length name > name_max || name = "" then Error Errno.E_inv_args
+  else begin
+    let cap = dir_capacity t ~dir in
+    let rec free_slot i =
+      if i >= cap then None
+      else
+        match dirent_addr t ~dir ~index:i with
+        | None -> None
+        | Some a ->
+          let used, _, _ = dirent_read t a in
+          if used then free_slot (i + 1) else Some a
+    in
+    let slot =
+      match free_slot 0 with
+      | Some a -> Ok a
+      | None -> (
+        (* Grow the directory by one block. *)
+        match append_extent t ~ino:dir ~blocks:1 with
+        | Error e -> Error e
+        | Ok e ->
+          Store.fill t.store ~addr:(baddr t e.e_start) ~len:t.block_size '\000';
+          set_file_size t ~ino:dir (dir_capacity t ~dir * dirent_bytes);
+          (match dirent_addr t ~dir ~index:cap with
+          | Some a -> Ok a
+          | None -> Error Errno.E_no_space))
+    in
+    match slot with
+    | Error e -> Error e
+    | Ok a ->
+      dirent_write t a ~used:true ~name ~ino;
+      Ok ()
+  end
+
+let dir_live_entries t ~dir =
+  let cap = dir_capacity t ~dir in
+  let rec go i acc =
+    if i >= cap then List.rev acc
+    else
+      match dirent_addr t ~dir ~index:i with
+      | None -> List.rev acc
+      | Some a ->
+        let used, name, ino = dirent_read t a in
+        go (i + 1) (if used then (name, ino) :: acc else acc)
+  in
+  go 0 []
+
+let readdir t ~dir ~index = List.nth_opt (dir_live_entries t ~dir) index
+
+(* --- paths -------------------------------------------------------------- *)
+
+let split_path path =
+  List.filter (fun c -> c <> "") (String.split_on_char '/' path)
+
+(* Resolves [path]; returns (ino, entries scanned). *)
+let lookup t path =
+  let rec walk ino scanned = function
+    | [] -> Ok (ino, scanned)
+    | name :: rest ->
+      if not (is_dir t ~ino) then Error Errno.E_not_dir
+      else (
+        match dir_find t ~dir:ino ~name with
+        | Some (child, _), n -> walk child (scanned + n) rest
+        | None, n ->
+          ignore n;
+          Error Errno.E_not_found)
+  in
+  walk 0 0 (split_path path)
+
+let lookup_parent t path =
+  match List.rev (split_path path) with
+  | [] -> Error Errno.E_inv_args
+  | name :: rev_dirs -> (
+    let dir_path = String.concat "/" (List.rev rev_dirs) in
+    match lookup t dir_path with
+    | Error e -> Error e
+    | Ok (dir, scanned) ->
+      if is_dir t ~ino:dir then Ok (dir, name, scanned) else Error Errno.E_not_dir)
+
+let create_node t path ~dir =
+  match lookup_parent t path with
+  | Error e -> Error e
+  | Ok (parent, name, _) -> (
+    match dir_find t ~dir:parent ~name with
+    | Some _, _ -> Error Errno.E_exists
+    | None, _ -> (
+      match alloc_ino t with
+      | None -> Error Errno.E_no_space
+      | Some ino -> (
+        init_inode t ino ~dir;
+        match dir_add t ~dir:parent ~name ~ino with
+        | Ok () -> Ok ino
+        | Error e ->
+          free_inode t ino;
+          Error e)))
+
+let create_file t path = create_node t path ~dir:false
+
+let mkdir t path =
+  match create_node t path ~dir:true with Ok _ -> Ok () | Error e -> Error e
+
+let unlink t path =
+  match lookup_parent t path with
+  | Error e -> Error e
+  | Ok (parent, name, _) -> (
+    match dir_find t ~dir:parent ~name with
+    | None, _ -> Error Errno.E_not_found
+    | Some (ino, slot_addr), _ ->
+      if is_dir t ~ino && dir_live_entries t ~dir:ino <> [] then
+        Error Errno.E_not_empty
+      else begin
+        dirent_write t slot_addr ~used:false ~name:"" ~ino:0;
+        free_inode t ino;
+        Ok ()
+      end)
+
+let stat t ~ino =
+  if ino < 0 || ino >= t.inode_count || not (ino_used t ino) then
+    Error Errno.E_not_found
+  else
+    Ok
+      {
+        size = file_size t ~ino;
+        is_dir = is_dir t ~ino;
+        ino;
+        extents = inode_nextents t ino;
+      }
+
+(* --- format -------------------------------------------------------------- *)
+
+let format store ~base ~size ~block_size ~inode_count =
+  if block_size < 512 || size < 64 * block_size then
+    invalid_arg "Fs_image.format: image too small";
+  if inode_count > block_size * 8 then
+    invalid_arg "Fs_image.format: too many inodes for one bitmap block";
+  let total_blocks = size / block_size in
+  let bbmap_blocks = (total_blocks + (block_size * 8) - 1) / (block_size * 8) in
+  let itable_blocks =
+    ((inode_count * inode_bytes) + block_size - 1) / block_size
+  in
+  let t =
+    {
+      store;
+      base;
+      block_size;
+      total_blocks;
+      inode_count;
+      ibmap_block = 1;
+      bbmap_block = 2;
+      bbmap_blocks;
+      itable_block = 2 + bbmap_blocks;
+      first_data_block = 2 + bbmap_blocks + itable_blocks;
+    }
+  in
+  Store.fill store ~addr:base ~len:(t.first_data_block * block_size) '\000';
+  write_u32 t ~off:0 magic;
+  write_u32 t ~off:4 block_size;
+  write_u32 t ~off:8 total_blocks;
+  write_u32 t ~off:12 inode_count;
+  write_u32 t ~off:16 t.itable_block;
+  write_u32 t ~off:20 t.first_data_block;
+  (* Metadata blocks are marked used in the block bitmap. *)
+  for b = 0 to t.first_data_block - 1 do
+    set_block_used t b true
+  done;
+  (* Root directory. *)
+  set_ino_used t 0 true;
+  init_inode t 0 ~dir:true;
+  t
+
+(* The superblock alone is enough to reconstruct the handle. *)
+let attach store ~base =
+  let probe =
+    { store; base; block_size = 512; total_blocks = 1; inode_count = 0;
+      ibmap_block = 1; bbmap_block = 2; bbmap_blocks = 0; itable_block = 0;
+      first_data_block = 0 }
+  in
+  if read_u32 probe ~off:0 <> magic then Error "bad magic: not an m3fs image"
+  else begin
+    let block_size = read_u32 probe ~off:4 in
+    let total_blocks = read_u32 probe ~off:8 in
+    let inode_count = read_u32 probe ~off:12 in
+    let itable_block = read_u32 probe ~off:16 in
+    let first_data_block = read_u32 probe ~off:20 in
+    if block_size < 512 || total_blocks <= 0 || inode_count <= 0 then
+      Error "corrupt superblock"
+    else
+      Ok
+        {
+          store;
+          base;
+          block_size;
+          total_blocks;
+          inode_count;
+          ibmap_block = 1;
+          bbmap_block = 2;
+          bbmap_blocks = itable_block - 2;
+          itable_block;
+          first_data_block;
+        }
+  end
+
+(* --- seeding ---------------------------------------------------------------- *)
+
+let seed_file t ~path ~size ~blocks_per_extent ~rng =
+  if blocks_per_extent <= 0 then Error Errno.E_inv_args
+  else
+    match create_file t path with
+    | Error e -> Error e
+    | Ok ino ->
+      let blocks = (size + t.block_size - 1) / t.block_size in
+      let rec fill remaining =
+        if remaining <= 0 then Ok ()
+        else begin
+          let want = min remaining blocks_per_extent in
+          match append_extent t ~ino ~blocks:want with
+          | Error e -> Error e
+          | Ok e ->
+            let buf = Bytes.create (e.e_len * t.block_size) in
+            M3_sim.Rng.fill_bytes rng buf ~pos:0 ~len:(Bytes.length buf);
+            Store.write_bytes t.store ~addr:(baddr t e.e_start) buf ~pos:0
+              ~len:(Bytes.length buf);
+            fill (remaining - e.e_len)
+        end
+      in
+      (match fill blocks with
+      | Error e -> Error e
+      | Ok () ->
+        set_file_size t ~ino size;
+        Ok ino)
+
+(* --- fsck ---------------------------------------------------------------------- *)
+
+let fsck t =
+  let claimed = Array.make t.total_blocks (-2) in
+  for b = 0 to t.first_data_block - 1 do
+    claimed.(b) <- -1 (* metadata *)
+  done;
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  let claim ~ino b =
+    if b < 0 || b >= t.total_blocks then fail "ino %d: extent block %d out of range" ino b
+    else if claimed.(b) = -1 then fail "ino %d: claims metadata block %d" ino b
+    else if claimed.(b) >= 0 then
+      fail "block %d claimed by both ino %d and ino %d" b claimed.(b) ino
+    else if not (block_used t b) then
+      fail "ino %d: block %d in extent but free in bitmap" ino b
+    else claimed.(b) <- ino
+  in
+  for ino = 0 to t.inode_count - 1 do
+    let used = ino_used t ino in
+    let flags = inode_flags t ino in
+    if used <> (flags land flag_used <> 0) then
+      fail "ino %d: bitmap and flags disagree" ino;
+    if used then begin
+      List.iter
+        (fun e ->
+          for b = e.e_start to e.e_start + e.e_len - 1 do
+            claim ~ino b
+          done)
+        (extents t ~ino);
+      let ind = inode_indirect t ino in
+      if ind <> 0 then claim ~ino ind;
+      (* Size must fit into the allocated extents. *)
+      let blocks =
+        List.fold_left (fun acc e -> acc + e.e_len) 0 (extents t ~ino)
+      in
+      if file_size t ~ino > blocks * t.block_size then
+        fail "ino %d: size %d exceeds %d allocated blocks" ino
+          (file_size t ~ino) blocks;
+      if is_dir t ~ino then
+        List.iter
+          (fun (name, child) ->
+            if child < 0 || child >= t.inode_count || not (ino_used t child)
+            then fail "dirent %s in ino %d points at dead ino %d" name ino child)
+          (dir_live_entries t ~dir:ino)
+    end
+  done;
+  (* Every used data block must be claimed by exactly one inode. *)
+  for b = t.first_data_block to t.total_blocks - 1 do
+    if block_used t b && claimed.(b) = -2 then fail "block %d used but unclaimed" b
+  done;
+  match !error with None -> Ok () | Some e -> Error e

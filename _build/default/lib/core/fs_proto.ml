@@ -1,0 +1,54 @@
+type op =
+  | Fs_open
+  | Fs_close
+  | Fs_stat
+  | Fs_mkdir
+  | Fs_unlink
+  | Fs_readdir
+
+let op_to_int = function
+  | Fs_open -> 0
+  | Fs_close -> 1
+  | Fs_stat -> 2
+  | Fs_mkdir -> 3
+  | Fs_unlink -> 4
+  | Fs_readdir -> 5
+
+let op_of_int = function
+  | 0 -> Some Fs_open
+  | 1 -> Some Fs_close
+  | 2 -> Some Fs_stat
+  | 3 -> Some Fs_mkdir
+  | 4 -> Some Fs_unlink
+  | 5 -> Some Fs_readdir
+  | _ -> None
+
+type xop =
+  | Fs_get_locs
+  | Fs_append
+
+let xop_to_int = function Fs_get_locs -> 0 | Fs_append -> 1
+
+let xop_of_int = function
+  | 0 -> Some Fs_get_locs
+  | 1 -> Some Fs_append
+  | _ -> None
+
+let o_read = 1
+let o_write = 2
+let o_create = 4
+let o_trunc = 8
+
+type stat = {
+  st_size : int;
+  st_is_dir : bool;
+  st_ino : int;
+  st_extents : int;
+}
+
+let readdir_batch = 8
+
+let srv_msg_order = 9
+let srv_slots = 32
+let srv_kchannel_order = 11
+let srv_kchannel_slots = 8

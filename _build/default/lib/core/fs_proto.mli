@@ -1,0 +1,53 @@
+(** m3fs wire protocol.
+
+    Meta operations travel directly from client to service over the
+    session's send gate (the kernel is not involved, §4.5.8). Extent
+    requests — which hand out memory capabilities — go through the
+    kernel's [exchange_sess] path instead, because only the kernel can
+    install capabilities. *)
+
+(** Direct (session channel) operations. *)
+type op =
+  | Fs_open      (** path, flags → fid, size *)
+  | Fs_close     (** fid, final size → (); truncates over-allocation *)
+  | Fs_stat      (** path → size, is_dir, inode, extent count *)
+  | Fs_mkdir     (** path → () *)
+  | Fs_unlink    (** path → () *)
+  | Fs_readdir   (** path, index → name, inode (E_not_found past end) *)
+
+val op_to_int : op -> int
+val op_of_int : int -> op option
+
+(** Exchange (kernel channel) operations, encoded in exchange args. *)
+type xop =
+  | Fs_get_locs  (** fid, first extent index, count → extents + caps *)
+  | Fs_append    (** fid, blocks → new extent + cap *)
+
+val xop_to_int : xop -> int
+val xop_of_int : int -> xop option
+
+(** Open flags. *)
+
+val o_read : int
+val o_write : int
+val o_create : int
+val o_trunc : int
+
+type stat = {
+  st_size : int;
+  st_is_dir : bool;
+  st_ino : int;
+  st_extents : int;
+}
+
+(** Entries returned per readdir request (getdents-style batching). *)
+val readdir_batch : int
+
+(** Slot/ringbuffer sizing of the two service channels. The kernel
+    channel carries capability-exchange replies (up to a batch of
+    extent descriptors), so its slots are larger. *)
+
+val srv_msg_order : int
+val srv_slots : int
+val srv_kchannel_order : int
+val srv_kchannel_slots : int

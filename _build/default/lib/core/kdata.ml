@@ -1,0 +1,120 @@
+module Perm = M3_mem.Perm
+
+type vpe_state =
+  | V_init
+  | V_running
+  | V_dead
+
+type vpe = {
+  v_id : int;
+  v_name : string;
+  mutable v_pe : int;
+  v_caps : (int, cap) Hashtbl.t;
+  mutable v_state : vpe_state;
+  mutable v_exit_code : int option;
+  mutable v_waiters : (int * int) list;
+}
+
+and rgate_obj = {
+  rg_vpe : vpe;
+  rg_ep : int;
+  rg_buf_addr : int;
+  rg_slot_order : int;
+  rg_slot_count : int;
+}
+
+and srv_obj = {
+  srv_name : string;
+  srv_vpe : vpe;
+  srv_krgate : rgate_obj;
+  srv_crgate : rgate_obj;
+  mutable srv_next_ident : int64;
+}
+
+and obj =
+  | O_vpe of vpe
+  | O_mem of { mem_pe : int; mem_addr : int; mem_size : int; mem_perm : Perm.t }
+  | O_rgate of rgate_obj
+  | O_sgate of {
+      sg_rgate : rgate_obj;
+      sg_label : int64;
+      sg_credits : M3_dtu.Endpoint.credit;
+    }
+  | O_srv of srv_obj
+  | O_sess of { sess_srv : srv_obj; sess_ident : int64 }
+  | O_irq of { irq_pe : int }
+      
+
+and cap = {
+  c_sel : int;
+  c_owner : vpe;
+  c_obj : obj;
+  mutable c_parent : cap option;
+  mutable c_children : cap list;
+  mutable c_activated : int list;
+  mutable c_valid : bool;
+}
+
+let make_vpe ~id ~name ~pe =
+  {
+    v_id = id;
+    v_name = name;
+    v_pe = pe;
+    v_caps = Hashtbl.create 16;
+    v_state = V_init;
+    v_exit_code = None;
+    v_waiters = [];
+  }
+
+let insert vpe ~sel obj ~parent =
+  if Hashtbl.mem vpe.v_caps sel then Error Errno.E_no_sel
+  else begin
+    let cap =
+      {
+        c_sel = sel;
+        c_owner = vpe;
+        c_obj = obj;
+        c_parent = parent;
+        c_children = [];
+        c_activated = [];
+        c_valid = true;
+      }
+    in
+    (match parent with
+    | Some p -> p.c_children <- cap :: p.c_children
+    | None -> ());
+    Hashtbl.add vpe.v_caps sel cap;
+    Ok cap
+  end
+
+let get vpe ~sel =
+  match Hashtbl.find_opt vpe.v_caps sel with
+  | Some cap when cap.c_valid -> Ok cap
+  | Some _ | None -> Error Errno.E_no_sel
+
+let derive_to ~cap ~dst ~dst_sel obj = insert dst ~sel:dst_sel obj ~parent:(Some cap)
+
+let rec revoke cap ~on_drop =
+  if cap.c_valid then begin
+    (* Depth-first: children go first, so a service's derived client
+       capabilities disappear before the service capability itself. *)
+    List.iter (fun child -> revoke child ~on_drop) cap.c_children;
+    cap.c_children <- [];
+    cap.c_valid <- false;
+    Hashtbl.remove cap.c_owner.v_caps cap.c_sel;
+    (match cap.c_parent with
+    | Some p -> p.c_children <- List.filter (fun c -> c != cap) p.c_children
+    | None -> ());
+    on_drop cap
+  end
+
+let obj_name = function
+  | O_vpe v -> "vpe:" ^ v.v_name
+  | O_mem _ -> "mem"
+  | O_rgate _ -> "rgate"
+  | O_sgate _ -> "sgate"
+  | O_srv s -> "srv:" ^ s.srv_name
+  | O_sess _ -> "sess"
+  | O_irq i -> Printf.sprintf "irq:pe%d" i.irq_pe
+
+let count_caps vpe = Hashtbl.length vpe.v_caps

@@ -1,0 +1,839 @@
+module Engine = M3_sim.Engine
+module Process = M3_sim.Process
+module Account = M3_sim.Account
+module Store = M3_mem.Store
+module Perm = M3_mem.Perm
+module Alloc = M3_mem.Alloc
+module Endpoint = M3_dtu.Endpoint
+module Dtu = M3_dtu.Dtu
+module Platform = M3_hw.Platform
+module Pe = M3_hw.Pe
+module Core_type = M3_hw.Core_type
+module Cost_model = M3_hw.Cost_model
+module W = Msgbuf.W
+module R = Msgbuf.R
+open Kdata
+
+let src = Logs.Src.create "m3.kernel" ~doc:"M3 kernel"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let kep_syscall = 0
+let kep_reply = 1
+let kep_service = 2
+
+(* Kernel SPM layout. *)
+let syscall_buf_addr = 0x100
+let reply_buf_addr = syscall_buf_addr + (Proto.kernel_rbuf_slots * 512)
+
+type t = {
+  platform : Platform.t;
+  pe : Pe.t;
+  engine : Engine.t;
+  fabric : M3_noc.Fabric.t;
+  vpes : (int, vpe) Hashtbl.t;
+  mutable next_vpe_id : int;
+  pe_owner : int option array; (* PE id -> owning VPE id *)
+  kmem : Alloc.t;
+  kmem_roots : (int, int) Hashtbl.t; (* region addr -> size, for free on revoke *)
+  services : (string, srv_obj * cap) Hashtbl.t;
+  accounts : (int, Account.t) Hashtbl.t;
+  exits : (int, int Process.Ivar.ivar) Hashtbl.t;
+  ep_caps : (int * int, cap) Hashtbl.t; (* (vpe id, ep) -> configured cap *)
+  irq_claims : (int, int) Hashtbl.t; (* device pe -> owning vpe id *)
+  mutable syscalls_handled : int;
+}
+
+let create platform ~kernel_pe =
+  let config = Platform.config platform in
+  let pe_owner = Array.make config.pe_count None in
+  pe_owner.(kernel_pe) <- Some (-1);
+  {
+    platform;
+    pe = Platform.pe platform kernel_pe;
+    engine = Platform.engine platform;
+    fabric = Platform.fabric platform;
+    vpes = Hashtbl.create 16;
+    next_vpe_id = 1;
+    pe_owner;
+    kmem = Alloc.create ~base:0 ~size:config.dram_size;
+    kmem_roots = Hashtbl.create 16;
+    services = Hashtbl.create 4;
+    accounts = Hashtbl.create 16;
+    exits = Hashtbl.create 16;
+    ep_caps = Hashtbl.create 64;
+    irq_claims = Hashtbl.create 4;
+    syscalls_handled = 0;
+  }
+
+let kdtu t = Pe.dtu t.pe
+let kernel_pe_id t = Pe.id t.pe
+
+let dtu_exn = function
+  | Ok v -> v
+  | Error e ->
+    failwith (Printf.sprintf "kernel: DTU error: %s" (M3_dtu.Dtu_error.to_string e))
+
+(* --- capability side effects -------------------------------------- *)
+
+let kill_vpe : (t -> vpe -> code:int -> unit) ref =
+  ref (fun _ _ ~code:_ -> assert false)
+
+(* Side effects of a capability disappearing: endpoints configured
+   from it become unusable, root DRAM regions return to the allocator,
+   losing a VPE capability kills the VPE, losing a service capability
+   deregisters the service. *)
+let drop_cap t cap =
+  let vpe = cap.c_owner in
+  List.iter
+    (fun ep ->
+      Hashtbl.remove t.ep_caps (vpe.v_id, ep);
+      if vpe.v_state <> V_dead then
+        match Dtu.ext_invalidate (kdtu t) ~target:vpe.v_pe ~ep with
+        | Ok () | Error _ -> ())
+    cap.c_activated;
+  cap.c_activated <- [];
+  match cap.c_obj with
+  | O_mem { mem_pe; mem_addr; mem_size; _ }
+    when cap.c_parent = None && mem_pe = Platform.dram_node t.platform -> (
+    (* Only root DRAM capabilities return storage; SPM-backed memory
+       capabilities (e.g. a VPE's own scratchpad) share the address
+       space origin but are not allocator-backed. *)
+    match Hashtbl.find_opt t.kmem_roots mem_addr with
+    | Some size when size = mem_size ->
+      Hashtbl.remove t.kmem_roots mem_addr;
+      Alloc.free t.kmem ~addr:mem_addr ~size:mem_size
+    | Some _ | None -> ())
+  | O_vpe target when target.v_id <> cap.c_owner.v_id ->
+    if target.v_state <> V_dead then !kill_vpe t target ~code:(-1)
+  | O_srv srv -> Hashtbl.remove t.services srv.srv_name
+  | O_irq { irq_pe } ->
+    (* Disarm: clear the period register and tear the endpoint down. *)
+    Hashtbl.remove t.irq_claims irq_pe;
+    let zero = Bytes.make 4 '\000' in
+    (match Dtu.ext_write (kdtu t) ~target:irq_pe ~addr:M3_hw.Timer.period_reg ~payload:zero with
+    | Ok () | Error _ -> ());
+    (match Dtu.ext_invalidate (kdtu t) ~target:irq_pe ~ep:M3_hw.Timer.irq_ep with
+    | Ok () | Error _ -> ())
+  | O_vpe _ | O_mem _ | O_rgate _ | O_sgate _ | O_sess _ -> ()
+
+let revoke_cap t cap = Kdata.revoke cap ~on_drop:(fun c -> drop_cap t c)
+
+(* --- VPE lifecycle -------------------------------------------------- *)
+
+let exit_ivar t vpe_id =
+  match Hashtbl.find_opt t.exits vpe_id with
+  | Some iv -> iv
+  | None ->
+    let iv = Process.Ivar.create () in
+    Hashtbl.add t.exits vpe_id iv;
+    iv
+
+let reply_waiters t vpe =
+  let waiters = vpe.v_waiters in
+  vpe.v_waiters <- [];
+  let code = Option.value vpe.v_exit_code ~default:(-1) in
+  List.iter
+    (fun (ep, slot) ->
+      let w = W.create () in
+      W.u64 w (Errno.to_int Errno.E_ok);
+      W.u64 w code;
+      match Dtu.reply (kdtu t) ~ep ~slot ~payload:(W.contents w) with
+      | Ok () -> ()
+      | Error e ->
+        Log.err (fun m ->
+            m "wait-reply failed: %s" (M3_dtu.Dtu_error.to_string e)))
+    waiters
+
+(* Tears a VPE down: mark dead, free its PE, reset the DTU, drop all
+   its capabilities (which recursively revokes anything derived from
+   them in other VPEs), and wake waiters. *)
+let do_kill_vpe t vpe ~code =
+  if vpe.v_state <> V_dead then begin
+    vpe.v_state <- V_dead;
+    if vpe.v_exit_code = None then vpe.v_exit_code <- Some code;
+    Log.debug (fun m -> m "vpe%d (%s) exits with %d" vpe.v_id vpe.v_name code);
+    t.pe_owner.(vpe.v_pe) <- None;
+    Pe.halt (Platform.pe t.platform vpe.v_pe);
+    (match Dtu.ext_reset (kdtu t) ~target:vpe.v_pe with Ok () | Error _ -> ());
+    let own_caps = Hashtbl.fold (fun _ cap acc -> cap :: acc) vpe.v_caps [] in
+    List.iter (fun cap -> revoke_cap t cap) own_caps;
+    reply_waiters t vpe;
+    let iv = exit_ivar t vpe.v_id in
+    if not (Process.Ivar.is_filled iv) then Process.Ivar.fill iv code
+  end
+
+let () = kill_vpe := do_kill_vpe
+
+(* Creates the kernel object, binds a PE, installs the standard
+   capabilities and configures the child's syscall endpoints. Must run
+   inside a simulation process. *)
+let create_vpe_internal t ~name ~core ~account =
+  let used i = t.pe_owner.(i) <> None in
+  match Platform.find_pe t.platform ~core ~used with
+  | None -> Error Errno.E_no_pe
+  | Some pe ->
+    let id = t.next_vpe_id in
+    t.next_vpe_id <- id + 1;
+    let vpe = make_vpe ~id ~name ~pe:(Pe.id pe) in
+    t.pe_owner.(Pe.id pe) <- Some id;
+    Hashtbl.add t.vpes id vpe;
+    Hashtbl.replace t.accounts id account;
+    (* Syscall channel: send EP to the kernel with the VPE id as
+       unforgeable label, one credit; reply buffer in the child SPM. *)
+    dtu_exn
+      (Dtu.ext_config (kdtu t) ~target:(Pe.id pe) ~ep:Env.ep_syscall_send
+         (Endpoint.Send
+            {
+              dst_pe = kernel_pe_id t;
+              dst_ep = kep_syscall;
+              label = Int64.of_int id;
+              msg_order = Proto.syscall_msg_order;
+              credits = Endpoint.Credits 1;
+            }));
+    dtu_exn
+      (Dtu.ext_config (kdtu t) ~target:(Pe.id pe) ~ep:Env.ep_syscall_reply
+         (Endpoint.Receive
+            {
+              buf_addr = Env.reply_buf_addr;
+              slot_order = Proto.reply_slot_order;
+              slot_count = 2;
+            }));
+    dtu_exn (Dtu.ext_set_privileged (kdtu t) ~target:(Pe.id pe) false);
+    Ok vpe
+
+let spm_mem_obj t vpe =
+  let spm_size = (Platform.config t.platform).spm_size in
+  O_mem { mem_pe = vpe.v_pe; mem_addr = 0; mem_size = spm_size; mem_perm = Perm.rw }
+
+(* Installs the standard capabilities. The holder's capabilities are
+   the roots so that a child's exit (which drops the child's own
+   table) cannot revoke the holder's handle on it; [holder = None]
+   roots them in the VPE's own table (boot-loader path). *)
+let install_std_caps t vpe ~holder =
+  let vpe_obj = O_vpe vpe and mem_obj = spm_mem_obj t vpe in
+  match holder with
+  | None -> (
+    match
+      ( insert vpe ~sel:Env.sel_vpe vpe_obj ~parent:None,
+        insert vpe ~sel:Env.sel_mem mem_obj ~parent:None )
+    with
+    | Ok _, Ok _ -> Ok ()
+    | Error e, _ | _, Error e -> Error e)
+  | Some (requester, sel, mem_sel) -> (
+    match
+      ( insert requester ~sel vpe_obj ~parent:None,
+        insert requester ~sel:mem_sel mem_obj ~parent:None )
+    with
+    | Ok vcap, Ok mcap -> (
+      match
+        ( derive_to ~cap:vcap ~dst:vpe ~dst_sel:Env.sel_vpe vpe_obj,
+          derive_to ~cap:mcap ~dst:vpe ~dst_sel:Env.sel_mem mem_obj )
+      with
+      | Ok _, Ok _ -> Ok ()
+      | Error e, _ | _, Error e -> Error e)
+    | Error e, _ | _, Error e -> Error e)
+
+let start_program t vpe ~prog ~args =
+  match Program.find prog with
+  | None -> Error Errno.E_not_found
+  | Some program ->
+    let account =
+      match Hashtbl.find_opt t.accounts vpe.v_id with
+      | Some a -> a
+      | None -> Account.create ()
+    in
+    let env =
+      Env.create
+        ~pe:(Platform.pe t.platform vpe.v_pe)
+        ~fabric:t.fabric ~kernel_pe:(kernel_pe_id t) ~vpe_id:vpe.v_id
+        ~name:vpe.v_name ~image_bytes:program.prog_image_bytes ~args ~account
+    in
+    vpe.v_state <- V_running;
+    ignore
+      (Pe.spawn
+         (Platform.pe t.platform vpe.v_pe)
+         ~name:vpe.v_name
+         (fun () -> Syscalls.run_main env program.prog_main));
+    Ok ()
+
+(* --- kernel <-> service channel ------------------------------------- *)
+
+let service_request t (srv : srv_obj) ~payload =
+  let rg = srv.srv_krgate in
+  dtu_exn
+    (Dtu.config_local (kdtu t) ~ep:kep_service
+       (Endpoint.Send
+          {
+            dst_pe = rg.rg_vpe.v_pe;
+            dst_ep = rg.rg_ep;
+            label = 0L;
+            msg_order = rg.rg_slot_order;
+            credits = Endpoint.Unlimited;
+          }));
+  dtu_exn (Dtu.send (kdtu t) ~ep:kep_service ~payload ~reply:(kep_reply, 0L) ());
+  let msg = Dtu.wait_msg (kdtu t) ~ep:kep_reply in
+  Dtu.ack (kdtu t) ~ep:kep_reply ~slot:msg.slot;
+  msg.payload
+
+(* --- syscall handlers ------------------------------------------------ *)
+
+type action =
+  | Reply of W.t
+  | Deferred
+  | No_reply
+
+let reply_err errno =
+  let w = W.create () in
+  W.u64 w (Errno.to_int errno);
+  Reply w
+
+let reply_ok fill =
+  let w = W.create () in
+  W.u64 w (Errno.to_int Errno.E_ok);
+  fill w;
+  Reply w
+
+let perm_of_int v =
+  let p = ref Perm.none in
+  if v land 1 <> 0 then p := Perm.union !p Perm.r;
+  if v land 2 <> 0 then p := Perm.union !p Perm.w;
+  if v land 4 <> 0 then p := Perm.union !p Perm.x;
+  !p
+
+let h_create_vpe t requester r =
+  let sel = R.u64 r in
+  let mem_sel = R.u64 r in
+  let name = R.str r in
+  match Proto.core_kind_of_int (R.u8 r) with
+  | None -> reply_err Errno.E_inv_args
+  | Some Core_type.Timer_device -> reply_err Errno.E_inv_args
+  | Some core ->
+    let account =
+      match Hashtbl.find_opt t.accounts requester.v_id with
+      | Some a -> a
+      | None -> Account.create ()
+    in
+    (match create_vpe_internal t ~name ~core ~account with
+    | Error e -> reply_err e
+    | Ok vpe ->
+      (* The requester gets the VPE capability and a memory capability
+         for the child's SPM, enabling application loading. *)
+      (match install_std_caps t vpe ~holder:(Some (requester, sel, mem_sel)) with
+      | Ok () ->
+        reply_ok (fun w ->
+            W.u64 w vpe.v_id;
+            W.u64 w vpe.v_pe)
+      | Error e ->
+        do_kill_vpe t vpe ~code:(-1);
+        reply_err e))
+
+let h_vpe_start t requester r =
+  let vpe_sel = R.u64 r in
+  let prog = R.str r in
+  let args = R.bytes r in
+  match get requester ~sel:vpe_sel with
+  | Error e -> reply_err e
+  | Ok { c_obj = O_vpe vpe; _ } when vpe.v_state = V_init -> (
+    match start_program t vpe ~prog ~args with
+    | Ok () -> reply_ok (fun _ -> ())
+    | Error e -> reply_err e)
+  | Ok { c_obj = O_vpe _; _ } -> reply_err Errno.E_vpe_gone
+  | Ok _ -> reply_err Errno.E_inv_args
+
+let h_vpe_wait _t requester r ~slot =
+  let vpe_sel = R.u64 r in
+  match get requester ~sel:vpe_sel with
+  | Error e -> reply_err e
+  | Ok { c_obj = O_vpe vpe; _ } -> (
+    match vpe.v_exit_code with
+    | Some code -> reply_ok (fun w -> W.u64 w code)
+    | None ->
+      vpe.v_waiters <- (kep_syscall, slot) :: vpe.v_waiters;
+      Deferred)
+  | Ok _ -> reply_err Errno.E_inv_args
+
+let h_vpe_exit t requester r =
+  let code = R.u64 r in
+  do_kill_vpe t requester ~code;
+  No_reply
+
+let h_create_rgate t requester r =
+  let sel = R.u64 r in
+  let ep = R.u64 r in
+  let buf_addr = R.u64 r in
+  let slot_order = R.u64 r in
+  let slot_count = R.u64 r in
+  let config = Platform.config t.platform in
+  if
+    ep < Env.first_free_ep || ep >= config.ep_count || slot_order < 4
+    || slot_order > 14 || slot_count <= 0 || buf_addr < 0
+    || buf_addr + (slot_count * (1 lsl slot_order)) > config.spm_size
+  then reply_err Errno.E_inv_args
+  else begin
+    let rgate =
+      {
+        rg_vpe = requester;
+        rg_ep = ep;
+        rg_buf_addr = buf_addr;
+        rg_slot_order = slot_order;
+        rg_slot_count = slot_count;
+      }
+    in
+    match insert requester ~sel (O_rgate rgate) ~parent:None with
+    | Error e -> reply_err e
+    | Ok _ ->
+      dtu_exn
+        (Dtu.ext_config (kdtu t) ~target:requester.v_pe ~ep
+           (Endpoint.Receive { buf_addr; slot_order; slot_count }));
+      reply_ok (fun _ -> ())
+  end
+
+let h_create_sgate _t requester r =
+  let sel = R.u64 r in
+  let rgate_sel = R.u64 r in
+  let label = R.i64 r in
+  let credits = Proto.credits_of_int (R.u64 r) in
+  match get requester ~sel:rgate_sel with
+  | Error e -> reply_err e
+  | Ok ({ c_obj = O_rgate rg; _ } as rcap) -> (
+    match
+      derive_to ~cap:rcap ~dst:requester ~dst_sel:sel
+        (O_sgate { sg_rgate = rg; sg_label = label; sg_credits = credits })
+    with
+    | Ok _ -> reply_ok (fun _ -> ())
+    | Error e -> reply_err e)
+  | Ok _ -> reply_err Errno.E_inv_args
+
+let h_req_mem t requester r =
+  let sel = R.u64 r in
+  let size = R.u64 r in
+  let perm = perm_of_int (R.u64 r) in
+  if size <= 0 then reply_err Errno.E_inv_args
+  else
+    match Alloc.alloc t.kmem ~size ~align:4096 with
+    | None -> reply_err Errno.E_no_space
+    | Some addr -> (
+      Hashtbl.replace t.kmem_roots addr size;
+      match
+        insert requester ~sel
+          (O_mem
+             {
+               mem_pe = Platform.dram_node t.platform;
+               mem_addr = addr;
+               mem_size = size;
+               mem_perm = perm;
+             })
+          ~parent:None
+      with
+      | Ok _ -> reply_ok (fun w -> W.u64 w addr)
+      | Error e ->
+        Hashtbl.remove t.kmem_roots addr;
+        Alloc.free t.kmem ~addr ~size;
+        reply_err e)
+
+let h_derive_mem _t requester r =
+  let src_sel = R.u64 r in
+  let dst_sel = R.u64 r in
+  let off = R.u64 r in
+  let size = R.u64 r in
+  let perm = perm_of_int (R.u64 r) in
+  match get requester ~sel:src_sel with
+  | Error e -> reply_err e
+  | Ok ({ c_obj = O_mem m; _ } as cap) ->
+    if off < 0 || size <= 0 || off + size > m.mem_size then
+      reply_err Errno.E_inv_args
+    else if not (Perm.subset perm ~of_:m.mem_perm) then
+      reply_err Errno.E_no_perm
+    else (
+      match
+        derive_to ~cap ~dst:requester ~dst_sel
+          (O_mem
+             {
+               mem_pe = m.mem_pe;
+               mem_addr = m.mem_addr + off;
+               mem_size = size;
+               mem_perm = perm;
+             })
+      with
+      | Ok _ -> reply_ok (fun _ -> ())
+      | Error e -> reply_err e)
+  | Ok _ -> reply_err Errno.E_inv_args
+
+let h_activate t requester r =
+  let sel = R.u64 r in
+  let ep = R.u64 r in
+  let config = Platform.config t.platform in
+  if ep < Env.first_free_ep || ep >= config.ep_count then
+    reply_err Errno.E_inv_args
+  else
+    match get requester ~sel with
+    | Error e -> reply_err e
+    | Ok cap ->
+      let ep_config =
+        match cap.c_obj with
+        | O_sgate sg ->
+          let rg = sg.sg_rgate in
+          Some
+            (Endpoint.Send
+               {
+                 dst_pe = rg.rg_vpe.v_pe;
+                 dst_ep = rg.rg_ep;
+                 label = sg.sg_label;
+                 msg_order = rg.rg_slot_order;
+                 credits = sg.sg_credits;
+               })
+        | O_mem m ->
+          Some
+            (Endpoint.Memory
+               {
+                 dst_pe = m.mem_pe;
+                 base = m.mem_addr;
+                 size = m.mem_size;
+                 perm = m.mem_perm;
+               })
+        | O_vpe _ | O_rgate _ | O_srv _ | O_sess _ | O_irq _ -> None
+      in
+      (match ep_config with
+      | None -> reply_err Errno.E_inv_args
+      | Some ep_config ->
+        (* Unbind whatever was on that endpoint before. *)
+        (match Hashtbl.find_opt t.ep_caps (requester.v_id, ep) with
+        | Some old ->
+          old.c_activated <- List.filter (fun e -> e <> ep) old.c_activated
+        | None -> ());
+        dtu_exn (Dtu.ext_config (kdtu t) ~target:requester.v_pe ~ep ep_config);
+        cap.c_activated <- ep :: cap.c_activated;
+        Hashtbl.replace t.ep_caps (requester.v_id, ep) cap;
+        reply_ok (fun _ -> ()))
+
+(* The paper forbids exchanging receive capabilities (§4.5.4); send,
+   memory, session and VPE capabilities travel freely. *)
+let exchangeable = function
+  | O_sgate _ | O_mem _ | O_sess _ | O_vpe _ -> true
+  | O_rgate _ | O_srv _ | O_irq _ -> false
+
+let h_exchange _t requester r =
+  let vpe_sel = R.u64 r in
+  let own_sel = R.u64 r in
+  let other_sel = R.u64 r in
+  let obtain = R.u8 r = 1 in
+  match get requester ~sel:vpe_sel with
+  | Error e -> reply_err e
+  | Ok { c_obj = O_vpe other; _ } ->
+    let src_vpe, src_sel, dst_vpe, dst_sel =
+      if obtain then (other, other_sel, requester, own_sel)
+      else (requester, own_sel, other, other_sel)
+    in
+    (match get src_vpe ~sel:src_sel with
+    | Error e -> reply_err e
+    | Ok cap when exchangeable cap.c_obj -> (
+      match derive_to ~cap ~dst:dst_vpe ~dst_sel cap.c_obj with
+      | Ok _ -> reply_ok (fun _ -> ())
+      | Error e -> reply_err e)
+    | Ok _ -> reply_err Errno.E_no_perm)
+  | Ok _ -> reply_err Errno.E_inv_args
+
+let h_create_srv t requester r =
+  let sel = R.u64 r in
+  let name = R.str r in
+  let krgate_sel = R.u64 r in
+  let crgate_sel = R.u64 r in
+  if Hashtbl.mem t.services name then reply_err Errno.E_exists
+  else
+    match (get requester ~sel:krgate_sel, get requester ~sel:crgate_sel) with
+    | Ok { c_obj = O_rgate krg; _ }, Ok { c_obj = O_rgate crg; _ } ->
+      let srv =
+        {
+          srv_name = name;
+          srv_vpe = requester;
+          srv_krgate = krg;
+          srv_crgate = crg;
+          srv_next_ident = 1L;
+        }
+      in
+      (match insert requester ~sel (O_srv srv) ~parent:None with
+      | Error e -> reply_err e
+      | Ok cap ->
+        Hashtbl.replace t.services name (srv, cap);
+        Log.debug (fun m -> m "service '%s' registered by vpe%d" name requester.v_id);
+        reply_ok (fun _ -> ()))
+    | Error e, _ | _, Error e -> reply_err e
+    | Ok _, Ok _ -> reply_err Errno.E_inv_args
+
+let h_open_sess t requester r =
+  let sess_sel = R.u64 r in
+  let sgate_sel = R.u64 r in
+  let name = R.str r in
+  let arg = R.u64 r in
+  match Hashtbl.find_opt t.services name with
+  | None -> reply_err Errno.E_not_found
+  | Some (srv, srv_cap) ->
+    let w = W.create () in
+    W.u8 w (Proto.srv_opcode_to_int Proto.Srv_open);
+    W.u64 w arg;
+    let answer = service_request t srv ~payload:(W.contents w) in
+    let ar = R.of_bytes answer in
+    (match Errno.of_int (R.u64 ar) with
+    | Errno.E_ok ->
+      let ident = R.i64 ar in
+      let sess = O_sess { sess_srv = srv; sess_ident = ident } in
+      let sgate =
+        O_sgate
+          {
+            sg_rgate = srv.srv_crgate;
+            sg_label = ident;
+            (* one outstanding request per session: client calls are
+               synchronous, and total credits must not exceed the
+               service ringbuffer *)
+            sg_credits = Endpoint.Credits 1;
+          }
+      in
+      (match
+         ( derive_to ~cap:srv_cap ~dst:requester ~dst_sel:sess_sel sess,
+           derive_to ~cap:srv_cap ~dst:requester ~dst_sel:sgate_sel sgate )
+       with
+      | Ok _, Ok _ -> reply_ok (fun _ -> ())
+      | Error e, _ | _, Error e -> reply_err e)
+    | e -> reply_err e)
+
+let h_exchange_sess t requester r =
+  let sess_sel = R.u64 r in
+  let dst_sel = R.u64 r in
+  let max_caps = R.u64 r in
+  let args = R.bytes r in
+  match get requester ~sel:sess_sel with
+  | Error e -> reply_err e
+  | Ok { c_obj = O_sess sess; _ } ->
+    let w = W.create () in
+    W.u8 w (Proto.srv_opcode_to_int Proto.Srv_exchange);
+    W.i64 w sess.sess_ident;
+    W.bytes w args;
+    let answer = service_request t sess.sess_srv ~payload:(W.contents w) in
+    let ar = R.of_bytes answer in
+    (match Errno.of_int (R.u64 ar) with
+    | Errno.E_ok ->
+      let out = R.bytes ar in
+      let ncaps = R.u64 ar in
+      if ncaps > max_caps then reply_err Errno.E_inv_args
+      else begin
+        (* Each descriptor names a memory capability in the service's
+           own table plus a sub-range to derive for the client. *)
+        let rec install i =
+          if i = ncaps then Ok ()
+          else begin
+            let srv_sel = R.u64 ar in
+            let off = R.u64 ar in
+            let size = R.u64 ar in
+            let perm = perm_of_int (R.u64 ar) in
+            match get sess.sess_srv.srv_vpe ~sel:srv_sel with
+            | Ok ({ c_obj = O_mem m; _ } as cap)
+              when off >= 0 && size > 0 && off + size <= m.mem_size
+                   && Perm.subset perm ~of_:m.mem_perm -> (
+              match
+                derive_to ~cap ~dst:requester ~dst_sel:(dst_sel + i)
+                  (O_mem
+                     {
+                       mem_pe = m.mem_pe;
+                       mem_addr = m.mem_addr + off;
+                       mem_size = size;
+                       mem_perm = perm;
+                     })
+              with
+              | Ok _ -> install (i + 1)
+              | Error e -> Error e)
+            | Ok _ -> Error Errno.E_inv_args
+            | Error e -> Error e
+          end
+        in
+        match install 0 with
+        | Ok () ->
+          reply_ok (fun w ->
+              W.u64 w ncaps;
+              W.bytes w out)
+        | Error e -> reply_err e
+      end
+    | e -> reply_err e)
+  | Ok _ -> reply_err Errno.E_inv_args
+
+(* Interrupts as messages (§4.4.2): point the device's send endpoint
+   at the requester's receive gate and write the period register. The
+   handed-out capability is a child of the receive-gate capability, so
+   revoking either disarms the device. *)
+let h_route_irq t requester r =
+  let sel = R.u64 r in
+  let device_pe = R.u64 r in
+  let rgate_sel = R.u64 r in
+  let period = R.u64 r in
+  let config = Platform.config t.platform in
+  if device_pe < 0 || device_pe >= config.pe_count then reply_err Errno.E_inv_args
+  else if
+    not
+      (Core_type.equal
+         (Pe.core (Platform.pe t.platform device_pe))
+         Core_type.Timer_device)
+  then reply_err Errno.E_inv_args
+  else if Hashtbl.mem t.irq_claims device_pe then reply_err Errno.E_exists
+  else if period <= 0 then reply_err Errno.E_inv_args
+  else
+    match get requester ~sel:rgate_sel with
+    | Error e -> reply_err e
+    | Ok ({ c_obj = O_rgate rg; _ } as rcap) -> (
+      match derive_to ~cap:rcap ~dst:requester ~dst_sel:sel (O_irq { irq_pe = device_pe }) with
+      | Error e -> reply_err e
+      | Ok _ ->
+        Hashtbl.replace t.irq_claims device_pe requester.v_id;
+        (* Period first: the endpoint configuration is the wakeup that
+           makes a parked device re-read its control register. *)
+        let reg = Bytes.create 4 in
+        Bytes.set_int32_le reg 0 (Int32.of_int period);
+        dtu_exn
+          (Dtu.ext_write (kdtu t) ~target:device_pe ~addr:M3_hw.Timer.period_reg
+             ~payload:reg);
+        dtu_exn
+          (Dtu.ext_config (kdtu t) ~target:device_pe ~ep:M3_hw.Timer.ack_ep
+             (Endpoint.Receive
+                { buf_addr = M3_hw.Timer.ack_buf; slot_order = 6; slot_count = 2 }));
+        dtu_exn
+          (Dtu.ext_config (kdtu t) ~target:device_pe ~ep:M3_hw.Timer.irq_ep
+             (Endpoint.Send
+                {
+                  dst_pe = rg.rg_vpe.v_pe;
+                  dst_ep = rg.rg_ep;
+                  label = Int64.of_int device_pe;
+                  msg_order = 6;
+                  credits = Endpoint.Credits 2;
+                }));
+        reply_ok (fun _ -> ()))
+    | Ok _ -> reply_err Errno.E_inv_args
+
+let h_revoke t requester r =
+  let sel = R.u64 r in
+  match get requester ~sel with
+  | Error e -> reply_err e
+  | Ok cap ->
+    revoke_cap t cap;
+    reply_ok (fun _ -> ())
+
+let dispatch t requester r ~slot =
+  match Proto.opcode_of_int (R.u8 r) with
+  | None -> reply_err Errno.E_inv_args
+  | Some op -> (
+    t.syscalls_handled <- t.syscalls_handled + 1;
+    match op with
+    | Proto.Noop -> reply_ok (fun _ -> ())
+    | Proto.Create_vpe -> h_create_vpe t requester r
+    | Proto.Vpe_start -> h_vpe_start t requester r
+    | Proto.Vpe_wait -> h_vpe_wait t requester r ~slot
+    | Proto.Vpe_exit -> h_vpe_exit t requester r
+    | Proto.Create_rgate -> h_create_rgate t requester r
+    | Proto.Create_sgate -> h_create_sgate t requester r
+    | Proto.Req_mem -> h_req_mem t requester r
+    | Proto.Derive_mem -> h_derive_mem t requester r
+    | Proto.Activate -> h_activate t requester r
+    | Proto.Exchange -> h_exchange t requester r
+    | Proto.Create_srv -> h_create_srv t requester r
+    | Proto.Open_sess -> h_open_sess t requester r
+    | Proto.Exchange_sess -> h_exchange_sess t requester r
+    | Proto.Revoke -> h_revoke t requester r
+    | Proto.Route_irq -> h_route_irq t requester r)
+
+(* --- kernel main loop ------------------------------------------------ *)
+
+let kernel_loop t =
+  let dtu = kdtu t in
+  let rec loop () =
+    let msg = Dtu.wait_msg dtu ~ep:kep_syscall in
+    Process.wait Cost_model.kernel_dispatch;
+    let requester =
+      Hashtbl.find_opt t.vpes (Int64.to_int msg.header.label)
+    in
+    (match requester with
+    | None ->
+      Log.warn (fun m -> m "syscall with unknown label %Ld" msg.header.label);
+      Dtu.ack dtu ~ep:kep_syscall ~slot:msg.slot
+    | Some requester -> (
+      let action =
+        try dispatch t requester (R.of_bytes msg.payload) ~slot:msg.slot
+        with Msgbuf.R.Underflow -> reply_err Errno.E_inv_args
+      in
+      match action with
+      | Reply w ->
+        Process.wait Cost_model.kernel_reply_marshal;
+        (match Dtu.reply dtu ~ep:kep_syscall ~slot:msg.slot ~payload:(W.contents w) with
+        | Ok () -> ()
+        | Error e ->
+          Log.err (fun m ->
+              m "syscall reply failed: %s" (M3_dtu.Dtu_error.to_string e)))
+      | Deferred -> () (* slot stays occupied; replied on VPE exit *)
+      | No_reply -> Dtu.ack dtu ~ep:kep_syscall ~slot:msg.slot));
+    loop ()
+  in
+  loop ()
+
+let boot t =
+  let booted = Process.Ivar.create () in
+  let dtu = kdtu t in
+  dtu_exn
+    (Dtu.config_local dtu ~ep:kep_syscall
+       (Endpoint.Receive
+          {
+            buf_addr = syscall_buf_addr;
+            slot_order = Proto.syscall_msg_order;
+            slot_count = Proto.kernel_rbuf_slots;
+          }));
+  (* Service replies can carry a batch of capability descriptors;
+     size the kernel's reply slots accordingly. *)
+  dtu_exn
+    (Dtu.config_local dtu ~ep:kep_reply
+       (Endpoint.Receive
+          { buf_addr = reply_buf_addr; slot_order = 11; slot_count = 4 }));
+  ignore
+    (Pe.spawn t.pe ~name:"kernel" (fun () ->
+         (* NoC-level isolation: downgrade every application PE. *)
+         for i = 0 to Platform.pe_count t.platform - 1 do
+           if i <> kernel_pe_id t then
+             dtu_exn (Dtu.ext_set_privileged dtu ~target:i false)
+         done;
+         Process.Ivar.fill booted ();
+         kernel_loop t));
+  booted
+
+let launch t ~name ~account ?(args = Bytes.empty) prog =
+  let iv = Process.Ivar.create () in
+  ignore
+    (Process.spawn t.engine ~name:("kload:" ^ name) (fun () ->
+         match create_vpe_internal t ~name ~core:Core_type.General_purpose ~account with
+         | Error e ->
+           Log.err (fun m -> m "launch %s: %s" name (Errno.to_string e));
+           Process.Ivar.fill iv (-1)
+         | Ok vpe -> (
+           (match install_std_caps t vpe ~holder:None with
+           | Ok () -> ()
+           | Error e ->
+             Log.err (fun m -> m "launch %s: caps: %s" name (Errno.to_string e)));
+           let exit = exit_ivar t vpe.v_id in
+           match start_program t vpe ~prog ~args with
+           | Ok () -> Process.Ivar.fill iv (Process.Ivar.read exit)
+           | Error e ->
+             Log.err (fun m -> m "launch %s: %s" name (Errno.to_string e));
+             do_kill_vpe t vpe ~code:(-1);
+             Process.Ivar.fill iv (-1))));
+  iv
+
+let exit_code t ~vpe_id = Hashtbl.find_opt t.exits vpe_id
+
+let service_registered t ~name = Hashtbl.mem t.services name
+
+let vpe_count t =
+  Hashtbl.fold (fun _ v acc -> if v.v_state <> V_dead then acc + 1 else acc)
+    t.vpes 0
+
+let free_pes t =
+  Array.fold_left (fun acc o -> if o = None then acc + 1 else acc) 0 t.pe_owner
+
+let syscalls_handled t = t.syscalls_handled
+
+let dram_avail t = Alloc.avail t.kmem
+
+let find_vpe t ~vpe_id = Hashtbl.find_opt t.vpes vpe_id

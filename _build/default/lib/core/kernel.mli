@@ -1,0 +1,62 @@
+(** The M3 microkernel.
+
+    Runs on a dedicated PE and never executes application code. Its
+    jobs (§3, §4.5): decide whether operations are allowed (it owns
+    all capabilities), configure application DTU endpoints remotely
+    over the NoC, manage PEs and PE-external memory, and broker
+    service registration, sessions and capability exchanges. System
+    calls arrive as DTU messages on its receive endpoint; everything is
+    handled strictly serially by one kernel instance, as in the paper
+    (the Fig. 6 scalability experiment measures exactly this). *)
+
+type t
+
+(** Kernel endpoint numbers (on the kernel's own DTU). *)
+
+val kep_syscall : int
+val kep_reply : int
+val kep_service : int
+
+(** [create platform ~kernel_pe] initializes kernel state. The kernel
+    owns all DRAM not reserved for the boot image. *)
+val create : M3_hw.Platform.t -> kernel_pe:int -> t
+
+(** [boot t] configures the kernel's endpoints, spawns the kernel
+    process, and downgrades all application-PE DTUs — establishing
+    NoC-level isolation. Returns an ivar filled once boot completes. *)
+val boot : t -> unit M3_sim.Process.Ivar.ivar
+
+(** [launch t ~name ~account ?args prog] starts registered program
+    [prog] in a fresh VPE on a free general-purpose PE (boot-loader
+    path, also used by the benchmark harness). Returns an ivar that
+    receives the exit code. *)
+val launch :
+  t ->
+  name:string ->
+  account:M3_sim.Account.t ->
+  ?args:Bytes.t ->
+  string ->
+  int M3_sim.Process.Ivar.ivar
+
+(** [exit_code t ~vpe_id] is the exit ivar of a VPE (filled on exit). *)
+val exit_code : t -> vpe_id:int -> int M3_sim.Process.Ivar.ivar option
+
+(** [service_registered t ~name] — true once a service of that name
+    exists (clients normally just retry [open_sess]). *)
+val service_registered : t -> name:string -> bool
+
+(** [vpe_count t] is the number of live VPEs (for tests). *)
+val vpe_count : t -> int
+
+(** [free_pes t] is the number of unowned application PEs. *)
+val free_pes : t -> int
+
+(** [syscalls_handled t] counts dispatched syscalls. *)
+val syscalls_handled : t -> int
+
+(** [dram_avail t] is the number of DRAM bytes the kernel can still
+    hand out (for leak tests around revoke). *)
+val dram_avail : t -> int
+
+(** [find_vpe t ~vpe_id] exposes kernel objects to white-box tests. *)
+val find_vpe : t -> vpe_id:int -> Kdata.vpe option

@@ -1,0 +1,368 @@
+module Account = M3_sim.Account
+module Endpoint = M3_dtu.Endpoint
+module Cost_model = M3_hw.Cost_model
+module W = Msgbuf.W
+module R = Msgbuf.R
+
+let src = Logs.Src.create "m3.m3fs" ~doc:"m3fs service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type seed = {
+  sd_path : string;
+  sd_size : int;
+  sd_blocks_per_extent : int;
+  sd_dir : bool;
+}
+
+type config = {
+  dram : M3_mem.Store.t;
+  fs_size : int;
+  block_size : int;
+  inode_count : int;
+  seed : seed list;
+  seed_rng_seed : int;
+  srv_name : string;
+}
+
+let program_name = "m3fs"
+
+let default_config ~dram =
+  {
+    dram;
+    fs_size = 16 * 1024 * 1024;
+    block_size = 1024;
+    inode_count = 512;
+    seed = [];
+    seed_rng_seed = 42;
+    srv_name = program_name;
+  }
+
+let images : (string, Fs_image.t) Hashtbl.t = Hashtbl.create 4
+
+let image_of ~srv_name = Hashtbl.find_opt images srv_name
+
+let current_image () = image_of ~srv_name:program_name
+
+(* One open file of one session. *)
+type session = {
+  ident : int64;
+  files : (int, int) Hashtbl.t; (* fid -> ino *)
+  mutable next_fid : int;
+}
+
+type server = {
+  env : Env.t;
+  fs : Fs_image.t;
+  image_sel : int; (* memory capability covering the whole image *)
+  sessions : (int64, session) Hashtbl.t;
+}
+
+let charge_meta t ~scanned =
+  Env.charge t.env Account.Os
+    (Cost_model.fs_meta_op + (Cost_model.fs_dirent_scan * scanned))
+
+let reply_err errno =
+  let w = W.create () in
+  W.u64 w (Errno.to_int errno);
+  w
+
+let reply_ok fill =
+  let w = W.create () in
+  W.u64 w (Errno.to_int Errno.E_ok);
+  fill w;
+  w
+
+(* --- session (client-channel) operations ------------------------------ *)
+
+let h_open t sess r =
+  let path = R.str r in
+  let flags = R.u64 r in
+  let want_create = flags land Fs_proto.o_create <> 0 in
+  let resolved =
+    match Fs_image.lookup t.fs path with
+    | Ok (ino, scanned) ->
+      charge_meta t ~scanned;
+      if Fs_image.is_dir t.fs ~ino then Error Errno.E_is_dir else Ok ino
+    | Error Errno.E_not_found when want_create -> (
+      match Fs_image.create_file t.fs path with
+      | Ok ino ->
+        charge_meta t ~scanned:4;
+        Ok ino
+      | Error e -> Error e)
+    | Error e ->
+      charge_meta t ~scanned:2;
+      Error e
+  in
+  match resolved with
+  | Error e -> reply_err e
+  | Ok ino ->
+    if flags land Fs_proto.o_trunc <> 0 then Fs_image.truncate t.fs ~ino ~size:0;
+    let fid = sess.next_fid in
+    sess.next_fid <- fid + 1;
+    Hashtbl.replace sess.files fid ino;
+    reply_ok (fun w ->
+        W.u64 w fid;
+        W.u64 w (Fs_image.file_size t.fs ~ino);
+        W.u64 w ino)
+
+let h_close t sess r =
+  let fid = R.u64 r in
+  let final_size = R.u64 r in
+  match Hashtbl.find_opt sess.files fid with
+  | None -> reply_err Errno.E_not_found
+  | Some ino ->
+    charge_meta t ~scanned:0;
+    (* A writer reports its final size; the over-allocated tail blocks
+       return to the bitmap (§4.5.8). *)
+    if final_size >= 0 then Fs_image.truncate t.fs ~ino ~size:final_size;
+    Hashtbl.remove sess.files fid;
+    reply_ok (fun _ -> ())
+
+let h_stat t r =
+  let path = R.str r in
+  match Fs_image.lookup t.fs path with
+  | Error e ->
+    charge_meta t ~scanned:2;
+    reply_err e
+  | Ok (ino, scanned) -> (
+    charge_meta t ~scanned;
+    match Fs_image.stat t.fs ~ino with
+    | Error e -> reply_err e
+    | Ok st ->
+      reply_ok (fun w ->
+          W.u64 w st.size;
+          W.u8 w (if st.is_dir then 1 else 0);
+          W.u64 w st.ino;
+          W.u64 w st.extents))
+
+let h_mkdir t r =
+  let path = R.str r in
+  charge_meta t ~scanned:3;
+  match Fs_image.mkdir t.fs path with
+  | Ok () -> reply_ok (fun _ -> ())
+  | Error e -> reply_err e
+
+let h_unlink t r =
+  let path = R.str r in
+  charge_meta t ~scanned:3;
+  match Fs_image.unlink t.fs path with
+  | Ok () -> reply_ok (fun _ -> ())
+  | Error e -> reply_err e
+
+let h_readdir t r =
+  let path = R.str r in
+  let index = R.u64 r in
+  match Fs_image.lookup t.fs path with
+  | Error e ->
+    charge_meta t ~scanned:2;
+    reply_err e
+  | Ok (ino, scanned) ->
+    charge_meta t ~scanned:(scanned + index + 1);
+    if not (Fs_image.is_dir t.fs ~ino) then reply_err Errno.E_not_dir
+    else begin
+      (* getdents-style batching: several entries per message. *)
+      let rec collect i acc =
+        if i >= Fs_proto.readdir_batch then List.rev acc
+        else
+          match Fs_image.readdir t.fs ~dir:ino ~index:(index + i) with
+          | None -> List.rev acc
+          | Some entry -> collect (i + 1) (entry :: acc)
+      in
+      match collect 0 [] with
+      | [] -> reply_err Errno.E_not_found
+      | entries ->
+        reply_ok (fun w ->
+            W.u64 w (List.length entries);
+            List.iter
+              (fun (name, child) ->
+                W.str w name;
+                W.u64 w child)
+              entries)
+    end
+
+let handle_client t sess r =
+  match Fs_proto.op_of_int (R.u8 r) with
+  | Some Fs_proto.Fs_open -> h_open t sess r
+  | Some Fs_proto.Fs_close -> h_close t sess r
+  | Some Fs_proto.Fs_stat -> h_stat t r
+  | Some Fs_proto.Fs_mkdir -> h_mkdir t r
+  | Some Fs_proto.Fs_unlink -> h_unlink t r
+  | Some Fs_proto.Fs_readdir -> h_readdir t r
+  | None -> reply_err Errno.E_inv_args
+
+(* --- kernel-channel operations (session open + cap exchanges) ---------- *)
+
+let perm_rw_int = 3 (* r|w on the wire *)
+
+(* Writes one extent both as reply payload (file offset, byte length)
+   and as a capability descriptor for the kernel to derive. *)
+let put_extent t w ~file_off_blocks (e : Fs_image.extent) =
+  W.u64 w (file_off_blocks * Fs_image.block_size t.fs);
+  W.u64 w (e.e_len * Fs_image.block_size t.fs)
+
+let put_cap_descr t w (e : Fs_image.extent) =
+  W.u64 w t.image_sel;
+  W.u64 w (Fs_image.block_addr t.fs e.e_start);
+  W.u64 w (e.e_len * Fs_image.block_size t.fs);
+  W.u64 w perm_rw_int
+
+let find_file t sess fid =
+  ignore t;
+  match Hashtbl.find_opt sess.files fid with
+  | Some ino -> Ok ino
+  | None -> Error Errno.E_not_found
+
+let h_get_locs t sess r =
+  let fid = R.u64 r in
+  let first = R.u64 r in
+  let count = R.u64 r in
+  match find_file t sess fid with
+  | Error e -> reply_err e
+  | Ok ino ->
+    let extents = Fs_image.extents t.fs ~ino in
+    let rec skip i off = function
+      | e :: rest when i > 0 -> skip (i - 1) (off + e.Fs_image.e_len) rest
+      | rest -> (off, rest)
+    in
+    let off_blocks, tail = skip first 0 extents in
+    let rec take n = function
+      | e :: rest when n > 0 -> e :: take (n - 1) rest
+      | _ -> []
+    in
+    let chosen = take count tail in
+    Env.charge t.env Account.Os
+      (Cost_model.fs_get_locs * max 1 (List.length chosen));
+    if chosen = [] then reply_err Errno.E_not_found
+    else begin
+      let out = W.create () in
+      W.u64 out (List.length chosen);
+      let off = ref off_blocks in
+      List.iter
+        (fun e ->
+          put_extent t out ~file_off_blocks:!off e;
+          off := !off + e.Fs_image.e_len)
+        chosen;
+      reply_ok (fun w ->
+          W.bytes w (W.contents out);
+          W.u64 w (List.length chosen);
+          List.iter (fun e -> put_cap_descr t w e) chosen)
+    end
+
+let h_append t sess r =
+  let fid = R.u64 r in
+  let blocks = R.u64 r in
+  match find_file t sess fid with
+  | Error e -> reply_err e
+  | Ok ino ->
+    Env.charge t.env Account.Os Cost_model.fs_append;
+    let off_blocks =
+      List.fold_left (fun acc e -> acc + e.Fs_image.e_len) 0
+        (Fs_image.extents t.fs ~ino)
+    in
+    (match Fs_image.append_extent t.fs ~ino ~blocks with
+    | Error e -> reply_err e
+    | Ok e ->
+      (* Zero blocks are prepared by the DTU in the background (§5.4),
+         so no zeroing cost appears here. *)
+      let out = W.create () in
+      W.u64 out 1;
+      put_extent t out ~file_off_blocks:off_blocks e;
+      reply_ok (fun w ->
+          W.bytes w (W.contents out);
+          W.u64 w 1;
+          put_cap_descr t w e))
+
+let handle_kernel t r =
+  match Proto.srv_opcode_of_int (R.u8 r) with
+  | Some Proto.Srv_open ->
+    let _arg = R.u64 r in
+    let ident = Int64.of_int (Hashtbl.length t.sessions + 1) in
+    Hashtbl.replace t.sessions ident
+      { ident; files = Hashtbl.create 8; next_fid = 1 };
+    Env.charge t.env Account.Os Cost_model.fs_meta_op;
+    reply_ok (fun w -> W.i64 w ident)
+  | Some Proto.Srv_exchange -> (
+    let ident = R.i64 r in
+    let args = R.bytes r in
+    match Hashtbl.find_opt t.sessions ident with
+    | None -> reply_err Errno.E_not_found
+    | Some sess -> (
+      let xr = R.of_bytes args in
+      match Fs_proto.xop_of_int (R.u8 xr) with
+      | Some Fs_proto.Fs_get_locs -> h_get_locs t sess xr
+      | Some Fs_proto.Fs_append -> h_append t sess xr
+      | None -> reply_err Errno.E_inv_args))
+  | Some Proto.Srv_shutdown -> reply_ok (fun _ -> ())
+  | None -> reply_err Errno.E_inv_args
+
+(* --- server main ------------------------------------------------------- *)
+
+let main config (env : Env.t) =
+  let mgate, addr =
+    Errno.ok_exn (Gate.req_mem env ~size:config.fs_size ~perm:M3_mem.Perm.rw)
+  in
+  let fs =
+    Fs_image.format config.dram ~base:addr ~size:config.fs_size
+      ~block_size:config.block_size ~inode_count:config.inode_count
+  in
+  (* Pre-boot content: the "disk" the benchmarks find at startup. *)
+  let rng = M3_sim.Rng.create ~seed:config.seed_rng_seed in
+  List.iter
+    (fun sd ->
+      if sd.sd_dir then ignore (Errno.ok_exn (Fs_image.mkdir fs sd.sd_path))
+      else
+        ignore
+          (Errno.ok_exn
+             (Fs_image.seed_file fs ~path:sd.sd_path ~size:sd.sd_size
+                ~blocks_per_extent:sd.sd_blocks_per_extent ~rng:(M3_sim.Rng.split rng))))
+    config.seed;
+  Hashtbl.replace images config.srv_name fs;
+  let krgate =
+    Errno.ok_exn
+      (Gate.create_recv env ~slot_order:Fs_proto.srv_kchannel_order
+         ~slot_count:Fs_proto.srv_kchannel_slots)
+  in
+  let crgate =
+    Errno.ok_exn
+      (Gate.create_recv env ~slot_order:Fs_proto.srv_msg_order
+         ~slot_count:Fs_proto.srv_slots)
+  in
+  let _srv_sel =
+    Errno.ok_exn
+      (Syscalls.create_srv env ~name:config.srv_name ~krgate_sel:krgate.rg_sel
+         ~crgate_sel:crgate.rg_sel)
+  in
+  let t =
+    {
+      env;
+      fs;
+      image_sel = mgate.Gate.mg_user.Env.eu_sel;
+      sessions = Hashtbl.create 8;
+    }
+  in
+  Log.debug (fun m ->
+      m "%s up: %d blocks" config.srv_name (Fs_image.total_blocks fs));
+  let rec serve () =
+    let which, msg = Gate.recv_any env [ krgate; crgate ] in
+    let gate = if which = 0 then krgate else crgate in
+    let answer =
+      try
+        let r = R.of_bytes msg.payload in
+        if which = 0 then handle_kernel t r
+        else (
+          match Hashtbl.find_opt t.sessions msg.header.label with
+          | Some sess -> handle_client t sess r
+          | None -> reply_err Errno.E_not_found)
+      with Msgbuf.R.Underflow -> reply_err Errno.E_inv_args
+    in
+    (match Gate.reply env gate ~slot:msg.slot (W.contents answer) with
+    | Ok () -> ()
+    | Error e ->
+      Log.err (fun m -> m "m3fs reply failed: %s" (Errno.to_string e)));
+    serve ()
+  in
+  serve ()
+
+let register config =
+  Program.register ~name:config.srv_name ~image_bytes:(24 * 1024) (main config)

@@ -1,0 +1,47 @@
+(** The m3fs service (§4.5.8): an in-memory, extent-based filesystem
+    served by an ordinary application VPE.
+
+    Meta operations (open, close, stat, mkdir, ...) are handled via
+    messages on the session channel; data access never touches the
+    server — clients obtain memory capabilities for file extents (via
+    the kernel's [exchange_sess]) and move bytes with their own DTU.
+
+    The server is registered as program ["m3fs"]; the bootstrapper
+    launches it like any other application. *)
+
+type seed = {
+  sd_path : string;
+  sd_size : int;
+  sd_blocks_per_extent : int;
+  sd_dir : bool;  (** when true, [sd_path] is a directory to create *)
+}
+
+type config = {
+  dram : M3_mem.Store.t;   (** the platform's DRAM store *)
+  fs_size : int;           (** image size requested from the kernel *)
+  block_size : int;        (** 1 KiB in the paper's evaluation *)
+  inode_count : int;
+  seed : seed list;        (** pre-created content (workload inputs) *)
+  seed_rng_seed : int;
+  srv_name : string;
+      (** service (and program) name — multiple independent instances
+          can run under different names (§7's "multiple instances of
+          services"; without shared state they need no synchronization
+          protocol, clients shard by mount) *)
+}
+
+val default_config : dram:M3_mem.Store.t -> config
+
+(** Default service name in the registry ("m3fs"). *)
+val program_name : string
+
+(** [register config] (re)registers the program [config.srv_name] with
+    this configuration. *)
+val register : config -> unit
+
+(** The last formatted image (for white-box tests and fsck); set when
+    the server initializes. *)
+val current_image : unit -> Fs_image.t option
+
+(** [image_of ~srv_name] — the image of a specific instance. *)
+val image_of : srv_name:string -> Fs_image.t option

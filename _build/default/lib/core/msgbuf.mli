@@ -1,0 +1,46 @@
+(** Message (un)marshalling.
+
+    The C++ prototype overloads the shift operators to marshal values
+    into DTU messages; this is the OCaml equivalent: a growable writer
+    and a cursor-based reader over message bytes. Callers charge
+    marshalling cycles separately ({!Env.charge_marshal}). *)
+
+module W : sig
+  type t
+
+  val create : unit -> t
+
+  val u8 : t -> int -> unit
+  val u64 : t -> int -> unit
+  val i64 : t -> int64 -> unit
+
+  (** [str w s] writes a length-prefixed string. *)
+  val str : t -> string -> unit
+
+  (** [bytes w b] writes a length-prefixed byte blob. *)
+  val bytes : t -> Bytes.t -> unit
+
+  (** [contents w] is the marshalled message. *)
+  val contents : t -> Bytes.t
+
+  (** [size w] is the current length in bytes. *)
+  val size : t -> int
+end
+
+module R : sig
+  type t
+
+  (** Raised on truncated or malformed messages. *)
+  exception Underflow
+
+  val of_bytes : Bytes.t -> t
+
+  val u8 : t -> int
+  val u64 : t -> int
+  val i64 : t -> int64
+  val str : t -> string
+  val bytes : t -> Bytes.t
+
+  (** [remaining r] is the number of unread bytes. *)
+  val remaining : t -> int
+end

@@ -1,0 +1,90 @@
+type opcode =
+  | Noop
+  | Create_vpe
+  | Vpe_start
+  | Vpe_wait
+  | Vpe_exit
+  | Create_rgate
+  | Create_sgate
+  | Req_mem
+  | Derive_mem
+  | Activate
+  | Exchange
+  | Create_srv
+  | Open_sess
+  | Exchange_sess
+  | Revoke
+  | Route_irq
+
+let all_opcodes =
+  [
+    Noop; Create_vpe; Vpe_start; Vpe_wait; Vpe_exit; Create_rgate;
+    Create_sgate; Req_mem; Derive_mem; Activate; Exchange; Create_srv;
+    Open_sess; Exchange_sess; Revoke; Route_irq;
+  ]
+
+let opcode_to_int op =
+  let rec index i = function
+    | [] -> assert false
+    | x :: rest -> if x = op then i else index (i + 1) rest
+  in
+  index 0 all_opcodes
+
+let opcode_of_int i = List.nth_opt all_opcodes i
+
+let opcode_name = function
+  | Noop -> "noop"
+  | Create_vpe -> "create_vpe"
+  | Vpe_start -> "vpe_start"
+  | Vpe_wait -> "vpe_wait"
+  | Vpe_exit -> "vpe_exit"
+  | Create_rgate -> "create_rgate"
+  | Create_sgate -> "create_sgate"
+  | Req_mem -> "req_mem"
+  | Derive_mem -> "derive_mem"
+  | Activate -> "activate"
+  | Exchange -> "exchange"
+  | Create_srv -> "create_srv"
+  | Open_sess -> "open_sess"
+  | Exchange_sess -> "exchange_sess"
+  | Revoke -> "revoke"
+  | Route_irq -> "route_irq"
+
+let core_kind_to_int = function
+  | M3_hw.Core_type.General_purpose -> 0
+  | M3_hw.Core_type.Fft_accelerator -> 1
+  | M3_hw.Core_type.Timer_device -> 2
+
+let core_kind_of_int = function
+  | 0 -> Some M3_hw.Core_type.General_purpose
+  | 1 -> Some M3_hw.Core_type.Fft_accelerator
+  | 2 -> Some M3_hw.Core_type.Timer_device
+  | _ -> None
+
+let credits_to_int = function
+  | M3_dtu.Endpoint.Unlimited -> 0
+  | M3_dtu.Endpoint.Credits n -> n
+
+let credits_of_int = function
+  | 0 -> M3_dtu.Endpoint.Unlimited
+  | n -> M3_dtu.Endpoint.Credits n
+
+type srv_opcode =
+  | Srv_open
+  | Srv_exchange
+  | Srv_shutdown
+
+let srv_opcode_to_int = function
+  | Srv_open -> 0
+  | Srv_exchange -> 1
+  | Srv_shutdown -> 2
+
+let srv_opcode_of_int = function
+  | 0 -> Some Srv_open
+  | 1 -> Some Srv_exchange
+  | 2 -> Some Srv_shutdown
+  | _ -> None
+
+let syscall_msg_order = 9
+let kernel_rbuf_slots = 64
+let reply_slot_order = 9

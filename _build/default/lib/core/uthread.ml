@@ -1,0 +1,112 @@
+module Account = M3_sim.Account
+
+(* A user-level context switch: save/restore registers plus scheduler
+   bookkeeping — tens of cycles, far below a kernel switch. *)
+let switch_cost = 40
+let spawn_cost = 120
+
+(* Threads are one-shot effect continuations. The VPE's main context
+   is the driver: [yield]/[join]/[run_all] from the main context give
+   every runnable thread one slice; [yield] from inside a thread parks
+   it until the driver's next round. Simulation effects (DTU waits,
+   Process.wait) pass through transparently — they suspend the whole
+   VPE, like a single hardware context would. *)
+type _ Effect.t += Uyield : unit Effect.t
+
+type thread = {
+  mutable body : (unit -> unit) option; (* not yet started *)
+  mutable cont : (unit, unit) Effect.Deep.continuation option; (* parked *)
+  mutable done_ : bool;
+}
+
+type scheduler = {
+  env : Env.t;
+  mutable threads : thread list; (* in spawn order *)
+  mutable current : thread option;
+}
+
+let create env = { env; threads = []; current = None }
+
+let finished t = t.done_
+
+let runnable t = (not t.done_) && (t.body <> None || t.cont <> None)
+
+let live sched =
+  List.length (List.filter (fun t -> not t.done_) sched.threads)
+
+let spawn sched f =
+  Env.charge sched.env Account.Os spawn_cost;
+  let t = { body = Some f; cont = None; done_ = false } in
+  sched.threads <- sched.threads @ [ t ];
+  t
+
+(* Runs [t] until it parks (Uyield) or finishes. *)
+let step sched t =
+  if runnable t then begin
+    let open Effect.Deep in
+    let saved = sched.current in
+    sched.current <- Some t;
+    let handler : (unit, unit) handler =
+      {
+        retc = (fun () -> t.done_ <- true);
+        exnc =
+          (fun e ->
+            t.done_ <- true;
+            raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Uyield ->
+              Some (fun (k : (a, unit) continuation) -> t.cont <- Some k)
+            | _ -> None);
+      }
+    in
+    (match t.body with
+    | Some f ->
+      t.body <- None;
+      match_with f () handler
+    | None -> (
+      match t.cont with
+      | Some k ->
+        t.cont <- None;
+        continue k ()
+      | None -> ()));
+    sched.current <- saved
+  end
+
+let yield sched =
+  Env.charge sched.env Account.Os switch_cost;
+  match sched.current with
+  | Some _ ->
+    (* Inside a thread: park; the driver resumes us next round. *)
+    Effect.perform Uyield
+  | None ->
+    (* Driver context: one round-robin slice for everyone. *)
+    let snapshot = List.filter runnable sched.threads in
+    List.iter (step sched) snapshot;
+    sched.threads <- List.filter (fun t -> not t.done_) sched.threads
+
+let sleep sched cycles =
+  let slice = 200 in
+  let rec go remaining =
+    if remaining > 0 then begin
+      M3_sim.Process.wait (min slice remaining);
+      yield sched;
+      go (remaining - slice)
+    end
+  in
+  go cycles
+
+let rec join sched t =
+  if not t.done_ then begin
+    if sched.current = None && not (runnable t) then
+      failwith "Uthread.join: thread is deadlocked";
+    yield sched;
+    join sched t
+  end
+
+let rec run_all sched =
+  if List.exists runnable sched.threads then begin
+    yield sched;
+    run_all sched
+  end

@@ -1,0 +1,43 @@
+(** Cooperative user-level threads within one VPE.
+
+    The paper's VPEs represent a single activity each; §3.3 and §4.5.5
+    note that "an application is of course free to implement user-level
+    thread-switching on a single PE". This is that library: cooperative
+    threads multiplexed on the VPE's PE, with explicit yields — no
+    kernel involvement, no preemption (the prototype's cores have no
+    timer interrupt; with {!Syscalls.route_irq} and a timer device one
+    could build preemption on top).
+
+    Threads run interleaved at {!yield}/{!sleep}/{!join} points; any
+    blocking libm3 call (DTU waits) suspends the whole VPE, as it would
+    on the real prototype where the core has a single context. *)
+
+type scheduler
+type thread
+
+(** [create env] — one scheduler per VPE. *)
+val create : Env.t -> scheduler
+
+(** [spawn sched f] queues a thread; it starts at the next scheduling
+    point. Spawning charges a small thread-setup cost. *)
+val spawn : scheduler -> (unit -> unit) -> thread
+
+(** [yield sched] runs every other runnable thread once before
+    returning (round-robin), charging the user-level switch cost. *)
+val yield : scheduler -> unit
+
+(** [sleep sched cycles] — this thread consumes simulated time while
+    others run at every internal yield point. *)
+val sleep : scheduler -> int -> unit
+
+(** [join sched t] yields until [t] finished. *)
+val join : scheduler -> thread -> unit
+
+(** [run_all sched] yields until no thread remains runnable. *)
+val run_all : scheduler -> unit
+
+(** [finished t] — thread completion state. *)
+val finished : thread -> bool
+
+(** [live sched] counts unfinished threads. *)
+val live : scheduler -> int

@@ -1,0 +1,79 @@
+type 'a result_ = ('a, Errno.t) result
+
+type state = { mutable mounts : (string * File.mount) list }
+
+(* Mount tables are per VPE; keyed by VPE id because the environment
+   record cannot reference this module's types. *)
+let states : (int, state) Hashtbl.t = Hashtbl.create 16
+
+let state (env : Env.t) =
+  match Hashtbl.find_opt states env.uid with
+  | Some s -> s
+  | None ->
+    let s = { mounts = [] } in
+    Hashtbl.replace states env.uid s;
+    s
+
+let normalize path = if path = "" then "/" else path
+
+let mount env ~path ~service =
+  match File.mount_m3fs env ~service with
+  | Error e -> Error e
+  | Ok m ->
+    let s = state env in
+    s.mounts <- (normalize path, m) :: s.mounts;
+    Ok ()
+
+let mount_root env = mount env ~path:"/" ~service:"m3fs"
+
+let resolve env path =
+  let path = normalize path in
+  let s = state env in
+  let matches (prefix, _) =
+    String.length path >= String.length prefix
+    && String.sub path 0 (String.length prefix) = prefix
+  in
+  let best =
+    List.fold_left
+      (fun acc entry ->
+        if matches entry then
+          match acc with
+          | Some (p, _) when String.length p >= String.length (fst entry) -> acc
+          | Some _ | None -> Some entry
+        else acc)
+      None s.mounts
+  in
+  match best with
+  | None -> Error Errno.E_not_found
+  | Some (prefix, m) ->
+    let rel = String.sub path (String.length prefix)
+        (String.length path - String.length prefix) in
+    Ok (m, "/" ^ rel)
+
+let the_mount env =
+  match resolve env "/" with Ok (m, _) -> Ok m | Error e -> Error e
+
+let open_ env path ~flags =
+  match resolve env path with
+  | Error e -> Error e
+  | Ok (m, rel) -> File.open_ env m rel ~flags
+
+let stat env path =
+  match resolve env path with
+  | Error e -> Error e
+  | Ok (m, rel) -> File.stat env m rel
+
+let mkdir env path =
+  match resolve env path with
+  | Error e -> Error e
+  | Ok (m, rel) -> File.mkdir env m rel
+
+let unlink env path =
+  match resolve env path with
+  | Error e -> Error e
+  | Ok (m, rel) -> File.unlink env m rel
+
+let readdir env path ~index =
+  match resolve env path with
+  | Error e -> Error e
+  | Ok (m, rel) -> File.readdir env m rel ~index

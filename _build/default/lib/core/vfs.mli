@@ -1,0 +1,26 @@
+(** Virtual filesystem: mount m3fs sessions at path prefixes and
+    resolve paths to (mount, relative path) — libm3's equivalent of
+    the mount table (§4.5.8). Pipes integrate through
+    {!File.of_pipe_reader}/{!File.of_pipe_writer}. *)
+
+type 'a result_ = ('a, Errno.t) result
+
+(** [mount env ~path ~service] mounts service [service] (normally
+    ["m3fs"]) at prefix [path]; retries until the service exists. *)
+val mount : Env.t -> path:string -> service:string -> unit result_
+
+(** [mount_root env] mounts ["m3fs"] at ["/"]. *)
+val mount_root : Env.t -> unit result_
+
+(** [resolve env path] finds the longest matching mount. *)
+val resolve : Env.t -> string -> (File.mount * string) result_
+
+(** [the_mount env] is the root mount (convenience for tuning knobs
+    like {!File.set_append_blocks}). *)
+val the_mount : Env.t -> File.mount result_
+
+val open_ : Env.t -> string -> flags:int -> File.t result_
+val stat : Env.t -> string -> Fs_proto.stat result_
+val mkdir : Env.t -> string -> unit result_
+val unlink : Env.t -> string -> unit result_
+val readdir : Env.t -> string -> index:int -> (string * int) option result_

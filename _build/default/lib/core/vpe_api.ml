@@ -1,0 +1,66 @@
+module Account = M3_sim.Account
+module Cost_model = M3_hw.Cost_model
+
+type 'a result_ = ('a, Errno.t) result
+
+type t = {
+  vpe_sel : int;
+  mem_sel : int;
+  vpe_id : int;
+  pe_id : int;
+}
+
+let create env ~name ~core =
+  match Syscalls.create_vpe env ~name ~core with
+  | Error e -> Error e
+  | Ok (vpe_sel, mem_sel, vpe_id, pe_id) -> Ok { vpe_sel; mem_sel; vpe_id; pe_id }
+
+(* Copies [image_bytes] of code/data plus the used data area into the
+   child's SPM through the delegated memory gate — real bytes move over
+   the NoC at 8 B/cycle, which is the dominant cost of [run]. *)
+let load_image (env : Env.t) t ~image_bytes =
+  let spm_size = M3_mem.Store.size (M3_hw.Pe.spm env.pe) in
+  let gate = Gate.mem_gate_of_sel ~sel:t.mem_sel ~size:spm_size in
+  let data_bytes = env.spm_top - Env.data_start in
+  (* Code and static data land above the data area; model the copy as
+     one transfer of the combined size from our SPM base. *)
+  let total = min spm_size (image_bytes + data_bytes) in
+  Gate.write env gate ~off:0 ~local:0 ~len:total
+
+let start_program env t ?(args = Bytes.empty) ~image_bytes prog =
+  match load_image env t ~image_bytes with
+  | Error e -> Error e
+  | Ok () -> Syscalls.vpe_start env ~vpe_sel:t.vpe_sel ~prog ~args
+
+let run (env : Env.t) t ?(args = Bytes.empty) main =
+  Env.charge env Account.Os Cost_model.vpe_clone_setup;
+  let prog = Program.register_lambda ~image_bytes:env.image_bytes main in
+  start_program env t ~args ~image_bytes:env.image_bytes prog
+
+let exec env t ?(args = Bytes.empty) path =
+  Env.charge env Account.Os Cost_model.vpe_exec_setup;
+  match Vfs.open_ env path ~flags:Fs_proto.o_read with
+  | Error e -> Error e
+  | Ok file -> (
+    let header = File.read_all env file ~max:64 in
+    let closed = File.close env file in
+    match (header, closed) with
+    | Error e, _ | _, Error e -> Error e
+    | Ok contents, Ok () -> (
+      match Program.parse_shebang contents with
+      | None -> Error Errno.E_inv_args
+      | Some name -> (
+        match Program.find name with
+        | None -> Error Errno.E_not_found
+        | Some prog ->
+          start_program env t ~args ~image_bytes:prog.prog_image_bytes name)))
+
+let wait env t = Syscalls.vpe_wait env ~vpe_sel:t.vpe_sel
+
+let delegate env t ~own_sel ~other_sel =
+  Syscalls.delegate env ~vpe_sel:t.vpe_sel ~own_sel ~other_sel
+
+let obtain env t ~own_sel ~other_sel =
+  Syscalls.obtain env ~vpe_sel:t.vpe_sel ~own_sel ~other_sel
+
+let revoke env t = Syscalls.revoke env ~sel:t.vpe_sel

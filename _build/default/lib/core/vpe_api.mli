@@ -1,0 +1,50 @@
+(** VPEs from the application's point of view (§4.5.5): create a VPE
+    on a free PE, load it by cloning one's own memory image or by
+    executing a program file from the filesystem, pass capabilities,
+    wait for the exit code.
+
+    [run] is the paper's [VPE::run] executing a "lambda" on another
+    PE: the closure's captures model capture-by-value, and the memory
+    image copy is performed for real through the delegated memory
+    capability of the child's scratchpad. *)
+
+type 'a result_ = ('a, Errno.t) result
+
+type t = {
+  vpe_sel : int;  (** the VPE capability *)
+  mem_sel : int;  (** memory capability for the child's SPM *)
+  vpe_id : int;
+  pe_id : int;
+}
+
+(** [create env ~name ~core] allocates a VPE on a free PE. *)
+val create : Env.t -> name:string -> core:M3_hw.Core_type.t -> t result_
+
+(** [run env t ?args main] clones the calling program onto the child
+    PE (copying code, data and heap through the memory gate) and
+    starts [main] there. *)
+val run : Env.t -> t -> ?args:Bytes.t -> (Env.t -> int) -> unit result_
+
+(** [exec env t ?args path] loads the executable at [path] (a file
+    whose content begins with [#!m3 <program>]) onto the child PE and
+    starts it — requires a mounted filesystem. *)
+val exec : Env.t -> t -> ?args:Bytes.t -> string -> unit result_
+
+(** [start_program env t ?args prog] starts a registered program
+    directly (the piece both [run] and [exec] share). *)
+val start_program :
+  Env.t -> t -> ?args:Bytes.t -> image_bytes:int -> string -> unit result_
+
+(** [wait env t] blocks until the child exits; returns the exit code. *)
+val wait : Env.t -> t -> int result_
+
+(** [delegate env t ~own_sel ~other_sel] gives the child a capability. *)
+val delegate : Env.t -> t -> own_sel:int -> other_sel:int -> unit result_
+
+(** [obtain env t ~own_sel ~other_sel] takes a capability the child
+    published. *)
+val obtain : Env.t -> t -> own_sel:int -> other_sel:int -> unit result_
+
+(** [revoke env t] revokes the VPE capability — kills the child and
+    recursively everything delegated to it. *)
+val revoke : Env.t -> t -> unit result_

@@ -1,0 +1,1 @@
+lib/dtu/dtu.ml: Array Bytes Dtu_error Endpoint Header List Logs M3_mem M3_noc M3_sim Printf

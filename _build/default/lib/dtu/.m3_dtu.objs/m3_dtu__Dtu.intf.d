@@ -1,0 +1,1 @@
+lib/dtu/dtu.mli: Bytes Dtu_error Endpoint M3_mem M3_noc M3_sim

@@ -1,0 +1,1 @@
+lib/dtu/endpoint.ml: Bytes Format Header M3_mem

@@ -1,0 +1,1 @@
+lib/dtu/endpoint.mli: Bytes Format Header M3_mem

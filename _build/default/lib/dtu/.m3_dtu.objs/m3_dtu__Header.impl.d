@@ -1,0 +1,1 @@
+lib/dtu/header.ml: M3_mem

@@ -1,0 +1,1 @@
+lib/dtu/header.mli: M3_mem

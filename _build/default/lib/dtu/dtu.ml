@@ -1,0 +1,503 @@
+module Engine = M3_sim.Engine
+module Process = M3_sim.Process
+module Store = M3_mem.Store
+module Perm = M3_mem.Perm
+module Fabric = M3_noc.Fabric
+
+let src = Logs.Src.create "m3.dtu" ~doc:"data transfer unit"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Cycles a DTU needs to accept and decode a command. *)
+let cmd_latency = 4
+
+(* Wire size of memory-access request and ext-command packets. *)
+let request_bytes = 16
+let ext_cmd_bytes = 32
+
+type send_state = {
+  s_dst_pe : int;
+  s_dst_ep : int;
+  s_label : int64;
+  s_msg_order : int;
+  s_max : Endpoint.credit;
+  mutable s_cur : int; (* meaningful only when s_max = Credits _ *)
+}
+
+type recv_state = {
+  r_buf_addr : int;
+  r_slot_order : int;
+  r_slot_count : int;
+  mutable r_wpos : int;
+  mutable r_rpos : int;
+  r_occupied : bool array;
+  r_unread : bool array;
+}
+
+type mem_state = {
+  m_dst_pe : int;
+  m_base : int;
+  m_size : int;
+  m_perm : Perm.t;
+}
+
+type ep_state =
+  | S_invalid
+  | S_send of send_state
+  | S_recv of recv_state
+  | S_mem of mem_state
+
+type t = {
+  engine : Engine.t;
+  fabric : Fabric.t;
+  pe : int;
+  spm : Store.t;
+  eps : ep_state array;
+  ep_waiters : unit Process.Waitq.waitq array;
+  mutable privileged : bool;
+  mutable store_of : int -> Store.t option;
+  mutable dtu_of : int -> t option;
+  mutable msgs_sent : int;
+  mutable msgs_received : int;
+  mutable msgs_dropped : int;
+  mutable mem_read : int;
+  mutable mem_written : int;
+}
+
+let create engine fabric ~pe ~spm ~ep_count =
+  if ep_count <= 0 then invalid_arg "Dtu.create: need at least one endpoint";
+  {
+    engine;
+    fabric;
+    pe;
+    spm;
+    eps = Array.make ep_count S_invalid;
+    ep_waiters = Array.init ep_count (fun _ -> Process.Waitq.create ());
+    privileged = true;
+    store_of = (fun _ -> None);
+    dtu_of = (fun _ -> None);
+    msgs_sent = 0;
+    msgs_received = 0;
+    msgs_dropped = 0;
+    mem_read = 0;
+    mem_written = 0;
+  }
+
+let set_resolvers t ~store_of ~dtu_of =
+  t.store_of <- store_of;
+  t.dtu_of <- dtu_of
+
+let pe t = t.pe
+let ep_count t = Array.length t.eps
+let is_privileged t = t.privileged
+
+let check_ep t ep =
+  if ep < 0 || ep >= Array.length t.eps then
+    invalid_arg (Printf.sprintf "Dtu: endpoint %d out of range" ep)
+
+let state_of_config = function
+  | Endpoint.Invalid -> S_invalid
+  | Endpoint.Send s ->
+    let cur = match s.credits with Endpoint.Credits n -> n | Unlimited -> 0 in
+    S_send
+      {
+        s_dst_pe = s.dst_pe;
+        s_dst_ep = s.dst_ep;
+        s_label = s.label;
+        s_msg_order = s.msg_order;
+        s_max = s.credits;
+        s_cur = cur;
+      }
+  | Endpoint.Receive r ->
+    S_recv
+      {
+        r_buf_addr = r.buf_addr;
+        r_slot_order = r.slot_order;
+        r_slot_count = r.slot_count;
+        r_wpos = 0;
+        r_rpos = 0;
+        r_occupied = Array.make r.slot_count false;
+        r_unread = Array.make r.slot_count false;
+      }
+  | Endpoint.Memory m ->
+    S_mem { m_dst_pe = m.dst_pe; m_base = m.base; m_size = m.size; m_perm = m.perm }
+
+let ep_config t ~ep =
+  check_ep t ep;
+  match t.eps.(ep) with
+  | S_invalid -> Endpoint.Invalid
+  | S_send s ->
+    Endpoint.Send
+      {
+        dst_pe = s.s_dst_pe;
+        dst_ep = s.s_dst_ep;
+        label = s.s_label;
+        msg_order = s.s_msg_order;
+        credits =
+          (match s.s_max with
+          | Endpoint.Unlimited -> Endpoint.Unlimited
+          | Endpoint.Credits _ -> Endpoint.Credits s.s_cur);
+      }
+  | S_recv r ->
+    Endpoint.Receive
+      {
+        buf_addr = r.r_buf_addr;
+        slot_order = r.r_slot_order;
+        slot_count = r.r_slot_count;
+      }
+  | S_mem m ->
+    Endpoint.Memory
+      { dst_pe = m.m_dst_pe; base = m.m_base; size = m.m_size; perm = m.m_perm }
+
+let credits t ~ep =
+  check_ep t ep;
+  match t.eps.(ep) with
+  | S_send s -> (
+    match s.s_max with
+    | Endpoint.Unlimited -> Some Endpoint.Unlimited
+    | Endpoint.Credits _ -> Some (Endpoint.Credits s.s_cur))
+  | S_invalid | S_recv _ | S_mem _ -> None
+
+let set_ep t ep config = t.eps.(ep) <- state_of_config config
+
+let config_local t ~ep config =
+  check_ep t ep;
+  if not t.privileged then Error Dtu_error.Not_privileged
+  else begin
+    set_ep t ep config;
+    Ok ()
+  end
+
+(* --- message delivery (runs at the receiving DTU) ------------------- *)
+
+let refill_credits t crd_ep =
+  if crd_ep >= 0 && crd_ep < Array.length t.eps then
+    match t.eps.(crd_ep) with
+    | S_send s -> (
+      match s.s_max with
+      | Endpoint.Credits max -> s.s_cur <- min max (s.s_cur + 1)
+      | Endpoint.Unlimited -> ())
+    | S_invalid | S_recv _ | S_mem _ -> ()
+
+let deliver_message t ~dst_ep ~(header : Header.t) ~payload =
+  if header.is_reply then refill_credits t header.crd_ep;
+  match
+    if dst_ep < 0 || dst_ep >= Array.length t.eps then S_invalid
+    else t.eps.(dst_ep)
+  with
+  | S_recv r ->
+    let slot_size = Endpoint.slot_size ~slot_order:r.r_slot_order in
+    if Header.size + Bytes.length payload > slot_size || r.r_occupied.(r.r_wpos)
+    then begin
+      t.msgs_dropped <- t.msgs_dropped + 1;
+      Log.warn (fun m ->
+          m "pe%d ep%d: dropped message from pe%d (%s)" t.pe dst_ep
+            header.sender_pe
+            (if r.r_occupied.(r.r_wpos) then "ringbuffer full" else "oversize"))
+    end
+    else begin
+      let slot = r.r_wpos in
+      let addr = r.r_buf_addr + (slot * slot_size) in
+      Header.write t.spm ~addr header;
+      Store.write_bytes t.spm ~addr:(addr + Header.size) payload ~pos:0
+        ~len:(Bytes.length payload);
+      r.r_occupied.(slot) <- true;
+      r.r_unread.(slot) <- true;
+      r.r_wpos <- (slot + 1) mod r.r_slot_count;
+      t.msgs_received <- t.msgs_received + 1;
+      Process.Waitq.broadcast t.ep_waiters.(dst_ep) ()
+    end
+  | S_invalid | S_send _ | S_mem _ -> t.msgs_dropped <- t.msgs_dropped + 1
+
+let transmit t ~dst_pe ~dst_ep ~header ~payload =
+  let wire = Header.size + Bytes.length payload in
+  t.msgs_sent <- t.msgs_sent + 1;
+  Fabric.transfer t.fabric ~src:t.pe ~dst:dst_pe ~bytes:wire
+    ~on_deliver:(fun () ->
+      match t.dtu_of dst_pe with
+      | Some dst -> deliver_message dst ~dst_ep ~header ~payload
+      | None -> t.msgs_dropped <- t.msgs_dropped + 1)
+
+(* --- software-facing commands --------------------------------------- *)
+
+let send t ~ep ~payload ?reply () =
+  check_ep t ep;
+  match t.eps.(ep) with
+  | S_send s ->
+    let size = Header.size + Bytes.length payload in
+    if size > 1 lsl s.s_msg_order then Error Dtu_error.Msg_too_big
+    else begin
+      let has_credit =
+        match s.s_max with
+        | Endpoint.Unlimited -> true
+        | Endpoint.Credits _ -> s.s_cur > 0
+      in
+      if not has_credit then Error Dtu_error.No_credits
+      else begin
+        (match s.s_max with
+        | Endpoint.Credits _ -> s.s_cur <- s.s_cur - 1
+        | Endpoint.Unlimited -> ());
+        Process.wait cmd_latency;
+        let reply_ep, reply_label, has_reply =
+          match reply with
+          | Some (ep', label') -> (ep', label', true)
+          | None -> (0, 0L, false)
+        in
+        let header =
+          {
+            Header.length = Bytes.length payload;
+            label = s.s_label;
+            sender_pe = t.pe;
+            crd_ep = ep;
+            reply_ep;
+            reply_label;
+            has_reply;
+            is_reply = false;
+          }
+        in
+        transmit t ~dst_pe:s.s_dst_pe ~dst_ep:s.s_dst_ep ~header
+          ~payload:(Bytes.copy payload);
+        Ok ()
+      end
+    end
+  | S_invalid | S_recv _ | S_mem _ -> Error Dtu_error.Invalid_ep
+
+let slot_addr r slot =
+  r.r_buf_addr + (slot * Endpoint.slot_size ~slot_order:r.r_slot_order)
+
+let reply t ~ep ~slot ~payload =
+  check_ep t ep;
+  match t.eps.(ep) with
+  | S_recv r when slot >= 0 && slot < r.r_slot_count && r.r_occupied.(slot) ->
+    let header = Header.read t.spm ~addr:(slot_addr r slot) in
+    if not header.has_reply then Error Dtu_error.No_reply_cap
+    else begin
+      Process.wait cmd_latency;
+      let reply_header =
+        {
+          Header.length = Bytes.length payload;
+          label = header.reply_label;
+          sender_pe = t.pe;
+          crd_ep = header.crd_ep;
+          reply_ep = 0;
+          reply_label = 0L;
+          has_reply = false;
+          is_reply = true;
+        }
+      in
+      (* Replying acks the slot: the reply info must not be reusable. *)
+      r.r_occupied.(slot) <- false;
+      r.r_unread.(slot) <- false;
+      transmit t ~dst_pe:header.sender_pe ~dst_ep:header.reply_ep
+        ~header:reply_header ~payload:(Bytes.copy payload);
+      Ok ()
+    end
+  | S_recv _ -> Error Dtu_error.Invalid_ep
+  | S_invalid | S_send _ | S_mem _ -> Error Dtu_error.Invalid_ep
+
+let fetch t ~ep =
+  check_ep t ep;
+  match t.eps.(ep) with
+  | S_recv r ->
+    let rec scan tried pos =
+      if tried = r.r_slot_count then None
+      else if r.r_unread.(pos) then begin
+        r.r_unread.(pos) <- false;
+        r.r_rpos <- (pos + 1) mod r.r_slot_count;
+        let header = Header.read t.spm ~addr:(slot_addr r pos) in
+        let payload =
+          Store.read_bytes t.spm
+            ~addr:(slot_addr r pos + Header.size)
+            ~len:header.length
+        in
+        Some { Endpoint.slot = pos; header; payload }
+      end
+      else scan (tried + 1) ((pos + 1) mod r.r_slot_count)
+    in
+    scan 0 r.r_rpos
+  | S_invalid | S_send _ | S_mem _ -> None
+
+let rec wait_msg t ~ep =
+  match fetch t ~ep with
+  | Some msg -> msg
+  | None ->
+    Process.Waitq.park t.ep_waiters.(ep);
+    wait_msg t ~ep
+
+let wait_reconfig t ~ep =
+  check_ep t ep;
+  Process.Waitq.park t.ep_waiters.(ep)
+
+let rec wait_any t ~eps =
+  let rec poll = function
+    | [] -> None
+    | ep :: rest -> (
+      match fetch t ~ep with
+      | Some msg -> Some (ep, msg)
+      | None -> poll rest)
+  in
+  match poll eps with
+  | Some hit -> hit
+  | None ->
+    Process.suspend (fun resume ->
+        List.iter (fun ep -> Process.Waitq.register t.ep_waiters.(ep) resume) eps);
+    wait_any t ~eps
+
+let ack t ~ep ~slot =
+  check_ep t ep;
+  match t.eps.(ep) with
+  | S_recv r when slot >= 0 && slot < r.r_slot_count ->
+    r.r_occupied.(slot) <- false;
+    r.r_unread.(slot) <- false
+  | S_recv _ | S_invalid | S_send _ | S_mem _ -> ()
+
+(* --- memory endpoints ------------------------------------------------ *)
+
+let mem_access t ~ep ~off ~len ~need =
+  check_ep t ep;
+  match t.eps.(ep) with
+  | S_mem m ->
+    if not (Perm.subset need ~of_:m.m_perm) then Error Dtu_error.No_perm
+    else if off < 0 || len < 0 || off + len > m.m_size then
+      Error Dtu_error.Out_of_bounds
+    else Ok m
+  | S_invalid | S_send _ | S_recv _ -> Error Dtu_error.Invalid_ep
+
+let read_mem t ~ep ~off ~local ~len =
+  match mem_access t ~ep ~off ~len ~need:Perm.r with
+  | Error e -> Error e
+  | Ok m ->
+    Process.wait cmd_latency;
+    let iv = Process.Ivar.create () in
+    Fabric.transfer t.fabric ~src:t.pe ~dst:m.m_dst_pe ~bytes:request_bytes
+      ~on_deliver:(fun () ->
+        Fabric.transfer t.fabric ~src:m.m_dst_pe ~dst:t.pe ~bytes:len
+          ~on_deliver:(fun () ->
+            let result =
+              match t.store_of m.m_dst_pe with
+              | Some remote ->
+                Store.blit ~src:remote ~src_addr:(m.m_base + off) ~dst:t.spm
+                  ~dst_addr:local ~len;
+                t.mem_read <- t.mem_read + len;
+                Ok ()
+              | None -> Error Dtu_error.Out_of_bounds
+            in
+            Process.Ivar.fill iv result));
+    Process.Ivar.read iv
+
+let write_mem t ~ep ~off ~local ~len =
+  match mem_access t ~ep ~off ~len ~need:Perm.w with
+  | Error e -> Error e
+  | Ok m ->
+    Process.wait cmd_latency;
+    (* The data leaves the SPM when the command starts. *)
+    let snapshot = Store.read_bytes t.spm ~addr:local ~len in
+    let iv = Process.Ivar.create () in
+    Fabric.transfer t.fabric ~src:t.pe ~dst:m.m_dst_pe
+      ~bytes:(request_bytes + len)
+      ~on_deliver:(fun () ->
+        let result =
+          match t.store_of m.m_dst_pe with
+          | Some remote ->
+            Store.write_bytes remote ~addr:(m.m_base + off) snapshot ~pos:0 ~len;
+            t.mem_written <- t.mem_written + len;
+            Ok ()
+          | None -> Error Dtu_error.Out_of_bounds
+        in
+        Process.Ivar.fill iv result);
+    Process.Ivar.read iv
+
+(* --- external (privileged) commands ---------------------------------- *)
+
+type ext_action =
+  | Config of int * Endpoint.config
+  | Invalidate of int
+  | Set_privileged of bool
+  | Raw_write of int * Bytes.t
+  | Raw_read of int * int
+  | Reset
+
+let apply_ext t ~from_privileged action =
+  if not from_privileged then Error Dtu_error.Not_privileged
+  else
+    match action with
+    | Config (ep, cfg) ->
+      check_ep t ep;
+      set_ep t ep cfg;
+      (* A fresh receive EP may already have senders blocked in
+         wait_msg from a previous configuration: wake them so they
+         re-poll against the new state. *)
+      Process.Waitq.broadcast t.ep_waiters.(ep) ();
+      Ok Bytes.empty
+    | Invalidate ep ->
+      check_ep t ep;
+      t.eps.(ep) <- S_invalid;
+      Process.Waitq.broadcast t.ep_waiters.(ep) ();
+      Ok Bytes.empty
+    | Set_privileged v ->
+      t.privileged <- v;
+      Ok Bytes.empty
+    | Raw_write (addr, data) ->
+      Store.write_bytes t.spm ~addr data ~pos:0 ~len:(Bytes.length data);
+      Ok Bytes.empty
+    | Raw_read (addr, len) -> Ok (Store.read_bytes t.spm ~addr ~len)
+    | Reset ->
+      Array.fill t.eps 0 (Array.length t.eps) S_invalid;
+      Ok Bytes.empty
+
+let ext_command t ~target ~wire_out ~wire_back action =
+  if not t.privileged then Error Dtu_error.Not_privileged
+  else begin
+    Process.wait cmd_latency;
+    let iv = Process.Ivar.create () in
+    let from_privileged = t.privileged in
+    Fabric.transfer t.fabric ~src:t.pe ~dst:target ~bytes:wire_out
+      ~on_deliver:(fun () ->
+        let result =
+          match t.dtu_of target with
+          | Some dst -> apply_ext dst ~from_privileged action
+          | None -> Error Dtu_error.Invalid_ep
+        in
+        Fabric.transfer t.fabric ~src:target ~dst:t.pe ~bytes:wire_back
+          ~on_deliver:(fun () -> Process.Ivar.fill iv result));
+    Process.Ivar.read iv
+  end
+
+let unit_result = function Ok _ -> Ok () | Error e -> Error e
+
+let ext_config t ~target ~ep config =
+  unit_result
+    (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
+       (Config (ep, config)))
+
+let ext_invalidate t ~target ~ep =
+  unit_result
+    (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
+       (Invalidate ep))
+
+let ext_set_privileged t ~target v =
+  unit_result
+    (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
+       (Set_privileged v))
+
+let ext_write t ~target ~addr ~payload =
+  unit_result
+    (ext_command t ~target
+       ~wire_out:(ext_cmd_bytes + Bytes.length payload)
+       ~wire_back:request_bytes
+       (Raw_write (addr, Bytes.copy payload)))
+
+let ext_read t ~target ~addr ~len =
+  ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:(request_bytes + len)
+    (Raw_read (addr, len))
+
+let ext_reset t ~target =
+  unit_result
+    (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
+       Reset)
+
+let msgs_sent t = t.msgs_sent
+let msgs_received t = t.msgs_received
+let msgs_dropped t = t.msgs_dropped
+let mem_bytes_read t = t.mem_read
+let mem_bytes_written t = t.mem_written

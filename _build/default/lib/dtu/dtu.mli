@@ -1,0 +1,143 @@
+(** The data transfer unit.
+
+    One DTU instance sits next to every PE and is that PE's only path
+    to other PEs and to PE-external memory. Software-facing operations
+    ([send], [reply], [read_mem], ...) must be called from within a
+    simulation process on the owning PE; they consume simulated time
+    and block the caller until the hardware command completes.
+
+    External (privileged) operations model the kernel remotely
+    controlling another PE's DTU over the NoC; the target DTU rejects
+    them unless the {e sending} DTU is privileged — this is NoC-level
+    isolation. *)
+
+type t
+
+(** [create engine fabric ~pe ~spm ~ep_count] builds the DTU of NoC
+    node [pe] with [ep_count] endpoints (8 on the prototype). All DTUs
+    boot privileged, as in the paper; the kernel downgrades application
+    PEs during boot. *)
+val create :
+  M3_sim.Engine.t ->
+  M3_noc.Fabric.t ->
+  pe:int ->
+  spm:M3_mem.Store.t ->
+  ep_count:int ->
+  t
+
+(** [set_resolvers t ~store_of ~dtu_of] wires the DTU to the platform:
+    [store_of node] is the byte store behind a node (SPM or DRAM), and
+    [dtu_of node] the DTU of a node (None for the memory controller). *)
+val set_resolvers :
+  t -> store_of:(int -> M3_mem.Store.t option) -> dtu_of:(int -> t option) -> unit
+
+val pe : t -> int
+val ep_count : t -> int
+val is_privileged : t -> bool
+
+(** [ep_config t ~ep] reads an endpoint's current configuration
+    (register introspection, used by the kernel PE and by tests). *)
+val ep_config : t -> ep:int -> Endpoint.config
+
+(** [credits t ~ep] is the current credit counter of a send EP. *)
+val credits : t -> ep:int -> Endpoint.credit option
+
+(** {1 Software-facing commands (call from a process on this PE)} *)
+
+(** [config_local t ~ep cfg] writes an endpoint register set directly.
+    Only legal while this DTU is privileged (the kernel configures its
+    own endpoints this way). *)
+val config_local : t -> ep:int -> Endpoint.config -> (unit, Dtu_error.t) result
+
+(** [send t ~ep ~payload ?reply ()] sends [payload] through send
+    endpoint [ep]. [reply = (reply_ep, reply_label)] grants the
+    receiver a one-shot direct reply into [reply_ep]. Returns once the
+    command has been accepted and the payload has left the PE; delivery
+    completes asynchronously. *)
+val send :
+  t ->
+  ep:int ->
+  payload:Bytes.t ->
+  ?reply:int * int64 ->
+  unit ->
+  (unit, Dtu_error.t) result
+
+(** [reply t ~ep ~slot ~payload] replies to the message in [slot] of
+    receive endpoint [ep], using the reply information from the stored
+    header, refilling the sender's credits, and acking the slot. *)
+val reply :
+  t -> ep:int -> slot:int -> payload:Bytes.t -> (unit, Dtu_error.t) result
+
+(** [fetch t ~ep] returns the oldest unread message, if any, without
+    blocking (a register poll). *)
+val fetch : t -> ep:int -> Endpoint.message option
+
+(** [wait_msg t ~ep] blocks the calling process until a message is
+    available on [ep], then fetches it. *)
+val wait_msg : t -> ep:int -> Endpoint.message
+
+(** [wait_any t ~eps] blocks until any of the receive endpoints in
+    [eps] holds a message and returns [(ep, message)] — how a service
+    waits on its kernel channel and its client channel at once. *)
+val wait_any : t -> eps:int list -> int * Endpoint.message
+
+(** [wait_reconfig t ~ep] parks the calling process until endpoint
+    [ep] is externally reconfigured or invalidated — how a device core
+    sleeps until the kernel (re)arms it. *)
+val wait_reconfig : t -> ep:int -> unit
+
+(** [ack t ~ep ~slot] frees a ringbuffer slot after processing. *)
+val ack : t -> ep:int -> slot:int -> unit
+
+(** [read_mem t ~ep ~off ~local ~len] copies [len] bytes from offset
+    [off] of the memory endpoint's region into the local SPM at
+    [local]; blocks until the data has arrived (8 bytes/cycle). *)
+val read_mem :
+  t -> ep:int -> off:int -> local:int -> len:int -> (unit, Dtu_error.t) result
+
+(** [write_mem t ~ep ~off ~local ~len] copies [len] bytes from the
+    local SPM at [local] to offset [off] of the memory endpoint's
+    region; blocks until the transfer completes. *)
+val write_mem :
+  t -> ep:int -> off:int -> local:int -> len:int -> (unit, Dtu_error.t) result
+
+(** {1 External (privileged) commands}
+
+    These are issued by kernel software and travel over the NoC to the
+    target DTU, which verifies that the source DTU is privileged. All
+    block the caller until the target acknowledges. *)
+
+val ext_config :
+  t -> target:int -> ep:int -> Endpoint.config -> (unit, Dtu_error.t) result
+
+val ext_invalidate : t -> target:int -> ep:int -> (unit, Dtu_error.t) result
+
+(** [ext_set_privileged t ~target v] raises or downgrades the
+    privilege flag of the target DTU. *)
+val ext_set_privileged : t -> target:int -> bool -> (unit, Dtu_error.t) result
+
+(** [ext_write t ~target ~addr ~payload] writes raw bytes into the
+    target PE's SPM (used by the kernel for application loading). *)
+val ext_write :
+  t -> target:int -> addr:int -> payload:Bytes.t -> (unit, Dtu_error.t) result
+
+(** [ext_read t ~target ~addr ~len] reads raw bytes from the target
+    PE's SPM. *)
+val ext_read :
+  t -> target:int -> addr:int -> len:int -> (Bytes.t, Dtu_error.t) result
+
+(** [ext_reset t ~target] invalidates every endpoint of the target DTU
+    (kernel resetting a PE when a VPE is revoked). *)
+val ext_reset : t -> target:int -> (unit, Dtu_error.t) result
+
+(** {1 Statistics} *)
+
+val msgs_sent : t -> int
+val msgs_received : t -> int
+
+(** [msgs_dropped t] counts ringbuffer overruns — always 0 when
+    senders respect their credits. *)
+val msgs_dropped : t -> int
+
+val mem_bytes_read : t -> int
+val mem_bytes_written : t -> int

@@ -1,0 +1,21 @@
+type t =
+  | Invalid_ep
+  | No_credits
+  | Msg_too_big
+  | No_perm
+  | Out_of_bounds
+  | No_reply_cap
+  | Not_privileged
+  | Abort
+
+let to_string = function
+  | Invalid_ep -> "invalid endpoint"
+  | No_credits -> "no credits"
+  | Msg_too_big -> "message too big"
+  | No_perm -> "no permission"
+  | Out_of_bounds -> "out of bounds"
+  | No_reply_cap -> "no reply capability"
+  | Not_privileged -> "not privileged"
+  | Abort -> "aborted"
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Array Format Fun Hashtbl List M3 M3_hw M3_noc M3_sim M3_trace Printf Runner

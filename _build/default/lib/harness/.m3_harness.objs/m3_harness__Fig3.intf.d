@@ -1,0 +1,1 @@
+lib/harness/fig3.mli: Format Runner

@@ -1,0 +1,1 @@
+lib/harness/fig4.ml: Fig3 Format List M3 Runner

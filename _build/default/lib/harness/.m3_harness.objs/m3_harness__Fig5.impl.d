@@ -1,0 +1,1 @@
+lib/harness/fig5.ml: Char Format List M3 M3_hw M3_linux M3_mem M3_sim M3_trace Printf Runner

@@ -1,0 +1,1 @@
+lib/harness/fig6.ml: Array Fig5 Format Fun List M3 M3_hw M3_mem M3_sim M3_trace Printf Runner

@@ -1,0 +1,1 @@
+lib/harness/fig6.mli: Format

@@ -1,0 +1,1 @@
+lib/harness/fig7.ml: Format Int64 M3 M3_hw M3_linux M3_mem M3_sim Printf Runner

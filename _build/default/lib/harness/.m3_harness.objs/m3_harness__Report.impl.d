@@ -1,0 +1,1 @@
+lib/harness/report.ml: Fig3 Fig4 Fig5 Fig6 Fig7 Format List M3_hw Printf Runner Tables

@@ -1,0 +1,1 @@
+lib/harness/report.mli: Fig3 Fig4 Fig5 Fig6 Fig7 Format Tables

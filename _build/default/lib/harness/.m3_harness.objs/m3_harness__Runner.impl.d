@@ -1,0 +1,1 @@
+lib/harness/runner.ml: M3 M3_hw M3_linux M3_sim M3_trace Printf

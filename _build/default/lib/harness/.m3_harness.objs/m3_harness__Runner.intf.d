@@ -1,0 +1,1 @@
+lib/harness/runner.mli: M3 M3_hw M3_linux

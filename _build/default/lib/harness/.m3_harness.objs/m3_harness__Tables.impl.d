@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Format List M3 M3_linux Runner

@@ -1,0 +1,29 @@
+(** Figure 3: system calls and file operations.
+
+    Left: a null system call — M3 ≈ 200 cycles (≈ 30 of which are the
+    two message transfers) vs ≈ 410 cycles on Linux/Xtensa. Right:
+    reading, writing and piping 2 MiB with 4 KiB buffers, with the
+    time split into data transfers ("Xfers") and everything else
+    ("Other"); M3 beats even the no-cache-miss Linux (Lx-$). *)
+
+type bars = {
+  m3 : Runner.measure;
+  lx_ideal : Runner.measure; (** Lx-$ *)
+  lx : Runner.measure;
+}
+
+type t = {
+  syscall : bars;
+  read : bars;
+  write : bars;
+  pipe : bars;
+}
+
+(** 2 MiB *)
+val total_bytes : int
+
+(** 4 KiB *)
+val buf_size : int
+
+val run : unit -> t
+val print : Format.formatter -> t -> unit

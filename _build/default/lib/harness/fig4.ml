@@ -1,0 +1,73 @@
+module Env = M3.Env
+module Errno = M3.Errno
+module Vfs = M3.Vfs
+module File = M3.File
+module Fs_proto = M3.Fs_proto
+
+type point = {
+  blocks_per_extent : int;
+  read : Runner.measure;
+  write : Runner.measure;
+}
+
+let sweep = [ 16; 32; 64; 128; 256; 512; 1024; 2048 ]
+
+let total_bytes = Fig3.total_bytes
+let buf_size = Fig3.buf_size
+let ok = Errno.ok_exn
+
+(* Reading: the file is prepared with the given fragmentation (§5.5). *)
+let read_point bpe =
+  let seeds =
+    [
+      { M3.M3fs.sd_path = "/frag.dat"; sd_size = total_bytes;
+        sd_blocks_per_extent = bpe; sd_dir = false };
+    ]
+  in
+  Runner.run_m3 ~seeds (fun env ~measured ->
+      Runner.mounted env;
+      let buf = Env.alloc_spm env ~size:buf_size in
+      let file = ok (Vfs.open_ env "/frag.dat" ~flags:Fs_proto.o_read) in
+      measured (fun () ->
+          let rec drain () =
+            match ok (File.read env file ~local:buf ~len:buf_size) with
+            | 0 -> ()
+            | _ -> drain ()
+          in
+          drain ());
+      ok (File.close env file))
+
+(* Writing: the application allocates [bpe] blocks at once (§5.5). *)
+let write_point bpe =
+  Runner.run_m3 (fun env ~measured ->
+      Runner.mounted env;
+      File.set_append_blocks (ok (Vfs.the_mount env)) bpe;
+      let buf = Env.alloc_spm env ~size:buf_size in
+      let file =
+        ok
+          (Vfs.open_ env "/frag.out"
+             ~flags:(Fs_proto.o_write lor Fs_proto.o_create))
+      in
+      measured (fun () ->
+          for _ = 1 to total_bytes / buf_size do
+            ok (File.write env file ~local:buf ~len:buf_size)
+          done;
+          ok (File.close env file)))
+
+let run () =
+  List.map
+    (fun bpe ->
+      { blocks_per_extent = bpe; read = read_point bpe; write = write_point bpe })
+    sweep
+
+let print ppf points =
+  Format.fprintf ppf "Figure 4: read/write time vs blocks per extent (2 MiB)@.";
+  Format.fprintf ppf "  %8s %12s %12s@." "blk/ext" "read" "write";
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "  %8d %12s %12s@." p.blocks_per_extent
+        (Runner.fmt_k p.read.Runner.m_cycles)
+        (Runner.fmt_k p.write.Runner.m_cycles))
+    points;
+  Format.fprintf ppf
+    "  paper: cost falls steeply to ~256 blocks/extent, then flattens@."

@@ -1,0 +1,19 @@
+(** Figure 4: impact of file fragmentation on m3fs.
+
+    Reading and writing a 2 MiB file whose extents hold 16 to 2048
+    blocks each: every extra extent costs one more location request to
+    m3fs and a memory-capability activation. The paper's sweet spot is
+    256 blocks per extent, which M3 therefore uses as the append
+    over-allocation unit. *)
+
+type point = {
+  blocks_per_extent : int;
+  read : Runner.measure;
+  write : Runner.measure;
+}
+
+val sweep : int list
+(** [16; 32; ...; 2048] *)
+
+val run : unit -> point list
+val print : Format.formatter -> point list -> unit

@@ -1,0 +1,203 @@
+module Account = M3_sim.Account
+module Store = M3_mem.Store
+module Pe = M3_hw.Pe
+module Cost_model = M3_hw.Cost_model
+module Machine = M3_linux.Machine
+module Env = M3.Env
+module Errno = M3.Errno
+module Vfs = M3.Vfs
+module File = M3.File
+module Fs_proto = M3.Fs_proto
+module Pipe = M3.Pipe
+module Vpe_api = M3.Vpe_api
+module Workloads = M3_trace.Workloads
+
+type row = {
+  name : string;
+  m3 : Runner.measure;
+  lx_ideal : Runner.measure;
+  lx : Runner.measure;
+}
+
+let cat_in_bytes = 64 * 1024
+let chunk = 4096
+let ok = Errno.ok_exn
+let workload_seed = 2016
+
+let cat_seed =
+  [
+    { M3.M3fs.sd_path = "/cat-in"; sd_size = cat_in_bytes;
+      sd_blocks_per_extent = 256; sd_dir = false };
+  ]
+
+(* Translate 'a' -> 'b' over real SPM bytes; one compare+store per
+   byte of application compute. *)
+let tr_bytes env ~buf ~len =
+  let spm = Pe.spm env.Env.pe in
+  for i = 0 to len - 1 do
+    if Store.read_u8 spm ~addr:(buf + i) = Char.code 'a' then
+      Store.write_u8 spm ~addr:(buf + i) (Char.code 'b')
+  done;
+  Env.charge env Account.App (Cost_model.compute_per_byte * len)
+
+let run_cat_tr_m3 () =
+  Runner.run_m3 ~seeds:cat_seed (fun env ~measured ->
+      Runner.mounted env;
+      measured (fun () ->
+          let reader = ok (Pipe.create_reader env ~ring_size:(64 * 1024)) in
+          let vpe =
+            ok
+              (Vpe_api.create env ~name:"cat"
+                 ~core:M3_hw.Core_type.General_purpose)
+          in
+          ok (Pipe.delegate_writer_end env reader ~vpe_sel:vpe.Vpe_api.vpe_sel);
+          (* The child is "cat": read the file, write it into the pipe. *)
+          ok
+            (Vpe_api.run env vpe (fun cenv ->
+                 Runner.mounted cenv;
+                 let w = ok (Pipe.connect_writer cenv ~ring_size:(64 * 1024)) in
+                 let buf = Env.alloc_spm cenv ~size:chunk in
+                 let file =
+                   ok (Vfs.open_ cenv "/cat-in" ~flags:Fs_proto.o_read)
+                 in
+                 let rec pump () =
+                   match ok (File.read cenv file ~local:buf ~len:chunk) with
+                   | 0 -> ()
+                   | n ->
+                     ok (Pipe.write cenv w ~local:buf ~len:n);
+                     pump ()
+                 in
+                 pump ();
+                 ok (File.close cenv file);
+                 ok (Pipe.close_writer cenv w);
+                 0));
+          (* The parent is "tr": pipe -> translate -> output file. *)
+          let buf = Env.alloc_spm env ~size:chunk in
+          let out =
+            ok
+              (Vfs.open_ env "/cat-out"
+                 ~flags:(Fs_proto.o_write lor Fs_proto.o_create))
+          in
+          let rec pump () =
+            match ok (Pipe.read env reader ~local:buf ~len:chunk) with
+            | 0 -> ()
+            | n ->
+              tr_bytes env ~buf ~len:n;
+              ok (File.write env out ~local:buf ~len:n);
+              pump ()
+          in
+          pump ();
+          ok (File.close env out);
+          match ok (Vpe_api.wait env vpe) with
+          | 0 -> ()
+          | c -> failwith (Printf.sprintf "cat child exited %d" c)))
+
+let run_cat_tr_linux ~cache_ideal () =
+  Runner.run_linux ~cache_ideal ~seeds:cat_seed (fun m ->
+      (* fork the "cat" child, then time-share the core. *)
+      Machine.fork m;
+      let p = Machine.pipe m in
+      let fin =
+        match Machine.open_file m "/cat-in" ~create:false ~trunc:false with
+        | Some fd -> fd
+        | None -> failwith "missing /cat-in"
+      in
+      let fout =
+        match Machine.open_file m "/cat-out" ~create:true ~trunc:true with
+        | Some fd -> fd
+        | None -> failwith "open /cat-out"
+      in
+      let writer_done = ref false in
+      let reader_done = ref false in
+      while not !reader_done do
+        (* child slice: cat *)
+        let blocked = ref false in
+        while (not !blocked) && not !writer_done do
+          let n = Machine.read m fin chunk in
+          if n = 0 then begin
+            Machine.pipe_close_write m p;
+            writer_done := true
+          end
+          else
+            match Machine.pipe_write m p n with
+            | `Wrote _ -> ()
+            | `Blocked -> blocked := true
+          (* a blocked write would re-read in reality; the cost model
+             only needs the switch *)
+        done;
+        Machine.context_switch m;
+        (* parent slice: tr *)
+        let blocked = ref false in
+        while not (!blocked || !reader_done) do
+          match Machine.pipe_read m p chunk with
+          | `Read n ->
+            Machine.compute m (Cost_model.compute_per_byte * n);
+            ignore (Machine.write m fout n)
+          | `Eof -> reader_done := true
+          | `Blocked -> blocked := true
+        done;
+        if not !reader_done then Machine.context_switch m
+      done;
+      Machine.close m fin;
+      Machine.close m fout)
+
+(* --- trace-driven benchmarks ------------------------------------------------ *)
+
+let run_trace_m3 (spec : Workloads.spec) =
+  Runner.run_m3 ~seeds:spec.sp_seeds (fun env ~measured ->
+      Runner.mounted env;
+      measured (fun () ->
+          match M3_trace.Replay_m3.run env spec.sp_trace with
+          | Ok () -> ()
+          | Error e ->
+            failwith
+              (Printf.sprintf "replay %s: %s" spec.sp_name (Errno.to_string e))))
+
+let run_trace_linux ~cache_ideal (spec : Workloads.spec) =
+  Runner.run_linux ~cache_ideal ~seeds:spec.sp_seeds (fun m ->
+      M3_trace.Replay_linux.run m spec.sp_trace)
+
+let run () =
+  let cat_tr =
+    {
+      name = "cat+tr";
+      m3 = Runner.serialized (run_cat_tr_m3 ());
+      lx_ideal = run_cat_tr_linux ~cache_ideal:true ();
+      lx = run_cat_tr_linux ~cache_ideal:false ();
+    }
+  in
+  let traced =
+    List.map
+      (fun spec ->
+        {
+          name = spec.Workloads.sp_name;
+          m3 = run_trace_m3 spec;
+          lx_ideal = run_trace_linux ~cache_ideal:true spec;
+          lx = run_trace_linux ~cache_ideal:false spec;
+        })
+      (Workloads.all ~seed:workload_seed)
+  in
+  cat_tr :: traced
+
+let print ppf rows =
+  Format.fprintf ppf
+    "Figure 5: application-level benchmarks (app / xfers / os)@.";
+  let cell m =
+    Printf.sprintf "%9s (%8s/%8s/%8s)"
+      (Runner.fmt_k m.Runner.m_cycles)
+      (Runner.fmt_k m.Runner.m_app)
+      (Runner.fmt_k m.Runner.m_xfer)
+      (Runner.fmt_k m.Runner.m_os)
+  in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-7s M3 %s@." r.name (cell r.m3);
+      Format.fprintf ppf "          Lx-$ %s@." (cell r.lx_ideal);
+      Format.fprintf ppf "          Lx %s  (M3 = %.0f%% of Lx)@." (cell r.lx)
+        (100.0
+        *. float_of_int r.m3.Runner.m_cycles
+        /. float_of_int (max 1 r.lx.Runner.m_cycles)))
+    rows;
+  Format.fprintf ppf
+    "  paper: cat+tr ~50%%, tar ~20%%, untar ~16%%, find slightly >100%%, \
+     sqlite slightly <100%%@."

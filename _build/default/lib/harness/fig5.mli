@@ -1,0 +1,24 @@
+(** Figure 5: application-level benchmarks — cat+tr, tar, untar, find,
+    sqlite — on M3, Lx-$ and Lx, broken down into application compute,
+    data transfers and OS overhead.
+
+    cat+tr is implemented natively on both systems (§5.6): a child
+    process/VPE writes a 64 KiB file into a pipe; the parent reads the
+    pipe, replaces every 'a' with 'b' and writes the result to a new
+    file. The other four replay synthetic syscall traces. *)
+
+type row = {
+  name : string;
+  m3 : Runner.measure;
+  lx_ideal : Runner.measure;
+  lx : Runner.measure;
+}
+
+(** 64 KiB *)
+val cat_in_bytes : int
+
+(** [run_cat_tr_m3 ()] exposes the native benchmark for tests. *)
+val run_cat_tr_m3 : unit -> Runner.measure
+
+val run : unit -> row list
+val print : Format.formatter -> row list -> unit

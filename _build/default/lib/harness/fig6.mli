@@ -1,0 +1,27 @@
+(** Figure 6: scalability of a single kernel + single m3fs instance.
+
+    1–16 instances of each application benchmark run in parallel, one
+    per PE (two PEs for cat+tr), all sharing one kernel and one m3fs.
+    DRAM data transfers are replaced by equal-time spinning (the
+    paper's methodology), so the y-axis isolates software contention:
+    requests queue at the kernel's and the service's ringbuffers.
+    Reported is the average time per instance normalized to the
+    1-instance time — flatter is better. *)
+
+type point = {
+  instances : int;
+  normalized : float; (** avg cycles per instance / 1-instance cycles *)
+}
+
+type curve = {
+  bench : string;
+  points : point list;
+}
+
+val counts : int list
+(** [1; 2; 4; 8; 16] *)
+
+(** [run ?counts ()] — [counts] defaults to {!counts}; tests pass a
+    smaller list. *)
+val run : ?counts:int list -> unit -> curve list
+val print : Format.formatter -> curve list -> unit

@@ -1,0 +1,21 @@
+(** Figure 7: performance benefit of an FFT accelerator core.
+
+    A filter-chain scenario (§5.8): the parent generates 32 KiB of
+    random samples and writes them into a pipe; the child reads the
+    pipe, performs the FFT, and writes the spectrum to a file. Three
+    configurations: Linux with a software FFT, M3 with a software FFT
+    on a general-purpose PE, and M3 with the child VPE placed on the
+    FFT accelerator core — the application code is identical; only the
+    requested PE type differs. *)
+
+type t = {
+  linux : Runner.measure;
+  m3_software : Runner.measure;
+  m3_accel : Runner.measure;
+}
+
+(** 32 KiB *)
+val data_bytes : int
+
+val run : unit -> t
+val print : Format.formatter -> t -> unit

@@ -1,0 +1,109 @@
+module Machine = M3_linux.Machine
+module Arch = M3_linux.Arch
+
+type t1 = {
+  m3_total : int;
+  m3_xfer : int;
+  m3_other : int;
+  lx_total : int;
+}
+
+type arch_row = {
+  arch : string;
+  syscall : int;
+  create_overhead : int;
+  copy_overhead : int;
+}
+
+type t2 = arch_row list
+
+let run_t1 () =
+  let m =
+    Runner.run_m3 ~no_fs:true (fun env ~measured ->
+        M3.Errno.ok_exn (M3.Syscalls.noop env);
+        M3.Errno.ok_exn (M3.Syscalls.noop env);
+        measured (fun () -> M3.Errno.ok_exn (M3.Syscalls.noop env)))
+  in
+  {
+    m3_total = m.Runner.m_cycles;
+    m3_xfer = m.Runner.m_xfer;
+    m3_other = Runner.other m;
+    lx_total = Arch.xtensa.Arch.syscall;
+  }
+
+let total = 2 * 1024 * 1024
+let buf = 4096
+
+let create_bench arch =
+  Runner.run_linux ~arch (fun m ->
+      match Machine.open_file m "/new" ~create:true ~trunc:true with
+      | None -> failwith "open"
+      | Some fd ->
+        for _ = 1 to total / buf do
+          ignore (Machine.write m fd buf)
+        done;
+        Machine.close m fd)
+
+let copy_bench arch =
+  let seeds =
+    [
+      { M3.M3fs.sd_path = "/src"; sd_size = total; sd_blocks_per_extent = 256;
+        sd_dir = false };
+    ]
+  in
+  Runner.run_linux ~arch ~seeds (fun m ->
+      match
+        ( Machine.open_file m "/src" ~create:false ~trunc:false,
+          Machine.open_file m "/dst" ~create:true ~trunc:true )
+      with
+      | Some src, Some dst ->
+        let rec pump () =
+          let n = Machine.read m src buf in
+          if n > 0 then begin
+            ignore (Machine.write m dst n);
+            pump ()
+          end
+        in
+        pump ();
+        Machine.close m src;
+        Machine.close m dst
+      | _ -> failwith "open"
+
+      )
+
+let run_t2 () =
+  List.map
+    (fun arch ->
+      let create = create_bench arch in
+      let copy = copy_bench arch in
+      {
+        arch = arch.Arch.name;
+        syscall = arch.Arch.syscall;
+        (* Overhead = everything beyond one raw memcpy of the data
+           (resp. two for copy). *)
+        create_overhead = create.Runner.m_cycles - Arch.copy_cycles arch total;
+        copy_overhead = copy.Runner.m_cycles - (2 * Arch.copy_cycles arch total);
+      })
+    [ Arch.xtensa; Arch.arm_a15 ]
+
+let print_t1 ppf t =
+  Format.fprintf ppf "T1 (§5.3): null system call decomposition@.";
+  Format.fprintf ppf
+    "  M3: %d cycles total = %d transfer + %d software   (paper: 200 = ~30 + ~170)@."
+    t.m3_total t.m3_xfer t.m3_other;
+  Format.fprintf ppf "  Linux/Xtensa: %d cycles              (paper: 410)@."
+    t.lx_total
+
+let print_t2 ppf rows =
+  Format.fprintf ppf "T2 (§5.2): Linux on Xtensa vs ARM Cortex-A15@.";
+  Format.fprintf ppf "  %-10s %10s %16s %16s@." "arch" "syscall" "create-2MiB-ovh"
+    "copy-2MiB-ovh";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-10s %10d %16s %16s@." r.arch r.syscall
+        (Runner.fmt_k r.create_overhead)
+        (Runner.fmt_k r.copy_overhead))
+    rows;
+  Format.fprintf ppf
+    "  paper: syscall 410 vs 320; create ovh 2.2 M vs 2.4 M; copy ovh 3.2 M \
+     on both@."

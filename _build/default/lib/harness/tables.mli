@@ -1,0 +1,32 @@
+(** The inline-number "tables" of the evaluation text.
+
+    T1 (§5.3): decomposition of the M3 null syscall into message
+    transfers (≈30 cycles) and software (≈170 cycles), against Linux's
+    410 cycles dominated by state save/restore.
+
+    T2 (§5.2): Linux on Xtensa vs ARM Cortex-A15 — null syscall 410 vs
+    320 cycles; creating a 2 MiB file has ≈2.2 M (Xtensa) / 2.4 M
+    (ARM) cycles of overhead beyond the raw copy; copying 2 MiB has
+    ≈3.2 M cycles of overhead on both. *)
+
+type t1 = {
+  m3_total : int;
+  m3_xfer : int;
+  m3_other : int;
+  lx_total : int;
+}
+
+type arch_row = {
+  arch : string;
+  syscall : int;
+  create_overhead : int; (** writing a fresh 2 MiB file, minus the copy *)
+  copy_overhead : int;   (** read + write 2 MiB, minus both copies *)
+}
+
+type t2 = arch_row list
+
+val run_t1 : unit -> t1
+val run_t2 : unit -> t2
+
+val print_t1 : Format.formatter -> t1 -> unit
+val print_t2 : Format.formatter -> t2 -> unit

@@ -1,0 +1,1 @@
+lib/hw/core_type.ml: Format

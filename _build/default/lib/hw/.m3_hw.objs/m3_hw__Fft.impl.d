@@ -1,0 +1,1 @@
+lib/hw/fft.ml: Array Bytes Float Int64

@@ -1,0 +1,1 @@
+lib/hw/fft.mli: Bytes

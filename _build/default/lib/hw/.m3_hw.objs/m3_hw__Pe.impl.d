@@ -1,0 +1,1 @@
+lib/hw/pe.ml: Core_type M3_dtu M3_mem M3_sim Printf

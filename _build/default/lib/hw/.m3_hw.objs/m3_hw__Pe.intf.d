@@ -1,0 +1,1 @@
+lib/hw/pe.mli: Core_type M3_dtu M3_mem M3_noc M3_sim

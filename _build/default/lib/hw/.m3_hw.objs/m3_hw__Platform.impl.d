@@ -1,0 +1,1 @@
+lib/hw/platform.ml: Array Core_type M3_dtu M3_mem M3_noc M3_sim Pe Printf

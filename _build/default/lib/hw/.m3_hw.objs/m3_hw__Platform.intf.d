@@ -1,0 +1,1 @@
+lib/hw/platform.mli: Core_type M3_mem M3_noc M3_sim Pe

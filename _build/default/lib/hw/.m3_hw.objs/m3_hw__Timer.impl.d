@@ -1,0 +1,1 @@
+lib/hw/timer.ml: Bytes Int64 M3_dtu M3_mem M3_sim Pe

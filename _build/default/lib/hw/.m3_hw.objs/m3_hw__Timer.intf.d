@@ -1,0 +1,1 @@
+lib/hw/timer.mli: Bytes Pe

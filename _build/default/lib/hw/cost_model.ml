@@ -1,0 +1,49 @@
+(* Calibration targets from the paper:
+   - §5.3: M3 null syscall ≈ 200 cycles = ≈ 30 transfer + ≈ 170 other.
+     With the default 4x4-ish mesh, the two message transfers cost
+     ≈ 2 × 15 cycles; the remaining constants below sum to ≈ 170
+     (including two DTU command-acceptance latencies of 4 cycles).
+   - §5.4: M3 read path ≈ 70 cycles to reach the read logic and ≈ 90 to
+     determine the location.
+   - §5.8: FFT accelerator ≈ 30× faster than the software FFT. *)
+
+let syscall_marshal = 40
+let syscall_program_dtu = 18
+let kernel_dispatch = 45
+let kernel_reply_marshal = 30
+let syscall_unmarshal = 20
+let marshal_per_word = 2
+
+let file_call_overhead = 70
+let file_locate = 90
+let file_extent_request = 120
+let file_meta_client = 430
+
+let fs_meta_op = 120
+let fs_dirent_scan = 15
+let fs_get_locs = 2300
+let fs_append = 2600
+
+let vpe_clone_setup = 400
+let vpe_exec_setup = 600
+let wakeup = 9
+
+let pipe_meta = 60
+
+(* Radix-2 FFT: (points/2) * log2(points) butterflies. A software
+   butterfly on the scalar Xtensa-like core costs ~190 cycles (loads,
+   complex multiply-add, stores); the instruction-set extension brings
+   that to ~6.3, giving the paper's ≈ 30x. *)
+let fft_cycles ~accel ~points =
+  if points <= 1 then 0
+  else begin
+    let log2 =
+      let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+      go 0 points
+    in
+    let butterflies = points / 2 * log2 in
+    let tenths_per_butterfly = if accel then 63 else 1900 in
+    butterflies * tenths_per_butterfly / 10
+  end
+
+let compute_per_byte = 4

@@ -1,0 +1,89 @@
+(** Cycle costs of M3 software on a general-purpose PE.
+
+    These constants are calibrated against the cycle counts the paper
+    reports for the prototype (§5.3–§5.4); the comments give the
+    targets. Hardware timing (NoC, DTU, DRAM) is NOT here — it falls
+    out of the fabric and DTU models. *)
+
+(** {1 Syscall path (target: null syscall ≈ 200 cycles total, of which
+    ≈ 30 are message transfers and ≈ 170 everything else)} *)
+
+val syscall_marshal : int
+(** client: building the request message *)
+
+val syscall_program_dtu : int
+(** client: programming the DTU send registers *)
+
+val kernel_dispatch : int
+(** kernel: fetch message, decode opcode, find handler *)
+
+val kernel_reply_marshal : int
+(** kernel: building and issuing the reply *)
+
+val syscall_unmarshal : int
+(** client: waking up and decoding the reply *)
+
+(** {1 Marshalling} *)
+
+val marshal_per_word : int
+(** extra cycles per 8-byte word (un)marshalled beyond the base cost *)
+
+(** {1 File access via libm3 (target: read ≈ 70 + 90 cycles per block
+    vs Linux's ≈ 380 + 400 + 550, §5.4)} *)
+
+val file_call_overhead : int
+(** getting from the application call to libm3's read/write logic *)
+
+val file_locate : int
+(** finding the right offset in the cached extents *)
+
+val file_extent_request : int
+(** extra client-side work when m3fs must be asked for more extents
+    (on top of the session request message itself) *)
+
+val file_meta_client : int
+(** client-side share of a meta operation (building the request,
+    bookkeeping the session state) — deliberately the larger share, so
+    that meta-heavy workloads scale across instances (Fig. 6) *)
+
+(** {1 m3fs service (server-side costs per request)} *)
+
+val fs_meta_op : int
+(** base cost of a metadata request (open, stat, mkdir, ...) *)
+
+val fs_dirent_scan : int
+(** per directory entry scanned during path resolution *)
+
+val fs_get_locs : int
+(** looking up extents and constructing capability descriptors; the
+    dominant per-extent cost behind Fig. 4's fragmentation curve *)
+
+val fs_append : int
+(** allocating an extent: bitmap scan plus inode update *)
+
+(** {1 Process-like operations} *)
+
+val vpe_clone_setup : int
+(** client-side setup of VPE::run beyond syscalls and memory copies *)
+
+val vpe_exec_setup : int
+(** client-side setup for executing a program from the filesystem *)
+
+val wakeup : int
+(** cycles from DTU event to software reacting (poll loop exit) *)
+
+(** {1 Pipes} *)
+
+val pipe_meta : int
+(** bookkeeping per pipe read/write on top of transfers and messages *)
+
+(** {1 FFT (Fig. 7; target: accelerator ≈ 30× faster than software)} *)
+
+(** [fft_cycles ~accel ~points] is the compute time of a radix-2 FFT
+    over [points] complex samples, on a general-purpose core
+    ([accel = false]) or on the FFT accelerator core. *)
+val fft_cycles : accel:bool -> points:int -> int
+
+(** [compute_per_byte] approximates generic application compute such as
+    [tr] (translate one byte: load, compare, store). *)
+val compute_per_byte : int

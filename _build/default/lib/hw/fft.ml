@@ -1,0 +1,79 @@
+let bytes_per_point = 16
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* In-place iterative radix-2 decimation-in-time FFT. *)
+let transform_sign sign re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: length mismatch";
+  if not (is_power_of_two n) then invalid_arg "Fft: length not a power of two";
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Butterflies. *)
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wr = cos ang and wi = sin ang in
+    let i = ref 0 in
+    while !i < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = 0 to (!len / 2) - 1 do
+        let a = !i + k and b = !i + k + (!len / 2) in
+        let xr = (re.(b) *. !cr) -. (im.(b) *. !ci) in
+        let xi = (re.(b) *. !ci) +. (im.(b) *. !cr) in
+        re.(b) <- re.(a) -. xr;
+        im.(b) <- im.(a) -. xi;
+        re.(a) <- re.(a) +. xr;
+        im.(a) <- im.(a) +. xi;
+        let cr' = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := cr'
+      done;
+      i := !i + !len
+    done;
+    len := !len * 2
+  done
+
+let transform re im = transform_sign (-1.0) re im
+
+let inverse re im =
+  transform_sign 1.0 re im;
+  let n = float_of_int (Array.length re) in
+  Array.iteri (fun i v -> re.(i) <- v /. n) re;
+  Array.iteri (fun i v -> im.(i) <- v /. n) im
+
+let points_of_bytes n = n / bytes_per_point
+
+let transform_bytes buf =
+  let len = Bytes.length buf in
+  let points = points_of_bytes len in
+  if points * bytes_per_point <> len || not (is_power_of_two points) then
+    invalid_arg "Fft.transform_bytes: not a power-of-two number of points";
+  let re = Array.make points 0.0 and im = Array.make points 0.0 in
+  for i = 0 to points - 1 do
+    re.(i) <- Int64.float_of_bits (Bytes.get_int64_le buf (i * 16));
+    im.(i) <- Int64.float_of_bits (Bytes.get_int64_le buf ((i * 16) + 8))
+  done;
+  transform re im;
+  let out = Bytes.create len in
+  for i = 0 to points - 1 do
+    Bytes.set_int64_le out (i * 16) (Int64.bits_of_float re.(i));
+    Bytes.set_int64_le out ((i * 16) + 8) (Int64.bits_of_float im.(i))
+  done;
+  out

@@ -1,0 +1,27 @@
+(** Radix-2 Cooley–Tukey FFT over complex samples serialized as
+    little-endian float64 pairs.
+
+    Used functionally by the Fig. 7 benchmark and the accelerator
+    example: the FFT really transforms the bytes that flowed through
+    the simulated pipe, so tests can check the output spectrum. Cycle
+    costs come from {!Cost_model.fft_cycles}; this module is only the
+    arithmetic. *)
+
+(** Bytes per complex sample (two float64). *)
+val bytes_per_point : int
+
+(** [transform re im] performs an in-place FFT; both arrays must have
+    the same power-of-two length. *)
+val transform : float array -> float array -> unit
+
+(** [inverse re im] is the inverse FFT, in place. *)
+val inverse : float array -> float array -> unit
+
+(** [transform_bytes buf] interprets [buf] as interleaved complex
+    float64 samples, transforms them, and returns a fresh buffer.
+    @raise Invalid_argument if the length is not a power-of-two number
+    of points. *)
+val transform_bytes : Bytes.t -> Bytes.t
+
+(** [points_of_bytes n] is how many complex points fit in [n] bytes. *)
+val points_of_bytes : int -> int

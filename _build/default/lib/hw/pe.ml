@@ -1,0 +1,38 @@
+module Engine = M3_sim.Engine
+module Process = M3_sim.Process
+module Store = M3_mem.Store
+module Dtu = M3_dtu.Dtu
+
+type t = {
+  id : int;
+  core : Core_type.t;
+  spm : Store.t;
+  dtu : Dtu.t;
+  engine : Engine.t;
+  mutable program : Process.t option;
+}
+
+let create engine fabric ~id ~core ~spm_size ~ep_count =
+  let spm = Store.create ~name:(Printf.sprintf "pe%d.spm" id) ~size:spm_size in
+  let dtu = Dtu.create engine fabric ~pe:id ~spm ~ep_count in
+  { id; core; spm; dtu; engine; program = None }
+
+let id t = t.id
+let core t = t.core
+let spm t = t.spm
+let dtu t = t.dtu
+let engine t = t.engine
+
+let spawn t ~name f =
+  let p = Process.spawn t.engine ~name:(Printf.sprintf "pe%d:%s" t.id name) f in
+  t.program <- Some p;
+  p
+
+let running t = t.program
+
+let halt t =
+  match t.program with
+  | Some p ->
+    Process.kill p;
+    t.program <- None
+  | None -> ()

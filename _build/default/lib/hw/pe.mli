@@ -1,0 +1,33 @@
+(** A processing element: core + local scratchpad memory + DTU.
+
+    The core executes software as simulation processes; it has no MMU
+    and no privileged mode — isolation comes entirely from the DTU. *)
+
+type t
+
+val create :
+  M3_sim.Engine.t ->
+  M3_noc.Fabric.t ->
+  id:int ->
+  core:Core_type.t ->
+  spm_size:int ->
+  ep_count:int ->
+  t
+
+val id : t -> int
+val core : t -> Core_type.t
+val spm : t -> M3_mem.Store.t
+val dtu : t -> M3_dtu.Dtu.t
+val engine : t -> M3_sim.Engine.t
+
+(** [spawn t ~name f] starts software [f] on this PE. At most one
+    program runs on a PE at a time (one application owns a PE, §3);
+    spawning while another program runs replaces the previous process
+    handle but does not stop it — callers use [halt] first. *)
+val spawn : t -> name:string -> (unit -> unit) -> M3_sim.Process.t
+
+(** [running t] is the most recently spawned program, if any. *)
+val running : t -> M3_sim.Process.t option
+
+(** [halt t] kills the running program (kernel resetting the PE). *)
+val halt : t -> unit

@@ -1,0 +1,77 @@
+module Process = M3_sim.Process
+module Store = M3_mem.Store
+module Dtu = M3_dtu.Dtu
+module Endpoint = M3_dtu.Endpoint
+
+let irq_ep = 0
+let ack_ep = 1
+let period_reg = 0
+let ack_buf = 0x100
+
+type tick = {
+  seq : int;
+  missed : int;
+}
+
+let tick_of_payload payload =
+  if Bytes.length payload < 16 then invalid_arg "Timer.tick_of_payload";
+  {
+    seq = Int64.to_int (Bytes.get_int64_le payload 0);
+    missed = Int64.to_int (Bytes.get_int64_le payload 8);
+  }
+
+let payload_of_tick t =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.of_int t.seq);
+  Bytes.set_int64_le b 8 (Int64.of_int t.missed);
+  b
+
+let start pe =
+  let spm = Pe.spm pe in
+  let dtu = Pe.dtu pe in
+  ignore
+    (Pe.spawn pe ~name:"timer-device" (fun () ->
+         let seq = ref 0 in
+         let missed = ref 0 in
+         let rec run () =
+           let period = Store.read_u32 spm ~addr:period_reg in
+           if period = 0 then begin
+             (* Disarmed: sleep until the kernel reconfigures the
+                interrupt endpoint (rearming resets the sequence). *)
+             seq := 0;
+             missed := 0;
+             Dtu.wait_reconfig dtu ~ep:irq_ep
+           end
+           else begin
+             Process.wait period;
+             (* The register may have been cleared while waiting. *)
+             if Store.read_u32 spm ~addr:period_reg <> 0 then begin
+               incr seq;
+               (* Drain acknowledgements (their arrival already
+                  refilled the send credits). *)
+               let rec drain () =
+                 match Dtu.fetch dtu ~ep:ack_ep with
+                 | Some msg ->
+                   Dtu.ack dtu ~ep:ack_ep ~slot:msg.Endpoint.slot;
+                   drain ()
+                 | None -> ()
+               in
+               drain ();
+               match
+                 Dtu.send dtu ~ep:irq_ep
+                   ~payload:(payload_of_tick { seq = !seq; missed = !missed })
+                   ~reply:(ack_ep, 0L) ()
+               with
+               | Ok () -> missed := 0
+               | Error M3_dtu.Dtu_error.No_credits ->
+                 (* Receiver is behind: coalesce. *)
+                 incr missed
+               | Error _ ->
+                 (* Endpoint not (yet) configured: drop silently, like
+                    a masked interrupt. *)
+                 ()
+             end
+           end;
+           run ()
+         in
+         run ()))

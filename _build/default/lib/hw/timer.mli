@@ -1,0 +1,42 @@
+(** A timer device behind a DTU — the paper's "device interrupts as
+    messages" idea (§4.4.2), which the prototype lacked devices to try.
+
+    The device runs no software. Its behavior: when armed, it sends a
+    tick message through its DTU's endpoint {!irq_ep} every [period]
+    cycles. The kernel arms it by (a) writing the period into the
+    device's control register (a word in its SPM, written with the
+    privileged raw-write command) and (b) configuring {!irq_ep} as a
+    send endpoint toward some application's receive gate. Everything
+    that holds for messages then holds for interrupts: they can be
+    awaited like any message, interposed, or re-routed to any PE.
+
+    If the target has no credits left (the application is behind), the
+    tick is skipped and counted — interrupt coalescing; the next
+    message carries the number of missed ticks. *)
+
+(** The endpoint interrupts leave through. *)
+val irq_ep : int
+
+(** The endpoint acknowledgements (replies to ticks) come back on;
+    replying to a tick returns the device's send credit. *)
+val ack_ep : int
+
+(** SPM address of the acknowledgement ringbuffer. *)
+val ack_buf : int
+
+(** SPM address of the period control register (u32; 0 = disarmed; a
+    disarmed device sleeps until its endpoint is reconfigured). *)
+val period_reg : int
+
+(** [start pe] spawns the device behavior on a {!Core_type.Timer_device}
+    PE. Called by the platform bring-up. *)
+val start : Pe.t -> unit
+
+(** Tick message payload accessors (for receivers). *)
+
+type tick = {
+  seq : int;     (** tick number since arming *)
+  missed : int;  (** ticks coalesced away since the last delivery *)
+}
+
+val tick_of_payload : Bytes.t -> tick

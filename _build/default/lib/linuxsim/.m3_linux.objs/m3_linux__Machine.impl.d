@@ -1,0 +1,1 @@
+lib/linuxsim/machine.ml: Arch List M3_sim Tmpfs

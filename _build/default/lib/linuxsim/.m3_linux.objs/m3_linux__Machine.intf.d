@@ -1,0 +1,1 @@
+lib/linuxsim/machine.mli: Arch M3_sim Tmpfs

@@ -1,0 +1,1 @@
+lib/linuxsim/tmpfs.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/linuxsim/tmpfs.mli:

@@ -1,0 +1,54 @@
+(** Architecture parameters of the Linux baseline.
+
+    The paper runs Linux 3.18 on a cycle-accurate Xtensa simulator
+    (64 KiB I/D caches, MMU) and cross-checks on an ARM Cortex-A15
+    (§5.2). These records encode the per-architecture costs the paper
+    reports; everything downstream (tmpfs model, pipes, traces) is
+    parameterized over them. Units: cycles, or bytes-per-cycle ×10 for
+    bandwidths (to keep fractional speeds in integer math). *)
+
+type t = {
+  name : string;
+  syscall : int;
+      (** null-syscall round trip: 410 on Xtensa, 320 on ARM (§5.2/§5.3) *)
+  vfs_read_block : int;
+      (** per-4KiB-block read overhead beyond the copy: fd lookup +
+          security + prologs (≈400) plus page-cache get/put (≈550),
+          §5.4; the syscall entry/exit is charged separately *)
+  vfs_write_block : int;
+      (** same for the write path (page allocation included) *)
+  memcpy_bpc_x10 : int;
+      (** memcpy throughput ×10. Xtensa has no cacheline prefetcher and
+          cannot saturate the memory bandwidth (§5.4): ≈1.6 B/cycle;
+          the A15 prefetches: ≈3.2 B/cycle *)
+  zero_bpc_x10 : int;
+      (** page zeroing throughput ×10 — Linux zeroes every block
+          before handing it to a writer (§5.4) *)
+  ctx_switch : int;
+      (** direct context-switch cost *)
+  ctx_refill : int;
+      (** indirect cost: cache/TLB refill after a switch — the part
+          the Lx-$ configuration removes *)
+  fork : int;      (** fork(): copy task, page tables, COW setup *)
+  exec : int;      (** execve() of a small binary *)
+  pipe_op : int;   (** extra per pipe read/write beyond a file op *)
+  stat_op : int;
+      (** full stat beyond syscall entry: path walk + inode copy —
+          well-optimized on Linux (§5.6) *)
+}
+
+(** The evaluation platform. *)
+val xtensa : t
+
+(** The §5.2 cross-check platform. *)
+val arm_a15 : t
+
+(** [cache_ideal t] is [t] with all cache-miss-dependent costs set to
+    their hit-case values — the paper's "Lx-$" configuration. *)
+val cache_ideal : t -> t
+
+(** [copy_cycles t bytes] is the memcpy time for [bytes]. *)
+val copy_cycles : t -> int -> int
+
+(** [zero_cycles t bytes] is the page-zeroing time for [bytes]. *)
+val zero_cycles : t -> int -> int

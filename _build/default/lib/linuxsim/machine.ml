@@ -1,0 +1,179 @@
+module Account = M3_sim.Account
+
+let block = 4096
+let pipe_capacity = 64 * 1024
+
+type t = {
+  arch : Arch.t;
+  fs : Tmpfs.t;
+  account : Account.t;
+  mutable cycles : int;
+}
+
+type fd = {
+  path : string;
+  mutable pos : int;
+  machine : t;
+}
+
+type pipe = {
+  mutable fill : int;
+  mutable write_closed : bool;
+}
+
+let create ?(cache_ideal = false) arch =
+  let arch = if cache_ideal then Arch.cache_ideal arch else arch in
+  { arch; fs = Tmpfs.create (); account = Account.create (); cycles = 0 }
+
+let arch t = t.arch
+let fs t = t.fs
+let cycles t = t.cycles
+let account t = t.account
+
+let charge t cat n =
+  if n > 0 then begin
+    t.cycles <- t.cycles + n;
+    Account.charge t.account cat n
+  end
+
+let compute t n = charge t Account.App n
+
+let syscall t = charge t Account.Os t.arch.Arch.syscall
+
+let fork t =
+  syscall t;
+  charge t Account.Os t.arch.Arch.fork
+
+let exec t =
+  syscall t;
+  charge t Account.Os t.arch.Arch.exec
+
+let context_switch t =
+  charge t Account.Os t.arch.Arch.ctx_switch;
+  charge t Account.Xfer t.arch.Arch.ctx_refill
+
+let blocks_of len = (len + block - 1) / block
+
+(* --- files --------------------------------------------------------------- *)
+
+let open_file t path ~create ~trunc =
+  syscall t;
+  charge t Account.Os t.arch.Arch.stat_op;
+  let exists = Tmpfs.exists t.fs path in
+  let ready =
+    if exists then true
+    else if create then Tmpfs.create_file t.fs path
+    else false
+  in
+  if not ready then None
+  else begin
+    if trunc then Tmpfs.set_file_size t.fs path 0;
+    Some { path; pos = 0; machine = t }
+  end
+
+let read t fd len =
+  syscall t;
+  match Tmpfs.file_size t.fs fd.path with
+  | None -> 0
+  | Some size ->
+    let n = max 0 (min len (size - fd.pos)) in
+    charge t Account.Os (t.arch.Arch.vfs_read_block * max 1 (blocks_of n));
+    charge t Account.Xfer (Arch.copy_cycles t.arch n);
+    fd.pos <- fd.pos + n;
+    n
+
+let write t fd len =
+  syscall t;
+  match Tmpfs.file_size t.fs fd.path with
+  | None -> 0
+  | Some size ->
+    let new_end = fd.pos + len in
+    (* Freshly allocated pages are zeroed before the app sees them. *)
+    let fresh = max 0 (new_end - size) in
+    charge t Account.Os (t.arch.Arch.vfs_write_block * max 1 (blocks_of len));
+    charge t Account.Xfer (Arch.zero_cycles t.arch fresh);
+    charge t Account.Xfer (Arch.copy_cycles t.arch len);
+    if new_end > size then Tmpfs.set_file_size t.fs fd.path new_end;
+    fd.pos <- new_end;
+    len
+
+let sendfile t ~dst ~src len =
+  syscall t;
+  match (Tmpfs.file_size t.fs src.path, Tmpfs.file_size t.fs dst.path) with
+  | Some src_size, Some dst_size ->
+    let n = max 0 (min len (src_size - src.pos)) in
+    let nblocks = max 1 (blocks_of n) in
+    (* Page-cache work on both files, but only one in-kernel copy and
+       no per-block syscalls. *)
+    charge t Account.Os
+      ((t.arch.Arch.vfs_read_block + t.arch.Arch.vfs_write_block) * nblocks / 2);
+    let fresh = max 0 (dst.pos + n - dst_size) in
+    charge t Account.Xfer (Arch.zero_cycles t.arch fresh);
+    charge t Account.Xfer (Arch.copy_cycles t.arch n);
+    src.pos <- src.pos + n;
+    dst.pos <- dst.pos + n;
+    if dst.pos > dst_size then Tmpfs.set_file_size t.fs dst.path dst.pos;
+    n
+  | None, _ | _, None -> 0
+
+let seek t fd pos =
+  syscall t;
+  fd.pos <- max 0 pos
+
+let close t _fd = syscall t
+
+let stat t path =
+  syscall t;
+  charge t Account.Os t.arch.Arch.stat_op;
+  Tmpfs.stat t.fs path
+
+let mkdir t path =
+  syscall t;
+  charge t Account.Os t.arch.Arch.stat_op;
+  Tmpfs.mkdir t.fs path
+
+let unlink t path =
+  syscall t;
+  charge t Account.Os t.arch.Arch.stat_op;
+  Tmpfs.unlink t.fs path
+
+let readdir t path =
+  syscall t;
+  match Tmpfs.readdir t.fs path with
+  | None -> None
+  | Some entries ->
+    charge t Account.Os (120 * max 1 (List.length entries));
+    Some entries
+
+(* --- pipes ------------------------------------------------------------------ *)
+
+let pipe t =
+  syscall t;
+  { fill = 0; write_closed = false }
+
+let pipe_write t p len =
+  syscall t;
+  charge t Account.Os t.arch.Arch.pipe_op;
+  let room = pipe_capacity - p.fill in
+  if room = 0 then `Blocked
+  else begin
+    let n = min len room in
+    charge t Account.Xfer (Arch.copy_cycles t.arch n);
+    p.fill <- p.fill + n;
+    `Wrote n
+  end
+
+let pipe_read t p len =
+  syscall t;
+  charge t Account.Os t.arch.Arch.pipe_op;
+  if p.fill = 0 then if p.write_closed then `Eof else `Blocked
+  else begin
+    let n = min len p.fill in
+    charge t Account.Xfer (Arch.copy_cycles t.arch n);
+    p.fill <- p.fill - n;
+    `Read n
+  end
+
+let pipe_close_write t p =
+  syscall t;
+  p.write_closed <- true

@@ -1,0 +1,93 @@
+(** The Linux baseline: a calibrated, sequential cost model of Linux
+    3.18 on one simulated core.
+
+    The paper's comparison is single-core by construction — the
+    Cadence simulator supports one PE under Linux, and M3 is forced
+    not to exploit parallelism (§5.1) — so Linux is modeled as a
+    sequential accumulator of cycles, split into the same App/Os/Xfer
+    categories as the M3 accounts. The per-operation costs are the
+    ones the paper measured (see {!Arch}); [cache_ideal] gives the
+    Lx-$ variant with all cache misses removed.
+
+    Time-sharing (cat+tr, Fig. 7) is modeled with explicit pipes and
+    context switches: a pipe write that fills the buffer and a read
+    from an empty pipe report [`Blocked], and the driver — playing the
+    scheduler — switches to the peer. *)
+
+type t
+
+val create : ?cache_ideal:bool -> Arch.t -> t
+
+val arch : t -> Arch.t
+val fs : t -> Tmpfs.t
+
+(** Total simulated cycles so far. *)
+val cycles : t -> int
+
+val account : t -> M3_sim.Account.t
+
+(** [charge t cat n] books [n] cycles directly (used by replayers). *)
+val charge : t -> M3_sim.Account.category -> int -> unit
+
+(** [compute t n] models application computation. *)
+val compute : t -> int -> unit
+
+(** {1 Processes} *)
+
+(** [fork t] charges process duplication. *)
+val fork : t -> unit
+
+(** [exec t] charges program loading. *)
+val exec : t -> unit
+
+(** [context_switch t] charges the direct cost plus (unless Lx-$) the
+    indirect cache/TLB refill. *)
+val context_switch : t -> unit
+
+(** {1 Files (tmpfs)} *)
+
+type fd
+
+(** [open_file t path ~create ~trunc] — returns [None] on a missing
+    path (without [create]). *)
+val open_file : t -> string -> create:bool -> trunc:bool -> fd option
+
+(** [read t fd len] returns the bytes actually read (0 at EOF),
+    charging syscall + page-cache + memcpy costs per 4 KiB block. *)
+val read : t -> fd -> int -> int
+
+(** [write t fd len] extends the file as needed; Linux zeroes every
+    freshly allocated block before the application may fill it. *)
+val write : t -> fd -> int -> int
+
+(** [sendfile t ~dst ~src len] copies inside the kernel: one syscall
+    for the whole transfer, one copy per block, no user-space
+    round-trip (tar/untar use this, §5.6). Returns bytes moved. *)
+val sendfile : t -> dst:fd -> src:fd -> int -> int
+
+val seek : t -> fd -> int -> unit
+val close : t -> fd -> unit
+
+val stat : t -> string -> Tmpfs.stat option
+val mkdir : t -> string -> bool
+val unlink : t -> string -> bool
+
+(** [readdir t path] charges getdents and returns the entries. *)
+val readdir : t -> string -> string list option
+
+(** {1 Pipes} *)
+
+type pipe
+
+(** [pipe t] — 64 KiB buffer, like Linux. *)
+val pipe : t -> pipe
+
+(** [pipe_write t p len] returns the bytes accepted; [`Blocked] when
+    the buffer is full. *)
+val pipe_write : t -> pipe -> int -> [ `Wrote of int | `Blocked ]
+
+(** [pipe_read t p len] returns bytes read, [`Eof] when the write end
+    is closed and the buffer drained, [`Blocked] when empty. *)
+val pipe_read : t -> pipe -> int -> [ `Read of int | `Eof | `Blocked ]
+
+val pipe_close_write : t -> pipe -> unit

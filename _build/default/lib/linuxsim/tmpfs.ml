@@ -1,0 +1,81 @@
+type node =
+  | Dir of (string, node) Hashtbl.t
+  | File of { mutable size : int }
+
+type t = { root : (string, node) Hashtbl.t }
+
+type stat = {
+  st_size : int;
+  st_is_dir : bool;
+  st_depth : int;
+}
+
+let create () = { root = Hashtbl.create 16 }
+
+let split path = List.filter (fun c -> c <> "") (String.split_on_char '/' path)
+
+let rec walk dir = function
+  | [] -> Some (Dir dir)
+  | name :: rest -> (
+    match Hashtbl.find_opt dir name with
+    | Some (Dir d) -> walk d rest
+    | Some (File _ as f) -> if rest = [] then Some f else None
+    | None -> None)
+
+let find t path = walk t.root (split path)
+
+let find_parent t path =
+  match List.rev (split path) with
+  | [] -> None
+  | name :: rev_dirs -> (
+    match walk t.root (List.rev rev_dirs) with
+    | Some (Dir d) -> Some (d, name)
+    | Some (File _) | None -> None)
+
+let create_node t path node =
+  match find_parent t path with
+  | Some (dir, name) when not (Hashtbl.mem dir name) ->
+    Hashtbl.add dir name node;
+    true
+  | Some _ | None -> false
+
+let create_file t path = create_node t path (File { size = 0 })
+
+let mkdir t path = create_node t path (Dir (Hashtbl.create 8))
+
+let unlink t path =
+  match find_parent t path with
+  | None -> false
+  | Some (dir, name) -> (
+    match Hashtbl.find_opt dir name with
+    | Some (File _) ->
+      Hashtbl.remove dir name;
+      true
+    | Some (Dir d) when Hashtbl.length d = 0 ->
+      Hashtbl.remove dir name;
+      true
+    | Some (Dir _) | None -> false)
+
+let stat t path =
+  let depth = List.length (split path) in
+  match find t path with
+  | Some (File f) -> Some { st_size = f.size; st_is_dir = false; st_depth = depth }
+  | Some (Dir d) ->
+    Some { st_size = Hashtbl.length d; st_is_dir = true; st_depth = depth }
+  | None -> None
+
+let file_size t path =
+  match find t path with Some (File f) -> Some f.size | Some (Dir _) | None -> None
+
+let set_file_size t path size =
+  match find t path with
+  | Some (File f) -> f.size <- size
+  | Some (Dir _) | None -> ()
+
+let readdir t path =
+  match find t path with
+  | Some (Dir d) ->
+    Some (List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) d []))
+  | Some (File _) | None -> None
+
+let exists t path = find t path <> None

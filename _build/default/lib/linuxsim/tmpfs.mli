@@ -1,0 +1,36 @@
+(** Minimal tmpfs model for the Linux baseline: a path tree that
+    tracks file sizes and directory contents. Content bytes are not
+    materialized — the Linux side of the comparison only needs sizes
+    and structure; data costs come from the copy model in {!Machine}. *)
+
+type t
+
+type stat = {
+  st_size : int;
+  st_is_dir : bool;
+  (** path components traversed — proportional to lookup cost *)
+  st_depth : int;
+}
+
+val create : unit -> t
+
+(** [create_file t path] creates an empty regular file.
+    Returns [false] when the parent is missing or the name exists. *)
+val create_file : t -> string -> bool
+
+val mkdir : t -> string -> bool
+
+(** [unlink t path] removes a file or empty directory. *)
+val unlink : t -> string -> bool
+
+val stat : t -> string -> stat option
+
+val file_size : t -> string -> int option
+
+val set_file_size : t -> string -> int -> unit
+
+(** [readdir t path] lists entry names. *)
+val readdir : t -> string -> string list option
+
+(** [exists t path] *)
+val exists : t -> string -> bool

@@ -1,0 +1,1 @@
+lib/mem/store.ml: Bytes Char Int32 Printf String

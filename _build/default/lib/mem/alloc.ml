@@ -1,0 +1,69 @@
+(* Free list kept sorted by address; allocation is first-fit with an
+   alignment gap split, freeing coalesces with both neighbours. *)
+
+type region = { addr : int; size : int }
+
+type t = {
+  base : int;
+  total : int;
+  mutable free_list : region list; (* sorted by addr, non-overlapping *)
+  mutable live : (int * int) list; (* allocated (addr, size), unsorted *)
+}
+
+let create ~base ~size =
+  if size <= 0 then invalid_arg "Alloc.create: size must be positive";
+  { base; total = size; free_list = [ { addr = base; size } ]; live = [] }
+
+let align_up v a = (v + a - 1) land lnot (a - 1)
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let alloc ?(align = 8) t ~size =
+  if size <= 0 then invalid_arg "Alloc.alloc: size must be positive";
+  if not (is_power_of_two align) then
+    invalid_arg "Alloc.alloc: align must be a power of two";
+  let rec find acc = function
+    | [] -> None
+    | region :: rest ->
+      let start = align_up region.addr align in
+      let gap = start - region.addr in
+      if gap + size <= region.size then begin
+        let before =
+          if gap > 0 then [ { addr = region.addr; size = gap } ] else []
+        in
+        let after_size = region.size - gap - size in
+        let after =
+          if after_size > 0 then [ { addr = start + size; size = after_size } ]
+          else []
+        in
+        t.free_list <- List.rev_append acc (before @ after @ rest);
+        t.live <- (start, size) :: t.live;
+        Some start
+      end
+      else find (region :: acc) rest
+  in
+  find [] t.free_list
+
+let free t ~addr ~size =
+  if not (List.mem (addr, size) t.live) then
+    invalid_arg
+      (Printf.sprintf "Alloc.free: region (%d, %d) is not allocated" addr size);
+  t.live <- List.filter (fun r -> r <> (addr, size)) t.live;
+  let rec insert = function
+    | [] -> [ { addr; size } ]
+    | region :: rest when addr < region.addr -> { addr; size } :: region :: rest
+    | region :: rest -> region :: insert rest
+  in
+  let rec coalesce = function
+    | a :: b :: rest when a.addr + a.size = b.addr ->
+      coalesce ({ addr = a.addr; size = a.size + b.size } :: rest)
+    | a :: rest -> a :: coalesce rest
+    | [] -> []
+  in
+  t.free_list <- coalesce (insert t.free_list)
+
+let avail t = List.fold_left (fun acc r -> acc + r.size) 0 t.free_list
+
+let largest_hole t = List.fold_left (fun acc r -> max acc r.size) 0 t.free_list
+
+let allocated t = List.sort compare t.live

@@ -1,0 +1,31 @@
+(** First-fit region allocator over an address range.
+
+    The M3 kernel owns all PE-external memory and hands out contiguous
+    DRAM regions to applications and to m3fs; this allocator is that
+    bookkeeping. *)
+
+type t
+
+(** [create ~base ~size] manages the byte range [base, base + size). *)
+val create : base:int -> size:int -> t
+
+(** [alloc t ~size ~align] returns the base address of a fresh region,
+    or [None] if no contiguous hole fits. [align] must be a power of
+    two (default 8). *)
+val alloc : ?align:int -> t -> size:int -> int option
+
+(** [free t ~addr ~size] returns a region allocated earlier; adjacent
+    free regions coalesce.
+    @raise Invalid_argument if the region is not currently allocated
+    exactly as given. *)
+val free : t -> addr:int -> size:int -> unit
+
+(** [avail t] is the total number of free bytes. *)
+val avail : t -> int
+
+(** [largest_hole t] is the size of the largest allocatable region. *)
+val largest_hole : t -> int
+
+(** [allocated t] is the list of live regions as [(addr, size)],
+    ordered by address; meant for tests and debugging. *)
+val allocated : t -> (int * int) list

@@ -1,0 +1,25 @@
+type t = int
+
+let none = 0
+let r = 1
+let w = 2
+let x = 4
+let rw = r lor w
+let rwx = r lor w lor x
+
+let union a b = a lor b
+let inter a b = a land b
+
+let can_read t = t land r <> 0
+let can_write t = t land w <> 0
+let can_exec t = t land x <> 0
+
+let subset a ~of_ = a land lnot of_ = 0
+
+let equal (a : t) b = a = b
+
+let pp ppf t =
+  Format.fprintf ppf "%c%c%c"
+    (if can_read t then 'r' else '-')
+    (if can_write t then 'w' else '-')
+    (if can_exec t then 'x' else '-')

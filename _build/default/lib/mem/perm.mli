@@ -1,0 +1,27 @@
+(** Access permissions carried by memory endpoints and capabilities. *)
+
+type t
+
+val none : t
+val r : t
+val w : t
+val x : t
+val rw : t
+val rwx : t
+
+(** [union a b] grants everything either grants. *)
+val union : t -> t -> t
+
+(** [inter a b] grants only what both grant; used when deriving a
+    capability, which can never widen permissions. *)
+val inter : t -> t -> t
+
+val can_read : t -> bool
+val can_write : t -> bool
+val can_exec : t -> bool
+
+(** [subset a ~of_] is true when every right in [a] is also in [of_]. *)
+val subset : t -> of_:t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

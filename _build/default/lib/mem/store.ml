@@ -1,0 +1,71 @@
+type t = {
+  name : string;
+  data : Bytes.t;
+}
+
+exception Fault of string
+
+let create ~name ~size =
+  if size <= 0 then invalid_arg "Store.create: size must be positive";
+  { name; data = Bytes.make size '\000' }
+
+let name t = t.name
+
+let size t = Bytes.length t.data
+
+let check t ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > Bytes.length t.data then
+    raise
+      (Fault
+         (Printf.sprintf "%s: access [%d, %d) outside [0, %d)" t.name addr
+            (addr + len) (Bytes.length t.data)))
+
+let read_u8 t ~addr =
+  check t ~addr ~len:1;
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let write_u8 t ~addr v =
+  check t ~addr ~len:1;
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xff))
+
+let read_u32 t ~addr =
+  check t ~addr ~len:4;
+  Int32.to_int (Bytes.get_int32_le t.data addr) land 0xffffffff
+
+let write_u32 t ~addr v =
+  check t ~addr ~len:4;
+  Bytes.set_int32_le t.data addr (Int32.of_int v)
+
+let read_i64 t ~addr =
+  check t ~addr ~len:8;
+  Bytes.get_int64_le t.data addr
+
+let write_i64 t ~addr v =
+  check t ~addr ~len:8;
+  Bytes.set_int64_le t.data addr v
+
+let read_bytes t ~addr ~len =
+  check t ~addr ~len;
+  Bytes.sub t.data addr len
+
+let write_bytes t ~addr src ~pos ~len =
+  check t ~addr ~len;
+  if pos < 0 || len < 0 || pos + len > Bytes.length src then
+    raise (Fault (Printf.sprintf "%s: bad source slice" t.name));
+  Bytes.blit src pos t.data addr len
+
+let blit ~src ~src_addr ~dst ~dst_addr ~len =
+  check src ~addr:src_addr ~len;
+  check dst ~addr:dst_addr ~len;
+  Bytes.blit src.data src_addr dst.data dst_addr len
+
+let fill t ~addr ~len c =
+  check t ~addr ~len;
+  Bytes.fill t.data addr len c
+
+let read_string t ~addr ~len =
+  check t ~addr ~len;
+  Bytes.sub_string t.data addr len
+
+let write_string t ~addr s =
+  write_bytes t ~addr (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

@@ -1,0 +1,1 @@
+lib/noc/fabric.ml: Hashtbl List M3_sim Topology

@@ -1,0 +1,1 @@
+lib/noc/fabric.mli: M3_sim Topology

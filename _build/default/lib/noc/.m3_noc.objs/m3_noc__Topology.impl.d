@@ -1,0 +1,1 @@
+lib/noc/topology.ml: List Printf

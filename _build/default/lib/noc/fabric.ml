@@ -1,0 +1,159 @@
+module Engine = M3_sim.Engine
+
+type link = {
+  mutable free_at : int;
+  mutable busy : int;
+}
+
+type mode =
+  [ `Packet
+  | `Wormhole
+  ]
+
+type config = {
+  hop_latency : int;
+  bytes_per_cycle : int;
+  max_packet : int;
+  mode : mode;
+}
+
+let default_config =
+  { hop_latency = 3; bytes_per_cycle = 8; max_packet = 1024; mode = `Packet }
+
+(* Per-packet header: route / flow-control information on the wire. *)
+let packet_header_bytes = 8
+
+type t = {
+  engine : Engine.t;
+  topology : Topology.t;
+  config : config;
+  links : (int * int, link) Hashtbl.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let create engine topology ~config =
+  if config.hop_latency < 0 || config.bytes_per_cycle <= 0
+     || config.max_packet <= 0
+  then invalid_arg "Fabric.create: bad config";
+  {
+    engine;
+    topology;
+    config;
+    links = Hashtbl.create 64;
+    packets = 0;
+    bytes = 0;
+  }
+
+let topology t = t.topology
+let engine t = t.engine
+let config t = t.config
+
+let link t key =
+  match Hashtbl.find_opt t.links key with
+  | Some l -> l
+  | None ->
+    let l = { free_at = 0; busy = 0 } in
+    Hashtbl.add t.links key l;
+    l
+
+let serialization t bytes =
+  max 1 ((bytes + t.config.bytes_per_cycle - 1) / t.config.bytes_per_cycle)
+
+(* Packet switching: claims each link of the route in order, respecting
+   current occupancy, and returns the arrival time of its tail. *)
+let send_packet_store_forward t ~route ~bytes ~depart =
+  let ser = serialization t (bytes + packet_header_bytes) in
+  let head = ref depart in
+  List.iter
+    (fun hop ->
+      let l = link t hop in
+      let enter = max (!head + t.config.hop_latency) l.free_at in
+      l.free_at <- enter + ser;
+      l.busy <- l.busy + ser;
+      head := enter)
+    route;
+  !head + ser
+
+(* Wormhole switching: the head acquires links hop by hop (stalling on
+   busy ones); every link of the route is then held until the tail has
+   drained through the last link — a blocked worm keeps its upstream
+   links busy. This slightly over-holds upstream links of a stalled
+   worm (by at most hops x hop_latency), a conservative approximation
+   of zero-buffer flit backpressure. *)
+let send_packet_wormhole t ~route ~bytes ~depart =
+  let flits = serialization t (bytes + packet_header_bytes) in
+  let head = ref depart in
+  let acquired = ref [] in
+  List.iter
+    (fun hop ->
+      let l = link t hop in
+      let enter = max (!head + t.config.hop_latency) l.free_at in
+      acquired := l :: !acquired;
+      head := enter)
+    route;
+  let tail_done = !head + flits in
+  List.iter
+    (fun l ->
+      l.busy <- l.busy + (tail_done - max l.free_at depart);
+      l.free_at <- tail_done)
+    !acquired;
+  tail_done
+
+let send_packet t ~route ~bytes ~depart =
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + bytes;
+  match t.config.mode with
+  | `Packet -> send_packet_store_forward t ~route ~bytes ~depart
+  | `Wormhole -> send_packet_wormhole t ~route ~bytes ~depart
+
+let transfer t ~src ~dst ~bytes ~on_deliver =
+  if bytes < 0 then invalid_arg "Fabric.transfer: negative size";
+  let now = Engine.now t.engine in
+  if src = dst then Engine.schedule t.engine ~delay:1 on_deliver
+  else begin
+    let route = Topology.route t.topology ~src ~dst in
+    let remaining = ref bytes and depart = ref now and arrival = ref now in
+    (* A zero-byte message still occupies one header packet. *)
+    let continue = ref true in
+    while !continue do
+      let chunk = min !remaining t.config.max_packet in
+      let arrive = send_packet t ~route ~bytes:chunk ~depart:!depart in
+      arrival := max !arrival arrive;
+      (* Next packet can leave as soon as this one has fully entered
+         the first link (pipelining across packets). *)
+      depart := !depart + serialization t (chunk + packet_header_bytes);
+      remaining := !remaining - chunk;
+      if !remaining <= 0 then continue := false
+    done;
+    Engine.schedule_at t.engine ~time:!arrival on_deliver
+  end
+
+let pure_latency t ~src ~dst ~bytes =
+  if src = dst then 1
+  else begin
+    let hops = Topology.hops t.topology ~src ~dst in
+    let packets =
+      max 1 ((bytes + t.config.max_packet - 1) / t.config.max_packet)
+    in
+    let last_chunk =
+      if bytes = 0 then 0
+      else
+        let rem = bytes mod t.config.max_packet in
+        if rem = 0 then t.config.max_packet else rem
+    in
+    (* All packets but the last stream back-to-back through the first
+       link; the last packet then crosses the whole path. *)
+    let full = serialization t (t.config.max_packet + packet_header_bytes) in
+    ((packets - 1) * full)
+    + (hops * t.config.hop_latency)
+    + serialization t (last_chunk + packet_header_bytes)
+  end
+
+let packets_sent t = t.packets
+let bytes_sent t = t.bytes
+
+let link_busy_cycles t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some l -> l.busy
+  | None -> 0

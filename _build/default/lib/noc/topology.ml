@@ -1,0 +1,51 @@
+type t = { cols : int; rows : int }
+
+let create ~cols ~rows =
+  if cols <= 0 || rows <= 0 then
+    invalid_arg "Topology.create: dimensions must be positive";
+  { cols; rows }
+
+let for_nodes n =
+  if n <= 0 then invalid_arg "Topology.for_nodes: need at least one node";
+  let cols = int_of_float (ceil (sqrt (float_of_int n))) in
+  let rows = (n + cols - 1) / cols in
+  { cols; rows }
+
+let cols t = t.cols
+let rows t = t.rows
+let node_count t = t.cols * t.rows
+
+let check t id =
+  if id < 0 || id >= node_count t then
+    invalid_arg (Printf.sprintf "Topology: node %d out of range" id)
+
+let coords t id =
+  check t id;
+  (id mod t.cols, id / t.cols)
+
+let node_at t ~x ~y =
+  if x < 0 || x >= t.cols || y < 0 || y >= t.rows then
+    invalid_arg "Topology.node_at: out of range";
+  (y * t.cols) + x
+
+let route t ~src ~dst =
+  check t src;
+  check t dst;
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  let step v target = if v < target then v + 1 else v - 1 in
+  let rec walk_x x acc =
+    if x = dx then walk_y x sy acc
+    else
+      let x' = step x dx in
+      walk_x x' ((node_at t ~x ~y:sy, node_at t ~x:x' ~y:sy) :: acc)
+  and walk_y x y acc =
+    if y = dy then List.rev acc
+    else
+      let y' = step y dy in
+      walk_y x y' ((node_at t ~x ~y, node_at t ~x ~y:y') :: acc)
+  in
+  walk_x sx []
+
+let hops t ~src ~dst =
+  let sx, sy = coords t src and dx, dy = coords t dst in
+  abs (sx - dx) + abs (sy - dy)

@@ -1,0 +1,48 @@
+type t = {
+  mutable now : int;
+  mutable processed : int;
+  queue : (unit -> unit) Heap.t;
+}
+
+let create () = { now = 0; processed = 0; queue = Heap.create () }
+
+let now t = t.now
+
+let schedule_at t ~time f =
+  if time < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %d is in the past (now %d)"
+         time t.now);
+  Heap.push t.queue ~key:time f
+
+let schedule t ~delay f =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now + delay) f
+
+let step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some (time, f) ->
+    t.now <- time;
+    t.processed <- t.processed + 1;
+    f ();
+    true
+
+let run t =
+  while step t do
+    ()
+  done;
+  t.now
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue do
+    match Heap.min_key t.queue with
+    | Some key when key <= time -> ignore (step t)
+    | Some _ | None -> continue := false
+  done;
+  if t.now < time then t.now <- time
+
+let pending t = Heap.length t.queue
+
+let processed t = t.processed

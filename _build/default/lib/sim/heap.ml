@@ -1,0 +1,72 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let is_empty h = h.size = 0
+
+let length h = h.size
+
+(* [before a b]: does entry [a] come out of the heap before [b]? *)
+let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h entry =
+  let capacity = Array.length h.data in
+  if h.size = capacity then begin
+    let capacity' = if capacity = 0 then 64 else capacity * 2 in
+    let data' = Array.make capacity' entry in
+    Array.blit h.data 0 data' 0 h.size;
+    h.data <- data'
+  end
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before h.data.(i) h.data.(parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < h.size && before h.data.(left) h.data.(!smallest) then
+    smallest := left;
+  if right < h.size && before h.data.(right) h.data.(!smallest) then
+    smallest := right;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let push h ~key value =
+  let entry = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let min_key h = if h.size = 0 then None else Some h.data.(0).key
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      sift_down h 0
+    end;
+    Some (top.key, top.value)
+  end

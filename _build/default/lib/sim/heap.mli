@@ -1,0 +1,25 @@
+(** Array-based binary min-heap, specialized for the event queue.
+
+    Elements are ordered by an integer key; ties are broken by insertion
+    order so that events scheduled for the same cycle run FIFO. *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [is_empty h] is true iff [h] holds no element. *)
+val is_empty : 'a t -> bool
+
+(** [length h] is the number of elements currently in [h]. *)
+val length : 'a t -> int
+
+(** [push h ~key v] inserts [v] with priority [key]. *)
+val push : 'a t -> key:int -> 'a -> unit
+
+(** [min_key h] is the smallest key, or [None] when empty. *)
+val min_key : 'a t -> int option
+
+(** [pop h] removes and returns the element with the smallest key
+    (FIFO among equal keys), or [None] when empty. *)
+val pop : 'a t -> (int * 'a) option

@@ -1,0 +1,35 @@
+type t = {
+  mutable count : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+}
+
+let create () =
+  { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+
+(* Welford's online algorithm. *)
+let add t x =
+  t.count <- t.count + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.count);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x
+
+let count t = t.count
+
+let mean t = if t.count = 0 then 0.0 else t.mean
+
+let stddev t =
+  if t.count < 2 then 0.0 else sqrt (t.m2 /. float_of_int (t.count - 1))
+
+let min t = t.min
+
+let max t = t.max
+
+let of_list xs =
+  let t = create () in
+  List.iter (add t) xs;
+  t

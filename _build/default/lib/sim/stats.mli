@@ -1,0 +1,20 @@
+(** Small numeric summaries used by benchmark reporting. *)
+
+type t
+
+val create : unit -> t
+
+(** [add t x] records one observation. *)
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+
+(** Sample standard deviation (0 for fewer than two observations). *)
+val stddev : t -> float
+
+val min : t -> float
+val max : t -> float
+
+(** [of_list xs] summarizes a list of observations. *)
+val of_list : float list -> t

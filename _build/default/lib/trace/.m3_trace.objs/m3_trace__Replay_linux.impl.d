@@ -1,0 +1,1 @@
+lib/trace/replay_linux.ml: Array List M3 M3_linux Option Trace

@@ -1,0 +1,1 @@
+lib/trace/replay_linux.mli: M3 M3_linux Trace

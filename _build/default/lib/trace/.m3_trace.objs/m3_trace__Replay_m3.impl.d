@@ -1,0 +1,1 @@
+lib/trace/replay_m3.ml: Array M3 M3_sim Trace

@@ -1,0 +1,1 @@
+lib/trace/replay_m3.mli: M3 Trace

@@ -1,0 +1,1 @@
+lib/trace/workloads.ml: List M3 M3_sim Printf String Trace

@@ -1,0 +1,9 @@
+(** Replays a syscall trace on M3 through libm3 (the paper's
+    replay program, §5.6). Must run inside an application VPE with the
+    filesystem mounted at "/". Computation ops burn the same cycles as
+    on Linux; [T_sendfile] becomes a read/write loop since M3 needs no
+    in-kernel copy path. *)
+
+(** [run env ?buf_size trace] — [buf_size] is the transfer buffer in
+    the SPM (4 KiB like the Linux runs by default). *)
+val run : M3.Env.t -> ?buf_size:int -> Trace.t -> (unit, M3.Errno.t) result

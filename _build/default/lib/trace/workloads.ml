@@ -1,0 +1,195 @@
+module Rng = M3_sim.Rng
+
+type spec = {
+  sp_name : string;
+  sp_seeds : M3.M3fs.seed list;
+  sp_trace : Trace.t;
+}
+
+let file_seed ?(bpe = 256) path size =
+  { M3.M3fs.sd_path = path; sd_size = size; sd_blocks_per_extent = bpe;
+    sd_dir = false }
+
+let dir_seed path =
+  { M3.M3fs.sd_path = path; sd_size = 0; sd_blocks_per_extent = 1; sd_dir = true }
+
+(* Files of 60–500 KiB until ≈1.2 MiB total (§5.6). *)
+let member_sizes ~seed =
+  let rng = Rng.create ~seed:(seed lxor 0x7a12) in
+  let total_target = 1_200 * 1024 in
+  let rec pick acc total =
+    if total >= total_target then List.rev acc
+    else begin
+      let size = Rng.int_in rng ~lo:(60 * 1024) ~hi:(500 * 1024) in
+      let size = min size (total_target - total + (60 * 1024)) in
+      pick (size :: acc) (total + size)
+    end
+  in
+  pick [] 0
+
+let tar_header = 512
+
+let tar ~seed =
+  let sizes = member_sizes ~seed in
+  let inputs = List.mapi (fun i size -> (Printf.sprintf "/in/f%d" i, size)) sizes in
+  let seeds =
+    dir_seed "/in" :: List.map (fun (path, size) -> file_seed path size) inputs
+  in
+  let archive = 0 and member = 1 in
+  let trace =
+    Trace.T_open
+      { slot = archive; path = "/out.tar"; write = true; create = true;
+        trunc = true }
+    :: List.concat_map
+         (fun (path, size) ->
+           [
+             Trace.T_stat { path };
+             Trace.T_open { slot = member; path; write = false; create = false;
+                            trunc = false };
+             Trace.T_write { slot = archive; len = tar_header };
+             Trace.T_sendfile { dst = archive; src = member; len = size };
+             Trace.T_close { slot = member };
+           ])
+         inputs
+    @ [ Trace.T_write { slot = archive; len = 2 * tar_header };
+        Trace.T_close { slot = archive } ]
+  in
+  { sp_name = "tar"; sp_seeds = seeds; sp_trace = trace }
+
+let untar ~seed =
+  let sizes = member_sizes ~seed in
+  let archive_size =
+    List.fold_left (fun acc s -> acc + tar_header + s) (2 * tar_header) sizes
+  in
+  let seeds = [ dir_seed "/out"; file_seed "/in.tar" archive_size ] in
+  let archive = 0 and member = 1 in
+  let trace =
+    Trace.T_open
+      { slot = archive; path = "/in.tar"; write = false; create = false;
+        trunc = false }
+    :: List.concat
+         (List.mapi
+            (fun i size ->
+              [
+                Trace.T_read { slot = archive; len = tar_header };
+                Trace.T_open
+                  { slot = member; path = Printf.sprintf "/out/f%d" i;
+                    write = true; create = true; trunc = true };
+                Trace.T_sendfile { dst = member; src = archive; len = size };
+                Trace.T_close { slot = member };
+              ])
+            sizes)
+    @ [ Trace.T_close { slot = archive } ]
+  in
+  { sp_name = "untar"; sp_seeds = seeds; sp_trace = trace }
+
+(* A 40-item tree: the root, 7 subdirectories, and 4 + 4 files in the
+   root plus 3–4 per subdirectory. *)
+let find_tree =
+  let dirs = List.init 7 (fun d -> Printf.sprintf "/tree/d%d" d) in
+  let root_files = List.init 4 (fun i -> Printf.sprintf "/tree/r%d" i) in
+  let sub_files =
+    List.concat_map
+      (fun d -> List.init 4 (fun i -> Printf.sprintf "%s/x%d" d i))
+      dirs
+  in
+  (dirs, root_files, sub_files)
+
+let find ~seed =
+  ignore seed;
+  let dirs, root_files, sub_files = find_tree in
+  let seeds =
+    dir_seed "/tree"
+    :: (List.map dir_seed dirs
+       @ List.map (fun p -> file_seed p 1024) (root_files @ sub_files))
+  in
+  (* find: getdents per directory, stat per entry, a line of output
+     formatting per item. *)
+  let per_item path =
+    [ Trace.T_stat { path }; Trace.T_compute 220 ]
+  in
+  let trace =
+    [ Trace.T_stat { path = "/tree" };
+      Trace.T_readdir { path = "/tree"; entries = 11 } ]
+    @ List.concat_map per_item (root_files @ dirs)
+    @ List.concat_map
+        (fun d ->
+          Trace.T_readdir { path = d; entries = 4 }
+          :: List.concat_map per_item
+               (List.filter
+                  (fun f ->
+                    String.length f > String.length d
+                    && String.sub f 0 (String.length d) = d)
+                  sub_files))
+        dirs
+  in
+  { sp_name = "find"; sp_seeds = seeds; sp_trace = trace }
+
+(* sqlite: create table, 8 inserts, select. Rollback-journal I/O per
+   transaction; computation (parsing, B-tree, formatting) dominates. *)
+let sqlite ~seed =
+  ignore seed;
+  let db = 0 and journal = 1 in
+  let page = 1024 in
+  let transaction body_writes =
+    [
+      Trace.T_open
+        { slot = journal; path = "/test.db-journal"; write = true;
+          create = true; trunc = true };
+      Trace.T_write { slot = journal; len = 512 + page };
+      Trace.T_compute 18_000;
+    ]
+    @ List.concat_map
+        (fun pos ->
+          [ Trace.T_seek { slot = db; pos }; Trace.T_write { slot = db; len = page } ])
+        body_writes
+    @ [
+        Trace.T_close { slot = journal };
+        Trace.T_unlink "/test.db-journal";
+      ]
+  in
+  let trace =
+    [
+      Trace.T_open
+        { slot = db; path = "/test.db"; write = true; create = true;
+          trunc = false };
+      Trace.T_read { slot = db; len = 100 };
+      Trace.T_compute 140_000; (* parse schema, prepare statements *)
+    ]
+    (* CREATE TABLE *)
+    @ transaction [ 0; page ]
+    (* 8 INSERTs, one transaction each *)
+    @ List.concat
+        (List.init 8 (fun i ->
+             Trace.T_compute 130_000 :: transaction [ 0; (1 + (i mod 2)) * page ]))
+    (* SELECT: read pages, format rows *)
+    @ [
+        Trace.T_seek { slot = db; pos = 0 };
+        Trace.T_read { slot = db; len = page };
+        Trace.T_read { slot = db; len = page };
+        Trace.T_compute 700_000;
+        Trace.T_close { slot = db };
+      ]
+  in
+  { sp_name = "sqlite"; sp_seeds = []; sp_trace = trace }
+
+let prefixed ~prefix spec =
+  let re path = prefix ^ path in
+  let seeds =
+    dir_seed prefix
+    :: List.map
+         (fun sd -> { sd with M3.M3fs.sd_path = re sd.M3.M3fs.sd_path })
+         spec.sp_seeds
+  in
+  let op = function
+    | Trace.T_open o -> Trace.T_open { o with path = re o.path }
+    | Trace.T_stat { path } -> Trace.T_stat { path = re path }
+    | Trace.T_mkdir path -> Trace.T_mkdir (re path)
+    | Trace.T_unlink path -> Trace.T_unlink (re path)
+    | Trace.T_readdir r -> Trace.T_readdir { r with path = re r.path }
+    | (Trace.T_read _ | Trace.T_write _ | Trace.T_sendfile _ | Trace.T_seek _
+      | Trace.T_close _ | Trace.T_compute _) as other -> other
+  in
+  { spec with sp_seeds = seeds; sp_trace = List.map op spec.sp_trace }
+
+let all ~seed = [ tar ~seed; untar ~seed; find ~seed; sqlite ~seed ]

@@ -1,0 +1,36 @@
+(** The application-level workloads of §5.6, generated synthetically
+    from the paper's parameters:
+
+    - {b tar}: archives files of 60–500 KiB, 1.2 MiB in total
+      (sendfile-based on Linux);
+    - {b untar}: unpacks the same archive;
+    - {b find}: walks a directory tree of 40 items, stat'ing each;
+    - {b sqlite}: creates a table, inserts 8 rows, selects them —
+      computation dominates.
+
+    Each workload is a pair of (a) the filesystem content that must
+    exist before the run and (b) the syscall trace to replay. Both the
+    M3 and the Linux replayer consume the same spec. *)
+
+type spec = {
+  sp_name : string;
+  sp_seeds : M3.M3fs.seed list;
+  sp_trace : Trace.t;
+}
+
+val tar : seed:int -> spec
+val untar : seed:int -> spec
+val find : seed:int -> spec
+val sqlite : seed:int -> spec
+
+(** All four, in the paper's order. *)
+val all : seed:int -> spec list
+
+(** [prefixed ~prefix spec] rewrites every path under [prefix] (e.g.
+    ["/i3"]) so that multiple instances can run against one filesystem
+    (Fig. 6). A directory seed for [prefix] is prepended. *)
+val prefixed : prefix:string -> spec -> spec
+
+(** [member_sizes ~seed] — the file sizes (bytes) of the tar/untar
+    member set for a given generator seed; exposed for tests. *)
+val member_sizes : seed:int -> int list

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_ablations Test_dtu Test_dtu2 Test_fs_image Test_harness Test_hw Test_irq Test_linux Test_mem Test_noc Test_os Test_os2 Test_os3 Test_sim Test_trace

@@ -1,0 +1,1 @@
+test/test_ablations.ml: Ablations Alcotest Lazy List M3_harness Printf

@@ -1,0 +1,1 @@
+test/test_dtu.ml: Alcotest Bytes List M3_dtu M3_hw M3_mem M3_sim Printf QCheck QCheck_alcotest

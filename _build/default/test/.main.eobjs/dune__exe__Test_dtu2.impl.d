@@ -1,0 +1,1 @@
+test/test_dtu2.ml: Alcotest Bytes List M3 M3_dtu M3_hw M3_mem M3_sim

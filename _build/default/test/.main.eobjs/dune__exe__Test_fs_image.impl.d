@@ -1,0 +1,1 @@
+test/test_fs_image.ml: Alcotest Gen List M3 M3_mem M3_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Ablations Alcotest Fig3 Fig4 Fig5 Fig6 Fig7 Lazy List M3_harness Printf Runner Tables

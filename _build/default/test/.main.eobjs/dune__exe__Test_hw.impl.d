@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Array Bytes Float Int64 List M3_dtu M3_hw M3_mem M3_sim Option Printf QCheck QCheck_alcotest

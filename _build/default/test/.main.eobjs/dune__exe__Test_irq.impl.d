@@ -1,0 +1,1 @@
+test/test_irq.ml: Alcotest Bytes Int64 List M3 M3_dtu M3_hw M3_sim Printf

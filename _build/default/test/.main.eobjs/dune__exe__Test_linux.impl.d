@@ -1,0 +1,1 @@
+test/test_linux.ml: Alcotest List M3 M3_linux M3_sim M3_trace Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest List M3_noc M3_sim Printf QCheck QCheck_alcotest

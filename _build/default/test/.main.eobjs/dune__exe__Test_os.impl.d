@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Array Buffer Bytes Char M3 M3_dtu M3_hw M3_mem M3_sim Option Printf String

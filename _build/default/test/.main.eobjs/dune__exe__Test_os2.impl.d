@@ -1,0 +1,1 @@
+test/test_os2.ml: Alcotest Array Bytes Gen List M3 M3_hw M3_mem M3_sim Option Printf QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_os3.ml: Alcotest Array Char List M3 M3_hw M3_mem M3_sim Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Bytes List M3_sim Printf QCheck QCheck_alcotest String

@@ -1,0 +1,292 @@
+(* Direct tests of the m3fs on-DRAM image: extents, bitmaps,
+   directories, truncation — checked with fsck after every mutation
+   sequence, including randomized ones. *)
+
+module Store = M3_mem.Store
+module Rng = M3_sim.Rng
+module Fs = M3.Fs_image
+module Errno = M3.Errno
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok = Errno.ok_exn
+
+let make ?(size = 2 * 1024 * 1024) ?(block_size = 1024) () =
+  let store = Store.create ~name:"img" ~size:(size + 64) in
+  Fs.format store ~base:64 ~size ~block_size ~inode_count:128
+
+let assert_fsck fs =
+  match Fs.fsck fs with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fsck: %s" e
+
+let test_format_and_root () =
+  let fs = make () in
+  check_bool "root is dir" true (Fs.is_dir fs ~ino:0);
+  check_int "root empty" 0 (Fs.file_size fs ~ino:0);
+  check_bool "plenty of free blocks" true (Fs.free_blocks fs > 1900);
+  assert_fsck fs
+
+let test_create_lookup_unlink () =
+  let fs = make () in
+  let ino = ok (Fs.create_file fs "/a") in
+  let found, _scanned = ok (Fs.lookup fs "/a") in
+  check_int "lookup finds it" ino found;
+  check_bool "missing is not found" true
+    (match Fs.lookup fs "/b" with Error Errno.E_not_found -> true | _ -> false);
+  ok (Fs.unlink fs "/a");
+  check_bool "gone after unlink" true
+    (match Fs.lookup fs "/a" with Error Errno.E_not_found -> true | _ -> false);
+  assert_fsck fs
+
+let test_nested_dirs () =
+  let fs = make () in
+  ok (Fs.mkdir fs "/d1");
+  ok (Fs.mkdir fs "/d1/d2");
+  let ino = ok (Fs.create_file fs "/d1/d2/f") in
+  let found, scanned = ok (Fs.lookup fs "/d1/d2/f") in
+  check_int "deep lookup" ino found;
+  check_bool "scanned some dirents" true (scanned >= 3);
+  check_bool "unlink non-empty dir fails" true
+    (match Fs.unlink fs "/d1" with Error Errno.E_not_empty -> true | _ -> false);
+  check_bool "file in file fails" true
+    (match Fs.create_file fs "/d1/d2/f/x" with
+    | Error Errno.E_not_dir -> true
+    | _ -> false);
+  assert_fsck fs
+
+let test_extent_append_and_layout () =
+  let fs = make () in
+  let ino = ok (Fs.create_file fs "/f") in
+  let e1 = ok (Fs.append_extent fs ~ino ~blocks:4) in
+  let e2 = ok (Fs.append_extent fs ~ino ~blocks:4) in
+  check_int "first extent full" 4 e1.Fs.e_len;
+  (* A fresh image is unfragmented: consecutive appends are adjacent. *)
+  check_int "contiguous allocation" (e1.Fs.e_start + 4) e2.Fs.e_start;
+  check_int "two extents" 2 (List.length (Fs.extents fs ~ino));
+  assert_fsck fs
+
+let test_indirect_extents () =
+  let fs = make () in
+  let ino = ok (Fs.create_file fs "/many") in
+  (* More than the 8 direct slots: goes through the indirect block. *)
+  for _ = 1 to 20 do
+    ignore (ok (Fs.append_extent fs ~ino ~blocks:2))
+  done;
+  check_int "20 extents recorded" 20 (List.length (Fs.extents fs ~ino));
+  Fs.set_file_size fs ~ino (20 * 2 * 1024);
+  assert_fsck fs;
+  (* Truncating back below the direct limit frees the tail. *)
+  let free_before = Fs.free_blocks fs in
+  Fs.truncate fs ~ino ~size:(3 * 2 * 1024);
+  check_int "3 extents left" 3 (List.length (Fs.extents fs ~ino));
+  check_bool "blocks freed" true (Fs.free_blocks fs > free_before);
+  assert_fsck fs
+
+let test_truncate_partial_extent () =
+  let fs = make () in
+  let ino = ok (Fs.create_file fs "/t") in
+  ignore (ok (Fs.append_extent fs ~ino ~blocks:10));
+  Fs.set_file_size fs ~ino (10 * 1024);
+  (* Keep 3.5 blocks worth: extent must shrink to 4 blocks. *)
+  Fs.truncate fs ~ino ~size:(3 * 1024 + 512);
+  (match Fs.extents fs ~ino with
+  | [ e ] -> check_int "extent shrunk to 4 blocks" 4 e.Fs.e_len
+  | l -> Alcotest.failf "expected 1 extent, got %d" (List.length l));
+  check_int "size set" (3 * 1024 + 512) (Fs.file_size fs ~ino);
+  assert_fsck fs
+
+let test_truncate_to_zero () =
+  let fs = make () in
+  (* First file in the root allocates a directory block; create before
+     taking the baseline. *)
+  let ino = ok (Fs.create_file fs "/z") in
+  let free0 = Fs.free_blocks fs in
+  ignore (ok (Fs.append_extent fs ~ino ~blocks:32));
+  Fs.truncate fs ~ino ~size:0;
+  check_int "no extents" 0 (List.length (Fs.extents fs ~ino));
+  check_int "all blocks back" free0 (Fs.free_blocks fs);
+  assert_fsck fs
+
+let test_allocator_fragmentation_fallback () =
+  (* Tiny image: after exhausting contiguous space, the allocator
+     returns the largest remaining run instead of failing outright. *)
+  let fs = make ~size:(96 * 1024) () in
+  let ino = ok (Fs.create_file fs "/big") in
+  let total_free = Fs.free_blocks fs in
+  let e1 = ok (Fs.append_extent fs ~ino ~blocks:(total_free - 5)) in
+  check_int "got the big run" (total_free - 5) e1.Fs.e_len;
+  let e2 = ok (Fs.append_extent fs ~ino ~blocks:100) in
+  check_bool "partial run returned" true (e2.Fs.e_len <= 5 && e2.Fs.e_len > 0);
+  Fs.set_file_size fs ~ino ((e1.Fs.e_len + e2.Fs.e_len) * 1024);
+  assert_fsck fs
+
+let test_seed_file_fragmentation () =
+  let fs = make () in
+  let rng = Rng.create ~seed:9 in
+  let ino = ok (Fs.seed_file fs ~path:"/seed" ~size:(64 * 1024) ~blocks_per_extent:16 ~rng) in
+  check_int "size" (64 * 1024) (Fs.file_size fs ~ino);
+  check_int "64 blocks in 16-block extents" 4 (List.length (Fs.extents fs ~ino));
+  List.iter (fun e -> check_int "extent size" 16 e.Fs.e_len) (Fs.extents fs ~ino);
+  assert_fsck fs
+
+let test_seed_file_content_deterministic () =
+  let content fs ino =
+    let e = List.hd (Fs.extents fs ~ino) in
+    (e.Fs.e_start, e.Fs.e_len)
+  in
+  let fs1 = make () in
+  let i1 =
+    ok
+      (Fs.seed_file fs1 ~path:"/s" ~size:4096 ~blocks_per_extent:8
+         ~rng:(Rng.create ~seed:4))
+  in
+  let fs2 = make () in
+  let i2 =
+    ok
+      (Fs.seed_file fs2 ~path:"/s" ~size:4096 ~blocks_per_extent:8
+         ~rng:(Rng.create ~seed:4))
+  in
+  check_bool "same layout for same seed" true (content fs1 i1 = content fs2 i2)
+
+let test_readdir_order_and_growth () =
+  let fs = make () in
+  (* More entries than fit one directory block (32 per block). *)
+  for i = 0 to 49 do
+    ignore (ok (Fs.create_file fs (Printf.sprintf "/f%02d" i)))
+  done;
+  let rec collect i acc =
+    match Fs.readdir fs ~dir:0 ~index:i with
+    | Some (name, _) -> collect (i + 1) (name :: acc)
+    | None -> List.rev acc
+  in
+  let names = collect 0 [] in
+  check_int "all 50 entries" 50 (List.length names);
+  check_bool "insertion order preserved" true
+    (names = List.init 50 (Printf.sprintf "f%02d"));
+  assert_fsck fs
+
+let test_dirent_slot_reuse () =
+  let fs = make () in
+  ignore (ok (Fs.create_file fs "/a"));
+  ignore (ok (Fs.create_file fs "/b"));
+  ok (Fs.unlink fs "/a");
+  ignore (ok (Fs.create_file fs "/c"));
+  (* /c reuses /a's slot: directory stays one block. *)
+  let st = ok (Fs.stat fs ~ino:0) in
+  check_int "root has one extent" 1 st.Fs.extents;
+  assert_fsck fs
+
+let test_stat_fields () =
+  let fs = make () in
+  let ino = ok (Fs.create_file fs "/s") in
+  ignore (ok (Fs.append_extent fs ~ino ~blocks:3));
+  Fs.set_file_size fs ~ino 2500;
+  let st = ok (Fs.stat fs ~ino) in
+  check_int "size" 2500 st.Fs.size;
+  check_bool "not dir" false st.Fs.is_dir;
+  check_int "extents" 1 st.Fs.extents;
+  check_bool "bad ino" true
+    (match Fs.stat fs ~ino:77 with Error Errno.E_not_found -> true | _ -> false)
+
+(* Random interleavings of create/append/truncate/unlink keep the image
+   consistent. *)
+let qcheck_random_ops_fsck =
+  QCheck.Test.make ~name:"random op sequences keep fsck clean" ~count:60
+    QCheck.(pair (int_bound 1000) (list_of_size Gen.(int_range 10 60) (int_bound 5)))
+    (fun (seed, script) ->
+      let fs = make ~size:(512 * 1024) () in
+      let rng = Rng.create ~seed in
+      let live = ref [] in
+      let fresh_name =
+        let n = ref 0 in
+        fun () ->
+          incr n;
+          Printf.sprintf "/r%d" !n
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+            (* create *)
+            let name = fresh_name () in
+            (match Fs.create_file fs name with
+            | Ok ino -> live := (name, ino) :: !live
+            | Error _ -> ())
+          | 1 | 2 -> (
+            (* append to a random live file *)
+            match !live with
+            | [] -> ()
+            | files ->
+              let name, ino = List.nth files (Rng.int rng (List.length files)) in
+              ignore name;
+              (match Fs.append_extent fs ~ino ~blocks:(1 + Rng.int rng 32) with
+              | Ok e ->
+                Fs.set_file_size fs ~ino
+                  (Fs.file_size fs ~ino + (e.Fs.e_len * 1024))
+              | Error _ -> ()))
+          | 3 -> (
+            (* truncate *)
+            match !live with
+            | [] -> ()
+            | files ->
+              let _, ino = List.nth files (Rng.int rng (List.length files)) in
+              let size = Fs.file_size fs ~ino in
+              if size > 0 then Fs.truncate fs ~ino ~size:(Rng.int rng size))
+          | _ -> (
+            (* unlink *)
+            match !live with
+            | [] -> ()
+            | (name, _) :: rest ->
+              (match Fs.unlink fs name with Ok () -> () | Error _ -> ());
+              live := rest))
+        script;
+      Fs.fsck fs = Ok ())
+
+let qcheck_truncate_frees_exactly =
+  QCheck.Test.make ~name:"truncate frees exactly the tail blocks" ~count:100
+    QCheck.(pair (int_range 1 64) (int_range 0 64))
+    (fun (blocks, keep_blocks) ->
+      QCheck.assume (keep_blocks <= blocks);
+      let fs = make () in
+      let ino = ok (Fs.create_file fs "/q") in
+      let free0 = Fs.free_blocks fs in
+      ignore (ok (Fs.append_extent fs ~ino ~blocks));
+      Fs.set_file_size fs ~ino (blocks * 1024);
+      Fs.truncate fs ~ino ~size:(keep_blocks * 1024);
+      Fs.free_blocks fs = free0 - keep_blocks && Fs.fsck fs = Ok ())
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "fs_image.basics",
+      [
+        tc "format and root" test_format_and_root;
+        tc "create/lookup/unlink" test_create_lookup_unlink;
+        tc "nested directories" test_nested_dirs;
+        tc "stat fields" test_stat_fields;
+      ] );
+    ( "fs_image.extents",
+      [
+        tc "append and contiguous layout" test_extent_append_and_layout;
+        tc "indirect extent table" test_indirect_extents;
+        tc "truncate shrinks partial extent" test_truncate_partial_extent;
+        tc "truncate to zero frees all" test_truncate_to_zero;
+        tc "fragmented allocator falls back" test_allocator_fragmentation_fallback;
+        QCheck_alcotest.to_alcotest qcheck_truncate_frees_exactly;
+      ] );
+    ( "fs_image.seeding",
+      [
+        tc "seed file fragmentation control" test_seed_file_fragmentation;
+        tc "seed determinism" test_seed_file_content_deterministic;
+      ] );
+    ( "fs_image.directories",
+      [
+        tc "readdir order across blocks" test_readdir_order_and_growth;
+        tc "dirent slot reuse" test_dirent_slot_reuse;
+      ] );
+    ( "fs_image.random",
+      [ QCheck_alcotest.to_alcotest qcheck_random_ops_fsck ] );
+  ]

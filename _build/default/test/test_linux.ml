@@ -1,0 +1,237 @@
+(* Tests of the Linux baseline cost model: calibrated constants,
+   per-operation accounting, tmpfs semantics, pipes, Lx-$ behavior. *)
+
+module Account = M3_sim.Account
+module Arch = M3_linux.Arch
+module Tmpfs = M3_linux.Tmpfs
+module Machine = M3_linux.Machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- arch ------------------------------------------------------------- *)
+
+let test_arch_constants () =
+  check_int "xtensa syscall (paper §5.3)" 410 Arch.xtensa.Arch.syscall;
+  check_int "arm syscall (paper §5.2)" 320 Arch.arm_a15.Arch.syscall;
+  (* Without a prefetcher, memcpy is far below the DTU's 8 B/cycle. *)
+  check_bool "xtensa memcpy < 8 B/c" true (Arch.xtensa.Arch.memcpy_bpc_x10 < 80);
+  check_bool "arm memcpy faster than xtensa" true
+    (Arch.arm_a15.Arch.memcpy_bpc_x10 > Arch.xtensa.Arch.memcpy_bpc_x10)
+
+let test_cache_ideal () =
+  let ideal = Arch.cache_ideal Arch.xtensa in
+  check_int "copies reach 8 B/cycle" 80 ideal.Arch.memcpy_bpc_x10;
+  check_int "no refill after switch" 0 ideal.Arch.ctx_refill;
+  check_int "syscall cost unchanged" Arch.xtensa.Arch.syscall ideal.Arch.syscall
+
+let test_copy_zero_cycles () =
+  check_int "4 KiB at 1.6 B/c" 2560 (Arch.copy_cycles Arch.xtensa 4096);
+  check_int "4 KiB at 8 B/c" 512
+    (Arch.copy_cycles (Arch.cache_ideal Arch.xtensa) 4096);
+  check_int "zero matches copy speed" 2560 (Arch.zero_cycles Arch.xtensa 4096)
+
+(* --- tmpfs ------------------------------------------------------------- *)
+
+let test_tmpfs_tree () =
+  let fs = Tmpfs.create () in
+  check_bool "mkdir" true (Tmpfs.mkdir fs "/d");
+  check_bool "create" true (Tmpfs.create_file fs "/d/f");
+  check_bool "no duplicate" false (Tmpfs.create_file fs "/d/f");
+  check_bool "no orphan parent" false (Tmpfs.create_file fs "/nope/f");
+  Tmpfs.set_file_size fs "/d/f" 12345;
+  check_int "size" 12345 (Option.get (Tmpfs.file_size fs "/d/f"));
+  let st = Option.get (Tmpfs.stat fs "/d/f") in
+  check_int "stat size" 12345 st.Tmpfs.st_size;
+  check_int "depth" 2 st.Tmpfs.st_depth;
+  check_bool "dir stat" true (Option.get (Tmpfs.stat fs "/d")).Tmpfs.st_is_dir;
+  Alcotest.(check (list string)) "readdir" [ "f" ]
+    (Option.get (Tmpfs.readdir fs "/d"));
+  check_bool "unlink non-empty dir" false (Tmpfs.unlink fs "/d");
+  check_bool "unlink file" true (Tmpfs.unlink fs "/d/f");
+  check_bool "unlink empty dir" true (Tmpfs.unlink fs "/d");
+  check_bool "gone" false (Tmpfs.exists fs "/d")
+
+(* --- machine costs -------------------------------------------------------- *)
+
+let test_read_cost_decomposition () =
+  (* One 4 KiB read: syscall + per-block VFS overhead as Os, one
+     memcpy as Xfer (§5.4). *)
+  let m = Machine.create Arch.xtensa in
+  ignore (Tmpfs.create_file (Machine.fs m) "/f");
+  Tmpfs.set_file_size (Machine.fs m) "/f" 8192;
+  let fd = Option.get (Machine.open_file m "/f" ~create:false ~trunc:false) in
+  let os0 = Account.get (Machine.account m) Account.Os in
+  let x0 = Account.get (Machine.account m) Account.Xfer in
+  check_int "read returns block" 4096 (Machine.read m fd 4096);
+  let os = Account.get (Machine.account m) Account.Os - os0 in
+  let xfer = Account.get (Machine.account m) Account.Xfer - x0 in
+  check_int "os share" (410 + Arch.xtensa.Arch.vfs_read_block) os;
+  check_int "xfer share" (Arch.copy_cycles Arch.xtensa 4096) xfer
+
+let test_write_zeroes_fresh_blocks () =
+  let m = Machine.create Arch.xtensa in
+  let fd = Option.get (Machine.open_file m "/new" ~create:true ~trunc:true) in
+  let x0 = Account.get (Machine.account m) Account.Xfer in
+  ignore (Machine.write m fd 4096);
+  let first = Account.get (Machine.account m) Account.Xfer - x0 in
+  (* Overwriting the same block again: no zeroing the second time. *)
+  Machine.seek m fd 0;
+  let x1 = Account.get (Machine.account m) Account.Xfer in
+  ignore (Machine.write m fd 4096);
+  let second = Account.get (Machine.account m) Account.Xfer - x1 in
+  check_int "fresh write = copy + zero" (2 * Arch.copy_cycles Arch.xtensa 4096)
+    first;
+  check_int "overwrite = copy only" (Arch.copy_cycles Arch.xtensa 4096) second
+
+let test_sendfile_cheaper_than_loop () =
+  let seed =
+    [
+      { M3.M3fs.sd_path = "/src"; sd_size = 256 * 1024;
+        sd_blocks_per_extent = 256; sd_dir = false };
+    ]
+  in
+  let run f =
+    let m = Machine.create Arch.xtensa in
+    M3_trace.Replay_linux.apply_seeds m seed;
+    f m;
+    Machine.cycles m
+  in
+  let loop =
+    run (fun m ->
+        let src = Option.get (Machine.open_file m "/src" ~create:false ~trunc:false) in
+        let dst = Option.get (Machine.open_file m "/dst" ~create:true ~trunc:true) in
+        let rec pump () =
+          let n = Machine.read m src 4096 in
+          if n > 0 then begin
+            ignore (Machine.write m dst n);
+            pump ()
+          end
+        in
+        pump ())
+  in
+  let sendfile =
+    run (fun m ->
+        let src = Option.get (Machine.open_file m "/src" ~create:false ~trunc:false) in
+        let dst = Option.get (Machine.open_file m "/dst" ~create:true ~trunc:true) in
+        ignore (Machine.sendfile m ~dst ~src (256 * 1024)))
+  in
+  check_bool
+    (Printf.sprintf "sendfile (%d) well below read/write loop (%d)" sendfile loop)
+    true
+    (sendfile * 3 < loop * 2)
+
+let test_read_stops_at_eof () =
+  let m = Machine.create Arch.xtensa in
+  ignore (Tmpfs.create_file (Machine.fs m) "/f");
+  Tmpfs.set_file_size (Machine.fs m) "/f" 1000;
+  let fd = Option.get (Machine.open_file m "/f" ~create:false ~trunc:false) in
+  check_int "partial read" 1000 (Machine.read m fd 4096);
+  check_int "eof" 0 (Machine.read m fd 4096)
+
+let test_pipe_blocking_and_eof () =
+  let m = Machine.create Arch.xtensa in
+  let p = Machine.pipe m in
+  (* Fill to capacity (64 KiB). *)
+  let rec fill total =
+    match Machine.pipe_write m p 4096 with
+    | `Wrote n -> fill (total + n)
+    | `Blocked -> total
+  in
+  check_int "capacity" (64 * 1024) (fill 0);
+  check_bool "read empty blocks later" true
+    (match Machine.pipe_read m p 4096 with `Read 4096 -> true | _ -> false);
+  (* Now there is room again. *)
+  check_bool "unblocked" true
+    (match Machine.pipe_write m p 4096 with `Wrote 4096 -> true | _ -> false);
+  Machine.pipe_close_write m p;
+  let rec drain () =
+    match Machine.pipe_read m p 8192 with
+    | `Read _ -> drain ()
+    | `Eof -> true
+    | `Blocked -> false
+  in
+  check_bool "eof after close" true (drain ())
+
+let test_context_switch_cache_ideal_cheaper () =
+  let cost cache_ideal =
+    let m = Machine.create ~cache_ideal Arch.xtensa in
+    Machine.context_switch m;
+    Machine.cycles m
+  in
+  check_int "lx pays refill"
+    (Arch.xtensa.Arch.ctx_switch + Arch.xtensa.Arch.ctx_refill)
+    (cost false);
+  check_int "lx-$ does not" Arch.xtensa.Arch.ctx_switch (cost true)
+
+let test_fork_exec_costs () =
+  let m = Machine.create Arch.xtensa in
+  Machine.fork m;
+  check_int "fork = syscall + cost" (410 + Arch.xtensa.Arch.fork)
+    (Machine.cycles m);
+  Machine.exec m;
+  check_int "exec adds its cost"
+    ((2 * 410) + Arch.xtensa.Arch.fork + Arch.xtensa.Arch.exec)
+    (Machine.cycles m)
+
+let qcheck_cycles_monotone =
+  QCheck.Test.make ~name:"machine cycles are monotone" ~count:100
+    QCheck.(list (int_bound 4))
+    (fun ops ->
+      let m = Machine.create Arch.xtensa in
+      let fd = Option.get (Machine.open_file m "/f" ~create:true ~trunc:true) in
+      let prev = ref (Machine.cycles m) in
+      List.for_all
+        (fun op ->
+          (match op with
+          | 0 -> ignore (Machine.write m fd 1024)
+          | 1 -> ignore (Machine.read m fd 1024)
+          | 2 -> ignore (Machine.stat m "/f")
+          | 3 -> Machine.context_switch m
+          | _ -> Machine.compute m 17);
+          let now = Machine.cycles m in
+          let ok = now > !prev in
+          prev := now;
+          ok)
+        ops)
+
+let qcheck_account_sums_to_cycles =
+  QCheck.Test.make ~name:"account categories sum to machine cycles" ~count:100
+    QCheck.(list (int_bound 3))
+    (fun ops ->
+      let m = Machine.create Arch.xtensa in
+      let fd = Option.get (Machine.open_file m "/f" ~create:true ~trunc:true) in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 -> ignore (Machine.write m fd 2048)
+          | 1 -> ignore (Machine.read m fd 2048)
+          | 2 -> Machine.compute m 100
+          | _ -> ignore (Machine.mkdir m "/d"))
+        ops;
+      Account.total (Machine.account m) = Machine.cycles m)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "linux.arch",
+      [
+        tc "paper constants" test_arch_constants;
+        tc "Lx-$ removes miss costs" test_cache_ideal;
+        tc "copy/zero cycle math" test_copy_zero_cycles;
+      ] );
+    ("linux.tmpfs", [ tc "tree semantics" test_tmpfs_tree ]);
+    ( "linux.machine",
+      [
+        tc "read cost decomposition (§5.4)" test_read_cost_decomposition;
+        tc "write zeroes only fresh blocks" test_write_zeroes_fresh_blocks;
+        tc "sendfile beats read/write loop" test_sendfile_cheaper_than_loop;
+        tc "read stops at EOF" test_read_stops_at_eof;
+        tc "pipe blocking and EOF" test_pipe_blocking_and_eof;
+        tc "context switch refill only on Lx" test_context_switch_cache_ideal_cheaper;
+        tc "fork/exec costs" test_fork_exec_costs;
+        QCheck_alcotest.to_alcotest qcheck_cycles_monotone;
+        QCheck_alcotest.to_alcotest qcheck_account_sums_to_cycles;
+      ] );
+  ]

@@ -1,0 +1,151 @@
+(* Tests for stores, permissions and the region allocator. *)
+
+module Store = M3_mem.Store
+module Perm = M3_mem.Perm
+module Alloc = M3_mem.Alloc
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- perm --- *)
+
+let test_perm_lattice () =
+  check_bool "r subset rw" true (Perm.subset Perm.r ~of_:Perm.rw);
+  check_bool "w subset rw" true (Perm.subset Perm.w ~of_:Perm.rw);
+  check_bool "rw not subset r" false (Perm.subset Perm.rw ~of_:Perm.r);
+  check_bool "none subset anything" true (Perm.subset Perm.none ~of_:Perm.none);
+  check_bool "inter narrows" true
+    (Perm.equal (Perm.inter Perm.rw Perm.r) Perm.r);
+  check_bool "union widens" true
+    (Perm.equal (Perm.union Perm.r Perm.w) Perm.rw);
+  check_bool "x" true (Perm.can_exec Perm.rwx);
+  check_bool "no x in rw" false (Perm.can_exec Perm.rw)
+
+(* --- store --- *)
+
+let test_store_scalar_roundtrip () =
+  let s = Store.create ~name:"t" ~size:64 in
+  Store.write_u8 s ~addr:0 0xAB;
+  check_int "u8" 0xAB (Store.read_u8 s ~addr:0);
+  Store.write_u32 s ~addr:4 0xDEADBEEF;
+  check_int "u32" 0xDEADBEEF (Store.read_u32 s ~addr:4);
+  Store.write_i64 s ~addr:8 (-123456789L);
+  Alcotest.(check int64) "i64" (-123456789L) (Store.read_i64 s ~addr:8)
+
+let test_store_bytes_and_strings () =
+  let s = Store.create ~name:"t" ~size:32 in
+  Store.write_string s ~addr:3 "hello";
+  Alcotest.(check string) "string" "hello" (Store.read_string s ~addr:3 ~len:5);
+  let b = Store.read_bytes s ~addr:3 ~len:5 in
+  Alcotest.(check string) "bytes" "hello" (Bytes.to_string b);
+  Store.fill s ~addr:3 ~len:5 '!';
+  Alcotest.(check string) "fill" "!!!!!" (Store.read_string s ~addr:3 ~len:5)
+
+let test_store_blit_between_stores () =
+  let a = Store.create ~name:"a" ~size:16 in
+  let b = Store.create ~name:"b" ~size:16 in
+  Store.write_string a ~addr:0 "0123456789abcdef";
+  Store.blit ~src:a ~src_addr:4 ~dst:b ~dst_addr:8 ~len:4;
+  Alcotest.(check string) "blit" "4567" (Store.read_string b ~addr:8 ~len:4)
+
+let test_store_faults () =
+  let s = Store.create ~name:"f" ~size:8 in
+  let faults f = match f () with
+    | exception Store.Fault _ -> true
+    | _ -> false
+  in
+  check_bool "read past end" true (faults (fun () -> Store.read_u32 s ~addr:6));
+  check_bool "negative addr" true (faults (fun () -> Store.read_u8 s ~addr:(-1)));
+  check_bool "write past end" true
+    (faults (fun () -> Store.write_i64 s ~addr:4 0L));
+  check_bool "in-bounds ok" false (faults (fun () -> Store.read_u8 s ~addr:7))
+
+(* --- alloc --- *)
+
+let test_alloc_basic () =
+  let a = Alloc.create ~base:0x1000 ~size:0x1000 in
+  check_int "initially all free" 0x1000 (Alloc.avail a);
+  let r1 = Option.get (Alloc.alloc a ~size:256) in
+  let r2 = Option.get (Alloc.alloc a ~size:256) in
+  check_bool "disjoint" true (abs (r1 - r2) >= 256);
+  check_int "avail" (0x1000 - 512) (Alloc.avail a);
+  Alloc.free a ~addr:r1 ~size:256;
+  Alloc.free a ~addr:r2 ~size:256;
+  check_int "all back" 0x1000 (Alloc.avail a);
+  check_int "coalesced" 0x1000 (Alloc.largest_hole a)
+
+let test_alloc_alignment () =
+  let a = Alloc.create ~base:1 ~size:4096 in
+  let r = Option.get (Alloc.alloc a ~size:64 ~align:64) in
+  check_int "aligned" 0 (r mod 64)
+
+let test_alloc_exhaustion () =
+  let a = Alloc.create ~base:0 ~size:128 in
+  let r1 = Alloc.alloc a ~size:100 in
+  check_bool "first fits" true (r1 <> None);
+  check_bool "second does not" true (Alloc.alloc a ~size:100 = None);
+  Alloc.free a ~addr:(Option.get r1) ~size:100;
+  check_bool "fits again" true (Alloc.alloc a ~size:100 <> None)
+
+let test_alloc_double_free_rejected () =
+  let a = Alloc.create ~base:0 ~size:128 in
+  let r = Option.get (Alloc.alloc a ~size:32) in
+  Alloc.free a ~addr:r ~size:32;
+  check_bool "double free raises" true
+    (match Alloc.free a ~addr:r ~size:32 with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let qcheck_alloc_no_overlap =
+  QCheck.Test.make ~name:"allocations never overlap" ~count:200
+    QCheck.(list (int_range 1 64))
+    (fun sizes ->
+      let a = Alloc.create ~base:0 ~size:65536 in
+      let regions =
+        List.filter_map (fun size ->
+            Option.map (fun addr -> (addr, size)) (Alloc.alloc a ~size))
+          sizes
+      in
+      let sorted = List.sort compare regions in
+      let rec disjoint = function
+        | (a1, s1) :: ((a2, _) :: _ as rest) ->
+          a1 + s1 <= a2 && disjoint rest
+        | [ _ ] | [] -> true
+      in
+      disjoint sorted)
+
+let qcheck_alloc_free_restores =
+  QCheck.Test.make ~name:"free restores all bytes and coalesces" ~count:200
+    QCheck.(list (int_range 1 128))
+    (fun sizes ->
+      let a = Alloc.create ~base:64 ~size:8192 in
+      let regions =
+        List.filter_map (fun size ->
+            Option.map (fun addr -> (addr, size)) (Alloc.alloc a ~size))
+          sizes
+      in
+      List.iter (fun (addr, size) -> Alloc.free a ~addr ~size) regions;
+      Alloc.avail a = 8192 && Alloc.largest_hole a = 8192)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ("mem.perm", [ tc "permission lattice" test_perm_lattice ]);
+    ( "mem.store",
+      [
+        tc "scalar roundtrip" test_store_scalar_roundtrip;
+        tc "bytes and strings" test_store_bytes_and_strings;
+        tc "blit between stores" test_store_blit_between_stores;
+        tc "faults on out-of-bounds" test_store_faults;
+      ] );
+    ( "mem.alloc",
+      [
+        tc "basic alloc/free/coalesce" test_alloc_basic;
+        tc "alignment" test_alloc_alignment;
+        tc "exhaustion and reuse" test_alloc_exhaustion;
+        tc "double free rejected" test_alloc_double_free_rejected;
+        QCheck_alcotest.to_alcotest qcheck_alloc_no_overlap;
+        QCheck_alcotest.to_alcotest qcheck_alloc_free_restores;
+      ] );
+  ]

@@ -1,0 +1,181 @@
+(* Tests of the workload generators and the two trace replayers —
+   including an end-to-end check that replaying tar on M3 really
+   produces the archive in m3fs. *)
+
+module Engine = M3_sim.Engine
+module Trace = M3_trace.Trace
+module Workloads = M3_trace.Workloads
+module Machine = M3_linux.Machine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- generators ----------------------------------------------------------- *)
+
+let test_member_sizes_spec () =
+  (* §5.6: files between 60 and 500 KiB, 1.2 MiB in total. *)
+  List.iter
+    (fun seed ->
+      let sizes = Workloads.member_sizes ~seed in
+      List.iter
+        (fun s ->
+          check_bool "size in range" true (s >= 60 * 1024 && s <= 500 * 1024))
+        sizes;
+      let total = List.fold_left ( + ) 0 sizes in
+      check_bool
+        (Printf.sprintf "total ≈ 1.2 MiB (got %d)" total)
+        true
+        (total >= 1_200 * 1024 && total <= 1_200 * 1024 + 500 * 1024))
+    [ 1; 2; 42; 2016 ]
+
+let test_generators_deterministic () =
+  let t1 = (Workloads.tar ~seed:7).Workloads.sp_trace in
+  let t2 = (Workloads.tar ~seed:7).Workloads.sp_trace in
+  let t3 = (Workloads.tar ~seed:8).Workloads.sp_trace in
+  check_bool "same seed, same trace" true (t1 = t2);
+  check_bool "different seed, different trace" true (t1 <> t3)
+
+let test_find_has_40_items () =
+  let spec = Workloads.find ~seed:1 in
+  (* 1 root + 7 dirs + 4 root files + 28 sub files = 40 items. *)
+  check_int "40 items seeded" 40 (List.length spec.Workloads.sp_seeds);
+  let stats =
+    List.length
+      (List.filter
+         (function Trace.T_stat _ -> true | _ -> false)
+         spec.Workloads.sp_trace)
+  in
+  check_bool "one stat per item (minus dirs walked)" true (stats >= 39)
+
+let test_tar_moves_all_bytes () =
+  let spec = Workloads.tar ~seed:5 in
+  let summary = Trace.summarize spec.Workloads.sp_trace in
+  let input_total =
+    List.fold_left ( + ) 0 (Workloads.member_sizes ~seed:5)
+  in
+  check_bool "data moved >= input size" true (summary.Trace.n_data_bytes >= input_total);
+  check_bool "has meta ops" true (summary.Trace.n_meta > 10)
+
+let test_sqlite_compute_dominates () =
+  let spec = Workloads.sqlite ~seed:1 in
+  let summary = Trace.summarize spec.Workloads.sp_trace in
+  (* "computation makes up the majority of the execution time" (§5.6) *)
+  check_bool "compute >> data" true
+    (summary.Trace.n_compute > 10 * summary.Trace.n_data_bytes)
+
+let test_prefixed_rewrites_paths () =
+  let spec = Workloads.prefixed ~prefix:"/i3" (Workloads.tar ~seed:1) in
+  List.iter
+    (fun sd ->
+      let p = sd.M3.M3fs.sd_path in
+      check_bool "seed under prefix" true
+        (String.length p >= 3 && String.sub p 0 3 = "/i3"))
+    spec.Workloads.sp_seeds;
+  List.iter
+    (function
+      | Trace.T_open { path; _ } | Trace.T_stat { path } ->
+        check_bool "op under prefix" true (String.sub path 0 3 = "/i3")
+      | _ -> ())
+    spec.Workloads.sp_trace
+
+(* --- linux replay ------------------------------------------------------------ *)
+
+let test_replay_linux_runs_all () =
+  List.iter
+    (fun spec ->
+      let m = Machine.create M3_linux.Arch.xtensa in
+      M3_trace.Replay_linux.apply_seeds m spec.Workloads.sp_seeds;
+      M3_trace.Replay_linux.run m spec.Workloads.sp_trace;
+      check_bool
+        (spec.Workloads.sp_name ^ " consumed cycles")
+        true (Machine.cycles m > 1000))
+    (Workloads.all ~seed:3)
+
+let test_replay_linux_tar_produces_archive () =
+  let spec = Workloads.tar ~seed:3 in
+  let m = Machine.create M3_linux.Arch.xtensa in
+  M3_trace.Replay_linux.apply_seeds m spec.Workloads.sp_seeds;
+  M3_trace.Replay_linux.run m spec.Workloads.sp_trace;
+  let expect =
+    List.fold_left (fun acc s -> acc + 512 + s) 1024 (Workloads.member_sizes ~seed:3)
+  in
+  check_int "archive size"
+    expect
+    (Option.get (M3_linux.Tmpfs.file_size (Machine.fs m) "/out.tar"))
+
+(* --- m3 replay ------------------------------------------------------------------ *)
+
+let run_m3_replay spec =
+  let engine = Engine.create () in
+  let fs ~dram =
+    { (M3.M3fs.default_config ~dram) with seed = spec.Workloads.sp_seeds }
+  in
+  let sys = M3.Bootstrap.start ~fs engine in
+  let exit =
+    M3.Bootstrap.launch sys ~name:"replay" (fun env ->
+        M3.Errno.ok_exn (M3.Vfs.mount_root env);
+        match M3_trace.Replay_m3.run env spec.Workloads.sp_trace with
+        | Ok () -> 0
+        | Error e -> failwith (M3.Errno.to_string e))
+  in
+  ignore (Engine.run engine);
+  M3.Bootstrap.expect_exit sys exit
+
+let test_replay_m3_tar_produces_archive () =
+  let spec = Workloads.tar ~seed:3 in
+  run_m3_replay spec;
+  match M3.M3fs.current_image () with
+  | None -> Alcotest.fail "no image"
+  | Some fs ->
+    let ino, _ = M3.Errno.ok_exn (M3.Fs_image.lookup fs "/out.tar") in
+    let expect =
+      List.fold_left (fun acc s -> acc + 512 + s) 1024
+        (Workloads.member_sizes ~seed:3)
+    in
+    check_int "archive size in m3fs" expect (M3.Fs_image.file_size fs ~ino);
+    (match M3.Fs_image.fsck fs with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "fsck after tar: %s" e)
+
+let test_replay_m3_untar_creates_members () =
+  let spec = Workloads.untar ~seed:3 in
+  run_m3_replay spec;
+  match M3.M3fs.current_image () with
+  | None -> Alcotest.fail "no image"
+  | Some fs ->
+    List.iteri
+      (fun i size ->
+        let path = Printf.sprintf "/out/f%d" i in
+        let ino, _ = M3.Errno.ok_exn (M3.Fs_image.lookup fs path) in
+        check_int (path ^ " size") size (M3.Fs_image.file_size fs ~ino))
+      (Workloads.member_sizes ~seed:3)
+
+let test_replay_m3_find_and_sqlite () =
+  run_m3_replay (Workloads.find ~seed:3);
+  run_m3_replay (Workloads.sqlite ~seed:3)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "trace.generators",
+      [
+        tc "member sizes follow §5.6" test_member_sizes_spec;
+        tc "deterministic per seed" test_generators_deterministic;
+        tc "find tree has 40 items" test_find_has_40_items;
+        tc "tar moves all input bytes" test_tar_moves_all_bytes;
+        tc "sqlite is compute-bound" test_sqlite_compute_dominates;
+        tc "prefixed rewrites paths" test_prefixed_rewrites_paths;
+      ] );
+    ( "trace.replay_linux",
+      [
+        tc "all workloads replay" test_replay_linux_runs_all;
+        tc "tar produces the archive" test_replay_linux_tar_produces_archive;
+      ] );
+    ( "trace.replay_m3",
+      [
+        tc "tar produces the archive in m3fs" test_replay_m3_tar_produces_archive;
+        tc "untar creates all members" test_replay_m3_untar_creates_members;
+        tc "find and sqlite replay" test_replay_m3_find_and_sqlite;
+      ] );
+  ]
