@@ -166,6 +166,169 @@ let bechamel_tests =
     Test.make ~name:"t2/linux-create-model" (Staged.stage kernel_t2);
   ]
 
+(* --- machine-readable results (BENCH_results.json) --------------------- *)
+
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let jobj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let jfloat f = if Float.is_nan f then "null" else Printf.sprintf "%.6f" f
+
+let measure_json (m : Runner.measure) =
+  jobj
+    [
+      ("cycles", string_of_int m.Runner.m_cycles);
+      ("app", string_of_int m.Runner.m_app);
+      ("os", string_of_int m.Runner.m_os);
+      ("xfer", string_of_int m.Runner.m_xfer);
+    ]
+
+let bars_json (b : Fig3.bars) =
+  jobj
+    [
+      ("m3", measure_json b.Fig3.m3);
+      ("lx_ideal", measure_json b.Fig3.lx_ideal);
+      ("lx", measure_json b.Fig3.lx);
+    ]
+
+let experiments_json () =
+  let opt name f cell acc =
+    match !cell with Some v -> (name, f v) :: acc | None -> acc
+  in
+  []
+  |> opt "fig3"
+       (fun (t : Fig3.t) ->
+         jobj
+           [
+             ("syscall", bars_json t.Fig3.syscall);
+             ("read", bars_json t.Fig3.read);
+             ("write", bars_json t.Fig3.write);
+             ("pipe", bars_json t.Fig3.pipe);
+           ])
+       results_fig3
+  |> opt "fig4"
+       (fun points ->
+         jarr
+           (List.map
+              (fun (p : Fig4.point) ->
+                jobj
+                  [
+                    ( "blocks_per_extent",
+                      string_of_int p.Fig4.blocks_per_extent );
+                    ("read", measure_json p.Fig4.read);
+                  ])
+              points))
+       results_fig4
+  |> opt "fig5"
+       (fun rows ->
+         jarr
+           (List.map
+              (fun (r : Fig5.row) ->
+                jobj
+                  [
+                    ("name", jstr r.Fig5.name);
+                    ("m3", measure_json r.Fig5.m3);
+                    ("lx_ideal", measure_json r.Fig5.lx_ideal);
+                    ("lx", measure_json r.Fig5.lx);
+                  ])
+              rows))
+       results_fig5
+  |> opt "fig6"
+       (fun curves ->
+         jarr
+           (List.map
+              (fun (c : Fig6.curve) ->
+                jobj
+                  [
+                    ("bench", jstr c.Fig6.bench);
+                    ( "points",
+                      jarr
+                        (List.map
+                           (fun (p : Fig6.point) ->
+                             jobj
+                               [
+                                 ("instances", string_of_int p.Fig6.instances);
+                                 ("normalized", jfloat p.Fig6.normalized);
+                               ])
+                           c.Fig6.points) );
+                  ])
+              curves))
+       results_fig6
+  |> opt "fig7"
+       (fun (t : Fig7.t) ->
+         jobj
+           [
+             ("linux", measure_json t.Fig7.linux);
+             ("m3_software", measure_json t.Fig7.m3_software);
+             ("m3_accel", measure_json t.Fig7.m3_accel);
+           ])
+       results_fig7
+  |> opt "t1"
+       (fun (t : Tables.t1) ->
+         jobj
+           [
+             ("m3_total", string_of_int t.Tables.m3_total);
+             ("m3_xfer", string_of_int t.Tables.m3_xfer);
+             ("m3_other", string_of_int t.Tables.m3_other);
+             ("lx_total", string_of_int t.Tables.lx_total);
+           ])
+       results_t1
+  |> opt "t2"
+       (fun rows ->
+         jarr
+           (List.map
+              (fun (r : Tables.arch_row) ->
+                jobj
+                  [
+                    ("arch", jstr r.Tables.arch);
+                    ("syscall", string_of_int r.Tables.syscall);
+                    ("create_overhead", string_of_int r.Tables.create_overhead);
+                    ("copy_overhead", string_of_int r.Tables.copy_overhead);
+                  ])
+              rows))
+       results_t2
+  |> List.rev
+
+let write_results_json ~bechamel_rows path =
+  let fields =
+    [
+      ("schema", jstr "m3-repro-bench/1");
+      ("simulated", jobj (experiments_json ()));
+      ( "host_ms_per_run",
+        jobj
+          (List.map
+             (fun (name, ns) -> (name, jfloat (ns /. 1e6)))
+             (List.sort compare bechamel_rows)) );
+    ]
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (jobj fields);
+      output_char oc '\n');
+  Format.fprintf ppf "machine-readable results written to %s@." path
+
+(* --- bechamel ---------------------------------------------------------- *)
+
 let run_bechamel () =
   let open Bechamel in
   let open Toolkit in
@@ -201,7 +364,8 @@ let run_bechamel () =
   List.iter
     (fun (name, ns) ->
       Format.fprintf ppf "  %-40s %12.3f ms/run@." name (ns /. 1e6))
-    (List.sort compare rows)
+    (List.sort compare rows);
+  rows
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -224,4 +388,8 @@ let () =
     run_verdict ();
     line ()
   end;
-  if (not no_bechamel) && (wanted = [] || bechamel_only) then run_bechamel ()
+  let bechamel_rows =
+    if (not no_bechamel) && (wanted = [] || bechamel_only) then run_bechamel ()
+    else []
+  in
+  write_results_json ~bechamel_rows "BENCH_results.json"

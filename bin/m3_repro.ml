@@ -130,6 +130,56 @@ let demo_cmd =
   let doc = "Boot the system and exercise the filesystem once." in
   Cmd.v (Cmd.info "demo" ~doc) Term.(const demo $ verbose)
 
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let which =
+    let doc =
+      Printf.sprintf "Experiment to trace (any of %s)."
+        (String.concat ", " names)
+    in
+    Arg.(
+      required
+      & pos 0 (some (enum (List.map (fun n -> (n, n)) names))) None
+      & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "output" ]
+          ~doc:"Chrome trace-event JSON output path (chrome://tracing, Perfetto)."
+          ~docv:"FILE")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
+  in
+  let trace which out verbose =
+    setup_logs verbose;
+    let chrome = M3_obs.Chrome.create () in
+    let metrics = M3_obs.Metrics.create () in
+    (* One experiment boots several systems (M3 variants, scaling
+       points); each gets its own pid namespace in the trace. *)
+    M3_harness.Runner.observer :=
+      Some
+        (fun obs ->
+          M3_obs.Chrome.begin_run chrome;
+          M3_obs.Obs.attach obs (M3_obs.Chrome.sink chrome);
+          M3_obs.Obs.attach obs (M3_obs.Metrics.sink metrics));
+    Fun.protect
+      ~finally:(fun () -> M3_harness.Runner.observer := None)
+      (fun () ->
+        (List.assoc which experiments) ();
+        Format.fprintf ppf "@.");
+    M3_obs.Chrome.write_file chrome out;
+    M3_harness.Report.print_obs ppf metrics;
+    Format.fprintf ppf "trace written to %s@." out
+  in
+  let doc =
+    "Run one experiment with tracing on and export a Chrome trace."
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ which $ out $ verbose)
+
 (* --- stats ------------------------------------------------------------------ *)
 
 let stats_cmd =
@@ -185,4 +235,6 @@ let stats_cmd =
 let () =
   let doc = "M3 (ASPLOS'16) hardware/OS co-design reproduction" in
   let info = Cmd.info "m3_repro" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; platform_cmd; demo_cmd; stats_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; trace_cmd; platform_cmd; demo_cmd; stats_cmd ]))

@@ -9,8 +9,13 @@ type t = {
   kernel : Kernel.t;
 }
 
-let start ?platform_config ?fs ?(no_fs = false) engine =
+let start ?platform_config ?fs ?(no_fs = false) ?obs engine =
   let platform = Platform.create ?config:platform_config engine in
+  (* Install the bus before the kernel boots so bring-up traffic is
+     traced too. *)
+  Option.iter
+    (fun o -> M3_noc.Fabric.set_obs (Platform.fabric platform) o)
+    obs;
   let kernel = Kernel.create platform ~kernel_pe:0 in
   ignore (Kernel.boot kernel);
   (* Devices run their hardware behavior from reset. *)

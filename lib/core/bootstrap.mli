@@ -14,15 +14,18 @@ type t = {
   kernel : Kernel.t;
 }
 
-(** [start ?platform_config ?fs ?no_fs engine] builds the platform
+(** [start ?platform_config ?fs ?no_fs ?obs engine] builds the platform
     (kernel on PE 0), boots the kernel and, unless [no_fs], registers
     and launches m3fs with configuration [fs] (seed files etc.;
-    defaults to an empty 16 MiB filesystem). Nothing has executed yet —
-    the caller drives the engine. *)
+    defaults to an empty 16 MiB filesystem). [obs], if given, is
+    installed on the fabric before the kernel boots, so bring-up
+    traffic is observable too. Nothing has executed yet — the caller
+    drives the engine. *)
 val start :
   ?platform_config:M3_hw.Platform.config ->
   ?fs:(dram:M3_mem.Store.t -> M3fs.config) ->
   ?no_fs:bool ->
+  ?obs:M3_obs.Obs.t ->
   M3_sim.Engine.t ->
   t
 

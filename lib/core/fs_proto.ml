@@ -23,6 +23,14 @@ let op_of_int = function
   | 5 -> Some Fs_readdir
   | _ -> None
 
+let op_name = function
+  | Fs_open -> "open"
+  | Fs_close -> "close"
+  | Fs_stat -> "stat"
+  | Fs_mkdir -> "mkdir"
+  | Fs_unlink -> "unlink"
+  | Fs_readdir -> "readdir"
+
 type xop =
   | Fs_get_locs
   | Fs_append
@@ -33,6 +41,8 @@ let xop_of_int = function
   | 0 -> Some Fs_get_locs
   | 1 -> Some Fs_append
   | _ -> None
+
+let xop_name = function Fs_get_locs -> "get_locs" | Fs_append -> "append"
 
 let o_read = 1
 let o_write = 2

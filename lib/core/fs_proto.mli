@@ -18,6 +18,9 @@ type op =
 val op_to_int : op -> int
 val op_of_int : int -> op option
 
+(** Stable short name ("open", "stat", ...) for tracing and metrics. *)
+val op_name : op -> string
+
 (** Exchange (kernel channel) operations, encoded in exchange args. *)
 type xop =
   | Fs_get_locs  (** fid, first extent index, count → extents + caps *)
@@ -25,6 +28,9 @@ type xop =
 
 val xop_to_int : xop -> int
 val xop_of_int : int -> xop option
+
+(** Stable short name ("get_locs", "append") for tracing and metrics. *)
+val xop_name : xop -> string
 
 (** Open flags. *)
 

@@ -10,6 +10,8 @@ module Platform = M3_hw.Platform
 module Pe = M3_hw.Pe
 module Core_type = M3_hw.Core_type
 module Cost_model = M3_hw.Cost_model
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
 module W = Msgbuf.W
 module R = Msgbuf.R
 open Kdata
@@ -153,6 +155,9 @@ let do_kill_vpe t vpe ~code =
     vpe.v_state <- V_dead;
     if vpe.v_exit_code = None then vpe.v_exit_code <- Some code;
     Log.debug (fun m -> m "vpe%d (%s) exits with %d" vpe.v_id vpe.v_name code);
+    (let obs = M3_noc.Fabric.obs t.fabric in
+     if Obs.enabled obs then
+       Obs.emit obs (Event.Vpe_exit { vpe = vpe.v_id; pe = vpe.v_pe; code }));
     t.pe_owner.(vpe.v_pe) <- None;
     Pe.halt (Platform.pe t.platform vpe.v_pe);
     (match Dtu.ext_reset (kdtu t) ~target:vpe.v_pe with Ok () | Error _ -> ());
@@ -179,6 +184,9 @@ let create_vpe_internal t ~name ~core ~account =
     t.pe_owner.(Pe.id pe) <- Some id;
     Hashtbl.add t.vpes id vpe;
     Hashtbl.replace t.accounts id account;
+    (let obs = M3_noc.Fabric.obs t.fabric in
+     if Obs.enabled obs then
+       Obs.emit obs (Event.Vpe_create { vpe = id; pe = Pe.id pe; name }));
     (* Syscall channel: send EP to the kernel with the VPE id as
        unforgeable label, one credit; reply buffer in the child SPM. *)
     dtu_exn
@@ -250,6 +258,12 @@ let start_program t vpe ~prog ~args =
         ~name:vpe.v_name ~image_bytes:program.prog_image_bytes ~args ~account
     in
     vpe.v_state <- V_running;
+    (* vpe.v_name, not the registered program name: the latter carries a
+       process-global launch counter and would break determinism. *)
+    (let obs = M3_noc.Fabric.obs t.fabric in
+     if Obs.enabled obs then
+       Obs.emit obs
+         (Event.Vpe_start { vpe = vpe.v_id; pe = vpe.v_pe; name = vpe.v_name }));
     ignore
       (Pe.spawn
          (Platform.pe t.platform vpe.v_pe)

@@ -1,6 +1,9 @@
 module Account = M3_sim.Account
 module Endpoint = M3_dtu.Endpoint
 module Cost_model = M3_hw.Cost_model
+module Fabric = M3_noc.Fabric
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
 module W = Msgbuf.W
 module R = Msgbuf.R
 
@@ -343,9 +346,41 @@ let main config (env : Env.t) =
   in
   Log.debug (fun m ->
       m "%s up: %d blocks" config.srv_name (Fs_image.total_blocks fs));
+  let obs = Fabric.obs env.Env.fabric in
+  let pe = M3_hw.Pe.id env.Env.pe in
   let rec serve () =
     let which, msg = Gate.recv_any env [ krgate; crgate ] in
     let gate = if which = 0 then krgate else crgate in
+    let traced = Obs.enabled obs in
+    let op, session, t0 =
+      if not traced then ("", 0, 0)
+      else begin
+        let op =
+          try
+            let r = R.of_bytes msg.payload in
+            if which = 0 then
+              match Proto.srv_opcode_of_int (R.u8 r) with
+              | Some Proto.Srv_open -> "srv_open"
+              | Some Proto.Srv_exchange -> (
+                let _ident = R.i64 r in
+                let xr = R.of_bytes (R.bytes r) in
+                match Fs_proto.xop_of_int (R.u8 xr) with
+                | Some x -> Fs_proto.xop_name x
+                | None -> "srv_exchange")
+              | Some Proto.Srv_shutdown -> "srv_shutdown"
+              | None -> "unknown"
+            else
+              match Fs_proto.op_of_int (R.u8 r) with
+              | Some o -> Fs_proto.op_name o
+              | None -> "unknown"
+          with Msgbuf.R.Underflow -> "unknown"
+        in
+        let session = if which = 0 then 0 else Int64.to_int msg.header.label in
+        let t0 = M3_sim.Engine.now env.Env.engine in
+        Obs.emit obs (Event.Fs_request { pe; session; op });
+        (op, session, t0)
+      end
+    in
     let answer =
       try
         let r = R.of_bytes msg.payload in
@@ -360,6 +395,10 @@ let main config (env : Env.t) =
     | Ok () -> ()
     | Error e ->
       Log.err (fun m -> m "m3fs reply failed: %s" (Errno.to_string e)));
+    if traced then
+      Obs.emit obs
+        (Event.Fs_response
+           { pe; session; op; cycles = M3_sim.Engine.now env.Env.engine - t0 });
     serve ()
   in
   serve ()

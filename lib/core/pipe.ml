@@ -2,8 +2,15 @@ module Account = M3_sim.Account
 module Process = M3_sim.Process
 module Endpoint = M3_dtu.Endpoint
 module Cost_model = M3_hw.Cost_model
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
 module W = Msgbuf.W
 module R = Msgbuf.R
+
+let obs_pipe (env : Env.t) mk =
+  let obs = M3_noc.Fabric.obs env.fabric in
+  if Obs.enabled obs then
+    Obs.emit obs (mk ~vpe:env.vpe_id ~pe:(M3_hw.Pe.id env.pe))
 
 type 'a result_ = ('a, Errno.t) result
 
@@ -218,6 +225,8 @@ let write env w ~local ~len =
             match notify env w ~pos:w.w_pos ~len:n with
             | Error e -> Error e
             | Ok () ->
+              obs_pipe env (fun ~vpe ~pe ->
+                  Event.Pipe_push { vpe; pe; bytes = n });
               w.w_pos <- (w.w_pos + n) mod w.w_ring_size;
               w.w_free <- w.w_free - n;
               put (done_ + n) (remaining - n))
@@ -260,6 +269,7 @@ let rec read env r ~local ~len =
       | Error e -> Error e
       | Ok () ->
         Env.charge env Account.Os Cost_model.pipe_meta;
+        obs_pipe env (fun ~vpe ~pe -> Event.Pipe_pop { vpe; pe; bytes = n });
         if n = remaining then begin
           r.r_current <- None;
           match reclaim env r ~slot ~total with

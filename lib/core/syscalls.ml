@@ -2,6 +2,9 @@ module Account = M3_sim.Account
 module Engine = M3_sim.Engine
 module Dtu = M3_dtu.Dtu
 module Cost_model = M3_hw.Cost_model
+module Fabric = M3_noc.Fabric
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
 module W = Msgbuf.W
 module R = Msgbuf.R
 
@@ -17,6 +20,26 @@ let dtu_err e = Errno.E_dtu (M3_dtu.Dtu_error.to_string e)
    EP 1, unmarshal. Splits the blocked time into the two NoC crossings
    (Xfer) and the kernel's share (Os). *)
 let syscall ?(idle_wait = false) (env : Env.t) op fill =
+  let obs = Fabric.obs env.fabric in
+  let pe = M3_hw.Pe.id env.pe in
+  let t_enter = Engine.now env.engine in
+  if Obs.enabled obs then
+    Obs.emit obs
+      (Event.Syscall_enter
+         { pe; vpe = env.vpe_id; op = Proto.opcode_name op });
+  let finish ok result =
+    if Obs.enabled obs then
+      Obs.emit obs
+        (Event.Syscall_exit
+           {
+             pe;
+             vpe = env.vpe_id;
+             op = Proto.opcode_name op;
+             ok;
+             cycles = Engine.now env.engine - t_enter;
+           });
+    result
+  in
   let w = W.create () in
   W.u8 w (Proto.opcode_to_int op);
   fill w;
@@ -29,7 +52,7 @@ let syscall ?(idle_wait = false) (env : Env.t) op fill =
     Dtu.send env.dtu ~ep:Env.ep_syscall_send ~payload
       ~reply:(Env.ep_syscall_reply, 0L) ()
   with
-  | Error e -> Error (dtu_err e)
+  | Error e -> finish false (Error (dtu_err e))
   | Ok () ->
     let msg = Dtu.wait_msg env.dtu ~ep:Env.ep_syscall_reply in
     let blocked = Engine.now env.engine - t0 in
@@ -48,12 +71,12 @@ let syscall ?(idle_wait = false) (env : Env.t) op fill =
     Env.charge_marshal env (Bytes.length msg.payload);
     let r = R.of_bytes msg.payload in
     (match Errno.of_int (R.u64 r) with
-    | Errno.E_ok -> Ok r
+    | Errno.E_ok -> finish true (Ok r)
     | e ->
       Log.debug (fun m ->
           m "vpe%d: syscall %s failed: %s" env.vpe_id (Proto.opcode_name op)
             (Errno.to_string e));
-      Error e)
+      finish false (Error e))
 
 let unit_reply = function Ok (_ : R.t) -> Ok () | Error e -> Error e
 

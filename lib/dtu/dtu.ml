@@ -3,6 +3,8 @@ module Process = M3_sim.Process
 module Store = M3_mem.Store
 module Perm = M3_mem.Perm
 module Fabric = M3_noc.Fabric
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
 
 let src = Logs.Src.create "m3.dtu" ~doc:"data transfer unit"
 
@@ -179,7 +181,12 @@ let refill_credits t crd_ep =
       | Endpoint.Unlimited -> ())
     | S_invalid | S_recv _ | S_mem _ -> ()
 
-let deliver_message t ~dst_ep ~(header : Header.t) ~payload =
+let obs_drop t ~ep ~src_pe ~msg ~reason =
+  let obs = Fabric.obs t.fabric in
+  if Obs.enabled obs then
+    Obs.emit obs (Event.Dtu_drop { pe = t.pe; ep; src_pe; msg; reason })
+
+let deliver_message t ~dst_ep ~(header : Header.t) ~payload ~msg =
   if header.is_reply then refill_credits t header.crd_ep;
   match
     if dst_ep < 0 || dst_ep >= Array.length t.eps then S_invalid
@@ -190,10 +197,13 @@ let deliver_message t ~dst_ep ~(header : Header.t) ~payload =
     if Header.size + Bytes.length payload > slot_size || r.r_occupied.(r.r_wpos)
     then begin
       t.msgs_dropped <- t.msgs_dropped + 1;
+      let reason =
+        if r.r_occupied.(r.r_wpos) then "ringbuffer full" else "oversize"
+      in
+      obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason;
       Log.warn (fun m ->
           m "pe%d ep%d: dropped message from pe%d (%s)" t.pe dst_ep
-            header.sender_pe
-            (if r.r_occupied.(r.r_wpos) then "ringbuffer full" else "oversize"))
+            header.sender_pe reason)
     end
     else begin
       let slot = r.r_wpos in
@@ -205,17 +215,30 @@ let deliver_message t ~dst_ep ~(header : Header.t) ~payload =
       r.r_unread.(slot) <- true;
       r.r_wpos <- (slot + 1) mod r.r_slot_count;
       t.msgs_received <- t.msgs_received + 1;
+      let obs = Fabric.obs t.fabric in
+      if Obs.enabled obs then
+        Obs.emit obs
+          (Event.Dtu_receive
+             {
+               pe = t.pe;
+               ep = dst_ep;
+               src_pe = header.sender_pe;
+               bytes = Bytes.length payload;
+               msg;
+             });
       Process.Waitq.broadcast t.ep_waiters.(dst_ep) ()
     end
-  | S_invalid | S_send _ | S_mem _ -> t.msgs_dropped <- t.msgs_dropped + 1
+  | S_invalid | S_send _ | S_mem _ ->
+    t.msgs_dropped <- t.msgs_dropped + 1;
+    obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason:"no recv ep"
 
-let transmit t ~dst_pe ~dst_ep ~header ~payload =
+let transmit t ~dst_pe ~dst_ep ~header ~payload ~msg =
   let wire = Header.size + Bytes.length payload in
   t.msgs_sent <- t.msgs_sent + 1;
-  Fabric.transfer t.fabric ~src:t.pe ~dst:dst_pe ~bytes:wire
+  Fabric.transfer ~msg t.fabric ~src:t.pe ~dst:dst_pe ~bytes:wire
     ~on_deliver:(fun () ->
       match t.dtu_of dst_pe with
-      | Some dst -> deliver_message dst ~dst_ep ~header ~payload
+      | Some dst -> deliver_message dst ~dst_ep ~header ~payload ~msg
       | None -> t.msgs_dropped <- t.msgs_dropped + 1)
 
 (* --- software-facing commands --------------------------------------- *)
@@ -255,8 +278,22 @@ let send t ~ep ~payload ?reply () =
             is_reply = false;
           }
         in
+        let obs = Fabric.obs t.fabric in
+        let msg = Obs.next_msg obs in
+        if Obs.enabled obs then
+          Obs.emit obs
+            (Event.Dtu_send
+               {
+                 pe = t.pe;
+                 ep;
+                 dst_pe = s.s_dst_pe;
+                 dst_ep = s.s_dst_ep;
+                 bytes = Bytes.length payload;
+                 msg;
+                 reply = false;
+               });
         transmit t ~dst_pe:s.s_dst_pe ~dst_ep:s.s_dst_ep ~header
-          ~payload:(Bytes.copy payload);
+          ~payload:(Bytes.copy payload) ~msg;
         Ok ()
       end
     end
@@ -288,8 +325,22 @@ let reply t ~ep ~slot ~payload =
       (* Replying acks the slot: the reply info must not be reusable. *)
       r.r_occupied.(slot) <- false;
       r.r_unread.(slot) <- false;
+      let obs = Fabric.obs t.fabric in
+      let msg = Obs.next_msg obs in
+      if Obs.enabled obs then
+        Obs.emit obs
+          (Event.Dtu_send
+             {
+               pe = t.pe;
+               ep;
+               dst_pe = header.sender_pe;
+               dst_ep = header.reply_ep;
+               bytes = Bytes.length payload;
+               msg;
+               reply = true;
+             });
       transmit t ~dst_pe:header.sender_pe ~dst_ep:header.reply_ep
-        ~header:reply_header ~payload:(Bytes.copy payload);
+        ~header:reply_header ~payload:(Bytes.copy payload) ~msg;
       Ok ()
     end
   | S_recv _ -> Error Dtu_error.Invalid_ep
@@ -368,10 +419,15 @@ let read_mem t ~ep ~off ~local ~len =
   | Error e -> Error e
   | Ok m ->
     Process.wait cmd_latency;
+    let obs = Fabric.obs t.fabric in
+    let msg = Obs.next_msg obs in
+    if Obs.enabled obs then
+      Obs.emit obs
+        (Event.Dtu_read { pe = t.pe; mem_pe = m.m_dst_pe; bytes = len; msg });
     let iv = Process.Ivar.create () in
-    Fabric.transfer t.fabric ~src:t.pe ~dst:m.m_dst_pe ~bytes:request_bytes
+    Fabric.transfer ~msg t.fabric ~src:t.pe ~dst:m.m_dst_pe ~bytes:request_bytes
       ~on_deliver:(fun () ->
-        Fabric.transfer t.fabric ~src:m.m_dst_pe ~dst:t.pe ~bytes:len
+        Fabric.transfer ~msg t.fabric ~src:m.m_dst_pe ~dst:t.pe ~bytes:len
           ~on_deliver:(fun () ->
             let result =
               match t.store_of m.m_dst_pe with
@@ -392,8 +448,13 @@ let write_mem t ~ep ~off ~local ~len =
     Process.wait cmd_latency;
     (* The data leaves the SPM when the command starts. *)
     let snapshot = Store.read_bytes t.spm ~addr:local ~len in
+    let obs = Fabric.obs t.fabric in
+    let msg = Obs.next_msg obs in
+    if Obs.enabled obs then
+      Obs.emit obs
+        (Event.Dtu_write { pe = t.pe; mem_pe = m.m_dst_pe; bytes = len; msg });
     let iv = Process.Ivar.create () in
-    Fabric.transfer t.fabric ~src:t.pe ~dst:m.m_dst_pe
+    Fabric.transfer ~msg t.fabric ~src:t.pe ~dst:m.m_dst_pe
       ~bytes:(request_bytes + len)
       ~on_deliver:(fun () ->
         let result =

@@ -145,3 +145,83 @@ let print ppf verdicts =
         (if r.pass then "PASS" else "FAIL")
         r.claim r.measured)
     verdicts
+
+(* --- observability summary ------------------------------------------- *)
+
+module Metrics = M3_obs.Metrics
+module Stats = M3_sim.Stats
+
+let pcts st =
+  Printf.sprintf "p50 %.0f  p95 %.0f  p99 %.0f" (Stats.percentile st 50.0)
+    (Stats.percentile st 95.0) (Stats.percentile st 99.0)
+
+(* Caps long per-key listings at the busiest entries to keep the table
+   readable on wide fabrics. *)
+let top n xs ~weight =
+  let sorted = List.stable_sort (fun a b -> compare (weight b) (weight a)) xs in
+  let rec take n = function
+    | x :: rest when n > 0 -> x :: take (n - 1) rest
+    | _ -> []
+  in
+  (take n sorted, max 0 (List.length xs - n))
+
+let print_obs ppf m =
+  Format.fprintf ppf "Observability summary (%d events)@."
+    (Metrics.event_total m);
+  Format.fprintf ppf "  events by kind:@.";
+  List.iter
+    (fun (kind, n) -> Format.fprintf ppf "    %-14s %8d@." kind n)
+    (Metrics.kinds m);
+  Format.fprintf ppf
+    "  dtu: %d msgs, %d wire bytes, %d dropped; mem %d B read, %d B written@."
+    (Metrics.dtu_sent_msgs m) (Metrics.dtu_sent_bytes m) (Metrics.dtu_dropped m)
+    (Metrics.mem_read_bytes m)
+    (Metrics.mem_written_bytes m);
+  Format.fprintf ppf "  noc: %d transfers, %d payload bytes, %d transfer cycles@."
+    (Metrics.noc_xfers m) (Metrics.noc_xfer_bytes m) (Metrics.noc_xfer_cycles m);
+  let pushed, popped = Metrics.pipe_bytes m in
+  if pushed > 0 || popped > 0 then
+    Format.fprintf ppf "  pipe: %d B pushed, %d B popped@." pushed popped;
+  Format.fprintf ppf "  vpes: %d created, %d exited@." (Metrics.vpes_created m)
+    (Metrics.vpes_exited m);
+  (match Metrics.endpoints m with
+  | [] -> ()
+  | eps ->
+    Format.fprintf ppf "  busiest send endpoints (pe,ep -> msgs, bytes):@.";
+    let shown, elided = top 8 eps ~weight:(fun (_, _, bytes) -> bytes) in
+    List.iter
+      (fun ((pe, ep), msgs, bytes) ->
+        Format.fprintf ppf "    pe%-2d ep%-2d  %6d msgs  %8d B@." pe ep msgs
+          bytes)
+      shown;
+    if elided > 0 then Format.fprintf ppf "    ... %d more@." elided);
+  (match Metrics.links m with
+  | [] -> ()
+  | links ->
+    Format.fprintf ppf
+      "  busiest links (src>dst -> busy cycles, queue delay):@.";
+    let shown, elided = top 8 links ~weight:(fun (_, busy, _) -> busy) in
+    List.iter
+      (fun ((src, dst), busy, queue) ->
+        Format.fprintf ppf "    %2d>%-2d  %8d busy  %s@." src dst busy
+          (pcts queue))
+      shown;
+    if elided > 0 then Format.fprintf ppf "    ... %d more@." elided);
+  (match Metrics.syscalls m with
+  | [] -> ()
+  | ops ->
+    Format.fprintf ppf "  syscall latency (cycles):@.";
+    List.iter
+      (fun (op, st) ->
+        Format.fprintf ppf "    %-14s %5d calls  %s@." op (Stats.count st)
+          (pcts st))
+      ops);
+  match Metrics.fs_ops m with
+  | [] -> ()
+  | ops ->
+    Format.fprintf ppf "  m3fs handling latency (cycles):@.";
+    List.iter
+      (fun (op, st) ->
+        Format.fprintf ppf "    %-14s %5d reqs   %s@." op (Stats.count st)
+          (pcts st))
+      ops

@@ -26,3 +26,8 @@ val print : Format.formatter -> verdict list -> unit
 
 (** [all_pass vs] *)
 val all_pass : verdict list -> bool
+
+(** [print_obs ppf m] renders the counters and latency percentiles a
+    traced run collected (event kinds, per-endpoint traffic, link
+    occupancy/queueing, syscall and m3fs latency distributions). *)
+val print_obs : Format.formatter -> M3_obs.Metrics.t -> unit

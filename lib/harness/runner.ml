@@ -37,6 +37,11 @@ let serialized m =
 let snapshot account =
   Account.(get account App, get account Os, get account Xfer)
 
+(* Observability hook: when set, every M3 run builds an event bus over
+   its engine and hands it to the callback (which attaches sinks)
+   before the system boots. Used by `m3_repro trace`. *)
+let observer : (M3_obs.Obs.t -> unit) option ref = ref None
+
 let run_m3 ?(pe_count = 16) ?(dram_mib = 64) ?core_at ?(seeds = [])
     ?(no_fs = false) app =
   let engine = Engine.create () in
@@ -51,7 +56,15 @@ let run_m3 ?(pe_count = 16) ?(dram_mib = 64) ?core_at ?(seeds = [])
     let base = M3.M3fs.default_config ~dram in
     { base with seed = seeds; fs_size = min base.fs_size (dram_size / 2) }
   in
-  let sys = M3.Bootstrap.start ~platform_config:config ~fs ~no_fs engine in
+  let obs =
+    match !observer with
+    | None -> None
+    | Some attach ->
+      let o = M3_obs.Obs.of_engine engine in
+      attach o;
+      Some o
+  in
+  let sys = M3.Bootstrap.start ~platform_config:config ~fs ~no_fs ?obs engine in
   let account = Account.create () in
   let result = ref zero_measure in
   let exit =

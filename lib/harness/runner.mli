@@ -14,6 +14,12 @@ val zero_measure : measure
 val add_measure : measure -> measure -> measure
 val scale_measure : measure -> float -> measure
 
+(** When set, [run_m3] creates an event bus over the fresh engine and
+    passes it to the callback — which attaches sinks — before the
+    system boots, so even bring-up traffic is captured. One callback
+    invocation per simulated system. *)
+val observer : (M3_obs.Obs.t -> unit) option ref
+
 (** [other m] is everything that is not a data transfer — the paper's
     "Other" category in Fig. 3. *)
 val other : measure -> int

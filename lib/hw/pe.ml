@@ -2,12 +2,16 @@ module Engine = M3_sim.Engine
 module Process = M3_sim.Process
 module Store = M3_mem.Store
 module Dtu = M3_dtu.Dtu
+module Fabric = M3_noc.Fabric
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
 
 type t = {
   id : int;
   core : Core_type.t;
   spm : Store.t;
   dtu : Dtu.t;
+  fabric : Fabric.t;
   engine : Engine.t;
   mutable program : Process.t option;
 }
@@ -15,15 +19,18 @@ type t = {
 let create engine fabric ~id ~core ~spm_size ~ep_count =
   let spm = Store.create ~name:(Printf.sprintf "pe%d.spm" id) ~size:spm_size in
   let dtu = Dtu.create engine fabric ~pe:id ~spm ~ep_count in
-  { id; core; spm; dtu; engine; program = None }
+  { id; core; spm; dtu; fabric; engine; program = None }
 
 let id t = t.id
 let core t = t.core
 let spm t = t.spm
 let dtu t = t.dtu
+let fabric t = t.fabric
 let engine t = t.engine
 
 let spawn t ~name f =
+  let obs = Fabric.obs t.fabric in
+  if Obs.enabled obs then Obs.emit obs (Event.Pe_spawn { pe = t.id; name });
   let p = Process.spawn t.engine ~name:(Printf.sprintf "pe%d:%s" t.id name) f in
   t.program <- Some p;
   p
@@ -33,6 +40,8 @@ let running t = t.program
 let halt t =
   match t.program with
   | Some p ->
+    let obs = Fabric.obs t.fabric in
+    if Obs.enabled obs then Obs.emit obs (Event.Pe_halt { pe = t.id });
     Process.kill p;
     t.program <- None
   | None -> ()

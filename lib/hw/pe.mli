@@ -18,6 +18,10 @@ val id : t -> int
 val core : t -> Core_type.t
 val spm : t -> M3_mem.Store.t
 val dtu : t -> M3_dtu.Dtu.t
+
+(** The fabric this PE is attached to (also carries the obs bus). *)
+val fabric : t -> M3_noc.Fabric.t
+
 val engine : t -> M3_sim.Engine.t
 
 (** [spawn t ~name f] starts software [f] on this PE. At most one

@@ -1,4 +1,6 @@
 module Engine = M3_sim.Engine
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
 
 type link = {
   mutable free_at : int;
@@ -30,6 +32,9 @@ type t = {
   links : (int * int, link) Hashtbl.t;
   mutable packets : int;
   mutable bytes : int;
+  (* Observability bus; the fabric is reachable from every layer, so
+     this is where the whole system finds its bus. Obs.null when off. *)
+  mutable obs : Obs.t;
 }
 
 let create engine topology ~config =
@@ -43,11 +48,14 @@ let create engine topology ~config =
     links = Hashtbl.create 64;
     packets = 0;
     bytes = 0;
+    obs = Obs.null;
   }
 
 let topology t = t.topology
 let engine t = t.engine
 let config t = t.config
+let obs t = t.obs
+let set_obs t obs = t.obs <- obs
 
 let link t key =
   match Hashtbl.find_opt t.links key with
@@ -62,15 +70,21 @@ let serialization t bytes =
 
 (* Packet switching: claims each link of the route in order, respecting
    current occupancy, and returns the arrival time of its tail. *)
-let send_packet_store_forward t ~route ~bytes ~depart =
+let send_packet_store_forward t ~route ~bytes ~msg ~depart =
   let ser = serialization t (bytes + packet_header_bytes) in
   let head = ref depart in
   List.iter
-    (fun hop ->
+    (fun ((link_src, link_dst) as hop) ->
       let l = link t hop in
-      let enter = max (!head + t.config.hop_latency) l.free_at in
+      let ideal = !head + t.config.hop_latency in
+      let enter = max ideal l.free_at in
       l.free_at <- enter + ser;
       l.busy <- l.busy + ser;
+      if Obs.enabled t.obs then
+        Obs.emit_at t.obs ~at:enter
+          (Event.Noc_link
+             { link_src; link_dst; enter; leave = enter + ser;
+               queued = enter - ideal; msg });
       head := enter)
     route;
   !head + ser
@@ -81,33 +95,40 @@ let send_packet_store_forward t ~route ~bytes ~depart =
    links busy. This slightly over-holds upstream links of a stalled
    worm (by at most hops x hop_latency), a conservative approximation
    of zero-buffer flit backpressure. *)
-let send_packet_wormhole t ~route ~bytes ~depart =
+let send_packet_wormhole t ~route ~bytes ~msg ~depart =
   let flits = serialization t (bytes + packet_header_bytes) in
   let head = ref depart in
   let acquired = ref [] in
   List.iter
-    (fun hop ->
+    (fun ((link_src, link_dst) as hop) ->
       let l = link t hop in
-      let enter = max (!head + t.config.hop_latency) l.free_at in
-      acquired := l :: !acquired;
+      let ideal = !head + t.config.hop_latency in
+      let enter = max ideal l.free_at in
+      if Obs.enabled t.obs then
+        acquired := (l, link_src, link_dst, enter, enter - ideal) :: !acquired
+      else acquired := (l, link_src, link_dst, enter, 0) :: !acquired;
       head := enter)
     route;
   let tail_done = !head + flits in
   List.iter
-    (fun l ->
+    (fun (l, link_src, link_dst, enter, queued) ->
       l.busy <- l.busy + (tail_done - max l.free_at depart);
-      l.free_at <- tail_done)
+      l.free_at <- tail_done;
+      if Obs.enabled t.obs then
+        Obs.emit_at t.obs ~at:enter
+          (Event.Noc_link
+             { link_src; link_dst; enter; leave = tail_done; queued; msg }))
     !acquired;
   tail_done
 
-let send_packet t ~route ~bytes ~depart =
+let send_packet t ~route ~bytes ~msg ~depart =
   t.packets <- t.packets + 1;
   t.bytes <- t.bytes + bytes;
   match t.config.mode with
-  | `Packet -> send_packet_store_forward t ~route ~bytes ~depart
-  | `Wormhole -> send_packet_wormhole t ~route ~bytes ~depart
+  | `Packet -> send_packet_store_forward t ~route ~bytes ~msg ~depart
+  | `Wormhole -> send_packet_wormhole t ~route ~bytes ~msg ~depart
 
-let transfer t ~src ~dst ~bytes ~on_deliver =
+let transfer ?(msg = 0) t ~src ~dst ~bytes ~on_deliver =
   if bytes < 0 then invalid_arg "Fabric.transfer: negative size";
   let now = Engine.now t.engine in
   if src = dst then Engine.schedule t.engine ~delay:1 on_deliver
@@ -118,7 +139,7 @@ let transfer t ~src ~dst ~bytes ~on_deliver =
     let continue = ref true in
     while !continue do
       let chunk = min !remaining t.config.max_packet in
-      let arrive = send_packet t ~route ~bytes:chunk ~depart:!depart in
+      let arrive = send_packet t ~route ~bytes:chunk ~msg ~depart:!depart in
       arrival := max !arrival arrive;
       (* Next packet can leave as soon as this one has fully entered
          the first link (pipelining across packets). *)
@@ -126,6 +147,9 @@ let transfer t ~src ~dst ~bytes ~on_deliver =
       remaining := !remaining - chunk;
       if !remaining <= 0 then continue := false
     done;
+    if Obs.enabled t.obs then
+      Obs.emit t.obs
+        (Event.Noc_xfer { src; dst; bytes; depart = now; arrive = !arrival; msg });
     Engine.schedule_at t.engine ~time:!arrival on_deliver
   end
 

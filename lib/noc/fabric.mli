@@ -42,12 +42,24 @@ val topology : t -> Topology.t
 val engine : t -> M3_sim.Engine.t
 val config : t -> config
 
+(** The fabric carries the system-wide observability bus: every layer
+    holds a fabric reference, so this is where instrumented code finds
+    it. Defaults to [M3_obs.Obs.null] (tracing off, near-zero cost). *)
+val obs : t -> M3_obs.Obs.t
+
+val set_obs : t -> M3_obs.Obs.t -> unit
+
 (** [transfer t ~src ~dst ~bytes ~on_deliver] injects [bytes] payload
     (plus per-packet header overhead) at node [src] for node [dst] and
     calls [on_deliver ()] at the cycle the last byte arrives at [dst].
     When [src = dst], delivery is a local operation costing one cycle.
+    [?msg] is an observability correlation id stamped on the emitted
+    [Noc_xfer]/[Noc_link] events (0 = uncorrelated); it never affects
+    timing.
     @raise Invalid_argument on a negative byte count. *)
-val transfer : t -> src:int -> dst:int -> bytes:int -> on_deliver:(unit -> unit) -> unit
+val transfer :
+  ?msg:int -> t -> src:int -> dst:int -> bytes:int ->
+  on_deliver:(unit -> unit) -> unit
 
 (** [pure_latency t ~src ~dst ~bytes] is the congestion-free transfer
     time in cycles — useful for calibration and tests. *)

@@ -1,0 +1,233 @@
+(* Chrome trace-event JSON ("JSON Array Format" with legacy flow
+   events), loadable in chrome://tracing and https://ui.perfetto.dev.
+
+   Track layout: one pid per PE (plus one pid for the NoC), a tid per
+   VPE (syscall/pipe slices), per DTU endpoint (send/receive markers)
+   and per m3fs session, and a tid per directed NoC link. DTU message
+   ids become flow arrows send -> NoC transfer -> receive. Several
+   simulations can share one exporter (the harness boots a fresh
+   system per benchmark); [begin_run] opens a new pid namespace. *)
+
+let noc_node = 999 (* pid slot of the NoC pseudo-process within a run *)
+let tid_core = 99
+let tid_ep_base = 100
+let tid_mem = 150
+let tid_sess_base = 200
+
+type t = {
+  buf : Buffer.t;
+  mutable first : bool;
+  mutable run_base : int;
+  mutable runs : int;
+  named : (int * int, unit) Hashtbl.t; (* (pid, tid) with metadata out *)
+  named_pids : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    buf = Buffer.create 65536;
+    first = true;
+    run_base = 0;
+    runs = 0;
+    named = Hashtbl.create 64;
+    named_pids = Hashtbl.create 16;
+  }
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* [fields] are preformatted ["key":value] JSON members. *)
+let raw t fields =
+  if t.first then t.first <- false else Buffer.add_char t.buf ',';
+  Buffer.add_char t.buf '{';
+  Buffer.add_string t.buf (String.concat "," fields);
+  Buffer.add_string t.buf "}\n"
+
+let str k v = Printf.sprintf "\"%s\":\"%s\"" k (escape v)
+let int k v = Printf.sprintf "\"%s\":%d" k v
+
+let meta t ~pid ~tid ~which ~name =
+  raw t
+    [ str "ph" "M"; str "name" which; int "pid" pid; int "tid" tid;
+      Printf.sprintf "\"args\":{%s}" (str "name" name) ]
+
+let ensure_pid t pid ~name =
+  if not (Hashtbl.mem t.named_pids pid) then begin
+    Hashtbl.add t.named_pids pid ();
+    meta t ~pid ~tid:0 ~which:"process_name" ~name
+  end
+
+let ensure_tid t pid tid ~name =
+  if not (Hashtbl.mem t.named (pid, tid)) then begin
+    Hashtbl.add t.named (pid, tid) ();
+    meta t ~pid ~tid ~which:"thread_name" ~name
+  end
+
+let pe_pid t pe =
+  let pid = t.run_base + pe in
+  ensure_pid t pid ~name:(Printf.sprintf "run%d/pe%d" (t.run_base / 1000) pe);
+  pid
+
+let noc_pid t =
+  let pid = t.run_base + noc_node in
+  ensure_pid t pid ~name:(Printf.sprintf "run%d/noc" (t.run_base / 1000));
+  pid
+
+let vpe_tid t pid vpe =
+  ensure_tid t pid vpe ~name:(Printf.sprintf "vpe%d" vpe);
+  vpe
+
+let ep_tid t pid ep =
+  let tid = tid_ep_base + ep in
+  ensure_tid t pid tid ~name:(Printf.sprintf "ep%d" ep);
+  tid
+
+let begin_run t =
+  t.run_base <- t.runs * 1000;
+  t.runs <- t.runs + 1
+
+let flow_id t msg = (t.run_base * 1_000_000) + msg
+
+(* A tiny slice rather than an instant, so flow arrows have something
+   to bind to in Perfetto's legacy-JSON importer. *)
+let marker t ~pid ~tid ~at ~name ~cat args =
+  raw t
+    ([ str "ph" "X"; str "name" name; str "cat" cat; int "ts" at; int "dur" 1;
+       int "pid" pid; int "tid" tid ]
+    @ args)
+
+let slice t ~pid ~tid ~ts ~dur ~name ~cat args =
+  raw t
+    ([ str "ph" "X"; str "name" name; str "cat" cat; int "ts" ts;
+       int "dur" (max 1 dur); int "pid" pid; int "tid" tid ]
+    @ args)
+
+let flow t ~ph ~pid ~tid ~at ~msg extra =
+  raw t
+    ([ str "ph" ph; str "name" "msg"; str "cat" "dtu"; int "ts" at;
+       int "pid" pid; int "tid" tid; int "id" (flow_id t msg) ]
+    @ extra)
+
+let args_of kvs =
+  [ Printf.sprintf "\"args\":{%s}"
+      (String.concat "," (List.map (fun (k, v) -> int k v) kvs)) ]
+
+let record t ~at (ev : Event.t) =
+  match ev with
+  | Event.Dtu_send { pe; ep; dst_pe; dst_ep; bytes; msg; reply } ->
+    let pid = pe_pid t pe in
+    let tid = ep_tid t pid ep in
+    marker t ~pid ~tid ~at
+      ~name:(if reply then "reply" else "send")
+      ~cat:"dtu"
+      (args_of
+         [ ("dst_pe", dst_pe); ("dst_ep", dst_ep); ("bytes", bytes);
+           ("msg", msg) ]);
+    if msg <> 0 then flow t ~ph:"s" ~pid ~tid ~at ~msg []
+  | Event.Dtu_receive { pe; ep; src_pe; bytes; msg } ->
+    let pid = pe_pid t pe in
+    let tid = ep_tid t pid ep in
+    marker t ~pid ~tid ~at ~name:"receive" ~cat:"dtu"
+      (args_of [ ("src_pe", src_pe); ("bytes", bytes); ("msg", msg) ]);
+    if msg <> 0 then flow t ~ph:"f" ~pid ~tid ~at ~msg [ str "bp" "e" ]
+  | Event.Dtu_drop { pe; ep; src_pe; msg; reason } ->
+    let pid = pe_pid t pe in
+    let tid = ep_tid t pid ep in
+    marker t ~pid ~tid ~at ~name:("drop:" ^ reason) ~cat:"dtu"
+      (args_of [ ("src_pe", src_pe); ("msg", msg) ])
+  | Event.Dtu_read { pe; mem_pe; bytes; msg } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_mem ~name:"dtu.mem";
+    marker t ~pid ~tid:tid_mem ~at ~name:"mem.read" ~cat:"dtu"
+      (args_of [ ("mem_pe", mem_pe); ("bytes", bytes); ("msg", msg) ]);
+    if msg <> 0 then flow t ~ph:"s" ~pid ~tid:tid_mem ~at ~msg []
+  | Event.Dtu_write { pe; mem_pe; bytes; msg } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_mem ~name:"dtu.mem";
+    marker t ~pid ~tid:tid_mem ~at ~name:"mem.write" ~cat:"dtu"
+      (args_of [ ("mem_pe", mem_pe); ("bytes", bytes); ("msg", msg) ]);
+    if msg <> 0 then flow t ~ph:"s" ~pid ~tid:tid_mem ~at ~msg []
+  | Event.Noc_xfer { src; dst; bytes; depart; arrive; msg } ->
+    let pid = noc_pid t in
+    let tid = (src * 100) + dst in
+    ensure_tid t pid tid ~name:(Printf.sprintf "xfer %d>%d" src dst);
+    slice t ~pid ~tid ~ts:depart ~dur:(arrive - depart) ~name:"xfer" ~cat:"noc"
+      (args_of [ ("bytes", bytes); ("msg", msg) ]);
+    (* A flow step mid-slice links the sender's arrow through the NoC
+       to the receiver. *)
+    if msg <> 0 then
+      flow t ~ph:"t" ~pid ~tid ~at:((depart + arrive) / 2) ~msg []
+  | Event.Noc_link { link_src; link_dst; enter; leave; queued; msg } ->
+    let pid = noc_pid t in
+    let tid = 10000 + (link_src * 100) + link_dst in
+    ensure_tid t pid tid ~name:(Printf.sprintf "link %d>%d" link_src link_dst);
+    slice t ~pid ~tid ~ts:enter ~dur:(leave - enter) ~name:"hop" ~cat:"noc"
+      (args_of [ ("queued", queued); ("msg", msg) ])
+  | Event.Syscall_enter _ -> () (* the exit event carries the slice *)
+  | Event.Syscall_exit { pe; vpe; op; ok; cycles } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    slice t ~pid ~tid ~ts:(at - cycles) ~dur:cycles ~name:op ~cat:"syscall"
+      (args_of [ ("ok", (if ok then 1 else 0)) ])
+  | Event.Fs_request _ -> () (* the response event carries the slice *)
+  | Event.Fs_response { pe; session; op; cycles } ->
+    let pid = pe_pid t pe in
+    let tid = tid_sess_base + session in
+    ensure_tid t pid tid ~name:(Printf.sprintf "fs.sess%d" session);
+    slice t ~pid ~tid ~ts:(at - cycles) ~dur:cycles ~name:op ~cat:"fs" []
+  | Event.Vpe_create { vpe; pe; name } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    marker t ~pid ~tid ~at ~name:("vpe.create:" ^ name) ~cat:"vpe" []
+  | Event.Vpe_start { vpe; pe; name } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    marker t ~pid ~tid ~at ~name:("vpe.start:" ^ name) ~cat:"vpe" []
+  | Event.Vpe_exit { vpe; pe; code } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    marker t ~pid ~tid ~at ~name:"vpe.exit" ~cat:"vpe"
+      (args_of [ ("code", code) ])
+  | Event.Pipe_push { vpe; pe; bytes } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    marker t ~pid ~tid ~at ~name:"pipe.push" ~cat:"pipe"
+      (args_of [ ("bytes", bytes) ])
+  | Event.Pipe_pop { vpe; pe; bytes } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    marker t ~pid ~tid ~at ~name:"pipe.pop" ~cat:"pipe"
+      (args_of [ ("bytes", bytes) ])
+  | Event.Pe_spawn { pe; name } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:("spawn:" ^ name) ~cat:"pe" []
+  | Event.Pe_halt { pe } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:"halt" ~cat:"pe" []
+
+let sink t =
+  { Obs.sink_name = "chrome"; sink_emit = (fun ~at ev -> record t ~at ev) }
+
+let to_string t =
+  Printf.sprintf "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ms\"}"
+    (Buffer.contents t.buf)
+
+let write_channel t oc = output_string oc (to_string t)
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> write_channel t oc)

@@ -1,0 +1,101 @@
+type t =
+  | Dtu_send of {
+      pe : int;
+      ep : int;
+      dst_pe : int;
+      dst_ep : int;
+      bytes : int;
+      msg : int;
+      reply : bool;
+    }
+  | Dtu_receive of { pe : int; ep : int; src_pe : int; bytes : int; msg : int }
+  | Dtu_drop of { pe : int; ep : int; src_pe : int; msg : int; reason : string }
+  | Dtu_read of { pe : int; mem_pe : int; bytes : int; msg : int }
+  | Dtu_write of { pe : int; mem_pe : int; bytes : int; msg : int }
+  | Noc_xfer of {
+      src : int;
+      dst : int;
+      bytes : int;
+      depart : int;
+      arrive : int;
+      msg : int;
+    }
+  | Noc_link of {
+      link_src : int;
+      link_dst : int;
+      enter : int;
+      leave : int;
+      queued : int;
+      msg : int;
+    }
+  | Syscall_enter of { pe : int; vpe : int; op : string }
+  | Syscall_exit of { pe : int; vpe : int; op : string; ok : bool; cycles : int }
+  | Fs_request of { pe : int; session : int; op : string }
+  | Fs_response of { pe : int; session : int; op : string; cycles : int }
+  | Vpe_create of { vpe : int; pe : int; name : string }
+  | Vpe_start of { vpe : int; pe : int; name : string }
+  | Vpe_exit of { vpe : int; pe : int; code : int }
+  | Pipe_push of { vpe : int; pe : int; bytes : int }
+  | Pipe_pop of { vpe : int; pe : int; bytes : int }
+  | Pe_spawn of { pe : int; name : string }
+  | Pe_halt of { pe : int }
+
+let name = function
+  | Dtu_send { reply = false; _ } -> "dtu.send"
+  | Dtu_send { reply = true; _ } -> "dtu.reply"
+  | Dtu_receive _ -> "dtu.receive"
+  | Dtu_drop _ -> "dtu.drop"
+  | Dtu_read _ -> "dtu.read"
+  | Dtu_write _ -> "dtu.write"
+  | Noc_xfer _ -> "noc.xfer"
+  | Noc_link _ -> "noc.link"
+  | Syscall_enter _ -> "syscall.enter"
+  | Syscall_exit _ -> "syscall.exit"
+  | Fs_request _ -> "fs.request"
+  | Fs_response _ -> "fs.response"
+  | Vpe_create _ -> "vpe.create"
+  | Vpe_start _ -> "vpe.start"
+  | Vpe_exit _ -> "vpe.exit"
+  | Pipe_push _ -> "pipe.push"
+  | Pipe_pop _ -> "pipe.pop"
+  | Pe_spawn _ -> "pe.spawn"
+  | Pe_halt _ -> "pe.halt"
+
+let pp ppf t =
+  let f fmt = Format.fprintf ppf fmt in
+  match t with
+  | Dtu_send { pe; ep; dst_pe; dst_ep; bytes; msg; reply } ->
+    f "%s pe%d.ep%d -> pe%d.ep%d bytes=%d msg=%d"
+      (if reply then "dtu.reply" else "dtu.send")
+      pe ep dst_pe dst_ep bytes msg
+  | Dtu_receive { pe; ep; src_pe; bytes; msg } ->
+    f "dtu.receive pe%d.ep%d <- pe%d bytes=%d msg=%d" pe ep src_pe bytes msg
+  | Dtu_drop { pe; ep; src_pe; msg; reason } ->
+    f "dtu.drop pe%d.ep%d <- pe%d msg=%d (%s)" pe ep src_pe msg reason
+  | Dtu_read { pe; mem_pe; bytes; msg } ->
+    f "dtu.read pe%d <- pe%d bytes=%d msg=%d" pe mem_pe bytes msg
+  | Dtu_write { pe; mem_pe; bytes; msg } ->
+    f "dtu.write pe%d -> pe%d bytes=%d msg=%d" pe mem_pe bytes msg
+  | Noc_xfer { src; dst; bytes; depart; arrive; msg } ->
+    f "noc.xfer %d -> %d bytes=%d depart=%d arrive=%d msg=%d" src dst bytes
+      depart arrive msg
+  | Noc_link { link_src; link_dst; enter; leave; queued; msg } ->
+    f "noc.link %d -> %d enter=%d leave=%d queued=%d msg=%d" link_src link_dst
+      enter leave queued msg
+  | Syscall_enter { pe; vpe; op } -> f "syscall.enter pe%d vpe%d %s" pe vpe op
+  | Syscall_exit { pe; vpe; op; ok; cycles } ->
+    f "syscall.exit pe%d vpe%d %s %s cycles=%d" pe vpe op
+      (if ok then "ok" else "err")
+      cycles
+  | Fs_request { pe; session; op } -> f "fs.request pe%d sess%d %s" pe session op
+  | Fs_response { pe; session; op; cycles } ->
+    f "fs.response pe%d sess%d %s cycles=%d" pe session op cycles
+  | Vpe_create { vpe; pe; name } -> f "vpe.create vpe%d pe%d %s" vpe pe name
+  | Vpe_start { vpe; pe; name } -> f "vpe.start vpe%d pe%d %s" vpe pe name
+  | Vpe_exit { vpe; pe; code } -> f "vpe.exit vpe%d pe%d code=%d" vpe pe code
+  | Pipe_push { vpe; pe; bytes } -> f "pipe.push vpe%d pe%d bytes=%d" vpe pe bytes
+  | Pipe_pop { vpe; pe; bytes } -> f "pipe.pop vpe%d pe%d bytes=%d" vpe pe bytes
+  | Pe_spawn { pe; name } -> f "pe.spawn pe%d %s" pe name
+  | Pe_halt { pe } -> f "pe.halt pe%d" pe
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,70 @@
+(** Structured observability events.
+
+    One constructor per instrumentation point in the simulated system.
+    Payloads are plain integers and strings so the event layer sits
+    below every other library (it depends only on [m3_sim]): PEs,
+    endpoints and VPEs are identified by number, syscall and filesystem
+    operations by their wire-protocol name.
+
+    [msg] fields carry a bus-unique message id ({!Obs.next_msg}) that
+    links a DTU send to its NoC transfer, per-hop link occupancy and
+    the eventual receive — the Chrome exporter turns these into flow
+    arrows. [msg = 0] means "not correlated" (emission was off when the
+    id would have been drawn, or the transfer is untagged kernel
+    plumbing). *)
+
+type t =
+  | Dtu_send of {
+      pe : int;          (** sending PE *)
+      ep : int;          (** send endpoint *)
+      dst_pe : int;
+      dst_ep : int;
+      bytes : int;       (** wire size: header + payload *)
+      msg : int;
+      reply : bool;      (** [true] for DTU reply commands *)
+    }
+  | Dtu_receive of { pe : int; ep : int; src_pe : int; bytes : int; msg : int }
+  | Dtu_drop of { pe : int; ep : int; src_pe : int; msg : int; reason : string }
+  | Dtu_read of { pe : int; mem_pe : int; bytes : int; msg : int }
+      (** memory-endpoint read: [bytes] pulled from [mem_pe]'s store *)
+  | Dtu_write of { pe : int; mem_pe : int; bytes : int; msg : int }
+  | Noc_xfer of {
+      src : int;
+      dst : int;
+      bytes : int;       (** payload handed to the fabric *)
+      depart : int;      (** cycle the first packet enters the NoC *)
+      arrive : int;      (** cycle the last byte reaches [dst] *)
+      msg : int;
+    }
+  | Noc_link of {
+      link_src : int;    (** directed link: from this router... *)
+      link_dst : int;    (** ...to this one *)
+      enter : int;       (** cycle the packet head acquires the link *)
+      leave : int;       (** cycle the link is released *)
+      queued : int;      (** cycles spent waiting for the link *)
+      msg : int;
+    }
+  | Syscall_enter of { pe : int; vpe : int; op : string }
+  | Syscall_exit of { pe : int; vpe : int; op : string; ok : bool; cycles : int }
+      (** [cycles] is the client-observed latency since the matching
+          [Syscall_enter] *)
+  | Fs_request of { pe : int; session : int; op : string }
+      (** emitted by the m3fs server; [session] is 0 on the kernel
+          channel *)
+  | Fs_response of { pe : int; session : int; op : string; cycles : int }
+  | Vpe_create of { vpe : int; pe : int; name : string }
+  | Vpe_start of { vpe : int; pe : int; name : string }
+  | Vpe_exit of { vpe : int; pe : int; code : int }
+  | Pipe_push of { vpe : int; pe : int; bytes : int }
+  | Pipe_pop of { vpe : int; pe : int; bytes : int }
+  | Pe_spawn of { pe : int; name : string }
+  | Pe_halt of { pe : int }
+
+(** [name t] is the stable dotted kind name, e.g. ["dtu.send"]. *)
+val name : t -> string
+
+(** Stable, deterministic rendering — the determinism test compares
+    byte-for-byte. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

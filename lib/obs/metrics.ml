@@ -1,0 +1,140 @@
+module Stats = M3_sim.Stats
+
+type t = {
+  mutable events : int;
+  kinds : (string, int ref) Hashtbl.t;
+  ep_msgs : (int * int, int ref) Hashtbl.t;
+  ep_bytes : (int * int, int ref) Hashtbl.t;
+  link_busy : (int * int, int ref) Hashtbl.t;
+  link_queue : (int * int, Stats.t) Hashtbl.t;
+  syscall_lat : (string, Stats.t) Hashtbl.t;
+  fs_lat : (string, Stats.t) Hashtbl.t;
+  mutable dtu_sent_msgs : int;
+  mutable dtu_sent_bytes : int;
+  mutable dtu_dropped : int;
+  mutable mem_read_bytes : int;
+  mutable mem_written_bytes : int;
+  mutable noc_xfers : int;
+  mutable noc_xfer_bytes : int;
+  mutable noc_xfer_cycles : int;
+  mutable pipe_pushed : int;
+  mutable pipe_popped : int;
+  mutable vpes_created : int;
+  mutable vpes_exited : int;
+}
+
+let create () =
+  {
+    events = 0;
+    kinds = Hashtbl.create 24;
+    ep_msgs = Hashtbl.create 32;
+    ep_bytes = Hashtbl.create 32;
+    link_busy = Hashtbl.create 64;
+    link_queue = Hashtbl.create 64;
+    syscall_lat = Hashtbl.create 16;
+    fs_lat = Hashtbl.create 8;
+    dtu_sent_msgs = 0;
+    dtu_sent_bytes = 0;
+    dtu_dropped = 0;
+    mem_read_bytes = 0;
+    mem_written_bytes = 0;
+    noc_xfers = 0;
+    noc_xfer_bytes = 0;
+    noc_xfer_cycles = 0;
+    pipe_pushed = 0;
+    pipe_popped = 0;
+    vpes_created = 0;
+    vpes_exited = 0;
+  }
+
+let bump tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add tbl key (ref n)
+
+let observe tbl key x =
+  let s =
+    match Hashtbl.find_opt tbl key with
+    | Some s -> s
+    | None ->
+      let s = Stats.create () in
+      Hashtbl.add tbl key s;
+      s
+  in
+  Stats.add s x
+
+let record t (ev : Event.t) =
+  t.events <- t.events + 1;
+  bump t.kinds (Event.name ev) 1;
+  match ev with
+  | Event.Dtu_send { pe; ep; bytes; _ } ->
+    bump t.ep_msgs (pe, ep) 1;
+    bump t.ep_bytes (pe, ep) bytes;
+    t.dtu_sent_msgs <- t.dtu_sent_msgs + 1;
+    t.dtu_sent_bytes <- t.dtu_sent_bytes + bytes
+  | Event.Dtu_drop _ -> t.dtu_dropped <- t.dtu_dropped + 1
+  | Event.Dtu_read { bytes; _ } -> t.mem_read_bytes <- t.mem_read_bytes + bytes
+  | Event.Dtu_write { bytes; _ } ->
+    t.mem_written_bytes <- t.mem_written_bytes + bytes
+  | Event.Noc_xfer { bytes; depart; arrive; _ } ->
+    t.noc_xfers <- t.noc_xfers + 1;
+    t.noc_xfer_bytes <- t.noc_xfer_bytes + bytes;
+    t.noc_xfer_cycles <- t.noc_xfer_cycles + (arrive - depart)
+  | Event.Noc_link { link_src; link_dst; enter; leave; queued; _ } ->
+    bump t.link_busy (link_src, link_dst) (leave - enter);
+    observe t.link_queue (link_src, link_dst) (float_of_int queued)
+  | Event.Syscall_exit { op; cycles; _ } ->
+    observe t.syscall_lat op (float_of_int cycles)
+  | Event.Fs_response { op; cycles; _ } ->
+    observe t.fs_lat op (float_of_int cycles)
+  | Event.Pipe_push { bytes; _ } -> t.pipe_pushed <- t.pipe_pushed + bytes
+  | Event.Pipe_pop { bytes; _ } -> t.pipe_popped <- t.pipe_popped + bytes
+  | Event.Vpe_create _ -> t.vpes_created <- t.vpes_created + 1
+  | Event.Vpe_exit _ -> t.vpes_exited <- t.vpes_exited + 1
+  | Event.Dtu_receive _ | Event.Syscall_enter _ | Event.Fs_request _
+  | Event.Vpe_start _ | Event.Pe_spawn _ | Event.Pe_halt _ ->
+    ()
+
+let sink t =
+  { Obs.sink_name = "metrics"; sink_emit = (fun ~at:_ ev -> record t ev) }
+
+let sorted_bindings tbl =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+
+let event_total t = t.events
+let kinds t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.kinds)
+
+let endpoints t =
+  List.map
+    (fun (key, msgs) ->
+      let bytes =
+        match Hashtbl.find_opt t.ep_bytes key with Some r -> !r | None -> 0
+      in
+      (key, !msgs, bytes))
+    (sorted_bindings t.ep_msgs)
+
+let links t =
+  List.map
+    (fun (key, busy) ->
+      let queue =
+        match Hashtbl.find_opt t.link_queue key with
+        | Some s -> s
+        | None -> Stats.create ()
+      in
+      (key, !busy, queue))
+    (sorted_bindings t.link_busy)
+
+let syscalls t = sorted_bindings t.syscall_lat
+let fs_ops t = sorted_bindings t.fs_lat
+
+let dtu_sent_msgs t = t.dtu_sent_msgs
+let dtu_sent_bytes t = t.dtu_sent_bytes
+let dtu_dropped t = t.dtu_dropped
+let mem_read_bytes t = t.mem_read_bytes
+let mem_written_bytes t = t.mem_written_bytes
+let noc_xfers t = t.noc_xfers
+let noc_xfer_bytes t = t.noc_xfer_bytes
+let noc_xfer_cycles t = t.noc_xfer_cycles
+let pipe_bytes t = (t.pipe_pushed, t.pipe_popped)
+let vpes_created t = t.vpes_created
+let vpes_exited t = t.vpes_exited

@@ -1,0 +1,51 @@
+(** Counter/histogram sink: folds the event stream into per-component
+    counters and latency distributions.
+
+    Attach via {!sink}; query after the run. Latencies are
+    {!M3_sim.Stats.t} values, so p50/p95/p99 come from
+    [Stats.percentile]. The harness renders these as the per-experiment
+    summary table ([M3_harness.Report.print_obs]). *)
+
+type t
+
+val create : unit -> t
+val sink : t -> Obs.sink
+
+val event_total : t -> int
+
+(** [(kind, count)] sorted by kind name, e.g. [("dtu.send", 412)]. *)
+val kinds : t -> (string * int) list
+
+(** Per send-endpoint traffic: [((pe, ep), messages, wire_bytes)]. *)
+val endpoints : t -> ((int * int) * int * int) list
+
+(** Per directed NoC link: [((src, dst), busy_cycles, queueing_delay)].
+    The queueing delay distribution is per packet crossing the link. *)
+val links : t -> ((int * int) * int * M3_sim.Stats.t) list
+
+(** Client-observed syscall latency per opcode. *)
+val syscalls : t -> (string * M3_sim.Stats.t) list
+
+(** m3fs server-side handling latency per operation. *)
+val fs_ops : t -> (string * M3_sim.Stats.t) list
+
+val dtu_sent_msgs : t -> int
+
+(** Sum of wire bytes (header + payload) over all traced DTU sends and
+    replies. *)
+val dtu_sent_bytes : t -> int
+
+val dtu_dropped : t -> int
+val mem_read_bytes : t -> int
+val mem_written_bytes : t -> int
+val noc_xfers : t -> int
+val noc_xfer_bytes : t -> int
+
+(** Sum over transfers of [arrive - depart]. *)
+val noc_xfer_cycles : t -> int
+
+(** [(pushed, popped)] pipe payload bytes. *)
+val pipe_bytes : t -> int * int
+
+val vpes_created : t -> int
+val vpes_exited : t -> int

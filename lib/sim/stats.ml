@@ -4,13 +4,33 @@ type t = {
   mutable m2 : float;
   mutable min : float;
   mutable max : float;
+  (* Observations are retained for order statistics; [sorted] caches
+     whether samples.(0..count-1) is currently in ascending order. *)
+  mutable samples : float array;
+  mutable sorted : bool;
 }
 
 let create () =
-  { count = 0; mean = 0.0; m2 = 0.0; min = infinity; max = neg_infinity }
+  {
+    count = 0;
+    mean = 0.0;
+    m2 = 0.0;
+    min = infinity;
+    max = neg_infinity;
+    samples = [||];
+    sorted = true;
+  }
 
 (* Welford's online algorithm. *)
 let add t x =
+  if t.count >= Array.length t.samples then begin
+    let cap = Stdlib.max 16 (2 * Array.length t.samples) in
+    let grown = Array.make cap 0.0 in
+    Array.blit t.samples 0 grown 0 t.count;
+    t.samples <- grown
+  end;
+  t.samples.(t.count) <- x;
+  t.sorted <- t.sorted && (t.count = 0 || t.samples.(t.count - 1) <= x);
   t.count <- t.count + 1;
   let delta = x -. t.mean in
   t.mean <- t.mean +. (delta /. float_of_int t.count);
@@ -28,6 +48,24 @@ let stddev t =
 let min t = t.min
 
 let max t = t.max
+
+let percentile t p =
+  if t.count = 0 then 0.0
+  else begin
+    if not t.sorted then begin
+      let live = Array.sub t.samples 0 t.count in
+      Array.sort compare live;
+      t.samples <- live;
+      t.sorted <- true
+    end;
+    let p = Stdlib.min 100.0 (Stdlib.max 0.0 p) in
+    (* Linear interpolation between closest ranks. *)
+    let rank = p /. 100.0 *. float_of_int (t.count - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = Stdlib.min (t.count - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    t.samples.(lo) +. (frac *. (t.samples.(hi) -. t.samples.(lo)))
+  end
 
 let of_list xs =
   let t = create () in

@@ -16,5 +16,13 @@ val stddev : t -> float
 val min : t -> float
 val max : t -> float
 
+(** [percentile t p] is the [p]-th percentile ([p] in [0..100], clamped)
+    with linear interpolation between closest ranks: 0 observations
+    yield [0.0], one observation yields that value for every [p], two
+    observations interpolate between them (so [percentile t 50.0] is
+    their midpoint). Observations are retained internally to support
+    this; cost is O(n log n) on the first query after an [add]. *)
+val percentile : t -> float -> float
+
 (** [of_list xs] summarizes a list of observations. *)
 val of_list : float list -> t

@@ -289,6 +289,37 @@ let test_stats () =
   Alcotest.(check (float 1e-9)) "min" 2.0 (Stats.min s);
   Alcotest.(check (float 1e-9)) "max" 9.0 (Stats.max s)
 
+let test_percentile () =
+  let chk name expect got = Alcotest.(check (float 1e-9)) name expect got in
+  (* 0 observations: every percentile is 0. *)
+  let empty = Stats.create () in
+  chk "empty p0" 0.0 (Stats.percentile empty 0.0);
+  chk "empty p50" 0.0 (Stats.percentile empty 50.0);
+  chk "empty p100" 0.0 (Stats.percentile empty 100.0);
+  (* 1 observation: every percentile is that value. *)
+  let one = Stats.of_list [ 42.0 ] in
+  chk "one p0" 42.0 (Stats.percentile one 0.0);
+  chk "one p50" 42.0 (Stats.percentile one 50.0);
+  chk "one p99" 42.0 (Stats.percentile one 99.0);
+  chk "one p100" 42.0 (Stats.percentile one 100.0);
+  (* 2 observations: linear interpolation between them. *)
+  let two = Stats.of_list [ 10.0; 20.0 ] in
+  chk "two p0" 10.0 (Stats.percentile two 0.0);
+  chk "two p25" 12.5 (Stats.percentile two 25.0);
+  chk "two p50" 15.0 (Stats.percentile two 50.0);
+  chk "two p100" 20.0 (Stats.percentile two 100.0);
+  (* Insertion order must not matter, and out-of-range p is clamped. *)
+  let s = Stats.of_list [ 9.0; 2.0; 5.0; 4.0; 7.0; 4.0; 5.0; 4.0 ] in
+  chk "p0 = min" 2.0 (Stats.percentile s 0.0);
+  chk "p100 = max" 9.0 (Stats.percentile s 100.0);
+  chk "p50" 4.5 (Stats.percentile s 50.0);
+  chk "clamp low" 2.0 (Stats.percentile s (-10.0));
+  chk "clamp high" 9.0 (Stats.percentile s 1000.0);
+  (* Adding after a query invalidates the cached order. *)
+  Stats.add s 1.0;
+  chk "after add, p0" 1.0 (Stats.percentile s 0.0);
+  check_int "count grows" 9 (Stats.count s)
+
 let qcheck_heap_sorts =
   QCheck.Test.make ~name:"heap drains keys in sorted order" ~count:200
     QCheck.(list small_int)
@@ -349,6 +380,10 @@ let suites =
         tc "fill_bytes stays in slice" test_rng_fill_bytes;
       ] );
     ( "sim.accounting",
-      [ tc "account arithmetic" test_account; tc "stats summary" test_stats ]
+      [
+        tc "account arithmetic" test_account;
+        tc "stats summary" test_stats;
+        tc "stats percentiles" test_percentile;
+      ]
     );
   ]
