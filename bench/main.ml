@@ -7,7 +7,9 @@
      dune exec bench/main.exe             # everything
      dune exec bench/main.exe fig3 fig5   # selected experiments
      dune exec bench/main.exe --no-bechamel
-     dune exec bench/main.exe --bechamel-only *)
+     dune exec bench/main.exe --bechamel-only
+     dune exec bench/main.exe --quick     # CI smoke: one pass over the
+                                          # scaled-down kernels, no bechamel *)
 
 open M3_harness
 
@@ -327,6 +329,31 @@ let write_results_json ~bechamel_rows path =
       output_char oc '\n');
   Format.fprintf ppf "machine-readable results written to %s@." path
 
+(* --- quick smoke (CI) --------------------------------------------------- *)
+
+(* One pass over each scaled-down kernel: exercises boot, the
+   filesystem, trace replay, pipes and the FFT model end-to-end in a
+   few seconds, without bechamel's repeated sampling or the full-size
+   figure runs. *)
+let run_quick () =
+  let kernels =
+    [
+      ("fig3/null-syscall-sim", kernel_fig3);
+      ("fig4/fragmented-read-sim", kernel_fig4);
+      ("fig5/find-replay-sim", kernel_fig5);
+      ("fig6/cat-tr-2pe-sim", kernel_fig6);
+      ("fig7/fft-2048", kernel_fig7);
+      ("t2/linux-create-model", kernel_t2);
+    ]
+  in
+  Format.fprintf ppf "Quick smoke: one pass per benchmark kernel@.";
+  List.iter
+    (fun (name, f) ->
+      f ();
+      Format.fprintf ppf "  %-40s ok@." name)
+    kernels;
+  Format.fprintf ppf "quick smoke passed (%d kernels)@." (List.length kernels)
+
 (* --- bechamel ---------------------------------------------------------- *)
 
 let run_bechamel () =
@@ -369,6 +396,10 @@ let run_bechamel () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--quick" args then begin
+    run_quick ();
+    exit 0
+  end;
   let no_bechamel = List.mem "--no-bechamel" args in
   let bechamel_only = List.mem "--bechamel-only" args in
   let wanted =

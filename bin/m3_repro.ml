@@ -180,6 +180,38 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const trace $ which $ out $ verbose)
 
+(* --- faults ----------------------------------------------------------------- *)
+
+let faults_cmd =
+  let fault_names = M3_harness.Faults.names in
+  let which =
+    let doc =
+      Printf.sprintf "Workloads to sweep (any of %s)."
+        (String.concat ", " fault_names)
+    in
+    Arg.(
+      value
+      & pos_all (enum (List.map (fun n -> (n, n)) fault_names)) []
+      & info [] ~doc ~docv:"EXPERIMENT")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
+  in
+  let faults which verbose =
+    setup_logs verbose;
+    let which = if which = [] then fault_names else which in
+    List.iter
+      (fun name ->
+        M3_harness.Faults.print ppf (M3_harness.Faults.run name);
+        Format.fprintf ppf "@.")
+      which
+  in
+  let doc =
+    "Sweep injected message-drop rates against a workload and report how \
+     the DTU's retransmit/NACK machinery absorbs them."
+  in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ which $ verbose)
+
 (* --- stats ------------------------------------------------------------------ *)
 
 let stats_cmd =
@@ -237,4 +269,5 @@ let () =
   let info = Cmd.info "m3_repro" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; trace_cmd; platform_cmd; demo_cmd; stats_cmd ]))
+       (Cmd.group info
+          [ run_cmd; trace_cmd; faults_cmd; platform_cmd; demo_cmd; stats_cmd ]))

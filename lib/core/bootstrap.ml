@@ -9,13 +9,17 @@ type t = {
   kernel : Kernel.t;
 }
 
-let start ?platform_config ?fs ?(no_fs = false) ?obs engine =
+let start ?platform_config ?fs ?(no_fs = false) ?obs ?faults engine =
   let platform = Platform.create ?config:platform_config engine in
   (* Install the bus before the kernel boots so bring-up traffic is
      traced too. *)
   Option.iter
     (fun o -> M3_noc.Fabric.set_obs (Platform.fabric platform) o)
     obs;
+  (* Same for the fault plan: boot traffic runs under injection too. *)
+  Option.iter
+    (fun p -> M3_noc.Fabric.set_faults (Platform.fabric platform) p)
+    faults;
   let kernel = Kernel.create platform ~kernel_pe:0 in
   ignore (Kernel.boot kernel);
   (* Devices run their hardware behavior from reset. *)

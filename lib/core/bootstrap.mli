@@ -19,13 +19,15 @@ type t = {
     and launches m3fs with configuration [fs] (seed files etc.;
     defaults to an empty 16 MiB filesystem). [obs], if given, is
     installed on the fabric before the kernel boots, so bring-up
-    traffic is observable too. Nothing has executed yet — the caller
-    drives the engine. *)
+    traffic is observable too. [faults], if given, attaches a fault
+    plan to the fabric the same way (boot traffic included). Nothing
+    has executed yet — the caller drives the engine. *)
 val start :
   ?platform_config:M3_hw.Platform.config ->
   ?fs:(dram:M3_mem.Store.t -> M3fs.config) ->
   ?no_fs:bool ->
   ?obs:M3_obs.Obs.t ->
+  ?faults:M3_fault.Plan.t ->
   M3_sim.Engine.t ->
   t
 

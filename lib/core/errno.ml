@@ -14,6 +14,7 @@ type t =
   | E_eof
   | E_vpe_gone
   | E_no_credits
+  | E_timeout
   | E_dtu of string
 
 let to_string = function
@@ -32,6 +33,7 @@ let to_string = function
   | E_eof -> "end of file"
   | E_vpe_gone -> "VPE gone"
   | E_no_credits -> "no credits"
+  | E_timeout -> "timed out"
   | E_dtu m -> "hardware error: " ^ m
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -52,6 +54,7 @@ let to_int = function
   | E_eof -> 12
   | E_vpe_gone -> 13
   | E_no_credits -> 15
+  | E_timeout -> 16
   | E_dtu _ -> 14
 
 let of_int = function
@@ -70,6 +73,7 @@ let of_int = function
   | 12 -> E_eof
   | 13 -> E_vpe_gone
   | 15 -> E_no_credits
+  | 16 -> E_timeout
   | _ -> E_dtu "remote"
 
 let equal a b = to_int a = to_int b

@@ -16,6 +16,7 @@ type t =
   | E_eof            (** end of file / pipe closed *)
   | E_vpe_gone       (** VPE already dead *)
   | E_no_credits     (** send gate out of credits (flow control) *)
+  | E_timeout        (** watchdog expired on a round-trip *)
   | E_dtu of string  (** unexpected hardware-level failure *)
 
 val equal : t -> t -> bool

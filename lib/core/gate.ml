@@ -84,14 +84,26 @@ let reply (env : Env.t) g ~slot payload =
 
 let ack (env : Env.t) g ~slot = Dtu.ack env.dtu ~ep:g.rg_ep ~slot
 
+(* Client-side watchdog on service calls, armed only when a fault plan
+   is attached (same rationale as Syscalls.syscall_watchdog). *)
+let call_watchdog = 5_000_000
+
 (* Request/response to a service: like a syscall, the blocked time is
    split into the two NoC crossings (Xfer) and the server's share (Os). *)
 let call (env : Env.t) g ~reply_gate payload =
   let t0 = Engine.now env.engine in
   match send env g payload ~reply:(reply_gate, 0L) () with
   | Error e -> Error e
-  | Ok () ->
-    let msg = Dtu.wait_msg env.dtu ~ep:reply_gate.rg_ep in
+  | Ok () -> (
+    let plan = M3_noc.Fabric.faults env.fabric in
+    let reply_msg =
+      if M3_fault.Plan.enabled plan then
+        Dtu.wait_msg_for env.dtu ~ep:reply_gate.rg_ep ~timeout:call_watchdog
+      else Some (Dtu.wait_msg env.dtu ~ep:reply_gate.rg_ep)
+    in
+    match reply_msg with
+    | None -> Error Errno.E_timeout
+    | Some msg ->
     let blocked = Engine.now env.engine - t0 in
     (* Without knowing the receiver's PE here, approximate both
        crossings with the kernel-distance estimate; services sit next
@@ -108,7 +120,7 @@ let call (env : Env.t) g ~reply_gate payload =
     Env.charge env Account.Os Cost_model.wakeup;
     Env.charge_marshal env (Bytes.length msg.payload);
     Dtu.ack env.dtu ~ep:reply_gate.rg_ep ~slot:msg.slot;
-    Ok msg.payload
+    Ok msg.payload)
 
 let mem_op env (g : mem_gate) ~off ~len ~f =
   if env.Env.spin_transfers then begin

@@ -273,8 +273,27 @@ let start_program t vpe ~prog ~args =
 
 (* --- kernel <-> service channel ------------------------------------- *)
 
+(* Watchdog on kernel->service round-trips, armed only when a fault
+   plan is attached: a dead or wedged service PE must not take the
+   kernel loop down with it. Kept below the client-side syscall
+   watchdog so the kernel answers E_timeout before clients give up. *)
+let service_watchdog = 2_000_000
+
 let service_request t (srv : srv_obj) ~payload =
   let rg = srv.srv_krgate in
+  let plan = M3_noc.Fabric.faults t.fabric in
+  (* A previous timed-out round-trip may have left its late reply in
+     the ringbuffer; drop it rather than let it answer this request. *)
+  if M3_fault.Plan.enabled plan then begin
+    let rec drain () =
+      match Dtu.fetch (kdtu t) ~ep:kep_reply with
+      | Some stale ->
+        Dtu.ack (kdtu t) ~ep:kep_reply ~slot:stale.slot;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  end;
   dtu_exn
     (Dtu.config_local (kdtu t) ~ep:kep_service
        (Endpoint.Send
@@ -286,9 +305,22 @@ let service_request t (srv : srv_obj) ~payload =
             credits = Endpoint.Unlimited;
           }));
   dtu_exn (Dtu.send (kdtu t) ~ep:kep_service ~payload ~reply:(kep_reply, 0L) ());
-  let msg = Dtu.wait_msg (kdtu t) ~ep:kep_reply in
-  Dtu.ack (kdtu t) ~ep:kep_reply ~slot:msg.slot;
-  msg.payload
+  let reply_msg =
+    if M3_fault.Plan.enabled plan then
+      Dtu.wait_msg_for (kdtu t) ~ep:kep_reply ~timeout:service_watchdog
+    else Some (Dtu.wait_msg (kdtu t) ~ep:kep_reply)
+  in
+  match reply_msg with
+  | Some msg ->
+    Dtu.ack (kdtu t) ~ep:kep_reply ~slot:msg.slot;
+    msg.payload
+  | None ->
+    Log.warn (fun m ->
+        m "kernel: service %s request timed out after %d cycles"
+          srv.srv_name service_watchdog);
+    let w = W.create () in
+    W.u64 w (Errno.to_int Errno.E_timeout);
+    W.contents w
 
 (* --- syscall handlers ------------------------------------------------ *)
 

@@ -16,6 +16,12 @@ module Log = (val Logs.src_log src : Logs.LOG)
 
 let dtu_err e = Errno.E_dtu (M3_dtu.Dtu_error.to_string e)
 
+(* Client-side watchdog on the syscall round-trip, armed only when a
+   fault plan is attached. Must exceed the kernel's own service
+   watchdog so a nested kernel->service round-trip times out at the
+   kernel (which then replies E_timeout) before the client gives up. *)
+let syscall_watchdog = 5_000_000
+
 (* Issues one syscall: marshal, send via EP 0, block for the reply on
    EP 1, unmarshal. Splits the blocked time into the two NoC crossings
    (Xfer) and the kernel's share (Os). *)
@@ -47,14 +53,41 @@ let syscall ?(idle_wait = false) (env : Env.t) op fill =
   Env.charge_marshal env (W.size w);
   Env.charge env Account.Os Cost_model.syscall_program_dtu;
   let payload = W.contents w in
+  let plan = Fabric.faults env.fabric in
+  (* Under faults a previous timed-out syscall may have left its late
+     reply in the ringbuffer; it must not answer this call. *)
+  if M3_fault.Plan.enabled plan then begin
+    let rec drain () =
+      match Dtu.fetch env.dtu ~ep:Env.ep_syscall_reply with
+      | Some stale ->
+        Dtu.ack env.dtu ~ep:Env.ep_syscall_reply ~slot:stale.slot;
+        drain ()
+      | None -> ()
+    in
+    drain ()
+  end;
   let t0 = Engine.now env.engine in
   match
     Dtu.send env.dtu ~ep:Env.ep_syscall_send ~payload
       ~reply:(Env.ep_syscall_reply, 0L) ()
   with
   | Error e -> finish false (Error (dtu_err e))
-  | Ok () ->
-    let msg = Dtu.wait_msg env.dtu ~ep:Env.ep_syscall_reply in
+  | Ok () -> (
+    (* vpe_wait legitimately blocks for as long as the child runs, so
+       the watchdog only guards calls the kernel answers promptly. *)
+    let reply_msg =
+      if M3_fault.Plan.enabled plan && not idle_wait then
+        Dtu.wait_msg_for env.dtu ~ep:Env.ep_syscall_reply
+          ~timeout:syscall_watchdog
+      else Some (Dtu.wait_msg env.dtu ~ep:Env.ep_syscall_reply)
+    in
+    match reply_msg with
+    | None ->
+      Log.warn (fun m ->
+          m "vpe%d: syscall %s timed out after %d cycles" env.vpe_id
+            (Proto.opcode_name op) syscall_watchdog);
+      finish false (Error Errno.E_timeout)
+    | Some msg ->
     let blocked = Engine.now env.engine - t0 in
     let xfer =
       min blocked
@@ -76,7 +109,7 @@ let syscall ?(idle_wait = false) (env : Env.t) op fill =
       Log.debug (fun m ->
           m "vpe%d: syscall %s failed: %s" env.vpe_id (Proto.opcode_name op)
             (Errno.to_string e));
-      finish false (Error e))
+      finish false (Error e)))
 
 let unit_reply = function Ok (_ : R.t) -> Ok () | Error e -> Error e
 

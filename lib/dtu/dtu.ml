@@ -62,6 +62,9 @@ type t = {
   mutable msgs_sent : int;
   mutable msgs_received : int;
   mutable msgs_dropped : int;
+  mutable credits_refunded : int;
+  mutable retransmits : int;
+  mutable msgs_expired : int;
   mutable mem_read : int;
   mutable mem_written : int;
 }
@@ -81,6 +84,9 @@ let create engine fabric ~pe ~spm ~ep_count =
     msgs_sent = 0;
     msgs_received = 0;
     msgs_dropped = 0;
+    credits_refunded = 0;
+    retransmits = 0;
+    msgs_expired = 0;
     mem_read = 0;
     mem_written = 0;
   }
@@ -172,74 +178,191 @@ let config_local t ~ep config =
 
 (* --- message delivery (runs at the receiving DTU) ------------------- *)
 
+let faults t = Fabric.faults t.fabric
+
 let refill_credits t crd_ep =
   if crd_ep >= 0 && crd_ep < Array.length t.eps then
     match t.eps.(crd_ep) with
     | S_send s -> (
       match s.s_max with
-      | Endpoint.Credits max -> s.s_cur <- min max (s.s_cur + 1)
-      | Endpoint.Unlimited -> ())
-    | S_invalid | S_recv _ | S_mem _ -> ()
+      | Endpoint.Credits max ->
+        s.s_cur <- min max (s.s_cur + 1);
+        true
+      | Endpoint.Unlimited -> false)
+    | S_invalid | S_recv _ | S_mem _ -> false
+  else false
+
+(* A NACKed delivery hands the consumed credit back to the sending EP
+   (bugfix: drops used to leak Credits n bandwidth permanently). *)
+let refund_credit t ~ep = if refill_credits t ep then t.credits_refunded <- t.credits_refunded + 1
 
 let obs_drop t ~ep ~src_pe ~msg ~reason =
   let obs = Fabric.obs t.fabric in
   if Obs.enabled obs then
     Obs.emit obs (Event.Dtu_drop { pe = t.pe; ep; src_pe; msg; reason })
 
+(* Outcome reported back to the sending DTU: [Rejected] travels as a
+   NACK packet over the fabric. *)
+type deliver_result =
+  | Accepted
+  | Rejected of string
+
 let deliver_message t ~dst_ep ~(header : Header.t) ~payload ~msg =
-  if header.is_reply then refill_credits t header.crd_ep;
-  match
-    if dst_ep < 0 || dst_ep >= Array.length t.eps then S_invalid
-    else t.eps.(dst_ep)
-  with
-  | S_recv r ->
-    let slot_size = Endpoint.slot_size ~slot_order:r.r_slot_order in
-    if Header.size + Bytes.length payload > slot_size || r.r_occupied.(r.r_wpos)
-    then begin
+  if
+    M3_fault.Plan.enabled (faults t)
+    && header.checksum <> Header.payload_checksum payload
+  then begin
+    t.msgs_dropped <- t.msgs_dropped + 1;
+    obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason:"corrupt";
+    Log.warn (fun m ->
+        m "pe%d ep%d: dropped message from pe%d (checksum mismatch)" t.pe dst_ep
+          header.sender_pe);
+    Rejected "corrupt"
+  end
+  else
+    match
+      if dst_ep < 0 || dst_ep >= Array.length t.eps then S_invalid
+      else t.eps.(dst_ep)
+    with
+    | S_recv r ->
+      let slot_size = Endpoint.slot_size ~slot_order:r.r_slot_order in
+      if
+        Header.size + Bytes.length payload > slot_size || r.r_occupied.(r.r_wpos)
+      then begin
+        t.msgs_dropped <- t.msgs_dropped + 1;
+        let reason =
+          if r.r_occupied.(r.r_wpos) then "ringbuffer full" else "oversize"
+        in
+        obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason;
+        Log.warn (fun m ->
+            m "pe%d ep%d: dropped message from pe%d (%s)" t.pe dst_ep
+              header.sender_pe reason);
+        Rejected reason
+      end
+      else begin
+        (* The reply credit refills only on an accepted delivery; a
+           rejected reply refunds through the NACK path instead, so a
+           retried reply cannot refill twice. *)
+        if header.is_reply then ignore (refill_credits t header.crd_ep);
+        let slot = r.r_wpos in
+        let addr = r.r_buf_addr + (slot * slot_size) in
+        Header.write t.spm ~addr header;
+        Store.write_bytes t.spm ~addr:(addr + Header.size) payload ~pos:0
+          ~len:(Bytes.length payload);
+        r.r_occupied.(slot) <- true;
+        r.r_unread.(slot) <- true;
+        r.r_wpos <- (slot + 1) mod r.r_slot_count;
+        t.msgs_received <- t.msgs_received + 1;
+        let obs = Fabric.obs t.fabric in
+        if Obs.enabled obs then
+          Obs.emit obs
+            (Event.Dtu_receive
+               {
+                 pe = t.pe;
+                 ep = dst_ep;
+                 src_pe = header.sender_pe;
+                 bytes = Bytes.length payload;
+                 msg;
+               });
+        Process.Waitq.broadcast t.ep_waiters.(dst_ep) ();
+        Accepted
+      end
+    | S_invalid | S_send _ | S_mem _ ->
       t.msgs_dropped <- t.msgs_dropped + 1;
-      let reason =
-        if r.r_occupied.(r.r_wpos) then "ringbuffer full" else "oversize"
-      in
-      obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason;
-      Log.warn (fun m ->
-          m "pe%d ep%d: dropped message from pe%d (%s)" t.pe dst_ep
-            header.sender_pe reason)
-    end
-    else begin
-      let slot = r.r_wpos in
-      let addr = r.r_buf_addr + (slot * slot_size) in
-      Header.write t.spm ~addr header;
-      Store.write_bytes t.spm ~addr:(addr + Header.size) payload ~pos:0
-        ~len:(Bytes.length payload);
-      r.r_occupied.(slot) <- true;
-      r.r_unread.(slot) <- true;
-      r.r_wpos <- (slot + 1) mod r.r_slot_count;
-      t.msgs_received <- t.msgs_received + 1;
+      obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason:"no recv ep";
+      Rejected "no recv ep"
+
+(* Failures that can clear on their own (transient loss, a momentarily
+   full ringbuffer, corruption) are worth retransmitting; a message
+   that does not fit the channel, or a target without a DTU, never
+   improves. *)
+let retryable = function
+  | "oversize" | "no recv ep" | "no dtu" -> false
+  | _ -> true
+
+(* [transmit] sends one attempt; [handle_failure] runs at the sending
+   DTU when the attempt's NACK arrives and either schedules a
+   retransmit (bounded, exponential backoff — only with a fault plan
+   attached) or gives up and refunds the credit. *)
+let rec transmit t ~dst_pe ~dst_ep ~(header : Header.t) ~payload ~msg ~attempt =
+  let wire = Header.size + Bytes.length payload in
+  if attempt = 0 then t.msgs_sent <- t.msgs_sent + 1
+  else t.retransmits <- t.retransmits + 1;
+  let nack reason =
+    (* The rejecting side signals the sender with a small control
+       packet; control traffic is modelled as reliable. *)
+    Fabric.transfer t.fabric ~src:dst_pe ~dst:t.pe ~bytes:request_bytes
+      ~on_deliver:(fun () ->
+        handle_failure t ~dst_pe ~dst_ep ~header ~payload ~msg ~attempt reason)
+  in
+  let deliver payload =
+    match t.dtu_of dst_pe with
+    | Some dst -> (
+      match deliver_message dst ~dst_ep ~header ~payload ~msg with
+      | Accepted -> ()
+      | Rejected reason -> nack reason)
+    | None ->
+      t.msgs_dropped <- t.msgs_dropped + 1;
+      nack "no dtu"
+  in
+  Fabric.transfer ~msg t.fabric ~src:t.pe ~dst:dst_pe ~bytes:wire
+    ~on_fault:(fun fault ->
+      match fault with
+      | Fabric.Lost reason -> nack reason
+      | Fabric.Corrupted ->
+        (* Damage a copy; the receiving DTU's checksum check turns the
+           corruption into a NACK. *)
+        let damaged = Bytes.copy payload in
+        M3_fault.Plan.corrupt_bytes (faults t) damaged;
+        deliver damaged)
+    ~on_deliver:(fun () -> deliver payload)
+
+and handle_failure t ~dst_pe ~dst_ep ~(header : Header.t) ~payload ~msg ~attempt
+    reason =
+  let plan = faults t in
+  if
+    M3_fault.Plan.enabled plan && retryable reason
+    && attempt < M3_fault.Plan.max_retries plan
+  then begin
+    let backoff = M3_fault.Plan.backoff plan ~attempt in
+    let obs = Fabric.obs t.fabric in
+    if Obs.enabled obs then
+      Obs.emit obs (Event.Dtu_retry { pe = t.pe; dst_pe; msg; attempt; backoff });
+    Engine.schedule t.engine ~delay:backoff (fun () ->
+        transmit t ~dst_pe ~dst_ep ~header ~payload ~msg ~attempt:(attempt + 1))
+  end
+  else begin
+    if attempt > 0 then t.msgs_expired <- t.msgs_expired + 1;
+    let obs = Fabric.obs t.fabric in
+    if Obs.enabled obs then
+      Obs.emit obs
+        (Event.Dtu_nack { pe = t.pe; ep = header.crd_ep; dst_pe; msg; reason });
+    Log.debug (fun m ->
+        m "pe%d: giving up on msg to pe%d.ep%d after %d attempt(s) (%s)" t.pe
+          dst_pe dst_ep (attempt + 1) reason);
+    (* A failed reply refunds the destination's send EP (the client that
+       the reply would have refilled); a failed send refunds our own. *)
+    if header.is_reply then (
+      match t.dtu_of dst_pe with
+      | Some dst -> refund_credit dst ~ep:header.crd_ep
+      | None -> ())
+    else refund_credit t ~ep:header.crd_ep
+  end
+
+(* DTU command acceptance: the fixed decode latency, plus any stall an
+   attached fault plan injects. *)
+let accept_command t =
+  Process.wait cmd_latency;
+  let plan = faults t in
+  if M3_fault.Plan.enabled plan then begin
+    let extra = M3_fault.Plan.stall plan ~pe:t.pe in
+    if extra > 0 then begin
       let obs = Fabric.obs t.fabric in
       if Obs.enabled obs then
-        Obs.emit obs
-          (Event.Dtu_receive
-             {
-               pe = t.pe;
-               ep = dst_ep;
-               src_pe = header.sender_pe;
-               bytes = Bytes.length payload;
-               msg;
-             });
-      Process.Waitq.broadcast t.ep_waiters.(dst_ep) ()
+        Obs.emit obs (Event.Fault_stall { pe = t.pe; cycles = extra });
+      Process.wait extra
     end
-  | S_invalid | S_send _ | S_mem _ ->
-    t.msgs_dropped <- t.msgs_dropped + 1;
-    obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason:"no recv ep"
-
-let transmit t ~dst_pe ~dst_ep ~header ~payload ~msg =
-  let wire = Header.size + Bytes.length payload in
-  t.msgs_sent <- t.msgs_sent + 1;
-  Fabric.transfer ~msg t.fabric ~src:t.pe ~dst:dst_pe ~bytes:wire
-    ~on_deliver:(fun () ->
-      match t.dtu_of dst_pe with
-      | Some dst -> deliver_message dst ~dst_ep ~header ~payload ~msg
-      | None -> t.msgs_dropped <- t.msgs_dropped + 1)
+  end
 
 (* --- software-facing commands --------------------------------------- *)
 
@@ -260,7 +383,7 @@ let send t ~ep ~payload ?reply () =
         (match s.s_max with
         | Endpoint.Credits _ -> s.s_cur <- s.s_cur - 1
         | Endpoint.Unlimited -> ());
-        Process.wait cmd_latency;
+        accept_command t;
         let reply_ep, reply_label, has_reply =
           match reply with
           | Some (ep', label') -> (ep', label', true)
@@ -276,6 +399,10 @@ let send t ~ep ~payload ?reply () =
             reply_label;
             has_reply;
             is_reply = false;
+            checksum =
+              (if M3_fault.Plan.enabled (faults t) then
+                 Header.payload_checksum payload
+               else 0);
           }
         in
         let obs = Fabric.obs t.fabric in
@@ -293,7 +420,7 @@ let send t ~ep ~payload ?reply () =
                  reply = false;
                });
         transmit t ~dst_pe:s.s_dst_pe ~dst_ep:s.s_dst_ep ~header
-          ~payload:(Bytes.copy payload) ~msg;
+          ~payload:(Bytes.copy payload) ~msg ~attempt:0;
         Ok ()
       end
     end
@@ -309,7 +436,7 @@ let reply t ~ep ~slot ~payload =
     let header = Header.read t.spm ~addr:(slot_addr r slot) in
     if not header.has_reply then Error Dtu_error.No_reply_cap
     else begin
-      Process.wait cmd_latency;
+      accept_command t;
       let reply_header =
         {
           Header.length = Bytes.length payload;
@@ -320,6 +447,10 @@ let reply t ~ep ~slot ~payload =
           reply_label = 0L;
           has_reply = false;
           is_reply = true;
+          checksum =
+            (if M3_fault.Plan.enabled (faults t) then
+               Header.payload_checksum payload
+             else 0);
         }
       in
       (* Replying acks the slot: the reply info must not be reusable. *)
@@ -340,7 +471,7 @@ let reply t ~ep ~slot ~payload =
                reply = true;
              });
       transmit t ~dst_pe:header.sender_pe ~dst_ep:header.reply_ep
-        ~header:reply_header ~payload:(Bytes.copy payload) ~msg;
+        ~header:reply_header ~payload:(Bytes.copy payload) ~msg ~attempt:0;
       Ok ()
     end
   | S_recv _ -> Error Dtu_error.Invalid_ep
@@ -368,11 +499,23 @@ let fetch t ~ep =
     scan 0 r.r_rpos
   | S_invalid | S_send _ | S_mem _ -> None
 
+let is_recv t ep = match t.eps.(ep) with S_recv _ -> true | _ -> false
+
+(* A waiter woken on an EP that was a live receive EP when it parked
+   and is invalid now has been revoked out from under it (Invalidate /
+   Reset): re-parking would hang forever, so surface the revocation.
+   An EP that was already unconfigured keeps the old behavior — the
+   waiter polls again after the kernel's Config broadcast. *)
+let check_revoked t ~ep ~was_recv =
+  if was_recv && not (is_recv t ep) then raise (Dtu_error.Error Dtu_error.Invalid_ep)
+
 let rec wait_msg t ~ep =
   match fetch t ~ep with
   | Some msg -> msg
   | None ->
+    let was_recv = is_recv t ep in
     Process.Waitq.park t.ep_waiters.(ep);
+    check_revoked t ~ep ~was_recv;
     wait_msg t ~ep
 
 let wait_reconfig t ~ep =
@@ -390,9 +533,53 @@ let rec wait_any t ~eps =
   match poll eps with
   | Some hit -> hit
   | None ->
+    let was_recv = List.map (fun ep -> (ep, is_recv t ep)) eps in
     Process.suspend (fun resume ->
-        List.iter (fun ep -> Process.Waitq.register t.ep_waiters.(ep) resume) eps);
+        (* One registration per queue, all cancelled on the first
+           wakeup so no stale entry outlives the wait (they used to
+           accumulate and absorb later signals). *)
+        let entries = ref [] in
+        let fire v =
+          List.iter Process.Waitq.cancel !entries;
+          resume v
+        in
+        entries :=
+          List.map (fun ep -> Process.Waitq.register t.ep_waiters.(ep) fire) eps);
+    List.iter (fun (ep, was_recv) -> check_revoked t ~ep ~was_recv) was_recv;
     wait_any t ~eps
+
+let wait_msg_for t ~ep ~timeout =
+  check_ep t ep;
+  if timeout <= 0 then invalid_arg "Dtu.wait_msg_for: timeout must be positive";
+  let deadline = Engine.now t.engine + timeout in
+  let rec loop () =
+    match fetch t ~ep with
+    | Some msg -> Some msg
+    | None ->
+      let remaining = deadline - Engine.now t.engine in
+      if remaining <= 0 then None
+      else begin
+        let was_recv = is_recv t ep in
+        let woke =
+          Process.suspend (fun resume ->
+              let entry =
+                Process.Waitq.register t.ep_waiters.(ep) (fun () ->
+                    resume `Signal)
+              in
+              Engine.schedule t.engine ~delay:remaining (fun () ->
+                  (* The entry must die with the timeout, or a later
+                     signal would be absorbed by a waiter that already
+                     gave up. *)
+                  Process.Waitq.cancel entry;
+                  resume `Timeout))
+        in
+        check_revoked t ~ep ~was_recv;
+        match woke with
+        | `Signal -> loop ()
+        | `Timeout -> fetch t ~ep
+      end
+  in
+  loop ()
 
 let ack t ~ep ~slot =
   check_ep t ep;
@@ -418,7 +605,7 @@ let read_mem t ~ep ~off ~local ~len =
   match mem_access t ~ep ~off ~len ~need:Perm.r with
   | Error e -> Error e
   | Ok m ->
-    Process.wait cmd_latency;
+    accept_command t;
     let obs = Fabric.obs t.fabric in
     let msg = Obs.next_msg obs in
     if Obs.enabled obs then
@@ -445,7 +632,7 @@ let write_mem t ~ep ~off ~local ~len =
   match mem_access t ~ep ~off ~len ~need:Perm.w with
   | Error e -> Error e
   | Ok m ->
-    Process.wait cmd_latency;
+    accept_command t;
     (* The data leaves the SPM when the command starts. *)
     let snapshot = Store.read_bytes t.spm ~addr:local ~len in
     let obs = Fabric.obs t.fabric in
@@ -504,12 +691,16 @@ let apply_ext t ~from_privileged action =
     | Raw_read (addr, len) -> Ok (Store.read_bytes t.spm ~addr ~len)
     | Reset ->
       Array.fill t.eps 0 (Array.length t.eps) S_invalid;
+      (* Same as Invalidate: blocked waiters must observe the wipe
+         instead of sleeping forever on endpoints that no longer
+         exist. *)
+      Array.iter (fun q -> Process.Waitq.broadcast q ()) t.ep_waiters;
       Ok Bytes.empty
 
 let ext_command t ~target ~wire_out ~wire_back action =
   if not t.privileged then Error Dtu_error.Not_privileged
   else begin
-    Process.wait cmd_latency;
+    accept_command t;
     let iv = Process.Ivar.create () in
     let from_privileged = t.privileged in
     Fabric.transfer t.fabric ~src:t.pe ~dst:target ~bytes:wire_out
@@ -560,5 +751,12 @@ let ext_reset t ~target =
 let msgs_sent t = t.msgs_sent
 let msgs_received t = t.msgs_received
 let msgs_dropped t = t.msgs_dropped
+let credits_refunded t = t.credits_refunded
+let retransmits t = t.retransmits
+let msgs_expired t = t.msgs_expired
 let mem_bytes_read t = t.mem_read
 let mem_bytes_written t = t.mem_written
+
+let waiters t ~ep =
+  check_ep t ep;
+  Process.Waitq.waiters t.ep_waiters.(ep)

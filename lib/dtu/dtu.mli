@@ -73,12 +73,26 @@ val reply :
 val fetch : t -> ep:int -> Endpoint.message option
 
 (** [wait_msg t ~ep] blocks the calling process until a message is
-    available on [ep], then fetches it. *)
+    available on [ep], then fetches it.
+    @raise Dtu_error.Error [Invalid_ep] if, while the caller is
+    blocked, the endpoint is revoked out from under it
+    ([ext_invalidate]/[ext_reset]) — the revocation must unblock the
+    victim, not strand it. *)
 val wait_msg : t -> ep:int -> Endpoint.message
+
+(** [wait_msg_for t ~ep ~timeout] is {!wait_msg} with a deadline:
+    [None] if no message arrives within [timeout > 0] cycles — the
+    building block for kernel watchdogs on round-trips into
+    possibly-dead PEs.
+    @raise Dtu_error.Error [Invalid_ep] as {!wait_msg}. *)
+val wait_msg_for : t -> ep:int -> timeout:int -> Endpoint.message option
 
 (** [wait_any t ~eps] blocks until any of the receive endpoints in
     [eps] holds a message and returns [(ep, message)] — how a service
-    waits on its kernel channel and its client channel at once. *)
+    waits on its kernel channel and its client channel at once. All
+    queue registrations are released on wake-up.
+    @raise Dtu_error.Error [Invalid_ep] as {!wait_msg}, for any watched
+    endpoint. *)
 val wait_any : t -> eps:int list -> int * Endpoint.message
 
 (** [wait_reconfig t ~ep] parks the calling process until endpoint
@@ -135,9 +149,27 @@ val ext_reset : t -> target:int -> (unit, Dtu_error.t) result
 val msgs_sent : t -> int
 val msgs_received : t -> int
 
-(** [msgs_dropped t] counts ringbuffer overruns — always 0 when
-    senders respect their credits. *)
+(** [msgs_dropped t] counts rejected deliveries (ringbuffer overruns,
+    oversize, unconfigured endpoint, checksum mismatch) plus in-flight
+    losses injected by a fault plan — 0 when senders respect their
+    credits and no plan is attached. *)
 val msgs_dropped : t -> int
+
+(** [credits_refunded t] counts send credits handed back by the NACK
+    path after a failed delivery. *)
+val credits_refunded : t -> int
+
+(** [retransmits t] counts retry attempts issued by this DTU (only
+    nonzero with a fault plan attached). *)
+val retransmits : t -> int
+
+(** [msgs_expired t] counts messages abandoned after exhausting their
+    retransmit budget. *)
+val msgs_expired : t -> int
 
 val mem_bytes_read : t -> int
 val mem_bytes_written : t -> int
+
+(** [waiters t ~ep] is the number of processes currently parked on
+    endpoint [ep] (waitq-hygiene introspection for tests). *)
+val waiters : t -> ep:int -> int

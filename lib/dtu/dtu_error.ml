@@ -19,3 +19,10 @@ let to_string = function
   | Abort -> "aborted"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+exception Error of t
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (Printf.sprintf "Dtu_error.Error(%s)" (to_string e))
+    | _ -> None)

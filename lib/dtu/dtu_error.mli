@@ -12,3 +12,8 @@ type t =
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
+
+(** Raised by blocking waits that cannot return an error value, e.g.
+    {!Dtu.wait_msg} when the kernel invalidates the endpoint under the
+    waiter. *)
+exception Error of t

@@ -1,0 +1,31 @@
+(** Fault-injection robustness sweep (`m3_repro faults <exp>`).
+
+    Runs one workload under increasing injected message-drop rates
+    (0%, 2%, 5%, 10%) with the DTU's bounded-retransmit policy active
+    and reports completion time plus recovery statistics. The claim
+    under test: losses on the message path degrade completion time
+    smoothly instead of wedging the kernel or deadlocking clients. *)
+
+type point = {
+  p_drop : float;
+  p_cycles : int;
+  p_injected : int;
+  p_retransmits : int;
+  p_refunds : int;
+  p_expired : int;
+  p_dropped : int;
+}
+
+type t = {
+  f_exp : string;
+  f_points : point list;
+}
+
+(** Available experiments: ["syscall"], ["read"], ["pipe"]. *)
+val names : string list
+
+(** [run exp] sweeps drop rates for one experiment.
+    @raise Invalid_argument on an unknown name. *)
+val run : string -> t
+
+val print : Format.formatter -> t -> unit

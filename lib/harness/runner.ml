@@ -43,7 +43,7 @@ let snapshot account =
 let observer : (M3_obs.Obs.t -> unit) option ref = ref None
 
 let run_m3 ?(pe_count = 16) ?(dram_mib = 64) ?core_at ?(seeds = [])
-    ?(no_fs = false) app =
+    ?(no_fs = false) ?faults ?inspect app =
   let engine = Engine.create () in
   let dram_size = dram_mib * 1024 * 1024 in
   let config =
@@ -64,7 +64,9 @@ let run_m3 ?(pe_count = 16) ?(dram_mib = 64) ?core_at ?(seeds = [])
       attach o;
       Some o
   in
-  let sys = M3.Bootstrap.start ~platform_config:config ~fs ~no_fs ?obs engine in
+  let sys =
+    M3.Bootstrap.start ~platform_config:config ~fs ~no_fs ?obs ?faults engine
+  in
   let account = Account.create () in
   let result = ref zero_measure in
   let exit =
@@ -88,6 +90,7 @@ let run_m3 ?(pe_count = 16) ?(dram_mib = 64) ?core_at ?(seeds = [])
   in
   ignore (Engine.run engine);
   M3.Bootstrap.expect_exit sys exit;
+  Option.iter (fun f -> f sys.M3.Bootstrap.platform) inspect;
   !result
 
 let run_linux ?(cache_ideal = false) ?(arch = M3_linux.Arch.xtensa) ?(seeds = [])

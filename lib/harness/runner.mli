@@ -37,13 +37,17 @@ val serialized : measure -> measure
     everything inside the bracket contributes to the returned measure
     (wall cycles and account delta — including work that child VPEs
     charge while it runs). [ring] is unused here but kept for scenario
-    parameter plumbing. *)
+    parameter plumbing. [faults] attaches a fault plan before boot;
+    [inspect] runs against the platform after the app has exited
+    (e.g. to collect DTU retry/refund statistics). *)
 val run_m3 :
   ?pe_count:int ->
   ?dram_mib:int ->
   ?core_at:(int -> M3_hw.Core_type.t) ->
   ?seeds:M3.M3fs.seed list ->
   ?no_fs:bool ->
+  ?faults:M3_fault.Plan.t ->
+  ?inspect:(M3_hw.Platform.t -> unit) ->
   (M3.Env.t -> measured:((unit -> unit) -> unit) -> unit) ->
   measure
 

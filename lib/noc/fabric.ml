@@ -35,6 +35,9 @@ type t = {
   (* Observability bus; the fabric is reachable from every layer, so
      this is where the whole system finds its bus. Obs.null when off. *)
   mutable obs : Obs.t;
+  (* Fault plan, same pattern: the fabric is the system-wide rendezvous
+     for the injection layer. Plan.none when off. *)
+  mutable faults : M3_fault.Plan.t;
 }
 
 let create engine topology ~config =
@@ -49,6 +52,7 @@ let create engine topology ~config =
     packets = 0;
     bytes = 0;
     obs = Obs.null;
+    faults = M3_fault.Plan.none;
   }
 
 let topology t = t.topology
@@ -56,6 +60,8 @@ let engine t = t.engine
 let config t = t.config
 let obs t = t.obs
 let set_obs t obs = t.obs <- obs
+let faults t = t.faults
+let set_faults t plan = t.faults <- plan
 
 let link t key =
   match Hashtbl.find_opt t.links key with
@@ -128,11 +134,25 @@ let send_packet t ~route ~bytes ~msg ~depart =
   | `Packet -> send_packet_store_forward t ~route ~bytes ~msg ~depart
   | `Wormhole -> send_packet_wormhole t ~route ~bytes ~msg ~depart
 
-let transfer ?(msg = 0) t ~src ~dst ~bytes ~on_deliver =
+type fault =
+  | Lost of string
+  | Corrupted
+
+let transfer ?(msg = 0) ?on_fault t ~src ~dst ~bytes ~on_deliver =
   if bytes < 0 then invalid_arg "Fabric.transfer: negative size";
   let now = Engine.now t.engine in
   if src = dst then Engine.schedule t.engine ~delay:1 on_deliver
   else begin
+    (* Faults are drawn only for transfers whose issuer can react to
+       them ([on_fault] given, i.e. the DTU message path) and only when
+       a plan is attached — otherwise this is the exact pre-existing
+       delivery path. *)
+    let outcome =
+      match on_fault with
+      | Some _ when M3_fault.Plan.enabled t.faults ->
+        M3_fault.Plan.xfer_outcome t.faults ~src ~dst ~bytes
+      | _ -> M3_fault.Plan.Deliver
+    in
     let route = Topology.route t.topology ~src ~dst in
     let remaining = ref bytes and depart = ref now and arrival = ref now in
     (* A zero-byte message still occupies one header packet. *)
@@ -147,10 +167,28 @@ let transfer ?(msg = 0) t ~src ~dst ~bytes ~on_deliver =
       remaining := !remaining - chunk;
       if !remaining <= 0 then continue := false
     done;
-    if Obs.enabled t.obs then
-      Obs.emit t.obs
-        (Event.Noc_xfer { src; dst; bytes; depart = now; arrive = !arrival; msg });
-    Engine.schedule_at t.engine ~time:!arrival on_deliver
+    match (outcome, on_fault) with
+    | M3_fault.Plan.Drop reason, Some fail ->
+      (* The packets still occupied their links; the loss is observed
+         at the would-be arrival time. *)
+      if Obs.enabled t.obs then
+        Obs.emit t.obs (Event.Fault_drop { src; dst; bytes; msg; reason });
+      Engine.schedule_at t.engine ~time:!arrival (fun () -> fail (Lost reason))
+    | M3_fault.Plan.Corrupt, Some fail ->
+      if Obs.enabled t.obs then begin
+        Obs.emit t.obs
+          (Event.Noc_xfer
+             { src; dst; bytes; depart = now; arrive = !arrival; msg });
+        Obs.emit t.obs (Event.Fault_corrupt { src; dst; bytes; msg })
+      end;
+      Engine.schedule_at t.engine ~time:!arrival (fun () -> fail Corrupted)
+    | (M3_fault.Plan.Deliver | M3_fault.Plan.Drop _ | M3_fault.Plan.Corrupt), _
+      ->
+      if Obs.enabled t.obs then
+        Obs.emit t.obs
+          (Event.Noc_xfer
+             { src; dst; bytes; depart = now; arrive = !arrival; msg });
+      Engine.schedule_at t.engine ~time:!arrival on_deliver
   end
 
 let pure_latency t ~src ~dst ~bytes =

@@ -49,6 +49,20 @@ val obs : t -> M3_obs.Obs.t
 
 val set_obs : t -> M3_obs.Obs.t -> unit
 
+(** The fabric also carries the system-wide fault plan (same rendezvous
+    pattern as the obs bus). Defaults to [M3_fault.Plan.none]
+    (injection off, zero cost). *)
+val faults : t -> M3_fault.Plan.t
+
+val set_faults : t -> M3_fault.Plan.t -> unit
+
+(** What an attached fault plan did to a transfer. *)
+type fault =
+  | Lost of string  (** dropped in flight; the payload never arrives *)
+  | Corrupted
+      (** arrives on time but damaged — the issuer must deliver a
+          corrupted copy so end-to-end checks can catch it *)
+
 (** [transfer t ~src ~dst ~bytes ~on_deliver] injects [bytes] payload
     (plus per-packet header overhead) at node [src] for node [dst] and
     calls [on_deliver ()] at the cycle the last byte arrives at [dst].
@@ -56,10 +70,16 @@ val set_obs : t -> M3_obs.Obs.t -> unit
     [?msg] is an observability correlation id stamped on the emitted
     [Noc_xfer]/[Noc_link] events (0 = uncorrelated); it never affects
     timing.
+
+    [?on_fault] opts the transfer into fault injection: when a plan is
+    attached ({!set_faults}) and it faults this transfer, [on_fault] is
+    called at the (would-be) arrival cycle {e instead of} [on_deliver].
+    Transfers without [on_fault] — and all transfers when no plan is
+    attached — follow the exact unfaulted path.
     @raise Invalid_argument on a negative byte count. *)
 val transfer :
-  ?msg:int -> t -> src:int -> dst:int -> bytes:int ->
-  on_deliver:(unit -> unit) -> unit
+  ?msg:int -> ?on_fault:(fault -> unit) -> t -> src:int -> dst:int ->
+  bytes:int -> on_deliver:(unit -> unit) -> unit
 
 (** [pure_latency t ~src ~dst ~bytes] is the congestion-free transfer
     time in cycles — useful for calibration and tests. *)

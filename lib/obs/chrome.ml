@@ -218,6 +218,35 @@ let record t ~at (ev : Event.t) =
     let pid = pe_pid t pe in
     ensure_tid t pid tid_core ~name:"core";
     marker t ~pid ~tid:tid_core ~at ~name:"halt" ~cat:"pe" []
+  | Event.Fault_drop { src; dst; bytes; msg; reason } ->
+    let pid = noc_pid t in
+    let tid = (src * 100) + dst in
+    ensure_tid t pid tid ~name:(Printf.sprintf "xfer %d>%d" src dst);
+    marker t ~pid ~tid ~at ~name:("fault.drop:" ^ reason) ~cat:"fault"
+      (args_of [ ("bytes", bytes); ("msg", msg) ])
+  | Event.Fault_corrupt { src; dst; bytes; msg } ->
+    let pid = noc_pid t in
+    let tid = (src * 100) + dst in
+    ensure_tid t pid tid ~name:(Printf.sprintf "xfer %d>%d" src dst);
+    marker t ~pid ~tid ~at ~name:"fault.corrupt" ~cat:"fault"
+      (args_of [ ("bytes", bytes); ("msg", msg) ])
+  | Event.Fault_stall { pe; cycles } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    slice t ~pid ~tid:tid_core ~ts:at ~dur:cycles ~name:"fault.stall"
+      ~cat:"fault" []
+  | Event.Dtu_nack { pe; ep; dst_pe; msg; reason } ->
+    let pid = pe_pid t pe in
+    let tid = ep_tid t pid ep in
+    marker t ~pid ~tid ~at ~name:("nack:" ^ reason) ~cat:"dtu"
+      (args_of [ ("dst_pe", dst_pe); ("msg", msg) ])
+  | Event.Dtu_retry { pe; dst_pe; msg; attempt; backoff } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:"retry" ~cat:"dtu"
+      (args_of
+         [ ("dst_pe", dst_pe); ("msg", msg); ("attempt", attempt);
+           ("backoff", backoff) ])
 
 let sink t =
   { Obs.sink_name = "chrome"; sink_emit = (fun ~at ev -> record t ~at ev) }

@@ -39,6 +39,11 @@ type t =
   | Pipe_pop of { vpe : int; pe : int; bytes : int }
   | Pe_spawn of { pe : int; name : string }
   | Pe_halt of { pe : int }
+  | Fault_drop of { src : int; dst : int; bytes : int; msg : int; reason : string }
+  | Fault_corrupt of { src : int; dst : int; bytes : int; msg : int }
+  | Fault_stall of { pe : int; cycles : int }
+  | Dtu_nack of { pe : int; ep : int; dst_pe : int; msg : int; reason : string }
+  | Dtu_retry of { pe : int; dst_pe : int; msg : int; attempt : int; backoff : int }
 
 let name = function
   | Dtu_send { reply = false; _ } -> "dtu.send"
@@ -60,6 +65,11 @@ let name = function
   | Pipe_pop _ -> "pipe.pop"
   | Pe_spawn _ -> "pe.spawn"
   | Pe_halt _ -> "pe.halt"
+  | Fault_drop _ -> "fault.drop"
+  | Fault_corrupt _ -> "fault.corrupt"
+  | Fault_stall _ -> "fault.stall"
+  | Dtu_nack _ -> "dtu.nack"
+  | Dtu_retry _ -> "dtu.retry"
 
 let pp ppf t =
   let f fmt = Format.fprintf ppf fmt in
@@ -97,5 +107,15 @@ let pp ppf t =
   | Pipe_pop { vpe; pe; bytes } -> f "pipe.pop vpe%d pe%d bytes=%d" vpe pe bytes
   | Pe_spawn { pe; name } -> f "pe.spawn pe%d %s" pe name
   | Pe_halt { pe } -> f "pe.halt pe%d" pe
+  | Fault_drop { src; dst; bytes; msg; reason } ->
+    f "fault.drop %d -> %d bytes=%d msg=%d (%s)" src dst bytes msg reason
+  | Fault_corrupt { src; dst; bytes; msg } ->
+    f "fault.corrupt %d -> %d bytes=%d msg=%d" src dst bytes msg
+  | Fault_stall { pe; cycles } -> f "fault.stall pe%d cycles=%d" pe cycles
+  | Dtu_nack { pe; ep; dst_pe; msg; reason } ->
+    f "dtu.nack pe%d.ep%d <- pe%d msg=%d (%s)" pe ep dst_pe msg reason
+  | Dtu_retry { pe; dst_pe; msg; attempt; backoff } ->
+    f "dtu.retry pe%d -> pe%d msg=%d attempt=%d backoff=%d" pe dst_pe msg attempt
+      backoff
 
 let to_string t = Format.asprintf "%a" pp t

@@ -59,6 +59,18 @@ type t =
   | Pipe_pop of { vpe : int; pe : int; bytes : int }
   | Pe_spawn of { pe : int; name : string }
   | Pe_halt of { pe : int }
+  | Fault_drop of { src : int; dst : int; bytes : int; msg : int; reason : string }
+      (** an attached fault plan dropped this transfer in flight *)
+  | Fault_corrupt of { src : int; dst : int; bytes : int; msg : int }
+      (** an attached fault plan corrupted this transfer's payload *)
+  | Fault_stall of { pe : int; cycles : int }
+      (** an attached fault plan stalled a DTU command on [pe] *)
+  | Dtu_nack of { pe : int; ep : int; dst_pe : int; msg : int; reason : string }
+      (** sender-side: delivery to [dst_pe] failed and the send credit
+          was refunded (the message may still be retransmitted) *)
+  | Dtu_retry of { pe : int; dst_pe : int; msg : int; attempt : int; backoff : int }
+      (** sender-side: retransmit number [attempt] scheduled after
+          [backoff] cycles *)
 
 (** [name t] is the stable dotted kind name, e.g. ["dtu.send"]. *)
 val name : t -> string

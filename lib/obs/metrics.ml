@@ -21,6 +21,9 @@ type t = {
   mutable pipe_popped : int;
   mutable vpes_created : int;
   mutable vpes_exited : int;
+  mutable faults_injected : int;
+  mutable dtu_nacks : int;
+  mutable dtu_retries : int;
 }
 
 let create () =
@@ -45,6 +48,9 @@ let create () =
     pipe_popped = 0;
     vpes_created = 0;
     vpes_exited = 0;
+    faults_injected = 0;
+    dtu_nacks = 0;
+    dtu_retries = 0;
   }
 
 let bump tbl key n =
@@ -91,6 +97,10 @@ let record t (ev : Event.t) =
   | Event.Pipe_pop { bytes; _ } -> t.pipe_popped <- t.pipe_popped + bytes
   | Event.Vpe_create _ -> t.vpes_created <- t.vpes_created + 1
   | Event.Vpe_exit _ -> t.vpes_exited <- t.vpes_exited + 1
+  | Event.Fault_drop _ | Event.Fault_corrupt _ | Event.Fault_stall _ ->
+    t.faults_injected <- t.faults_injected + 1
+  | Event.Dtu_nack _ -> t.dtu_nacks <- t.dtu_nacks + 1
+  | Event.Dtu_retry _ -> t.dtu_retries <- t.dtu_retries + 1
   | Event.Dtu_receive _ | Event.Syscall_enter _ | Event.Fs_request _
   | Event.Vpe_start _ | Event.Pe_spawn _ | Event.Pe_halt _ ->
     ()
@@ -138,3 +148,6 @@ let noc_xfer_cycles t = t.noc_xfer_cycles
 let pipe_bytes t = (t.pipe_pushed, t.pipe_popped)
 let vpes_created t = t.vpes_created
 let vpes_exited t = t.vpes_exited
+let faults_injected t = t.faults_injected
+let dtu_nacks t = t.dtu_nacks
+let dtu_retries t = t.dtu_retries

@@ -49,3 +49,12 @@ val pipe_bytes : t -> int * int
 
 val vpes_created : t -> int
 val vpes_exited : t -> int
+
+(** Injected drop + corrupt + stall events from an attached fault plan. *)
+val faults_injected : t -> int
+
+(** Delivery failures NACKed back to the sender (credit refunded). *)
+val dtu_nacks : t -> int
+
+(** Retransmits scheduled by the DTU retry policy. *)
+val dtu_retries : t -> int

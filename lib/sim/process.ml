@@ -137,26 +137,59 @@ module Ivar = struct
 end
 
 module Waitq = struct
-  type 'a waitq = { mutable parked : ('a -> unit) list (* newest first *) }
+  (* Entries carry a liveness flag so that waiting on several queues at
+     once (Dtu.wait_any) can cancel the losers after one queue fires:
+     a consumed or cancelled entry must neither count as a waiter nor
+     absorb a signal (which would silently lose the wakeup). *)
+  type 'a entry = {
+    e_resume : 'a -> unit;
+    mutable e_live : bool;
+  }
+
+  type 'a waitq = { mutable parked : 'a entry list (* newest first *) }
 
   let create () = { parked = [] }
 
-  let park q = suspend (fun resume -> q.parked <- resume :: q.parked)
+  let sweep q =
+    match q.parked with
+    | [] -> ()
+    | _ -> q.parked <- List.filter (fun e -> e.e_live) q.parked
 
-  let register q resume = q.parked <- resume :: q.parked
+  let register q resume =
+    sweep q;
+    let e = { e_resume = resume; e_live = true } in
+    q.parked <- e :: q.parked;
+    e
+
+  let cancel e = e.e_live <- false
+
+  let park q = suspend (fun resume -> ignore (register q resume))
 
   let signal q v =
-    match List.rev q.parked with
-    | [] -> false
-    | oldest :: rest ->
-      q.parked <- List.rev rest;
-      oldest v;
+    let rec oldest_live = function
+      | [] -> None
+      | e :: rest -> if e.e_live then Some (e, rest) else oldest_live rest
+    in
+    match oldest_live (List.rev q.parked) with
+    | None ->
+      q.parked <- [];
+      false
+    | Some (e, rest_oldest_first) ->
+      q.parked <- List.rev rest_oldest_first;
+      e.e_live <- false;
+      e.e_resume v;
       true
 
   let broadcast q v =
     let all = List.rev q.parked in
     q.parked <- [];
-    List.iter (fun resume -> resume v) all
+    List.iter
+      (fun e ->
+        if e.e_live then begin
+          e.e_live <- false;
+          e.e_resume v
+        end)
+      all
 
-  let waiters q = List.length q.parked
+  let waiters q = List.fold_left (fun n e -> if e.e_live then n + 1 else n) 0 q.parked
 end

@@ -66,6 +66,10 @@ end
 module Waitq : sig
   type 'a waitq
 
+  (** Handle to one registration, used to deregister it (e.g. after a
+      wait on several queues at once was satisfied by another queue). *)
+  type 'a entry
+
   val create : unit -> 'a waitq
 
   (** [park q] parks the caller on [q]. *)
@@ -73,17 +77,22 @@ module Waitq : sig
 
   (** [register q resume] adds an externally created resume function
       (from {!suspend}) to the queue — used to wait on several queues
-      at once; the one-shot guard of [resume] makes duplicate wakeups
-      harmless. *)
-  val register : 'a waitq -> ('a -> unit) -> unit
+      at once — and returns its entry so the caller can {!cancel} it
+      once it is no longer needed. *)
+  val register : 'a waitq -> ('a -> unit) -> 'a entry
 
-  (** [signal q v] wakes the oldest parked process with [v]; returns
-      [false] when no process was parked. *)
+  (** [cancel e] marks [e] dead: it no longer counts in {!waiters} and
+      is skipped by {!signal}/{!broadcast}. Idempotent. *)
+  val cancel : 'a entry -> unit
+
+  (** [signal q v] wakes the oldest live parked process with [v];
+      returns [false] when no live process was parked (cancelled or
+      already-consumed entries are swept, never "woken"). *)
   val signal : 'a waitq -> 'a -> bool
 
-  (** [broadcast q v] wakes every parked process with [v]. *)
+  (** [broadcast q v] wakes every live parked process with [v]. *)
   val broadcast : 'a waitq -> 'a -> unit
 
-  (** [waiters q] is the number of parked processes. *)
+  (** [waiters q] is the number of live parked processes. *)
   val waiters : 'a waitq -> int
 end
