@@ -212,6 +212,52 @@ let faults_cmd =
   in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const faults $ which $ verbose)
 
+(* --- crash ------------------------------------------------------------------ *)
+
+let crash_cmd =
+  let role_names = M3_harness.Crash.names in
+  let which =
+    let doc =
+      Printf.sprintf "Roles to crash (any of %s)."
+        (String.concat ", " role_names)
+    in
+    Arg.(
+      value
+      & pos_all (enum (List.map (fun n -> (n, n)) role_names)) []
+      & info [] ~doc ~docv:"ROLE")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Run a single mid-life crash point per role (CI smoke).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
+  in
+  let crash which quick verbose =
+    setup_logs verbose;
+    let which = if which = [] then role_names else which in
+    let results = List.map (M3_harness.Crash.run ~quick) which in
+    List.iter
+      (fun r ->
+        M3_harness.Crash.print ppf r;
+        Format.fprintf ppf "@.")
+      results;
+    if List.for_all M3_harness.Crash.all_pass results then
+      Format.fprintf ppf "crash sweep: all cells passed@."
+    else begin
+      Format.fprintf ppf "crash sweep: FAILURES (see verdicts above)@.";
+      exit 1
+    end
+  in
+  let doc =
+    "Kill a PE at several points of a workload's lifetime and verify the \
+     kernel detects it, contains the damage, and restarts the work on a \
+     spare PE."
+  in
+  Cmd.v (Cmd.info "crash" ~doc) Term.(const crash $ which $ quick $ verbose)
+
 (* --- stats ------------------------------------------------------------------ *)
 
 let stats_cmd =
@@ -270,4 +316,12 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; trace_cmd; faults_cmd; platform_cmd; demo_cmd; stats_cmd ]))
+          [
+            run_cmd;
+            trace_cmd;
+            faults_cmd;
+            crash_cmd;
+            platform_cmd;
+            demo_cmd;
+            stats_cmd;
+          ]))

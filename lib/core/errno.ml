@@ -15,6 +15,8 @@ type t =
   | E_vpe_gone
   | E_no_credits
   | E_timeout
+  | E_vpe_dead
+  | E_pipe_broken
   | E_dtu of string
 
 let to_string = function
@@ -34,6 +36,8 @@ let to_string = function
   | E_vpe_gone -> "VPE gone"
   | E_no_credits -> "no credits"
   | E_timeout -> "timed out"
+  | E_vpe_dead -> "VPE crashed"
+  | E_pipe_broken -> "pipe peer died"
   | E_dtu m -> "hardware error: " ^ m
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -55,6 +59,8 @@ let to_int = function
   | E_vpe_gone -> 13
   | E_no_credits -> 15
   | E_timeout -> 16
+  | E_vpe_dead -> 17
+  | E_pipe_broken -> 18
   | E_dtu _ -> 14
 
 let of_int = function
@@ -74,6 +80,8 @@ let of_int = function
   | 13 -> E_vpe_gone
   | 15 -> E_no_credits
   | 16 -> E_timeout
+  | 17 -> E_vpe_dead
+  | 18 -> E_pipe_broken
   | _ -> E_dtu "remote"
 
 let equal a b = to_int a = to_int b

@@ -17,6 +17,8 @@ type t =
   | E_vpe_gone       (** VPE already dead *)
   | E_no_credits     (** send gate out of credits (flow control) *)
   | E_timeout        (** watchdog expired on a round-trip *)
+  | E_vpe_dead       (** VPE crashed and was aborted by the kernel *)
+  | E_pipe_broken    (** pipe peer crashed with data still in flight *)
   | E_dtu of string  (** unexpected hardware-level failure *)
 
 val equal : t -> t -> bool

@@ -62,6 +62,14 @@ let recv (env : Env.t) g =
   Env.charge_marshal env (Bytes.length msg.payload);
   msg
 
+let recv_for (env : Env.t) g ~timeout =
+  match Dtu.wait_msg_for env.dtu ~ep:g.rg_ep ~timeout with
+  | None -> None
+  | Some msg ->
+    Env.charge env Account.Os Cost_model.wakeup;
+    Env.charge_marshal env (Bytes.length msg.payload);
+    Some msg
+
 let recv_any (env : Env.t) gates =
   let eps = List.map (fun g -> g.rg_ep) gates in
   let ep, msg = Dtu.wait_any env.dtu ~eps in

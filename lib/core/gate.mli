@@ -57,6 +57,12 @@ val call : Env.t -> send_gate -> reply_gate:recv_gate -> Bytes.t -> Bytes.t resu
     slot stays occupied until [reply] or [ack]. *)
 val recv : Env.t -> recv_gate -> M3_dtu.Endpoint.message
 
+(** [recv_for env g ~timeout] is [recv] with a deadline: [None] after
+    [timeout] cycles of silence. Used by crash-aware callers (a dead
+    peer never sends). Charges wakeup/marshal costs only on success. *)
+val recv_for :
+  Env.t -> recv_gate -> timeout:int -> M3_dtu.Endpoint.message option
+
 (** [recv_any env gates] waits on several receive gates at once;
     returns the index of the gate that got the message. *)
 val recv_any : Env.t -> recv_gate list -> int * M3_dtu.Endpoint.message

@@ -5,6 +5,10 @@ type vpe_state =
   | V_running
   | V_dead
 
+type exit_cause =
+  | C_exit of int
+  | C_abort of string
+
 type vpe = {
   v_id : int;
   v_name : string;
@@ -12,6 +16,7 @@ type vpe = {
   v_caps : (int, cap) Hashtbl.t;
   mutable v_state : vpe_state;
   mutable v_exit_code : int option;
+  mutable v_cause : exit_cause option;
   mutable v_waiters : (int * int) list;
 }
 
@@ -63,6 +68,7 @@ let make_vpe ~id ~name ~pe =
     v_caps = Hashtbl.create 16;
     v_state = V_init;
     v_exit_code = None;
+    v_cause = None;
     v_waiters = [];
   }
 

@@ -15,6 +15,13 @@ type vpe_state =
   | V_running
   | V_dead
 
+(** Why a VPE died. The first cause sticks: a crash-triggered abort
+    racing a normal exit (or a duplicate [vpe_exit]) cannot overwrite
+    it. *)
+type exit_cause =
+  | C_exit of int      (** voluntary [vpe_exit] with this code *)
+  | C_abort of string  (** kernel abort, e.g. ["pe crash"] *)
+
 type vpe = {
   v_id : int;
   v_name : string;
@@ -22,9 +29,10 @@ type vpe = {
   v_caps : (int, cap) Hashtbl.t;
   mutable v_state : vpe_state;
   mutable v_exit_code : int option;
-  (** syscall-reply handles of VPEs blocked in [vpe_wait] on this VPE:
-      [(kernel_ep, slot)] to reply to when it exits *)
+  mutable v_cause : exit_cause option;  (** set once, first death wins *)
   mutable v_waiters : (int * int) list;
+      (** syscall-reply handles of VPEs blocked in [vpe_wait] on this
+          VPE: [(kernel_ep, slot)] to reply to when it exits *)
 }
 
 and rgate_obj = {

@@ -24,9 +24,26 @@ let kep_syscall = 0
 let kep_reply = 1
 let kep_service = 2
 
+(* Dedicated channel for kernel-initiated service notifications
+   (client-gone). Separate from [kep_service]/[kep_reply] so the
+   heartbeat prober can notify services while the kernel loop is in
+   the middle of its own service round-trip. *)
+let kep_notify_send = 3
+let kep_notify_reply = 4
+
 (* Kernel SPM layout. *)
 let syscall_buf_addr = 0x100
 let reply_buf_addr = syscall_buf_addr + (Proto.kernel_rbuf_slots * 512)
+let notify_buf_addr = reply_buf_addr + (4 * (1 lsl 11))
+
+(* Exit code reported for aborted VPEs (negated errno, like a signal
+   death in POSIX wait status). *)
+let abort_exit_code = -(Errno.to_int Errno.E_vpe_dead)
+
+(* Cycles between two heartbeat sweeps of the prober. Low enough to
+   catch a crash well inside the clients' 5M-cycle syscall watchdog,
+   high enough that probe traffic stays a rounding error. *)
+let heartbeat_period = 50_000
 
 type t = {
   platform : Platform.t;
@@ -44,6 +61,8 @@ type t = {
   ep_caps : (int * int, cap) Hashtbl.t; (* (vpe id, ep) -> configured cap *)
   irq_claims : (int, int) Hashtbl.t; (* device pe -> owning vpe id *)
   mutable syscalls_handled : int;
+  mutable kills_ignored : int; (* exits/aborts that lost the race to die first *)
+  mutable prober_running : bool;
 }
 
 let create platform ~kernel_pe =
@@ -66,6 +85,8 @@ let create platform ~kernel_pe =
     ep_caps = Hashtbl.create 64;
     irq_claims = Hashtbl.create 4;
     syscalls_handled = 0;
+    kills_ignored = 0;
+    prober_running = false;
   }
 
 let kdtu t = Pe.dtu t.pe
@@ -78,8 +99,8 @@ let dtu_exn = function
 
 (* --- capability side effects -------------------------------------- *)
 
-let kill_vpe : (t -> vpe -> code:int -> unit) ref =
-  ref (fun _ _ ~code:_ -> assert false)
+let kill_vpe : (t -> vpe -> cause:exit_cause -> unit) ref =
+  ref (fun _ _ ~cause:_ -> assert false)
 
 (* Side effects of a capability disappearing: endpoints configured
    from it become unusable, root DRAM regions return to the allocator,
@@ -107,7 +128,9 @@ let drop_cap t cap =
       Alloc.free t.kmem ~addr:mem_addr ~size:mem_size
     | Some _ | None -> ())
   | O_vpe target when target.v_id <> cap.c_owner.v_id ->
-    if target.v_state <> V_dead then !kill_vpe t target ~code:(-1)
+    (* Unconditional: a kill that loses the race to an earlier exit or
+       abort is counted (and otherwise ignored) by [do_kill_vpe]. *)
+    !kill_vpe t target ~cause:(C_exit (-1))
   | O_srv srv -> Hashtbl.remove t.services srv.srv_name
   | O_irq { irq_pe } ->
     (* Disarm: clear the period register and tear the endpoint down. *)
@@ -138,8 +161,11 @@ let reply_waiters t vpe =
   List.iter
     (fun (ep, slot) ->
       let w = W.create () in
-      W.u64 w (Errno.to_int Errno.E_ok);
-      W.u64 w code;
+      (match vpe.v_cause with
+      | Some (C_abort _) -> W.u64 w (Errno.to_int Errno.E_vpe_dead)
+      | Some (C_exit _) | None ->
+        W.u64 w (Errno.to_int Errno.E_ok);
+        W.u64 w code);
       match Dtu.reply (kdtu t) ~ep ~slot ~payload:(W.contents w) with
       | Ok () -> ()
       | Error e ->
@@ -147,28 +173,292 @@ let reply_waiters t vpe =
             m "wait-reply failed: %s" (M3_dtu.Dtu_error.to_string e)))
     waiters
 
+(* Does the capability descend from a service capability? Send gates
+   rooted in [O_srv] are session channels: the service keeps serving
+   its remaining clients on that receive gate, so losing one client
+   must never poison it (the [Srv_client_gone] notification handles
+   the cleanup instead). *)
+let rec service_rooted cap =
+  match cap.c_obj with
+  | O_srv _ -> true
+  | _ -> (
+    match cap.c_parent with
+    | Some p -> service_rooted p
+    | None -> false)
+
+(* A receive gate the dead VPE was sending into is orphaned when no
+   surviving VPE other than the owner still holds a send capability
+   for it: whoever is parked on it would wait forever. Invalidating
+   the owner's endpoint wakes the waiter with [Invalid_ep], which
+   libm3 surfaces as [E_pipe_broken]/EOF. *)
+let poison_orphan_rgate t ~dead (rg : rgate_obj) =
+  let owner = rg.rg_vpe in
+  if owner.v_state <> V_dead && owner != dead then begin
+    let foreign_feeder =
+      Hashtbl.fold
+        (fun _ v acc ->
+          acc
+          || v.v_state <> V_dead && v != owner
+             && Hashtbl.fold
+                  (fun _ c acc2 ->
+                    acc2
+                    || c.c_valid
+                       &&
+                       match c.c_obj with
+                       | O_sgate sg -> sg.sg_rgate == rg
+                       | _ -> false)
+                  v.v_caps false)
+        t.vpes false
+    in
+    if not foreign_feeder then begin
+      Log.debug (fun m ->
+          m "kernel: poisoning orphaned rgate vpe%d/ep%d after vpe%d died"
+            owner.v_id rg.rg_ep dead.v_id);
+      match Dtu.ext_invalidate (kdtu t) ~target:owner.v_pe ~ep:rg.rg_ep with
+      | Ok () | Error _ -> ()
+    end
+  end
+
+(* Watchdog on kernel->service round-trips (notifications here, and
+   [service_request] below), armed only when a fault plan is attached:
+   a dead or wedged service PE must not take the kernel loop down with
+   it. Kept below the client-side syscall watchdog so the kernel
+   answers E_timeout before clients give up. *)
+let service_watchdog = 2_000_000
+
+(* The notify channel needs two endpoints past the standard three; an
+   ablated DTU may be too small to carry it (client-gone notifications
+   are then skipped — a degradation, not an error). *)
+let has_notify_eps t =
+  (Platform.config t.platform).ep_count > kep_notify_reply
+
+(* Tell a service that a session's client is gone, over the dedicated
+   notify channel (the kernel loop may be mid round-trip on
+   [kep_service]). Best effort: a dead or wedged service cannot take
+   the abort path down with it. *)
+let notify_client_gone t (srv : srv_obj) ~ident =
+  if not (has_notify_eps t) then
+    Log.debug (fun m ->
+        m "kernel: too few endpoints for the notify channel; %s not told"
+          srv.srv_name)
+  else if
+    srv.srv_vpe.v_state <> V_dead
+    && not (Dtu.failed (Pe.dtu (Platform.pe t.platform srv.srv_vpe.v_pe)))
+  then begin
+    let rg = srv.srv_krgate in
+    dtu_exn
+      (Dtu.config_local (kdtu t) ~ep:kep_notify_send
+         (Endpoint.Send
+            {
+              dst_pe = rg.rg_vpe.v_pe;
+              dst_ep = rg.rg_ep;
+              label = 0L;
+              msg_order = rg.rg_slot_order;
+              credits = Endpoint.Unlimited;
+            }));
+    let w = W.create () in
+    W.u8 w (Proto.srv_opcode_to_int Proto.Srv_client_gone);
+    W.i64 w ident;
+    match
+      Dtu.send (kdtu t) ~ep:kep_notify_send ~payload:(W.contents w)
+        ~reply:(kep_notify_reply, 0L) ()
+    with
+    | Error e ->
+      Log.warn (fun m ->
+          m "kernel: client-gone notify to %s failed: %s" srv.srv_name
+            (M3_dtu.Dtu_error.to_string e))
+    | Ok () -> (
+      match
+        Dtu.wait_msg_for (kdtu t) ~ep:kep_notify_reply ~timeout:service_watchdog
+      with
+      | Some msg -> Dtu.ack (kdtu t) ~ep:kep_notify_reply ~slot:msg.slot
+      | None ->
+        Log.warn (fun m ->
+            m "kernel: client-gone notify to %s timed out" srv.srv_name))
+  end
+
 (* Tears a VPE down: mark dead, free its PE, reset the DTU, drop all
    its capabilities (which recursively revokes anything derived from
-   them in other VPEs), and wake waiters. *)
-let do_kill_vpe t vpe ~code =
-  if vpe.v_state <> V_dead then begin
+   them in other VPEs), and wake waiters.
+
+   Idempotent under the exit-vs-abort race: whichever cause arrives
+   first sticks, the loser is counted in [kills_ignored].
+
+   An abort additionally runs crash containment: open sessions are
+   reported to their services ([Srv_client_gone]), orphaned receive
+   gates are poisoned so parked peers wake up, stray endpoint
+   bookkeeping is swept, and a hardware-dead PE is quarantined. May
+   block (service round-trips), so it must run inside a simulation
+   process — which every caller (kernel loop, prober, launcher) is. *)
+let do_kill_vpe t vpe ~cause =
+  if vpe.v_state = V_dead then begin
+    t.kills_ignored <- t.kills_ignored + 1;
+    Log.debug (fun m ->
+        m "vpe%d already dead; ignoring %s" vpe.v_id
+          (match cause with
+          | C_exit c -> Printf.sprintf "exit(%d)" c
+          | C_abort r -> Printf.sprintf "abort(%s)" r))
+  end
+  else begin
     vpe.v_state <- V_dead;
+    vpe.v_cause <- Some cause;
+    let aborted, code =
+      match cause with
+      | C_exit c -> (false, c)
+      | C_abort _ -> (true, abort_exit_code)
+    in
     if vpe.v_exit_code = None then vpe.v_exit_code <- Some code;
     Log.debug (fun m -> m "vpe%d (%s) exits with %d" vpe.v_id vpe.v_name code);
-    (let obs = M3_noc.Fabric.obs t.fabric in
-     if Obs.enabled obs then
-       Obs.emit obs (Event.Vpe_exit { vpe = vpe.v_id; pe = vpe.v_pe; code }));
+    let obs = M3_noc.Fabric.obs t.fabric in
+    if Obs.enabled obs then begin
+      Obs.emit obs (Event.Vpe_exit { vpe = vpe.v_id; pe = vpe.v_pe; code });
+      match cause with
+      | C_abort reason ->
+        Obs.emit obs (Event.Vpe_abort { vpe = vpe.v_id; pe = vpe.v_pe; reason })
+      | C_exit _ -> ()
+    end;
     t.pe_owner.(vpe.v_pe) <- None;
     Pe.halt (Platform.pe t.platform vpe.v_pe);
     (match Dtu.ext_reset (kdtu t) ~target:vpe.v_pe with Ok () | Error _ -> ());
+    (* Aborts need a pre-revoke inventory: which services hold a
+       session for this VPE, and which foreign receive gates it was
+       feeding. Sorted for deterministic notification order. *)
+    let gone_sessions, orphan_rgates =
+      if not aborted then ([], [])
+      else begin
+        let sessions = ref [] and rgates = ref [] in
+        Hashtbl.iter
+          (fun _ cap ->
+            if cap.c_valid then
+              match cap.c_obj with
+              | O_sess { sess_srv; sess_ident }
+                when sess_srv.srv_vpe != vpe
+                     && not
+                          (List.exists
+                             (fun (s, i) ->
+                               s.srv_name = sess_srv.srv_name && i = sess_ident)
+                             !sessions) ->
+                sessions := (sess_srv, sess_ident) :: !sessions
+              | O_sgate sg
+                when (not (service_rooted cap))
+                     && sg.sg_rgate.rg_vpe != vpe
+                     && not (List.exists (fun r -> r == sg.sg_rgate) !rgates) ->
+                rgates := sg.sg_rgate :: !rgates
+              | _ -> ())
+          vpe.v_caps;
+        ( List.sort
+            (fun (s1, i1) (s2, i2) ->
+              compare (s1.srv_name, i1) (s2.srv_name, i2))
+            !sessions,
+          List.sort
+            (fun r1 r2 ->
+              compare (r1.rg_vpe.v_id, r1.rg_ep) (r2.rg_vpe.v_id, r2.rg_ep))
+            !rgates )
+      end
+    in
     let own_caps = Hashtbl.fold (fun _ cap acc -> cap :: acc) vpe.v_caps [] in
     List.iter (fun cap -> revoke_cap t cap) own_caps;
+    if aborted then begin
+      (* Defensive sweep: no endpoint bookkeeping may outlive an
+         aborted VPE, whatever state its tables were in. *)
+      let stale =
+        Hashtbl.fold
+          (fun ((vid, _) as key) _ acc ->
+            if vid = vpe.v_id then key :: acc else acc)
+          t.ep_caps []
+      in
+      List.iter (fun key -> Hashtbl.remove t.ep_caps key) stale;
+      List.iter (fun rg -> poison_orphan_rgate t ~dead:vpe rg) orphan_rgates;
+      List.iter
+        (fun (srv, ident) -> notify_client_gone t srv ~ident)
+        gone_sessions;
+      if Dtu.failed (Pe.dtu (Platform.pe t.platform vpe.v_pe)) then begin
+        Platform.quarantine t.platform vpe.v_pe;
+        Log.warn (fun m ->
+            m "kernel: pe%d quarantined after crash of vpe%d (%s)" vpe.v_pe
+              vpe.v_id vpe.v_name)
+      end
+    end;
     reply_waiters t vpe;
     let iv = exit_ivar t vpe.v_id in
     if not (Process.Ivar.is_filled iv) then Process.Ivar.fill iv code
   end
 
 let () = kill_vpe := do_kill_vpe
+
+(* [abort] is the containment entry point: used by the heartbeat
+   prober below, and directly by tests that abort a live VPE. *)
+let abort t vpe ~reason = do_kill_vpe t vpe ~cause:(C_abort reason)
+
+(* --- PE health monitoring (heartbeat prober) ------------------------- *)
+
+(* The prober is plan-gated: without a fault plan that can crash a PE
+   it is never spawned, so crash-free runs pay zero cycles for it. It
+   sweeps all running VPEs with a tiny privileged read (a crashed DTU
+   answers nothing but an error NACK) and aborts the casualties. It
+   stands down once no further crash can happen and nobody is left
+   running on a failed PE — a parked prober must not keep the engine
+   from draining. It also stands down when no VPE is running at all:
+   a crash scheduled past its victim's natural lifetime never fires,
+   and the prober must not keep simulating an idle system waiting for
+   it ([maybe_start_prober] re-arms on the next program start). *)
+let rec prober_loop t plan =
+  Process.wait heartbeat_period;
+  let running =
+    Hashtbl.fold
+      (fun _ v acc -> if v.v_state = V_running then v :: acc else acc)
+      t.vpes []
+    |> List.sort (fun a b -> compare a.v_id b.v_id)
+  in
+  let dead =
+    List.filter
+      (fun v ->
+        match Dtu.ext_read (kdtu t) ~target:v.v_pe ~addr:0 ~len:4 with
+        | Ok _ -> false
+        | Error _ -> true)
+      running
+  in
+  let obs = M3_noc.Fabric.obs t.fabric in
+  if Obs.enabled obs then
+    Obs.emit obs
+      (Event.Kernel_heartbeat
+         {
+           pe = kernel_pe_id t;
+           probed = List.length running;
+           dead = List.length dead;
+         });
+  List.iter
+    (fun v ->
+      Log.warn (fun m ->
+          m "kernel: vpe%d (%s) on pe%d stopped responding; aborting" v.v_id
+            v.v_name v.v_pe);
+      if Obs.enabled obs then
+        Obs.emit obs (Event.Vpe_crash { vpe = v.v_id; pe = v.v_pe });
+      abort t v ~reason:"pe crash")
+    dead;
+  let stranded =
+    Hashtbl.fold
+      (fun _ v acc ->
+        acc
+        || v.v_state = V_running
+           && Dtu.failed (Pe.dtu (Platform.pe t.platform v.v_pe)))
+      t.vpes false
+  in
+  let anyone_running =
+    Hashtbl.fold (fun _ v acc -> acc || v.v_state = V_running) t.vpes false
+  in
+  if anyone_running && (M3_fault.Plan.more_crashes_possible plan || stranded)
+  then prober_loop t plan
+  else t.prober_running <- false
+
+let maybe_start_prober t =
+  let plan = M3_noc.Fabric.faults t.fabric in
+  if (not t.prober_running) && M3_fault.Plan.can_crash plan then begin
+    t.prober_running <- true;
+    ignore
+      (Process.spawn t.engine ~name:"kernel:health" (fun () ->
+           prober_loop t plan))
+  end
 
 (* Creates the kernel object, binds a PE, installs the standard
    capabilities and configures the child's syscall endpoints. Must run
@@ -269,15 +559,10 @@ let start_program t vpe ~prog ~args =
          (Platform.pe t.platform vpe.v_pe)
          ~name:vpe.v_name
          (fun () -> Syscalls.run_main env program.prog_main));
+    maybe_start_prober t;
     Ok ()
 
 (* --- kernel <-> service channel ------------------------------------- *)
-
-(* Watchdog on kernel->service round-trips, armed only when a fault
-   plan is attached: a dead or wedged service PE must not take the
-   kernel loop down with it. Kept below the client-side syscall
-   watchdog so the kernel answers E_timeout before clients give up. *)
-let service_watchdog = 2_000_000
 
 let service_request t (srv : srv_obj) ~payload =
   let rg = srv.srv_krgate in
@@ -371,7 +656,7 @@ let h_create_vpe t requester r =
             W.u64 w vpe.v_id;
             W.u64 w vpe.v_pe)
       | Error e ->
-        do_kill_vpe t vpe ~code:(-1);
+        do_kill_vpe t vpe ~cause:(C_exit (-1));
         reply_err e))
 
 let h_vpe_start t requester r =
@@ -392,16 +677,17 @@ let h_vpe_wait _t requester r ~slot =
   match get requester ~sel:vpe_sel with
   | Error e -> reply_err e
   | Ok { c_obj = O_vpe vpe; _ } -> (
-    match vpe.v_exit_code with
-    | Some code -> reply_ok (fun w -> W.u64 w code)
-    | None ->
+    match (vpe.v_cause, vpe.v_exit_code) with
+    | Some (C_abort _), _ -> reply_err Errno.E_vpe_dead
+    | _, Some code -> reply_ok (fun w -> W.u64 w code)
+    | _, None ->
       vpe.v_waiters <- (kep_syscall, slot) :: vpe.v_waiters;
       Deferred)
   | Ok _ -> reply_err Errno.E_inv_args
 
 let h_vpe_exit t requester r =
   let code = R.u64 r in
-  do_kill_vpe t requester ~code;
+  do_kill_vpe t requester ~cause:(C_exit code);
   No_reply
 
 let h_create_rgate t requester r =
@@ -428,10 +714,19 @@ let h_create_rgate t requester r =
     in
     match insert requester ~sel (O_rgate rgate) ~parent:None with
     | Error e -> reply_err e
-    | Ok _ ->
+    | Ok cap ->
+      (* Unbind whatever was on that endpoint before, and record the
+         activation — otherwise revoking the receive-gate capability
+         would leak the endpoint slot forever. *)
+      (match Hashtbl.find_opt t.ep_caps (requester.v_id, ep) with
+      | Some old ->
+        old.c_activated <- List.filter (fun e -> e <> ep) old.c_activated
+      | None -> ());
       dtu_exn
         (Dtu.ext_config (kdtu t) ~target:requester.v_pe ~ep
            (Endpoint.Receive { buf_addr; slot_order; slot_count }));
+      cap.c_activated <- ep :: cap.c_activated;
+      Hashtbl.replace t.ep_caps (requester.v_id, ep) cap;
       reply_ok (fun _ -> ())
   end
 
@@ -834,6 +1129,11 @@ let boot t =
     (Dtu.config_local dtu ~ep:kep_reply
        (Endpoint.Receive
           { buf_addr = reply_buf_addr; slot_order = 11; slot_count = 4 }));
+  if has_notify_eps t then
+    dtu_exn
+      (Dtu.config_local dtu ~ep:kep_notify_reply
+         (Endpoint.Receive
+            { buf_addr = notify_buf_addr; slot_order = 9; slot_count = 2 }));
   ignore
     (Pe.spawn t.pe ~name:"kernel" (fun () ->
          (* NoC-level isolation: downgrade every application PE. *)
@@ -845,7 +1145,7 @@ let boot t =
          kernel_loop t));
   booted
 
-let launch t ~name ~account ?(args = Bytes.empty) prog =
+let launch t ~name ~account ?(args = Bytes.empty) ?on_vpe prog =
   let iv = Process.Ivar.create () in
   ignore
     (Process.spawn t.engine ~name:("kload:" ^ name) (fun () ->
@@ -854,6 +1154,7 @@ let launch t ~name ~account ?(args = Bytes.empty) prog =
            Log.err (fun m -> m "launch %s: %s" name (Errno.to_string e));
            Process.Ivar.fill iv (-1)
          | Ok vpe -> (
+           (match on_vpe with Some f -> f vpe | None -> ());
            (match install_std_caps t vpe ~holder:None with
            | Ok () -> ()
            | Error e ->
@@ -863,7 +1164,7 @@ let launch t ~name ~account ?(args = Bytes.empty) prog =
            | Ok () -> Process.Ivar.fill iv (Process.Ivar.read exit)
            | Error e ->
              Log.err (fun m -> m "launch %s: %s" name (Errno.to_string e));
-             do_kill_vpe t vpe ~code:(-1);
+             do_kill_vpe t vpe ~cause:(C_exit (-1));
              Process.Ivar.fill iv (-1))));
   iv
 
@@ -876,9 +1177,20 @@ let vpe_count t =
     t.vpes 0
 
 let free_pes t =
-  Array.fold_left (fun acc o -> if o = None then acc + 1 else acc) 0 t.pe_owner
+  let n = ref 0 in
+  Array.iteri
+    (fun i o ->
+      if o = None && not (Platform.is_quarantined t.platform i) then incr n)
+    t.pe_owner;
+  !n
 
 let syscalls_handled t = t.syscalls_handled
+let kills_ignored t = t.kills_ignored
+
+let ep_entries t ~vpe_id =
+  Hashtbl.fold
+    (fun (vid, _) _ acc -> if vid = vpe_id then acc + 1 else acc)
+    t.ep_caps 0
 
 let dram_avail t = Alloc.avail t.kmem
 

@@ -17,6 +17,15 @@ val kep_syscall : int
 val kep_reply : int
 val kep_service : int
 
+val kep_notify_send : int
+(** kernel-initiated service notifications (client-gone) *)
+
+val kep_notify_reply : int
+
+val abort_exit_code : int
+(** exit code recorded for aborted VPEs: [-(Errno.to_int E_vpe_dead)].
+    Supervisors key restart decisions on it. *)
+
 (** [create platform ~kernel_pe] initializes kernel state. The kernel
     owns all DRAM not reserved for the boot image. *)
 val create : M3_hw.Platform.t -> kernel_pe:int -> t
@@ -26,17 +35,30 @@ val create : M3_hw.Platform.t -> kernel_pe:int -> t
     NoC-level isolation. Returns an ivar filled once boot completes. *)
 val boot : t -> unit M3_sim.Process.Ivar.ivar
 
-(** [launch t ~name ~account ?args prog] starts registered program
-    [prog] in a fresh VPE on a free general-purpose PE (boot-loader
-    path, also used by the benchmark harness). Returns an ivar that
-    receives the exit code. *)
+(** [launch t ~name ~account ?args ?on_vpe prog] starts registered
+    program [prog] in a fresh VPE on a free general-purpose PE
+    (boot-loader path, also used by the benchmark harness). Returns an
+    ivar that receives the exit code; [on_vpe] fires once the kernel
+    object exists, giving supervisors and tests a handle on the VPE. *)
 val launch :
   t ->
   name:string ->
   account:M3_sim.Account.t ->
   ?args:Bytes.t ->
+  ?on_vpe:(Kdata.vpe -> unit) ->
   string ->
   int M3_sim.Process.Ivar.ivar
+
+(** [abort t vpe ~reason] kills a VPE from the outside with full crash
+    containment: its capability tree is revoked recursively, services
+    holding one of its sessions get a [Srv_client_gone] notification,
+    receive gates only it was feeding are poisoned so parked peers
+    wake with an error, and — if the VPE's DTU is actually dead — the
+    PE is quarantined. Waiters observe [E_vpe_dead]. Idempotent: on an
+    already-dead VPE it only bumps [kills_ignored]. Must run inside a
+    simulation process. The heartbeat prober calls this for every VPE
+    whose PE stops answering probes; tests may call it directly. *)
+val abort : t -> Kdata.vpe -> reason:string -> unit
 
 (** [exit_code t ~vpe_id] is the exit ivar of a VPE (filled on exit). *)
 val exit_code : t -> vpe_id:int -> int M3_sim.Process.Ivar.ivar option
@@ -48,11 +70,21 @@ val service_registered : t -> name:string -> bool
 (** [vpe_count t] is the number of live VPEs (for tests). *)
 val vpe_count : t -> int
 
-(** [free_pes t] is the number of unowned application PEs. *)
+(** [free_pes t] is the number of unowned, non-quarantined application
+    PEs. *)
 val free_pes : t -> int
 
 (** [syscalls_handled t] counts dispatched syscalls. *)
 val syscalls_handled : t -> int
+
+(** [kills_ignored t] counts exits/aborts that arrived after the VPE
+    was already dead (the losing side of an exit-vs-abort race). *)
+val kills_ignored : t -> int
+
+(** [ep_entries t ~vpe_id] is the number of endpoint-to-capability
+    bookkeeping entries still held for a VPE — 0 for any dead VPE, or
+    endpoints leaked (for leak tests around revoke and abort). *)
+val ep_entries : t -> vpe_id:int -> int
 
 (** [dram_avail t] is the number of DRAM bytes the kernel can still
     hand out (for leak tests around revoke). *)

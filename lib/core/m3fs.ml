@@ -47,10 +47,17 @@ let image_of ~srv_name = Hashtbl.find_opt images srv_name
 
 let current_image () = image_of ~srv_name:program_name
 
-(* One open file of one session. *)
+(* One open file of one session. [fo_open_size] is the size at open
+   time: if the client dies without closing, blocks appended since then
+   were never committed by an [Fs_close] and roll back. *)
+type file_open = {
+  fo_ino : int;
+  fo_open_size : int;
+}
+
 type session = {
   ident : int64;
-  files : (int, int) Hashtbl.t; (* fid -> ino *)
+  files : (int, file_open) Hashtbl.t; (* fid -> open file *)
   mutable next_fid : int;
 }
 
@@ -60,6 +67,15 @@ type server = {
   image_sel : int; (* memory capability covering the whole image *)
   sessions : (int64, session) Hashtbl.t;
 }
+
+(* Server registry keyed by service name, like [images]: lets tests and
+   the crash harness check that dead clients' sessions were reaped. *)
+let servers : (string, server) Hashtbl.t = Hashtbl.create 4
+
+let open_sessions ~srv_name =
+  match Hashtbl.find_opt servers srv_name with
+  | None -> None
+  | Some t -> Some (Hashtbl.length t.sessions)
 
 let charge_meta t ~scanned =
   Env.charge t.env Account.Os
@@ -103,7 +119,8 @@ let h_open t sess r =
     if flags land Fs_proto.o_trunc <> 0 then Fs_image.truncate t.fs ~ino ~size:0;
     let fid = sess.next_fid in
     sess.next_fid <- fid + 1;
-    Hashtbl.replace sess.files fid ino;
+    Hashtbl.replace sess.files fid
+      { fo_ino = ino; fo_open_size = Fs_image.file_size t.fs ~ino };
     reply_ok (fun w ->
         W.u64 w fid;
         W.u64 w (Fs_image.file_size t.fs ~ino);
@@ -114,7 +131,7 @@ let h_close t sess r =
   let final_size = R.u64 r in
   match Hashtbl.find_opt sess.files fid with
   | None -> reply_err Errno.E_not_found
-  | Some ino ->
+  | Some { fo_ino = ino; _ } ->
     charge_meta t ~scanned:0;
     (* A writer reports its final size; the over-allocated tail blocks
        return to the bitmap (§4.5.8). *)
@@ -213,7 +230,7 @@ let put_cap_descr t w (e : Fs_image.extent) =
 let find_file t sess fid =
   ignore t;
   match Hashtbl.find_opt sess.files fid with
-  | Some ino -> Ok ino
+  | Some { fo_ino; _ } -> Ok fo_ino
   | None -> Error Errno.E_not_found
 
 let h_get_locs t sess r =
@@ -296,6 +313,25 @@ let handle_kernel t r =
       | Some Fs_proto.Fs_get_locs -> h_get_locs t sess xr
       | Some Fs_proto.Fs_append -> h_append t sess xr
       | None -> reply_err Errno.E_inv_args))
+  | Some Proto.Srv_client_gone -> (
+    let ident = R.i64 r in
+    match Hashtbl.find_opt t.sessions ident with
+    | None -> reply_err Errno.E_not_found
+    | Some sess ->
+      (* The client died without closing: roll every open file back to
+         its open-time size, returning blocks it appended but never
+         committed, then reap the session. Fids sorted so the reclaim
+         order is deterministic. *)
+      let fids = Hashtbl.fold (fun fid _ acc -> fid :: acc) sess.files [] in
+      List.iter
+        (fun fid ->
+          let { fo_ino; fo_open_size } = Hashtbl.find sess.files fid in
+          charge_meta t ~scanned:0;
+          Fs_image.truncate t.fs ~ino:fo_ino ~size:fo_open_size)
+        (List.sort compare fids);
+      Hashtbl.remove t.sessions ident;
+      Env.charge t.env Account.Os Cost_model.fs_meta_op;
+      reply_ok (fun _ -> ()))
   | Some Proto.Srv_shutdown -> reply_ok (fun _ -> ())
   | None -> reply_err Errno.E_inv_args
 
@@ -344,6 +380,7 @@ let main config (env : Env.t) =
       sessions = Hashtbl.create 8;
     }
   in
+  Hashtbl.replace servers config.srv_name t;
   Log.debug (fun m ->
       m "%s up: %d blocks" config.srv_name (Fs_image.total_blocks fs));
   let obs = Fabric.obs env.Env.fabric in
@@ -367,6 +404,7 @@ let main config (env : Env.t) =
                 match Fs_proto.xop_of_int (R.u8 xr) with
                 | Some x -> Fs_proto.xop_name x
                 | None -> "srv_exchange")
+              | Some Proto.Srv_client_gone -> "srv_client_gone"
               | Some Proto.Srv_shutdown -> "srv_shutdown"
               | None -> "unknown"
             else

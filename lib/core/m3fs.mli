@@ -45,3 +45,8 @@ val current_image : unit -> Fs_image.t option
 
 (** [image_of ~srv_name] — the image of a specific instance. *)
 val image_of : srv_name:string -> Fs_image.t option
+
+(** [open_sessions ~srv_name] is the instance's live session count
+    ([None] until the server has initialized) — lets the crash harness
+    assert that a dead client's session was reaped. *)
+val open_sessions : srv_name:string -> int option

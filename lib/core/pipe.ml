@@ -164,6 +164,35 @@ let connect_writer_to_child env ~vpe_sel ~ring_size =
               w_free = ring_size;
             })))
 
+(* --- peer-death detection --------------------------------------------- *)
+
+(* A dead peer surfaces here in one of three shapes: the kernel
+   poisons our receive gate while we are parked on it ([Invalid_ep]
+   raised out of the park), we park after the poisoning or the peer
+   simply never answers again (timeout, armed only under a fault
+   plan), or our capabilities derived from the peer's were revoked
+   with it (send/transfer errors). All collapse into [E_pipe_broken];
+   the clean [Ok 0] EOF stays reserved for an explicit close. *)
+
+let pipe_watchdog = 5_000_000
+
+let pipe_recv (env : Env.t) g =
+  let plan = M3_noc.Fabric.faults env.fabric in
+  try
+    if M3_fault.Plan.enabled plan then
+      match Gate.recv_for env g ~timeout:pipe_watchdog with
+      | Some msg -> Ok msg
+      | None -> Error Errno.E_pipe_broken
+    else Ok (Gate.recv env g)
+  with M3_dtu.Dtu_error.Error _ -> Error Errno.E_pipe_broken
+
+(* Data-plane errors that mean "the other end took the capability with
+   it into the grave": the selector is gone or the activated endpoint
+   was invalidated under us. *)
+let broken = function
+  | Errno.E_dtu _ | Errno.E_no_sel | Errno.E_not_found -> Errno.E_pipe_broken
+  | e -> e
+
 (* --- writer data plane -------------------------------------------------- *)
 
 let apply_ack w payload =
@@ -183,9 +212,12 @@ let drain_acks env w =
   go ()
 
 let wait_ack env w =
-  let msg = Gate.recv env w.w_reply in
-  apply_ack w msg.payload;
-  Gate.ack env w.w_reply ~slot:msg.slot
+  match pipe_recv env w.w_reply with
+  | Error e -> Error e
+  | Ok msg ->
+    apply_ack w msg.payload;
+    Gate.ack env w.w_reply ~slot:msg.slot;
+    Ok ()
 
 let notify env w ~pos ~len =
   let payload =
@@ -197,11 +229,12 @@ let notify env w ~pos ~len =
   let rec try_send () =
     match Gate.send env w.w_sgate payload ~reply:(w.w_reply, 0L) () with
     | Ok () -> Ok ()
-    | Error Errno.E_no_credits ->
+    | Error Errno.E_no_credits -> (
       (* All notifications in flight: reclaim space first. *)
-      wait_ack env w;
-      try_send ()
-    | Error e -> Error e
+      match wait_ack env w with
+      | Error e -> Error e
+      | Ok () -> try_send ())
+    | Error e -> Error (broken e)
   in
   try_send ()
 
@@ -213,13 +246,14 @@ let write env w ~local ~len =
       else begin
         drain_acks env w;
         if w.w_free = 0 then begin
-          wait_ack env w;
-          put done_ remaining
+          match wait_ack env w with
+          | Error e -> Error e
+          | Ok () -> put done_ remaining
         end
         else begin
           let n = min remaining (min w.w_free (w.w_ring_size - w.w_pos)) in
           match Gate.write env w.w_ring ~off:w.w_pos ~local:(local + done_) ~len:n with
-          | Error e -> Error e
+          | Error e -> Error (broken e)
           | Ok () -> (
             Env.charge env Account.Os Cost_model.pipe_meta;
             match notify env w ~pos:w.w_pos ~len:n with
@@ -266,7 +300,7 @@ let rec read env r ~local ~len =
     | Some (slot, pos, remaining, total) -> (
       let n = min len remaining in
       match Gate.read env (ring_gate env r) ~off:pos ~local ~len:n with
-      | Error e -> Error e
+      | Error e -> Error (broken e)
       | Ok () ->
         Env.charge env Account.Os Cost_model.pipe_meta;
         obs_pipe env (fun ~vpe ~pe -> Event.Pipe_pop { vpe; pe; bytes = n });
@@ -281,7 +315,9 @@ let rec read env r ~local ~len =
           Ok n
         end)
     | None -> (
-      let msg = Gate.recv env r.r_rgate in
+      match pipe_recv env r.r_rgate with
+      | Error e -> Error e
+      | Ok msg ->
       let mr = R.of_bytes msg.payload in
       let pos = R.u64 mr in
       let n = R.u64 mr in

@@ -56,7 +56,9 @@ val connect_writer_to_child : Env.t -> vpe_sel:int -> ring_size:int -> writer re
 (** {1 Data plane} *)
 
 (** [write env w ~local ~len] pushes [len] bytes from SPM address
-    [local]; blocks while the ring is full. *)
+    [local]; blocks while the ring is full. Fails with [E_pipe_broken]
+    when the reader died: its capabilities were revoked under us, or —
+    under a fault plan — the space-reclaim reply never comes. *)
 val write : Env.t -> writer -> local:int -> len:int -> unit result_
 
 (** [close_writer env w] signals end-of-stream. *)
@@ -64,5 +66,8 @@ val close_writer : Env.t -> writer -> unit result_
 
 (** [read env r ~local ~len] pulls up to [len] bytes into SPM address
     [local]; returns the count, or [0] at end-of-stream. Blocks when
-    the pipe is empty. *)
+    the pipe is empty. A writer that died without closing yields
+    [E_pipe_broken] instead of EOF: the kernel poisons the notify gate
+    when the last sender is gone, and under a fault plan a watchdog
+    covers the remaining windows. *)
 val read : Env.t -> reader -> local:int -> len:int -> int result_

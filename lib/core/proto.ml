@@ -73,16 +73,19 @@ type srv_opcode =
   | Srv_open
   | Srv_exchange
   | Srv_shutdown
+  | Srv_client_gone
 
 let srv_opcode_to_int = function
   | Srv_open -> 0
   | Srv_exchange -> 1
   | Srv_shutdown -> 2
+  | Srv_client_gone -> 3
 
 let srv_opcode_of_int = function
   | 0 -> Some Srv_open
   | 1 -> Some Srv_exchange
   | 2 -> Some Srv_shutdown
+  | 3 -> Some Srv_client_gone
   | _ -> None
 
 let syscall_msg_order = 9

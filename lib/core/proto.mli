@@ -44,6 +44,9 @@ type srv_opcode =
   | Srv_open        (** arg → session ident *)
   | Srv_exchange    (** ident, arg bytes → out bytes + derived-mem caps *)
   | Srv_shutdown
+  | Srv_client_gone
+      (** ident — the session's client VPE was aborted; the service
+          must release everything the session holds *)
 
 val srv_opcode_to_int : srv_opcode -> int
 val srv_opcode_of_int : int -> srv_opcode option

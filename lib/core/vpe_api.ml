@@ -57,6 +57,33 @@ let exec env t ?(args = Bytes.empty) path =
 
 let wait env t = Syscalls.vpe_wait env ~vpe_sel:t.vpe_sel
 
+(* Supervised child: create + run + wait, and when the wait reports
+   [E_vpe_dead] (the child's PE crashed and the kernel aborted it),
+   drop the dead child's capabilities and retry on a fresh PE — the
+   kernel quarantined the crashed one, so [create] cannot pick it
+   again. *)
+let run_supervised (env : Env.t) ~name ~core ?args ?(max_restarts = 1) main =
+  let rec attempt n =
+    match create env ~name ~core with
+    | Error e -> Error e
+    | Ok t -> (
+      match run env t ?args main with
+      | Error e -> Error e
+      | Ok () -> (
+        match wait env t with
+        | Error Errno.E_vpe_dead when n < max_restarts ->
+          ignore (Syscalls.revoke env ~sel:t.vpe_sel);
+          ignore (Syscalls.revoke env ~sel:t.mem_sel);
+          (let obs = M3_noc.Fabric.obs env.fabric in
+           if M3_obs.Obs.enabled obs then
+             M3_obs.Obs.emit obs
+               (M3_obs.Event.Vpe_restart
+                  { vpe = t.vpe_id; pe = t.pe_id; name; attempt = n + 1 }));
+          attempt (n + 1)
+        | r -> r))
+  in
+  attempt 0
+
 let delegate env t ~own_sel ~other_sel =
   Syscalls.delegate env ~vpe_sel:t.vpe_sel ~own_sel ~other_sel
 

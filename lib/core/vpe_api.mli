@@ -35,8 +35,24 @@ val exec : Env.t -> t -> ?args:Bytes.t -> string -> unit result_
 val start_program :
   Env.t -> t -> ?args:Bytes.t -> image_bytes:int -> string -> unit result_
 
-(** [wait env t] blocks until the child exits; returns the exit code. *)
+(** [wait env t] blocks until the child exits; returns the exit code,
+    or [Error E_vpe_dead] when the child was aborted by the kernel
+    (its PE crashed). *)
 val wait : Env.t -> t -> int result_
+
+(** [run_supervised env ~name ~core ?args ?max_restarts main] runs
+    [main] in a child VPE and retries — on a fresh PE, the crashed one
+    having been quarantined — when the child is aborted, up to
+    [max_restarts] times (default 1). Returns the last attempt's exit
+    code; voluntary exits are never retried. *)
+val run_supervised :
+  Env.t ->
+  name:string ->
+  core:M3_hw.Core_type.t ->
+  ?args:Bytes.t ->
+  ?max_restarts:int ->
+  (Env.t -> int) ->
+  int result_
 
 (** [delegate env t ~own_sel ~other_sel] gives the child a capability. *)
 val delegate : Env.t -> t -> own_sel:int -> other_sel:int -> unit result_

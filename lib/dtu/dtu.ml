@@ -57,6 +57,8 @@ type t = {
   eps : ep_state array;
   ep_waiters : unit Process.Waitq.waitq array;
   mutable privileged : bool;
+  mutable failed : bool; (* pe_crash fired: core and DTU answer nothing *)
+  mutable cmds_accepted : int;
   mutable store_of : int -> Store.t option;
   mutable dtu_of : int -> t option;
   mutable msgs_sent : int;
@@ -79,6 +81,8 @@ let create engine fabric ~pe ~spm ~ep_count =
     eps = Array.make ep_count S_invalid;
     ep_waiters = Array.init ep_count (fun _ -> Process.Waitq.create ());
     privileged = true;
+    failed = false;
+    cmds_accepted = 0;
     store_of = (fun _ -> None);
     dtu_of = (fun _ -> None);
     msgs_sent = 0;
@@ -297,11 +301,12 @@ let rec transmit t ~dst_pe ~dst_ep ~(header : Header.t) ~payload ~msg ~attempt =
   in
   let deliver payload =
     match t.dtu_of dst_pe with
-    | Some dst -> (
+    | Some dst when not dst.failed -> (
       match deliver_message dst ~dst_ep ~header ~payload ~msg with
       | Accepted -> ()
       | Rejected reason -> nack reason)
-    | None ->
+    | Some _ | None ->
+      (* A crashed DTU is indistinguishable from a missing one. *)
       t.msgs_dropped <- t.msgs_dropped + 1;
       nack "no dtu"
   in
@@ -349,12 +354,24 @@ and handle_failure t ~dst_pe ~dst_ep ~(header : Header.t) ~payload ~msg ~attempt
     else refund_credit t ~ep:header.crd_ep
   end
 
-(* DTU command acceptance: the fixed decode latency, plus any stall an
-   attached fault plan injects. *)
+(* DTU command acceptance: the fixed decode latency, plus any stall or
+   permanent crash an attached fault plan injects. A crash marks the
+   whole PE dead — the DTU stops accepting deliveries and ext commands
+   — and kills the program mid-command by raising [Process.Killed], so
+   the victim never reaches its normal exit path; only the kernel's
+   heartbeat prober can discover it. *)
 let accept_command t =
   Process.wait cmd_latency;
   let plan = faults t in
   if M3_fault.Plan.enabled plan then begin
+    t.cmds_accepted <- t.cmds_accepted + 1;
+    if M3_fault.Plan.crash_now plan ~pe:t.pe ~cmd:t.cmds_accepted then begin
+      t.failed <- true;
+      let obs = Fabric.obs t.fabric in
+      if Obs.enabled obs then Obs.emit obs (Event.Fault_pe_crash { pe = t.pe });
+      Log.warn (fun m -> m "pe%d: PE crashed (fault plan)" t.pe);
+      raise Process.Killed
+    end;
     let extra = M3_fault.Plan.stall plan ~pe:t.pe in
     if extra > 0 then begin
       let obs = Fabric.obs t.fabric in
@@ -706,9 +723,11 @@ let ext_command t ~target ~wire_out ~wire_back action =
     Fabric.transfer t.fabric ~src:t.pe ~dst:target ~bytes:wire_out
       ~on_deliver:(fun () ->
         let result =
+          (* A crashed target answers nothing: the error NACK below is
+             what the kernel's heartbeat prober keys on. *)
           match t.dtu_of target with
-          | Some dst -> apply_ext dst ~from_privileged action
-          | None -> Error Dtu_error.Invalid_ep
+          | Some dst when not dst.failed -> apply_ext dst ~from_privileged action
+          | Some _ | None -> Error Dtu_error.Invalid_ep
         in
         Fabric.transfer t.fabric ~src:target ~dst:t.pe ~bytes:wire_back
           ~on_deliver:(fun () -> Process.Ivar.fill iv result));
@@ -747,6 +766,8 @@ let ext_reset t ~target =
   unit_result
     (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
        Reset)
+
+let failed t = t.failed
 
 let msgs_sent t = t.msgs_sent
 let msgs_received t = t.msgs_received

@@ -144,6 +144,13 @@ val ext_read :
     (kernel resetting a PE when a VPE is revoked). *)
 val ext_reset : t -> target:int -> (unit, Dtu_error.t) result
 
+(** [failed t] is true once an attached fault plan's [pe_crash] fired
+    on this PE: the core was killed mid-command and the DTU answers
+    neither deliveries nor ext commands (senders get a non-retryable
+    ["no dtu"] NACK, the kernel gets an error on the round-trip — its
+    only way to observe the death). *)
+val failed : t -> bool
+
 (** {1 Statistics} *)
 
 val msgs_sent : t -> int

@@ -8,6 +8,8 @@ type config = {
   corrupt_prob : float;
   stall_prob : float;
   stall_cycles : int;
+  crash_prob : float;
+  crashes : (int * int) list;
   max_retries : int;
   retry_base : int;
 }
@@ -19,6 +21,8 @@ let default_config =
     corrupt_prob = 0.0;
     stall_prob = 0.0;
     stall_cycles = 0;
+    crash_prob = 0.0;
+    crashes = [];
     max_retries = 4;
     retry_base = 64;
   }
@@ -29,16 +33,30 @@ type t = {
   mutable drops : int;
   mutable corrupts : int;
   mutable stalls : int;
+  mutable crashed : int list; (* PEs whose crash already fired, newest first *)
 }
 
-let none = { cfg = default_config; rng = None; drops = 0; corrupts = 0; stalls = 0 }
+let none =
+  { cfg = default_config; rng = None; drops = 0; corrupts = 0; stalls = 0; crashed = [] }
 
 let create ?(config = default_config) ~seed () =
   if config.drop_prob < 0. || config.link_fault_prob < 0. || config.corrupt_prob < 0. then
     invalid_arg "Plan.create: negative probability";
+  if config.crash_prob < 0. then invalid_arg "Plan.create: negative probability";
   if config.max_retries < 0 || config.retry_base < 0 then
     invalid_arg "Plan.create: negative retry parameter";
-  { cfg = config; rng = Some (M3_sim.Rng.create ~seed); drops = 0; corrupts = 0; stalls = 0 }
+  List.iter
+    (fun (pe, after) ->
+      if pe < 0 || after < 1 then invalid_arg "Plan.create: bad crash entry")
+    config.crashes;
+  {
+    cfg = config;
+    rng = Some (M3_sim.Rng.create ~seed);
+    drops = 0;
+    corrupts = 0;
+    stalls = 0;
+    crashed = [];
+  }
 
 let enabled t = t.rng <> None
 
@@ -87,6 +105,46 @@ let stall t ~pe =
     end
     else 0
 
+let is_crashed t ~pe = List.mem pe t.crashed
+
+let crashed_pes t = List.sort compare t.crashed
+
+let crashes_injected t = List.length t.crashed
+
+let can_crash t =
+  t.rng <> None && (t.cfg.crash_prob > 0. || t.cfg.crashes <> [])
+
+(* Whether any further crash could still fire: a probabilistic plan can
+   always crash another PE; an explicit schedule is exhausted once every
+   entry has fired. Used by the kernel prober to decide when to stand
+   down so an otherwise-idle system can drain. *)
+let more_crashes_possible t =
+  t.rng <> None
+  && (t.cfg.crash_prob > 0.
+     || List.exists (fun (pe, _) -> not (List.mem pe t.crashed)) t.cfg.crashes)
+
+let crash_now t ~pe ~cmd =
+  match t.rng with
+  | None -> false
+  | Some rng ->
+    if List.mem pe t.crashed then false
+    else begin
+      (* Explicit schedule first: checked without touching the RNG so a
+         crash-free config leaves the drop/stall stream untouched. *)
+      let scheduled =
+        List.exists (fun (p, after) -> p = pe && cmd >= after) t.cfg.crashes
+      in
+      let fired =
+        scheduled
+        || (t.cfg.crash_prob > 0. && M3_sim.Rng.float rng < t.cfg.crash_prob)
+      in
+      if fired then begin
+        t.crashed <- pe :: t.crashed;
+        Log.debug (fun m -> m "inject pe_crash pe%d (command %d)" pe cmd)
+      end;
+      fired
+    end
+
 let corrupt_bytes t buf =
   match t.rng with
   | None -> ()
@@ -112,5 +170,5 @@ let corrupts_injected t = t.corrupts
 let stalls_injected t = t.stalls
 
 let pp_stats ppf t =
-  Format.fprintf ppf "faults: %d dropped, %d corrupted, %d stalled" t.drops t.corrupts
-    t.stalls
+  Format.fprintf ppf "faults: %d dropped, %d corrupted, %d stalled, %d crashed"
+    t.drops t.corrupts t.stalls (List.length t.crashed)

@@ -22,6 +22,14 @@ type config = {
   corrupt_prob : float;  (** probability a delivered payload is corrupted *)
   stall_prob : float;  (** probability a DTU command stalls its PE *)
   stall_cycles : int;  (** maximum extra cycles of an injected stall *)
+  crash_prob : float;
+      (** probability a DTU command permanently kills its PE (core and
+          DTU stop answering — unlike [stall], a crash never recovers) *)
+  crashes : (int * int) list;
+      (** explicit crash schedule: [(pe, after)] kills [pe] on its
+          [after]-th accepted DTU command. Checked without consuming
+          RNG draws, so adding an entry does not perturb the
+          drop/stall stream. Each PE crashes at most once. *)
   max_retries : int;  (** retransmit attempts before the DTU gives up *)
   retry_base : int;  (** backoff is [retry_base * 2^attempt] cycles *)
 }
@@ -54,6 +62,26 @@ val xfer_outcome : t -> src:int -> dst:int -> bytes:int -> outcome
     one DTU command on [pe]. *)
 val stall : t -> pe:int -> int
 
+(** [crash_now t ~pe ~cmd] decides whether [pe] dies on its [cmd]-th
+    accepted DTU command (1-based). A fired crash is permanent and
+    recorded; a PE crashes at most once. *)
+val crash_now : t -> pe:int -> cmd:int -> bool
+
+(** [is_crashed t ~pe] is true once a [pe_crash] has fired on [pe]. *)
+val is_crashed : t -> pe:int -> bool
+
+(** PEs killed so far, ascending. *)
+val crashed_pes : t -> int list
+
+(** [can_crash t] is true when the plan is enabled and configured with
+    any crash fault at all — the kernel arms its heartbeat prober only
+    then, keeping crash-free plans' cycle counts untouched. *)
+val can_crash : t -> bool
+
+(** [more_crashes_possible t] is true while another crash could still
+    fire (probabilistic crashes, or unfired schedule entries). *)
+val more_crashes_possible : t -> bool
+
 (** [corrupt_bytes t buf] flips one byte of [buf] in place (no-op on an
     empty buffer). *)
 val corrupt_bytes : t -> Bytes.t -> unit
@@ -71,5 +99,7 @@ val drops_injected : t -> int
 val corrupts_injected : t -> int
 
 val stalls_injected : t -> int
+
+val crashes_injected : t -> int
 
 val pp_stats : Format.formatter -> t -> unit

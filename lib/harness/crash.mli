@@ -1,0 +1,40 @@
+(** Crash-containment sweep (`m3_repro crash <role>`).
+
+    Schedules a permanent PE crash at several points of a victim's
+    lifetime and checks the whole detect → contain → restart chain:
+    the kernel's heartbeat prober notices the silent PE, aborts the
+    VPE with full capability/endpoint reclamation, survivors observe
+    [E_vpe_dead] / [E_pipe_broken] instead of hanging, the PE is
+    quarantined, a supervised restart completes the workload on a
+    spare PE, and the simulation drains. *)
+
+type cell = {
+  c_after : int;
+  c_cycles : int;
+  c_exit : int;
+  c_crashes : int;
+  c_heartbeats : int;
+  c_aborts : int;
+  c_restarts : int;
+  c_failures : string list;  (** empty when the cell passed *)
+}
+
+type t = {
+  r_role : string;
+  r_cells : cell list;
+}
+
+(** Available roles: ["fsclient"] (m3fs client dies mid-read),
+    ["pipewriter"] (pipe writer dies mid-transfer), ["waited"]
+    (worker dies while its parent is parked in [vpe_wait]). *)
+val names : string list
+
+(** [run ?quick role] sweeps the crash points for one role ([quick]
+    runs a single mid-life point, for CI smoke).
+    @raise Invalid_argument on an unknown role. *)
+val run : ?quick:bool -> string -> t
+
+(** [all_pass t] — every cell of the sweep passed its checks. *)
+val all_pass : t -> bool
+
+val print : Format.formatter -> t -> unit

@@ -28,6 +28,7 @@ type t = {
   fabric : Fabric.t;
   config : config;
   pes : Pe.t array;
+  quarantined : bool array;
   dram_node : int;
   dram : Store.t;
 }
@@ -53,7 +54,15 @@ let create ?(config = default_config) engine =
     else None
   in
   Array.iter (fun pe -> Dtu.set_resolvers (Pe.dtu pe) ~store_of ~dtu_of) pes;
-  { engine; fabric; config; pes; dram_node; dram }
+  {
+    engine;
+    fabric;
+    config;
+    pes;
+    quarantined = Array.make config.pe_count false;
+    dram_node;
+    dram;
+  }
 
 let engine t = t.engine
 let fabric t = t.fabric
@@ -67,11 +76,24 @@ let pe t i =
 
 let pes t = Array.to_list t.pes
 
+let is_quarantined t i =
+  if i < 0 || i >= Array.length t.quarantined then
+    invalid_arg (Printf.sprintf "Platform.is_quarantined: %d out of range" i);
+  t.quarantined.(i)
+
+let quarantine t i =
+  if i < 0 || i >= Array.length t.quarantined then
+    invalid_arg (Printf.sprintf "Platform.quarantine: %d out of range" i);
+  t.quarantined.(i) <- true
+
 let find_pe t ~core ~used =
   let rec go i =
     if i >= Array.length t.pes then None
-    else if Core_type.equal (Pe.core t.pes.(i)) core && not (used i) then
-      Some t.pes.(i)
+    else if
+      Core_type.equal (Pe.core t.pes.(i)) core
+      && (not t.quarantined.(i))
+      && not (used i)
+    then Some t.pes.(i)
     else go (i + 1)
   in
   go 0

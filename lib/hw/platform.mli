@@ -35,9 +35,16 @@ val pe : t -> int -> Pe.t
 (** [pes t] lists all PEs. *)
 val pes : t -> Pe.t list
 
-(** [find_pe t ~core ~used] is the lowest-numbered PE of type [core]
-    for which [used] is false. *)
+(** [find_pe t ~core ~used] is the lowest-numbered non-quarantined PE
+    of type [core] for which [used] is false. *)
 val find_pe : t -> core:Core_type.t -> used:(int -> bool) -> Pe.t option
+
+(** [quarantine t i] removes PE [i] from the allocation pool for good —
+    the kernel's response to a PE found dead. Raises [Invalid_argument]
+    out of range. *)
+val quarantine : t -> int -> unit
+
+val is_quarantined : t -> int -> bool
 
 (** NoC node id of the DRAM memory controller. *)
 val dram_node : t -> int

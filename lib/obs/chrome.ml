@@ -247,6 +247,28 @@ let record t ~at (ev : Event.t) =
       (args_of
          [ ("dst_pe", dst_pe); ("msg", msg); ("attempt", attempt);
            ("backoff", backoff) ])
+  | Event.Fault_pe_crash { pe } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:"fault.pe_crash" ~cat:"fault" []
+  | Event.Vpe_crash { vpe; pe } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    marker t ~pid ~tid ~at ~name:"vpe.crash" ~cat:"vpe" []
+  | Event.Vpe_abort { vpe; pe; reason } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    marker t ~pid ~tid ~at ~name:("vpe.abort:" ^ reason) ~cat:"vpe" []
+  | Event.Vpe_restart { vpe; pe; name; attempt } ->
+    let pid = pe_pid t pe in
+    let tid = vpe_tid t pid vpe in
+    marker t ~pid ~tid ~at ~name:("vpe.restart:" ^ name) ~cat:"vpe"
+      (args_of [ ("attempt", attempt) ])
+  | Event.Kernel_heartbeat { pe; probed; dead } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:"heartbeat" ~cat:"kernel"
+      (args_of [ ("probed", probed); ("dead", dead) ])
 
 let sink t =
   { Obs.sink_name = "chrome"; sink_emit = (fun ~at ev -> record t ~at ev) }

@@ -44,6 +44,11 @@ type t =
   | Fault_stall of { pe : int; cycles : int }
   | Dtu_nack of { pe : int; ep : int; dst_pe : int; msg : int; reason : string }
   | Dtu_retry of { pe : int; dst_pe : int; msg : int; attempt : int; backoff : int }
+  | Fault_pe_crash of { pe : int }
+  | Vpe_crash of { vpe : int; pe : int }
+  | Vpe_abort of { vpe : int; pe : int; reason : string }
+  | Vpe_restart of { vpe : int; pe : int; name : string; attempt : int }
+  | Kernel_heartbeat of { pe : int; probed : int; dead : int }
 
 let name = function
   | Dtu_send { reply = false; _ } -> "dtu.send"
@@ -70,6 +75,11 @@ let name = function
   | Fault_stall _ -> "fault.stall"
   | Dtu_nack _ -> "dtu.nack"
   | Dtu_retry _ -> "dtu.retry"
+  | Fault_pe_crash _ -> "fault.pe_crash"
+  | Vpe_crash _ -> "vpe.crash"
+  | Vpe_abort _ -> "vpe.abort"
+  | Vpe_restart _ -> "vpe.restart"
+  | Kernel_heartbeat _ -> "kernel.heartbeat"
 
 let pp ppf t =
   let f fmt = Format.fprintf ppf fmt in
@@ -117,5 +127,12 @@ let pp ppf t =
   | Dtu_retry { pe; dst_pe; msg; attempt; backoff } ->
     f "dtu.retry pe%d -> pe%d msg=%d attempt=%d backoff=%d" pe dst_pe msg attempt
       backoff
+  | Fault_pe_crash { pe } -> f "fault.pe_crash pe%d" pe
+  | Vpe_crash { vpe; pe } -> f "vpe.crash vpe%d pe%d" vpe pe
+  | Vpe_abort { vpe; pe; reason } -> f "vpe.abort vpe%d pe%d (%s)" vpe pe reason
+  | Vpe_restart { vpe; pe; name; attempt } ->
+    f "vpe.restart vpe%d pe%d %s attempt=%d" vpe pe name attempt
+  | Kernel_heartbeat { pe; probed; dead } ->
+    f "kernel.heartbeat pe%d probed=%d dead=%d" pe probed dead
 
 let to_string t = Format.asprintf "%a" pp t

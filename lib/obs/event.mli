@@ -71,6 +71,18 @@ type t =
   | Dtu_retry of { pe : int; dst_pe : int; msg : int; attempt : int; backoff : int }
       (** sender-side: retransmit number [attempt] scheduled after
           [backoff] cycles *)
+  | Fault_pe_crash of { pe : int }
+      (** an attached fault plan permanently killed [pe] (core + DTU) *)
+  | Vpe_crash of { vpe : int; pe : int }
+      (** the kernel heartbeat prober found this VPE's PE dead *)
+  | Vpe_abort of { vpe : int; pe : int; reason : string }
+      (** the kernel aborted the VPE and reclaimed its resources *)
+  | Vpe_restart of { vpe : int; pe : int; name : string; attempt : int }
+      (** a supervisor relaunched a crashed program; [vpe]/[pe] are the
+          replacement's, [attempt] counts restarts (1-based) *)
+  | Kernel_heartbeat of { pe : int; probed : int; dead : int }
+      (** one prober sweep from the kernel on [pe]: [probed] running
+          VPEs pinged, [dead] of them found unresponsive *)
 
 (** [name t] is the stable dotted kind name, e.g. ["dtu.send"]. *)
 val name : t -> string

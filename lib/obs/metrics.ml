@@ -97,12 +97,16 @@ let record t (ev : Event.t) =
   | Event.Pipe_pop { bytes; _ } -> t.pipe_popped <- t.pipe_popped + bytes
   | Event.Vpe_create _ -> t.vpes_created <- t.vpes_created + 1
   | Event.Vpe_exit _ -> t.vpes_exited <- t.vpes_exited + 1
-  | Event.Fault_drop _ | Event.Fault_corrupt _ | Event.Fault_stall _ ->
+  | Event.Fault_drop _ | Event.Fault_corrupt _ | Event.Fault_stall _
+  | Event.Fault_pe_crash _ ->
     t.faults_injected <- t.faults_injected + 1
   | Event.Dtu_nack _ -> t.dtu_nacks <- t.dtu_nacks + 1
   | Event.Dtu_retry _ -> t.dtu_retries <- t.dtu_retries + 1
+  (* Aborted VPEs still emit Vpe_exit, so the abort marker itself only
+     counts into the per-kind table. *)
   | Event.Dtu_receive _ | Event.Syscall_enter _ | Event.Fs_request _
-  | Event.Vpe_start _ | Event.Pe_spawn _ | Event.Pe_halt _ ->
+  | Event.Vpe_start _ | Event.Pe_spawn _ | Event.Pe_halt _ | Event.Vpe_crash _
+  | Event.Vpe_abort _ | Event.Vpe_restart _ | Event.Kernel_heartbeat _ ->
     ()
 
 let sink t =

@@ -1,0 +1,159 @@
+(* Crash containment: the kernel-level abort path and its guarantees.
+
+   - the crash matrix (harness sweep, quick points): for every role a
+     PE crash is detected by the heartbeat prober, the victim aborted
+     with full capability/endpoint reclamation, survivors observe
+     E_vpe_dead / E_pipe_broken, the PE is quarantined, a supervised
+     restart recovers, and the simulation drains;
+   - exit vs. abort is idempotent: whichever death arrives first sets
+     the cause and exit code, later kills only bump [kills_ignored];
+   - create_rgate's endpoint activation is undone by revoke (the
+     ep_caps binding used to leak). *)
+
+module Engine = M3_sim.Engine
+module Process = M3_sim.Process
+module Core_type = M3_hw.Core_type
+module Bootstrap = M3.Bootstrap
+module Kernel = M3.Kernel
+module Kdata = M3.Kdata
+module Gate = M3.Gate
+module Syscalls = M3.Syscalls
+module Vpe_api = M3.Vpe_api
+module Errno = M3.Errno
+module Crash = M3_harness.Crash
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let ok_os = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected OS error: %s" (Errno.to_string e)
+
+(* --- the crash matrix, one quick cell per role ------------------------ *)
+
+let test_matrix role () =
+  let sweep = Crash.run ~quick:true role in
+  List.iter
+    (fun c ->
+      if c.Crash.c_failures <> [] then
+        Alcotest.failf "%s, crash at command %d: %s" role c.Crash.c_after
+          (String.concat "; " c.Crash.c_failures))
+    sweep.Crash.r_cells
+
+(* --- exit vs. abort idempotence --------------------------------------- *)
+
+(* Runs [main] against a fresh no-fs system and returns what the kernel
+   recorded. [main] gets the kernel handle too, for white-box pokes. *)
+let with_system main =
+  let engine = Engine.create () in
+  let sys = Bootstrap.start ~no_fs:true engine in
+  let exit = Bootstrap.launch sys ~name:"main" (main sys) in
+  ignore (Engine.run engine);
+  (sys, Option.value ~default:min_int (Process.Ivar.peek exit))
+
+let long_worker cenv =
+  for _ = 1 to 200 do
+    ok_os (Syscalls.noop cenv)
+  done;
+  0
+
+let test_abort_then_revoke () =
+  let victim_id = ref 0 in
+  let sys, code =
+    with_system (fun sys env ->
+        let t =
+          ok_os (Vpe_api.create env ~name:"victim" ~core:Core_type.General_purpose)
+        in
+        victim_id := t.Vpe_api.vpe_id;
+        ok_os (Vpe_api.run env t long_worker);
+        let v = Option.get (Kernel.find_vpe sys.Bootstrap.kernel ~vpe_id:t.Vpe_api.vpe_id) in
+        Kernel.abort sys.Bootstrap.kernel v ~reason:"test";
+        let died =
+          match Vpe_api.wait env t with
+          | Error Errno.E_vpe_dead -> true
+          | _ -> false
+        in
+        (* The parent dropping the VPE capability is a second kill —
+           it must lose the race quietly. *)
+        ok_os (Syscalls.revoke env ~sel:t.Vpe_api.vpe_sel);
+        ok_os (Syscalls.revoke env ~sel:t.Vpe_api.mem_sel);
+        if died then 0 else 1)
+  in
+  check_int "main saw E_vpe_dead and finished" 0 code;
+  let k = sys.Bootstrap.kernel in
+  let v = Option.get (Kernel.find_vpe k ~vpe_id:!victim_id) in
+  check_bool "first cause (the abort) sticks" true
+    (match v.Kdata.v_cause with Some (Kdata.C_abort "test") -> true | _ -> false);
+  check_int "exit code is the abort code" Kernel.abort_exit_code
+    (Option.value ~default:min_int v.Kdata.v_exit_code);
+  check_int "the losing kill was counted, not applied" 1 (Kernel.kills_ignored k);
+  check_int "no capability survived" 0 (Kdata.count_caps v);
+  check_int "no endpoint binding survived" 0 (Kernel.ep_entries k ~vpe_id:!victim_id);
+  (* A test abort of a healthy PE must not quarantine the hardware. *)
+  check_bool "live PE not quarantined" false
+    (M3_hw.Platform.is_quarantined sys.Bootstrap.platform v.Kdata.v_pe)
+
+let test_exit_then_revoke () =
+  let victim_id = ref 0 in
+  let sys, code =
+    with_system (fun _sys env ->
+        let t =
+          ok_os (Vpe_api.create env ~name:"victim" ~core:Core_type.General_purpose)
+        in
+        victim_id := t.Vpe_api.vpe_id;
+        ok_os (Vpe_api.run env t (fun _ -> 7));
+        let got = Vpe_api.wait env t in
+        ok_os (Syscalls.revoke env ~sel:t.Vpe_api.vpe_sel);
+        if got = Ok 7 then 0 else 1)
+  in
+  check_int "main saw the voluntary code and finished" 0 code;
+  let k = sys.Bootstrap.kernel in
+  let v = Option.get (Kernel.find_vpe k ~vpe_id:!victim_id) in
+  check_bool "first cause (the exit) sticks" true
+    (v.Kdata.v_cause = Some (Kdata.C_exit 7));
+  check_int "exit code untouched by the revoke" 7
+    (Option.value ~default:min_int v.Kdata.v_exit_code);
+  check_int "the revoke's kill was counted, not applied" 1 (Kernel.kills_ignored k)
+
+(* --- create_rgate activation is undone by revoke ----------------------- *)
+
+let test_rgate_revoke_reclaims_ep () =
+  let before = ref (-1) and during = ref (-1) in
+  let after = ref (-1) and again = ref (-1) in
+  let sys, code =
+    with_system (fun sys env ->
+        let k = sys.Bootstrap.kernel in
+        let entries () = Kernel.ep_entries k ~vpe_id:1 in
+        before := entries ();
+        let g = ok_os (Gate.create_recv env ~slot_order:8 ~slot_count:4) in
+        during := entries ();
+        ok_os (Syscalls.revoke env ~sel:g.Gate.rg_sel);
+        after := entries ();
+        (* A second gate must not stack a stale binding on top. *)
+        let g2 = ok_os (Gate.create_recv env ~slot_order:8 ~slot_count:4) in
+        again := entries ();
+        ok_os (Syscalls.revoke env ~sel:g2.Gate.rg_sel);
+        0)
+  in
+  ignore sys;
+  check_int "main finished" 0 code;
+  check_int "activation recorded one binding" (!before + 1) !during;
+  check_int "revoke reclaimed it" !before !after;
+  check_int "re-activation holds exactly one again" (!before + 1) !again
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "crash.matrix",
+      List.map
+        (fun role -> tc (role ^ " cell: detect, contain, restart") (test_matrix role))
+        Crash.names );
+    ( "crash.idempotence",
+      [
+        tc "abort first, revoke second" test_abort_then_revoke;
+        tc "exit first, revoke second" test_exit_then_revoke;
+      ] );
+    ( "crash.reclaim",
+      [ tc "rgate revoke frees the endpoint binding" test_rgate_revoke_reclaims_ep ] );
+  ]

@@ -25,6 +25,9 @@ module Bootstrap = M3.Bootstrap
 module Syscalls = M3.Syscalls
 module Gate = M3.Gate
 module Errno = M3.Errno
+module Vpe_api = M3.Vpe_api
+module Core_type = M3_hw.Core_type
+module Obs = M3_obs.Obs
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -319,6 +322,80 @@ let test_retransmit_rides_through_drops () =
   let base_cycles, _, _ = roundtrips ~rounds:30 () in
   check_bool "drops cost time" true (cycles > base_cycles)
 
+(* --- crash containment: zero-cost and determinism ---------------------- *)
+
+(* A supervised child workload through the whole OS stack. Returns the
+   cycle at which main finished — the completion point, immune to the
+   watchdog timers a plan leaves in the engine's heap past it. *)
+let supervised_run ?faults () =
+  let engine = Engine.create () in
+  let sys = Bootstrap.start ~no_fs:true ?faults engine in
+  let done_at = ref 0 in
+  let exit =
+    Bootstrap.launch sys ~name:"main" (fun env ->
+        let r =
+          Vpe_api.run_supervised env ~name:"worker"
+            ~core:Core_type.General_purpose (fun cenv ->
+              for _ = 1 to 10 do
+                ok_os (Syscalls.noop cenv)
+              done;
+              0)
+        in
+        done_at := Engine.now engine;
+        match r with Ok 0 -> 0 | _ -> 1)
+  in
+  ignore (Engine.run engine);
+  check_int "supervised workload finished" 0
+    (Option.value ~default:min_int (Process.Ivar.peek exit));
+  !done_at
+
+(* The crash-containment layer (prober, watchdogs, abort bookkeeping)
+   must be invisible without a plan that can fire: same completion
+   cycle with no plan and with a quiet one. *)
+let test_supervision_is_zero_cost () =
+  let base = supervised_run () in
+  let quiet = Plan.create ~config:quiet_config ~seed:9 () in
+  check_int "quiet plan: identical completion cycle" base
+    (supervised_run ~faults:quiet ())
+
+(* One seeded PE crash mid-workload, full event log captured. Two runs
+   with the same seed must produce byte-identical logs — the prober,
+   the containment sweep and the restart are all deterministic. *)
+let crash_event_log ~seed =
+  let engine = Engine.create () in
+  let mem = Obs.Memory.create () in
+  let obs = Obs.of_engine engine in
+  Obs.attach obs (Obs.Memory.sink mem);
+  (* no_fs placement: main = pe1, worker = pe2; kill the worker's PE
+     on its 10th DTU command, deep in the noop loop. *)
+  let config = { quiet_config with crashes = [ (2, 10) ] } in
+  let plan = Plan.create ~config ~seed () in
+  let sys = Bootstrap.start ~no_fs:true ~obs ~faults:plan engine in
+  let exit =
+    Bootstrap.launch sys ~name:"main" (fun env ->
+        match
+          Vpe_api.run_supervised env ~name:"worker"
+            ~core:Core_type.General_purpose (fun cenv ->
+              for _ = 1 to 40 do
+                ok_os (Syscalls.noop cenv)
+              done;
+              0)
+        with
+        | Ok 0 -> 0
+        | _ -> 1)
+  in
+  ignore (Engine.run engine);
+  check_int "crashed workload recovered" 0
+    (Option.value ~default:min_int (Process.Ivar.peek exit));
+  check_int "exactly one crash fired" 1 (Plan.crashes_injected plan);
+  Obs.Memory.to_string mem
+
+let test_seeded_crash_identical_logs () =
+  let log1 = crash_event_log ~seed:21 in
+  let log2 = crash_event_log ~seed:21 in
+  check_bool "log not empty" true (String.length log1 > 0);
+  Alcotest.(check string) "same seed, byte-identical event logs" log1 log2
+
 (* --- kernel watchdog --------------------------------------------------- *)
 
 let test_dead_service_times_out () =
@@ -376,5 +453,12 @@ let suites =
         tc "retransmit rides through 20% drops"
           test_retransmit_rides_through_drops;
         tc "dead service answers with E_timeout" test_dead_service_times_out;
+      ] );
+    ( "fault.crash",
+      [
+        tc "supervision layer is zero-cost without a plan"
+          test_supervision_is_zero_cost;
+        tc "seeded pe_crash: byte-identical event logs"
+          test_seeded_crash_identical_logs;
       ] );
   ]
