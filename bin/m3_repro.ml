@@ -15,17 +15,35 @@ let setup_logs verbose =
 
 let ppf = Format.std_formatter
 
+(* Each experiment takes a [quick] flag; most ignore it (their full
+   runs are already CI-sized), fig6x uses it to shrink its sweep. *)
 let experiments =
   [
-    ("fig3", fun () -> M3_harness.Fig3.print ppf (M3_harness.Fig3.run ()));
-    ("fig4", fun () -> M3_harness.Fig4.print ppf (M3_harness.Fig4.run ()));
-    ("fig5", fun () -> M3_harness.Fig5.print ppf (M3_harness.Fig5.run ()));
-    ("fig6", fun () -> M3_harness.Fig6.print ppf (M3_harness.Fig6.run ()));
-    ("fig7", fun () -> M3_harness.Fig7.print ppf (M3_harness.Fig7.run ()));
-    ("t1", fun () -> M3_harness.Tables.print_t1 ppf (M3_harness.Tables.run_t1 ()));
-    ("t2", fun () -> M3_harness.Tables.print_t2 ppf (M3_harness.Tables.run_t2 ()));
+    ( "fig3",
+      fun ~quick:_ -> M3_harness.Fig3.print ppf (M3_harness.Fig3.run ()) );
+    ( "fig4",
+      fun ~quick:_ -> M3_harness.Fig4.print ppf (M3_harness.Fig4.run ()) );
+    ( "fig5",
+      fun ~quick:_ -> M3_harness.Fig5.print ppf (M3_harness.Fig5.run ()) );
+    ( "fig6",
+      fun ~quick:_ -> M3_harness.Fig6.print ppf (M3_harness.Fig6.run ()) );
+    ( "fig6x",
+      fun ~quick ->
+        let t = M3_harness.Fig6x.run ~quick () in
+        M3_harness.Fig6x.print ppf t;
+        M3_harness.Fig6x.write_json t "FIG6X_results.json";
+        Format.fprintf ppf "results written to FIG6X_results.json@." );
+    ( "fig7",
+      fun ~quick:_ -> M3_harness.Fig7.print ppf (M3_harness.Fig7.run ()) );
+    ( "t1",
+      fun ~quick:_ -> M3_harness.Tables.print_t1 ppf (M3_harness.Tables.run_t1 ())
+    );
+    ( "t2",
+      fun ~quick:_ -> M3_harness.Tables.print_t2 ppf (M3_harness.Tables.run_t2 ())
+    );
     ( "ablations",
-      fun () -> M3_harness.Ablations.print ppf (M3_harness.Ablations.run ()) );
+      fun ~quick:_ -> M3_harness.Ablations.print ppf (M3_harness.Ablations.run ())
+    );
   ]
 
 let names = List.map fst experiments
@@ -46,20 +64,26 @@ let run_cmd =
   let all =
     Arg.(value & flag & info [ "all"; "a" ] ~doc:"Run every experiment.")
   in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:"Shrink sweeps to a CI-sized smoke (honored by fig6x).")
+  in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")
   in
-  let run which all verbose =
+  let run which all quick verbose =
     setup_logs verbose;
     let which = if all || which = [] then names else which in
     List.iter
       (fun name ->
-        (List.assoc name experiments) ();
+        (List.assoc name experiments) ~quick;
         Format.fprintf ppf "@.")
       which
   in
   let doc = "Reproduce the paper's evaluation figures and tables." in
-  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ which $ all $ verbose)
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ which $ all $ quick $ verbose)
 
 (* --- platform ------------------------------------------------------------ *)
 
@@ -169,7 +193,7 @@ let trace_cmd =
     Fun.protect
       ~finally:(fun () -> M3_harness.Runner.observer := None)
       (fun () ->
-        (List.assoc which experiments) ();
+        (List.assoc which experiments) ~quick:false;
         Format.fprintf ppf "@.");
     M3_obs.Chrome.write_file chrome out;
     M3_harness.Report.print_obs ppf metrics;

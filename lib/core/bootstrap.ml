@@ -7,9 +7,15 @@ type t = {
   engine : Engine.t;
   platform : Platform.t;
   kernel : Kernel.t;
+  fs_services : string list;
 }
 
-let start ?platform_config ?fs ?(no_fs = false) ?obs ?faults engine =
+let shard_names ~base n =
+  if n <= 1 then [ base ]
+  else List.init n (fun i -> Printf.sprintf "%s.%d" base i)
+
+let start ?platform_config ?fs ?(fs_instances = 1) ?(no_fs = false) ?obs
+    ?faults engine =
   let platform = Platform.create ?config:platform_config engine in
   (* Install the bus before the kernel boots so bring-up traffic is
      traced too. *)
@@ -28,19 +34,46 @@ let start ?platform_config ?fs ?(no_fs = false) ?obs ?faults engine =
       if M3_hw.Core_type.equal (M3_hw.Pe.core pe) M3_hw.Core_type.Timer_device
       then M3_hw.Timer.start pe)
     (Platform.pes platform);
-  if not no_fs then begin
-    let dram = Platform.dram platform in
-    let config =
-      match fs with
-      | Some f -> f ~dram
-      | None -> M3fs.default_config ~dram
-    in
-    M3fs.register config;
-    ignore
-      (Kernel.launch kernel ~name:"m3fs" ~account:(Account.create ())
-         M3fs.program_name)
-  end;
-  { engine; platform; kernel }
+  let fs_services =
+    if no_fs then []
+    else begin
+      let dram = Platform.dram platform in
+      let base =
+        match fs with
+        | Some f -> f ~dram
+        | None -> M3fs.default_config ~dram
+      in
+      let names = shard_names ~base:base.M3fs.srv_name fs_instances in
+      (* Shard the pre-boot seed the same way clients shard paths
+         ({!Shard} on the top-level directory), so every file is found
+         on exactly the instance a sharded mount will ask. *)
+      let ring =
+        match names with
+        | [ _ ] -> None
+        | _ -> Some (Shard.create ~names:(Array.of_list names) ())
+      in
+      List.iteri
+        (fun i name ->
+          let seed =
+            match ring with
+            | None -> base.M3fs.seed
+            | Some ring ->
+              List.filter
+                (fun sd -> Shard.owner ring ~path:sd.M3fs.sd_path = i)
+                base.M3fs.seed
+          in
+          let config = { base with M3fs.srv_name = name; seed } in
+          (* Program names carry the engine id: the program registry is
+             process-global, and two live engines must not resolve the
+             same "m3fs" entry to one engine's configuration. *)
+          let prog = Printf.sprintf "%s@e%d" name (Engine.id engine) in
+          M3fs.register ~prog_name:prog config;
+          ignore (Kernel.launch kernel ~name ~account:(Account.create ()) prog))
+        names;
+      names
+    end
+  in
+  { engine; platform; kernel; fs_services }
 
 let counter = ref 0
 

@@ -12,19 +12,35 @@ type t = {
   engine : M3_sim.Engine.t;
   platform : M3_hw.Platform.t;
   kernel : Kernel.t;
+  fs_services : string list;
+      (** service names of the launched m3fs instances, in shard
+          order — pass to {!Vfs.mount_sharded}. [["m3fs"]] for the
+          default single instance, [[]] under [no_fs]. *)
 }
 
-(** [start ?platform_config ?fs ?no_fs ?obs engine] builds the platform
-    (kernel on PE 0), boots the kernel and, unless [no_fs], registers
-    and launches m3fs with configuration [fs] (seed files etc.;
-    defaults to an empty 16 MiB filesystem). [obs], if given, is
-    installed on the fabric before the kernel boots, so bring-up
-    traffic is observable too. [faults], if given, attaches a fault
-    plan to the fabric the same way (boot traffic included). Nothing
-    has executed yet — the caller drives the engine. *)
+(** [start ?platform_config ?fs ?fs_instances ?no_fs ?obs engine]
+    builds the platform (kernel on PE 0), boots the kernel and, unless
+    [no_fs], registers and launches m3fs with configuration [fs] (seed
+    files etc.; defaults to an empty 16 MiB filesystem).
+
+    [fs_instances] (default 1) launches that many m3fs shards, each on
+    its own PE under names ["m3fs.0"], ["m3fs.1"], ... (derived from
+    the configured [srv_name]); the seed list is partitioned across
+    them with the same {!Shard} ring clients use, and each shard
+    formats a full [fs_size] image, so the platform needs
+    [fs_instances * fs_size] of DRAM plus a free general-purpose PE
+    per shard. With one instance the boot sequence is exactly the
+    pre-sharding one.
+
+    [obs], if given, is installed on the fabric before the kernel
+    boots, so bring-up traffic is observable too. [faults], if given,
+    attaches a fault plan to the fabric the same way (boot traffic
+    included). Nothing has executed yet — the caller drives the
+    engine. *)
 val start :
   ?platform_config:M3_hw.Platform.config ->
   ?fs:(dram:M3_mem.Store.t -> M3fs.config) ->
+  ?fs_instances:int ->
   ?no_fs:bool ->
   ?obs:M3_obs.Obs.t ->
   ?faults:M3_fault.Plan.t ->

@@ -82,6 +82,7 @@ let recv_any (env : Env.t) gates =
   (index 0 gates, msg)
 
 let fetch (env : Env.t) g = Dtu.fetch env.dtu ~ep:g.rg_ep
+let backlog (env : Env.t) g = Dtu.buffered env.dtu ~ep:g.rg_ep
 
 let reply (env : Env.t) g ~slot payload =
   Env.charge_marshal env (Bytes.length payload);

@@ -70,6 +70,11 @@ val recv_any : Env.t -> recv_gate list -> int * M3_dtu.Endpoint.message
 (** [fetch env g] polls without blocking. *)
 val fetch : Env.t -> recv_gate -> M3_dtu.Endpoint.message option
 
+(** [backlog env g] is the number of delivered-but-unfetched messages
+    in the gate's ringbuffer — the queue depth a service observes.
+    Free (a DTU register read); charges nothing. *)
+val backlog : Env.t -> recv_gate -> int
+
 (** [reply env g ~slot payload] replies and acks the slot. *)
 val reply : Env.t -> recv_gate -> slot:int -> Bytes.t -> unit result_
 

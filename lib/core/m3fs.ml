@@ -26,6 +26,7 @@ type config = {
   seed : seed list;
   seed_rng_seed : int;
   srv_name : string;
+  emit_queue : bool;
 }
 
 let program_name = "m3fs"
@@ -39,13 +40,22 @@ let default_config ~dram =
     seed = [];
     seed_rng_seed = 42;
     srv_name = program_name;
+    emit_queue = false;
   }
 
-let images : (string, Fs_image.t) Hashtbl.t = Hashtbl.create 4
+(* Registries are keyed by (engine id, service name), never by name
+   alone: several engines coexist in one process (bench sweeps, the
+   fig6x shard matrix, back-to-back tests), and with a name-only key a
+   later simulation would silently observe — or clobber — an earlier
+   run's server entry. *)
+let images : (int * string, Fs_image.t) Hashtbl.t = Hashtbl.create 4
 
-let image_of ~srv_name = Hashtbl.find_opt images srv_name
+let engine_key engine srv_name = (M3_sim.Engine.id engine, srv_name)
 
-let current_image () = image_of ~srv_name:program_name
+let image_of ~engine ~srv_name =
+  Hashtbl.find_opt images (engine_key engine srv_name)
+
+let current_image engine = image_of ~engine ~srv_name:program_name
 
 (* One open file of one session. [fo_open_size] is the size at open
    time: if the client dies without closing, blocks appended since then
@@ -68,14 +78,24 @@ type server = {
   sessions : (int64, session) Hashtbl.t;
 }
 
-(* Server registry keyed by service name, like [images]: lets tests and
-   the crash harness check that dead clients' sessions were reaped. *)
-let servers : (string, server) Hashtbl.t = Hashtbl.create 4
+(* Server registry keyed like [images]: lets tests and the crash
+   harness check that dead clients' sessions were reaped. *)
+let servers : (int * string, server) Hashtbl.t = Hashtbl.create 4
 
-let open_sessions ~srv_name =
-  match Hashtbl.find_opt servers srv_name with
+let open_sessions ~engine ~srv_name =
+  match Hashtbl.find_opt servers (engine_key engine srv_name) with
   | None -> None
   | Some t -> Some (Hashtbl.length t.sessions)
+
+let forget ~engine =
+  let eid = M3_sim.Engine.id engine in
+  let drop tbl =
+    Hashtbl.fold (fun (e, n) _ acc -> if e = eid then (e, n) :: acc else acc)
+      tbl []
+    |> List.iter (Hashtbl.remove tbl)
+  in
+  drop images;
+  drop servers
 
 let charge_meta t ~scanned =
   Env.charge t.env Account.Os
@@ -356,7 +376,6 @@ let main config (env : Env.t) =
              (Fs_image.seed_file fs ~path:sd.sd_path ~size:sd.sd_size
                 ~blocks_per_extent:sd.sd_blocks_per_extent ~rng:(M3_sim.Rng.split rng))))
     config.seed;
-  Hashtbl.replace images config.srv_name fs;
   let krgate =
     Errno.ok_exn
       (Gate.create_recv env ~slot_order:Fs_proto.srv_kchannel_order
@@ -367,11 +386,17 @@ let main config (env : Env.t) =
       (Gate.create_recv env ~slot_order:Fs_proto.srv_msg_order
          ~slot_count:Fs_proto.srv_slots)
   in
+  (* Register into [images]/[servers] only once the kernel accepted
+     the service name: a duplicate-named instance gets [E_exists] back
+     and dies here without having clobbered the live instance's
+     registry entries. *)
   let _srv_sel =
     Errno.ok_exn
       (Syscalls.create_srv env ~name:config.srv_name ~krgate_sel:krgate.rg_sel
          ~crgate_sel:crgate.rg_sel)
   in
+  let key = engine_key env.Env.engine config.srv_name in
+  Hashtbl.replace images key fs;
   let t =
     {
       env;
@@ -380,7 +405,7 @@ let main config (env : Env.t) =
       sessions = Hashtbl.create 8;
     }
   in
-  Hashtbl.replace servers config.srv_name t;
+  Hashtbl.replace servers key t;
   Log.debug (fun m ->
       m "%s up: %d blocks" config.srv_name (Fs_image.total_blocks fs));
   let obs = Fabric.obs env.Env.fabric in
@@ -389,6 +414,14 @@ let main config (env : Env.t) =
     let which, msg = Gate.recv_any env [ krgate; crgate ] in
     let gate = if which = 0 then krgate else crgate in
     let traced = Obs.enabled obs in
+    if traced && config.emit_queue then
+      Obs.emit obs
+        (Event.Fs_queue
+           {
+             pe;
+             srv = config.srv_name;
+             depth = Gate.backlog env krgate + Gate.backlog env crgate;
+           });
     let op, session, t0 =
       if not traced then ("", 0, 0)
       else begin
@@ -441,5 +474,6 @@ let main config (env : Env.t) =
   in
   serve ()
 
-let register config =
-  Program.register ~name:config.srv_name ~image_bytes:(24 * 1024) (main config)
+let register ?prog_name config =
+  let name = Option.value prog_name ~default:config.srv_name in
+  Program.register ~name ~image_bytes:(24 * 1024) (main config)

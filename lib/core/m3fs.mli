@@ -28,6 +28,11 @@ type config = {
           can run under different names (§7's "multiple instances of
           services"; without shared state they need no synchronization
           protocol, clients shard by mount) *)
+  emit_queue : bool;
+      (** when true (and an observer is attached), the server emits an
+          [fs.shard.queue] event with its ringbuffer backlog each time
+          it picks up a request. Off by default so existing traces stay
+          byte-identical. *)
 }
 
 val default_config : dram:M3_mem.Store.t -> config
@@ -35,18 +40,29 @@ val default_config : dram:M3_mem.Store.t -> config
 (** Default service name in the registry ("m3fs"). *)
 val program_name : string
 
-(** [register config] (re)registers the program [config.srv_name] with
-    this configuration. *)
-val register : config -> unit
+(** [register config] (re)registers the program [config.srv_name]
+    (overridable via [prog_name], so several engines can hold distinct
+    configurations for the same service name) with this
+    configuration. *)
+val register : ?prog_name:string -> config -> unit
 
-(** The last formatted image (for white-box tests and fsck); set when
-    the server initializes. *)
-val current_image : unit -> Fs_image.t option
+(** [current_image engine] is the image of [engine]'s default
+    instance ("m3fs"), for white-box tests and fsck; set when the
+    server initializes. *)
+val current_image : M3_sim.Engine.t -> Fs_image.t option
 
-(** [image_of ~srv_name] — the image of a specific instance. *)
-val image_of : srv_name:string -> Fs_image.t option
+(** [image_of ~engine ~srv_name] — the image of a specific instance of
+    a specific simulation. State is keyed by {!M3_sim.Engine.id}, so
+    engines coexisting in one process never alias. *)
+val image_of : engine:M3_sim.Engine.t -> srv_name:string -> Fs_image.t option
 
-(** [open_sessions ~srv_name] is the instance's live session count
-    ([None] until the server has initialized) — lets the crash harness
-    assert that a dead client's session was reaped. *)
-val open_sessions : srv_name:string -> int option
+(** [open_sessions ~engine ~srv_name] is the instance's live session
+    count ([None] until the server has initialized) — lets the crash
+    harness assert that a dead client's session was reaped. *)
+val open_sessions : engine:M3_sim.Engine.t -> srv_name:string -> int option
+
+(** [forget ~engine] drops every m3fs registry entry belonging to
+    [engine]. Long-lived processes that run many simulations (bench,
+    the harness sweeps) call this after inspecting a finished run so
+    the per-engine tables don't grow without bound. *)
+val forget : engine:M3_sim.Engine.t -> unit

@@ -1,6 +1,23 @@
+module Fabric = M3_noc.Fabric
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
+
 type 'a result_ = ('a, Errno.t) result
 
-type state = { mutable mounts : (string * File.mount) list }
+(* A mount-table entry is either a classic single-service mount or a
+   shard set: N services plus a consistent-hash ring, with per-shard
+   sessions opened lazily on first resolve (endpoints are scarce — a
+   client that only ever touches its own top-level directory pays for
+   exactly one session). *)
+type shard_set = {
+  sh_services : string array;
+  sh_mounts : File.mount option array;
+  sh_ring : Shard.t;
+}
+
+type entry = Single of File.mount | Sharded of shard_set
+
+type state = { mutable mounts : (string * entry) list }
 
 (* Mount tables are per VPE; keyed by VPE id because the environment
    record cannot reference this module's types. *)
@@ -21,10 +38,41 @@ let mount env ~path ~service =
   | Error e -> Error e
   | Ok m ->
     let s = state env in
-    s.mounts <- (normalize path, m) :: s.mounts;
+    s.mounts <- (normalize path, Single m) :: s.mounts;
+    Ok ()
+
+let mount_sharded env ~path ~services =
+  match services with
+  | [] -> Error Errno.E_inv_args
+  | [ service ] ->
+    (* One shard is just a mount: same session, same costs, same
+       events — the single-instance path stays bit-identical. *)
+    mount env ~path ~service
+  | services ->
+    let sh_services = Array.of_list services in
+    let s = state env in
+    s.mounts <-
+      ( normalize path,
+        Sharded
+          {
+            sh_services;
+            sh_mounts = Array.map (fun _ -> None) sh_services;
+            sh_ring = Shard.create ~names:sh_services ();
+          } )
+      :: s.mounts;
     Ok ()
 
 let mount_root env = mount env ~path:"/" ~service:"m3fs"
+
+let shard_mount env sh shard =
+  match sh.sh_mounts.(shard) with
+  | Some m -> Ok m
+  | None -> (
+    match File.mount_m3fs env ~service:sh.sh_services.(shard) with
+    | Error e -> Error e
+    | Ok m ->
+      sh.sh_mounts.(shard) <- Some m;
+      Ok m)
 
 let resolve env path =
   let path = normalize path in
@@ -45,10 +93,29 @@ let resolve env path =
   in
   match best with
   | None -> Error Errno.E_not_found
-  | Some (prefix, m) ->
-    let rel = String.sub path (String.length prefix)
-        (String.length path - String.length prefix) in
-    Ok (m, "/" ^ rel)
+  | Some (prefix, entry) -> (
+    let rel =
+      "/"
+      ^ String.sub path (String.length prefix)
+          (String.length path - String.length prefix)
+    in
+    match entry with
+    | Single m -> Ok (m, rel)
+    | Sharded sh -> (
+      let shard = Shard.owner sh.sh_ring ~path:rel in
+      match shard_mount env sh shard with
+      | Error e -> Error e
+      | Ok m ->
+        let obs = Fabric.obs env.Env.fabric in
+        if Obs.enabled obs then
+          Obs.emit obs
+            (Event.Fs_shard
+               {
+                 pe = M3_hw.Pe.id env.Env.pe;
+                 shard;
+                 srv = sh.sh_services.(shard);
+               });
+        Ok (m, rel)))
 
 let the_mount env =
   match resolve env "/" with Ok (m, _) -> Ok m | Error e -> Error e

@@ -9,6 +9,15 @@ type 'a result_ = ('a, Errno.t) result
     ["m3fs"]) at prefix [path]; retries until the service exists. *)
 val mount : Env.t -> path:string -> service:string -> unit result_
 
+(** [mount_sharded env ~path ~services] mounts a shard set at prefix
+    [path]: each path under it resolves to one of [services] by
+    consistent hashing on its top-level directory ({!Shard}), and the
+    owning shard's session is opened lazily on first use. A singleton
+    list degenerates to {!mount} — bit-identical behavior. Resolving
+    through a shard set emits an [fs.shard.resolve] event when an
+    observer is attached. [E_inv_args] on an empty list. *)
+val mount_sharded : Env.t -> path:string -> services:string list -> unit result_
+
 (** [mount_root env] mounts ["m3fs"] at ["/"]. *)
 val mount_root : Env.t -> unit result_
 

@@ -516,6 +516,15 @@ let fetch t ~ep =
     scan 0 r.r_rpos
   | S_invalid | S_send _ | S_mem _ -> None
 
+let buffered t ~ep =
+  check_ep t ep;
+  match t.eps.(ep) with
+  | S_recv r ->
+    let n = ref 0 in
+    Array.iter (fun u -> if u then incr n) r.r_unread;
+    !n
+  | S_invalid | S_send _ | S_mem _ -> 0
+
 let is_recv t ep = match t.eps.(ep) with S_recv _ -> true | _ -> false
 
 (* A waiter woken on an EP that was a live receive EP when it parked

@@ -72,6 +72,11 @@ val reply :
     blocking (a register poll). *)
 val fetch : t -> ep:int -> Endpoint.message option
 
+(** [buffered t ~ep] counts messages delivered to receive endpoint
+    [ep] but not yet fetched — the ringbuffer backlog a server reads
+    as its queue depth. [0] for non-receive endpoints. *)
+val buffered : t -> ep:int -> int
+
 (** [wait_msg t ~ep] blocks the calling process until a message is
     available on [ep], then fetches it.
     @raise Dtu_error.Error [Invalid_ep] if, while the caller is

@@ -250,11 +250,16 @@ let run_cell ~role ~fs ~victim_pe ~main ~after =
      (* The crashed client's session was reaped; only the successful
         retry's session remains. And the read-only client must not
         have perturbed the image. *)
-     (match M3.M3fs.open_sessions ~srv_name:"m3fs" with
+     (match
+        M3.M3fs.open_sessions ~engine:sys.M3.Bootstrap.engine
+          ~srv_name:"m3fs"
+      with
      | Some n when n <= 1 -> ()
      | Some n -> fail "m3fs still holds %d sessions" n
      | None -> fail "m3fs never initialized");
-     match M3.M3fs.image_of ~srv_name:"m3fs" with
+     match
+       M3.M3fs.image_of ~engine:sys.M3.Bootstrap.engine ~srv_name:"m3fs"
+     with
      | None -> fail "m3fs image unavailable"
      | Some img -> (
        match M3.Fs_image.lookup img "/crash.dat" with

@@ -17,34 +17,66 @@ type curve = {
 }
 
 let counts = [ 1; 2; 4; 8; 16 ]
+
+type body = instance:int -> M3.Env.t -> measured:((unit -> unit) -> unit) -> unit
+type bench = int * (int -> M3.M3fs.seed list) * body
+
 let ok = Errno.ok_exn
 let workload_seed = 2016
 
 (* Runs [instances] copies of a benchmark in parallel on a system with
-   one kernel and one m3fs; returns the average per-instance time of
-   the measured section. [seeds_of] and [body] are per-instance; [body]
-   runs inside the instance's VPE with the fs mounted and
-   spin-transfers enabled, and must bracket its measured part with the
-   given function. *)
-let run_multi ~instances ~pes_per_instance ~seeds_of ~body =
+   one kernel and [shards] m3fs instances (default one); returns the
+   average per-instance time of the measured section. [seeds_of] and
+   [body] are per-instance; [body] runs inside the instance's VPE with
+   the fs mounted (sharded when [shards > 1]) and spin-transfers
+   enabled, and must bracket its measured part with the given
+   function. With [shards = 1] the system and all formulas are exactly
+   the classic Fig. 6 setup. *)
+let run_multi ?(shards = 1) ?observe ?(emit_queue = false) ~instances
+    ~pes_per_instance ~seeds_of ~body () =
   let engine = Engine.create () in
-  let pe_count = (instances * pes_per_instance) + 2 in
+  let obs =
+    match observe with
+    | None -> None
+    | Some attach ->
+      let o = M3_obs.Obs.of_engine engine in
+      attach o;
+      Some o
+  in
+  let pe_count = (instances * pes_per_instance) + 1 + shards in
+  (* Per-shard image size: with one shard every instance's inputs and
+     outputs land on it; with several, the seed is partitioned by
+     top-level directory, so each shard only needs room for its share
+     (×2 slack — consistent hashing is not perfectly even). *)
+  let per_shard = (instances + shards - 1) / shards in
+  let fs_size_mib =
+    if shards = 1 then 16 + (6 * instances) else 16 + (12 * per_shard)
+  in
+  let dram_mib =
+    if shards = 1 then 64 + (8 * instances)
+    else 48 + (8 * instances) + (shards * fs_size_mib)
+  in
   let config =
     { Platform.default_config with
       pe_count;
-      dram_size = (64 + (8 * instances)) * 1024 * 1024;
+      dram_size = dram_mib * 1024 * 1024;
     }
   in
   let seeds = List.concat_map seeds_of (List.init instances Fun.id) in
   let fs ~dram =
     { (M3.M3fs.default_config ~dram) with
       seed = seeds;
-      (* every instance needs room for its inputs and outputs *)
-      fs_size = (16 + (6 * instances)) * 1024 * 1024;
-      inode_count = 1024;
+      fs_size = fs_size_mib * 1024 * 1024;
+      (* derived from the sweep's width: 1024 inodes starve a
+         16-instance run whose workloads create files at runtime *)
+      inode_count = max 1024 (128 * instances);
+      emit_queue;
     }
   in
-  let sys = M3.Bootstrap.start ~platform_config:config ~fs engine in
+  let sys =
+    M3.Bootstrap.start ~platform_config:config ~fs ~fs_instances:shards ?obs
+      engine
+  in
   let durations = Array.make instances 0 in
   let exits =
     List.init instances (fun k ->
@@ -53,7 +85,11 @@ let run_multi ~instances ~pes_per_instance ~seeds_of ~body =
           ~account:(Account.create ())
           (fun env ->
             env.Env.spin_transfers <- true;
-            Runner.mounted env;
+            if shards = 1 then Runner.mounted env
+            else
+              ok
+                (M3.Vfs.mount_sharded env ~path:"/"
+                   ~services:sys.M3.Bootstrap.fs_services);
             let measured f =
               let t0 = Engine.now engine in
               f ();
@@ -64,6 +100,7 @@ let run_multi ~instances ~pes_per_instance ~seeds_of ~body =
   in
   ignore (Engine.run engine);
   List.iter (fun iv -> M3.Bootstrap.expect_exit sys iv) exits;
+  M3.M3fs.forget ~engine;
   Array.fold_left ( + ) 0 durations / instances
 
 let trace_bench spec_of =
@@ -166,7 +203,9 @@ let run ?(counts = counts) () =
       let points =
         List.map
           (fun n ->
-            let avg = run_multi ~instances:n ~pes_per_instance ~seeds_of ~body in
+            let avg =
+              run_multi ~instances:n ~pes_per_instance ~seeds_of ~body ()
+            in
             if n = 1 then base := avg;
             { instances = n;
               normalized = float_of_int avg /. float_of_int (max 1 !base) })

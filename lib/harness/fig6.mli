@@ -21,7 +21,38 @@ type curve = {
 val counts : int list
 (** [1; 2; 4; 8; 16] *)
 
+(** Per-instance benchmark body: runs inside the instance's VPE with
+    the filesystem mounted; wraps its timed section in [measured]. *)
+type body = instance:int -> M3.Env.t -> measured:((unit -> unit) -> unit) -> unit
+
+(** [(pes_per_instance, seeds_of, body)] — one Fig. 6 benchmark. *)
+type bench = int * (int -> M3.M3fs.seed list) * body
+
+(** The Fig. 6 benchmark suite (cat+tr, tar, untar, find, sqlite) —
+    also the raw material for the {!Fig6x} shard sweep. *)
+val benches : unit -> (string * bench) list
+
+(** [run_multi ~instances ~pes_per_instance ~seeds_of ~body ()] runs
+    [instances] parallel copies on one kernel + [shards] m3fs
+    instances (default 1 — the classic single-service setup,
+    bit-identical to the pre-sharding harness) and returns the average
+    measured cycles per instance. [observe], if given, receives a
+    fresh event bus over the run's engine (attach sinks there) which
+    is then installed on the fabric; [emit_queue] turns on the
+    per-shard [fs.shard.queue] events. *)
+val run_multi :
+  ?shards:int ->
+  ?observe:(M3_obs.Obs.t -> unit) ->
+  ?emit_queue:bool ->
+  instances:int ->
+  pes_per_instance:int ->
+  seeds_of:(int -> M3.M3fs.seed list) ->
+  body:body ->
+  unit ->
+  int
+
 (** [run ?counts ()] — [counts] defaults to {!counts}; tests pass a
     smaller list. *)
 val run : ?counts:int list -> unit -> curve list
+
 val print : Format.formatter -> curve list -> unit

@@ -216,7 +216,7 @@ let print_obs ppf m =
         Format.fprintf ppf "    %-14s %5d calls  %s@." op (Stats.count st)
           (pcts st))
       ops);
-  match Metrics.fs_ops m with
+  (match Metrics.fs_ops m with
   | [] -> ()
   | ops ->
     Format.fprintf ppf "  m3fs handling latency (cycles):@.";
@@ -224,4 +224,26 @@ let print_obs ppf m =
       (fun (op, st) ->
         Format.fprintf ppf "    %-14s %5d reqs   %s@." op (Stats.count st)
           (pcts st))
-      ops
+      ops);
+  (match Metrics.fs_queues m with
+  | [] -> ()
+  | queues ->
+    Format.fprintf ppf "  m3fs queue depth at request pickup:@.";
+    let resolves = Metrics.shard_resolves m in
+    List.iter
+      (fun (srv, st) ->
+        Format.fprintf ppf "    %-14s %5d reqs   %s%s@." srv (Stats.count st)
+          (pcts st)
+          (match List.assoc_opt srv resolves with
+          | Some n -> Printf.sprintf "  (%d resolves)" n
+          | None -> ""))
+      queues);
+  match Metrics.shard_resolves m with
+  | [] -> ()
+  | resolves when Metrics.fs_queues m <> [] ->
+    ignore resolves (* already folded into the queue table above *)
+  | resolves ->
+    Format.fprintf ppf "  shard resolutions:@.";
+    List.iter
+      (fun (srv, n) -> Format.fprintf ppf "    %-14s %8d@." srv n)
+      resolves

@@ -187,6 +187,18 @@ let record t ~at (ev : Event.t) =
     let tid = tid_sess_base + session in
     ensure_tid t pid tid ~name:(Printf.sprintf "fs.sess%d" session);
     slice t ~pid ~tid ~ts:(at - cycles) ~dur:cycles ~name:op ~cat:"fs" []
+  | Event.Fs_shard { pe; shard; srv } ->
+    let pid = pe_pid t pe in
+    marker t ~pid ~tid:0 ~at
+      ~name:(Printf.sprintf "fs.shard:%s" srv)
+      ~cat:"fs"
+      (args_of [ ("shard", shard) ])
+  | Event.Fs_queue { pe; srv; depth } ->
+    let pid = pe_pid t pe in
+    marker t ~pid ~tid:0 ~at
+      ~name:(Printf.sprintf "fs.queue:%s" srv)
+      ~cat:"fs"
+      (args_of [ ("depth", depth) ])
   | Event.Vpe_create { vpe; pe; name } ->
     let pid = pe_pid t pe in
     let tid = vpe_tid t pid vpe in

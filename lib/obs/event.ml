@@ -32,6 +32,8 @@ type t =
   | Syscall_exit of { pe : int; vpe : int; op : string; ok : bool; cycles : int }
   | Fs_request of { pe : int; session : int; op : string }
   | Fs_response of { pe : int; session : int; op : string; cycles : int }
+  | Fs_shard of { pe : int; shard : int; srv : string }
+  | Fs_queue of { pe : int; srv : string; depth : int }
   | Vpe_create of { vpe : int; pe : int; name : string }
   | Vpe_start of { vpe : int; pe : int; name : string }
   | Vpe_exit of { vpe : int; pe : int; code : int }
@@ -63,6 +65,8 @@ let name = function
   | Syscall_exit _ -> "syscall.exit"
   | Fs_request _ -> "fs.request"
   | Fs_response _ -> "fs.response"
+  | Fs_shard _ -> "fs.shard.resolve"
+  | Fs_queue _ -> "fs.shard.queue"
   | Vpe_create _ -> "vpe.create"
   | Vpe_start _ -> "vpe.start"
   | Vpe_exit _ -> "vpe.exit"
@@ -110,6 +114,8 @@ let pp ppf t =
   | Fs_request { pe; session; op } -> f "fs.request pe%d sess%d %s" pe session op
   | Fs_response { pe; session; op; cycles } ->
     f "fs.response pe%d sess%d %s cycles=%d" pe session op cycles
+  | Fs_shard { pe; shard; srv } -> f "fs.shard.resolve pe%d -> %s[%d]" pe srv shard
+  | Fs_queue { pe; srv; depth } -> f "fs.shard.queue pe%d %s depth=%d" pe srv depth
   | Vpe_create { vpe; pe; name } -> f "vpe.create vpe%d pe%d %s" vpe pe name
   | Vpe_start { vpe; pe; name } -> f "vpe.start vpe%d pe%d %s" vpe pe name
   | Vpe_exit { vpe; pe; code } -> f "vpe.exit vpe%d pe%d code=%d" vpe pe code

@@ -52,6 +52,13 @@ type t =
       (** emitted by the m3fs server; [session] is 0 on the kernel
           channel *)
   | Fs_response of { pe : int; session : int; op : string; cycles : int }
+  | Fs_shard of { pe : int; shard : int; srv : string }
+      (** client-side: the sharded VFS routed a path to shard [shard]
+          (service [srv]) of its mount's ring *)
+  | Fs_queue of { pe : int; srv : string; depth : int }
+      (** server-side: ringbuffer backlog observed by instance [srv]
+          when it picked up a request (emitted only when the instance
+          runs with [emit_queue]) *)
   | Vpe_create of { vpe : int; pe : int; name : string }
   | Vpe_start of { vpe : int; pe : int; name : string }
   | Vpe_exit of { vpe : int; pe : int; code : int }

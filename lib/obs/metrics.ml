@@ -9,6 +9,8 @@ type t = {
   link_queue : (int * int, Stats.t) Hashtbl.t;
   syscall_lat : (string, Stats.t) Hashtbl.t;
   fs_lat : (string, Stats.t) Hashtbl.t;
+  fs_queue : (string, Stats.t) Hashtbl.t;
+  shard_hits : (string, int ref) Hashtbl.t;
   mutable dtu_sent_msgs : int;
   mutable dtu_sent_bytes : int;
   mutable dtu_dropped : int;
@@ -36,6 +38,8 @@ let create () =
     link_queue = Hashtbl.create 64;
     syscall_lat = Hashtbl.create 16;
     fs_lat = Hashtbl.create 8;
+    fs_queue = Hashtbl.create 8;
+    shard_hits = Hashtbl.create 8;
     dtu_sent_msgs = 0;
     dtu_sent_bytes = 0;
     dtu_dropped = 0;
@@ -93,6 +97,9 @@ let record t (ev : Event.t) =
     observe t.syscall_lat op (float_of_int cycles)
   | Event.Fs_response { op; cycles; _ } ->
     observe t.fs_lat op (float_of_int cycles)
+  | Event.Fs_shard { srv; _ } -> bump t.shard_hits srv 1
+  | Event.Fs_queue { srv; depth; _ } ->
+    observe t.fs_queue srv (float_of_int depth)
   | Event.Pipe_push { bytes; _ } -> t.pipe_pushed <- t.pipe_pushed + bytes
   | Event.Pipe_pop { bytes; _ } -> t.pipe_popped <- t.pipe_popped + bytes
   | Event.Vpe_create _ -> t.vpes_created <- t.vpes_created + 1
@@ -140,6 +147,8 @@ let links t =
 
 let syscalls t = sorted_bindings t.syscall_lat
 let fs_ops t = sorted_bindings t.fs_lat
+let fs_queues t = sorted_bindings t.fs_queue
+let shard_resolves t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.shard_hits)
 
 let dtu_sent_msgs t = t.dtu_sent_msgs
 let dtu_sent_bytes t = t.dtu_sent_bytes

@@ -29,6 +29,14 @@ val syscalls : t -> (string * M3_sim.Stats.t) list
 (** m3fs server-side handling latency per operation. *)
 val fs_ops : t -> (string * M3_sim.Stats.t) list
 
+(** Per m3fs-instance ringbuffer depth at request pickup
+    ([fs.shard.queue] events), keyed by service name. *)
+val fs_queues : t -> (string * M3_sim.Stats.t) list
+
+(** Per-shard path resolutions by sharded VFS clients
+    ([fs.shard.resolve] events), keyed by service name. *)
+val shard_resolves : t -> (string * int) list
+
 val dtu_sent_msgs : t -> int
 
 (** Sum of wire bytes (header + payload) over all traced DTU sends and

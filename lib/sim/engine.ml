@@ -1,10 +1,18 @@
 type t = {
+  id : int;
   mutable now : int;
   mutable processed : int;
   queue : (unit -> unit) Heap.t;
 }
 
-let create () = { now = 0; processed = 0; queue = Heap.create () }
+let next_id = ref 0
+
+let create () =
+  let id = !next_id in
+  incr next_id;
+  { id; now = 0; processed = 0; queue = Heap.create () }
+
+let id t = t.id
 
 let now t = t.now
 

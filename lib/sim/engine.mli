@@ -10,6 +10,12 @@ type t
 (** [create ()] is a fresh engine at cycle 0. *)
 val create : unit -> t
 
+(** [id t] is a process-unique identifier, assigned at creation in
+    increasing order. Registries that outlive a single simulation
+    (e.g. the m3fs server tables) key their entries by it so that
+    several engines in one process never alias each other's state. *)
+val id : t -> int
+
 (** [now t] is the current simulation time in cycles. *)
 val now : t -> int
 

@@ -282,8 +282,8 @@ let test_child_talks_to_parent () =
 (* --- m3fs ------------------------------------------------------------------ *)
 
 let test_fs_write_read_roundtrip () =
-  ignore
-    (run_app (fun _sys env ->
+  let sys =
+    run_app (fun _sys env ->
          ok (Vfs.mount_root env);
          let file =
            ok
@@ -296,9 +296,10 @@ let test_fs_write_read_roundtrip () =
          let contents = ok (File.read_all env file ~max:1024) in
          ok (File.close env file);
          check_str "roundtrip" "hello m3fs, extents and caps!" contents;
-         0));
+         0)
+  in
   (* The image itself stays consistent. *)
-  match M3fs.current_image () with
+  match M3fs.current_image sys.Bootstrap.engine with
   | None -> Alcotest.fail "no fs image"
   | Some fs -> (
     match Fs_image.fsck fs with
@@ -361,8 +362,8 @@ let test_fs_meta_ops () =
 let test_fs_big_file_write_then_read () =
   (* 256 KiB across many appends; exercises extent allocation, close
      truncation and sequential reads with real data. *)
-  ignore
-    (run_app (fun _sys env ->
+  let sys =
+    run_app (fun _sys env ->
          ok (Vfs.mount_root env);
          let spm = Pe.spm env.pe in
          let buf = Env.alloc_spm env ~size:4096 in
@@ -405,8 +406,9 @@ let test_fs_big_file_write_then_read () =
          ok (File.close env f);
          check_int "read back all" total !read;
          check_int "no corrupted bytes" 0 !bad;
-         0));
-  match M3fs.current_image () with
+         0)
+  in
+  match M3fs.current_image sys.Bootstrap.engine with
   | None -> Alcotest.fail "no fs image"
   | Some fs -> (
     match Fs_image.fsck fs with

@@ -340,7 +340,7 @@ let test_two_clients_share_m3fs () =
   ignore (Engine.run engine);
   Bootstrap.expect_exit sys a;
   Bootstrap.expect_exit sys b;
-  match M3.M3fs.current_image () with
+  match M3.M3fs.current_image engine with
   | None -> Alcotest.fail "no image"
   | Some fs -> (
     match M3.Fs_image.fsck fs with

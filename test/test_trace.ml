@@ -119,12 +119,13 @@ let run_m3_replay spec =
         | Error e -> failwith (M3.Errno.to_string e))
   in
   ignore (Engine.run engine);
-  M3.Bootstrap.expect_exit sys exit
+  M3.Bootstrap.expect_exit sys exit;
+  engine
 
 let test_replay_m3_tar_produces_archive () =
   let spec = Workloads.tar ~seed:3 in
-  run_m3_replay spec;
-  match M3.M3fs.current_image () with
+  let engine = run_m3_replay spec in
+  match M3.M3fs.current_image engine with
   | None -> Alcotest.fail "no image"
   | Some fs ->
     let ino, _ = M3.Errno.ok_exn (M3.Fs_image.lookup fs "/out.tar") in
@@ -139,8 +140,8 @@ let test_replay_m3_tar_produces_archive () =
 
 let test_replay_m3_untar_creates_members () =
   let spec = Workloads.untar ~seed:3 in
-  run_m3_replay spec;
-  match M3.M3fs.current_image () with
+  let engine = run_m3_replay spec in
+  match M3.M3fs.current_image engine with
   | None -> Alcotest.fail "no image"
   | Some fs ->
     List.iteri
@@ -151,8 +152,8 @@ let test_replay_m3_untar_creates_members () =
       (Workloads.member_sizes ~seed:3)
 
 let test_replay_m3_find_and_sqlite () =
-  run_m3_replay (Workloads.find ~seed:3);
-  run_m3_replay (Workloads.sqlite ~seed:3)
+  ignore (run_m3_replay (Workloads.find ~seed:3));
+  ignore (run_m3_replay (Workloads.sqlite ~seed:3))
 
 let tc name f = Alcotest.test_case name `Quick f
 
