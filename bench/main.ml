@@ -23,7 +23,9 @@ let results_fig3 = ref None
 let results_fig4 = ref None
 let results_fig5 = ref None
 let results_fig6 = ref None
+let results_fig6x = ref None
 let results_fig7 = ref None
+let results_figs = ref None
 let results_t1 = ref None
 let results_t2 = ref None
 
@@ -31,14 +33,19 @@ let keep cell v =
   cell := Some v;
   v
 
-let run_fig3 () = Fig3.print ppf (keep results_fig3 (Fig3.run ()))
-let run_fig4 () = Fig4.print ppf (keep results_fig4 (Fig4.run ()))
-let run_fig5 () = Fig5.print ppf (keep results_fig5 (Fig5.run ()))
-let run_fig6 () = Fig6.print ppf (keep results_fig6 (Fig6.run ()))
-let run_fig7 () = Fig7.print ppf (keep results_fig7 (Fig7.run ()))
-let run_t1 () = Tables.print_t1 ppf (keep results_t1 (Tables.run_t1 ()))
-let run_t2 () = Tables.print_t2 ppf (keep results_t2 (Tables.run_t2 ()))
-let run_ablations () = Ablations.print ppf (Ablations.run ())
+let run_fig3 ~quick:_ = Fig3.print ppf (keep results_fig3 (Fig3.run ()))
+let run_fig4 ~quick:_ = Fig4.print ppf (keep results_fig4 (Fig4.run ()))
+let run_fig5 ~quick:_ = Fig5.print ppf (keep results_fig5 (Fig5.run ()))
+let run_fig6 ~quick:_ = Fig6.print ppf (keep results_fig6 (Fig6.run ()))
+
+let run_fig6x ~quick =
+  Fig6x.print ppf (keep results_fig6x (Fig6x.run ~quick ()))
+
+let run_fig7 ~quick:_ = Fig7.print ppf (keep results_fig7 (Fig7.run ()))
+let run_figs ~quick = Figs.print ppf (keep results_figs (Figs.run ~quick ()))
+let run_t1 ~quick:_ = Tables.print_t1 ppf (keep results_t1 (Tables.run_t1 ()))
+let run_t2 ~quick:_ = Tables.print_t2 ppf (keep results_t2 (Tables.run_t2 ()))
+let run_ablations ~quick:_ = Ablations.print ppf (Ablations.run ())
 
 let run_verdict () =
   let verdicts =
@@ -48,13 +55,17 @@ let run_verdict () =
   in
   if verdicts <> [] then Report.print ppf verdicts
 
+(* The sweep experiments (fig6x, figS) honor [--quick]; the rest are
+   already CI-sized and ignore it. *)
 let experiments =
   [
     ("fig3", run_fig3);
     ("fig4", run_fig4);
     ("fig5", run_fig5);
     ("fig6", run_fig6);
+    ("fig6x", run_fig6x);
     ("fig7", run_fig7);
+    ("figS", run_figs);
     ("t1", run_t1);
     ("t2", run_t2);
     ("ablations", run_ablations);
@@ -138,6 +149,26 @@ let kernel_fig6 () =
              drain ());
          ignore (M3.Vpe_api.wait env vpe)))
 
+(* A small serving pool under a short open-loop burst: boot, pool
+   bring-up, batching dispatch and drain, end to end. *)
+let kernel_figs () =
+  ignore
+    (Runner.run_m3 ~pe_count:8 ~dram_mib:4 ~no_fs:true (fun env ~measured ->
+         let schedule =
+           M3_serve.Load.poisson
+             ~rng:(M3_sim.Rng.create ~seed:42)
+             ~mean_gap:500.0 ~count:32
+             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000))
+         in
+         let pool =
+           M3.Errno.ok_exn
+             (M3_serve.Pool.start env
+                (M3_serve.Pool.default_config ~name:"bench" ~workers:2 ()))
+         in
+         measured (fun () ->
+             ignore (M3_serve.Pool.run_open env pool ~schedule));
+         M3.Errno.ok_exn (M3_serve.Pool.stop env pool)))
+
 let kernel_fig7 () =
   let points = 2048 in
   let re = Array.init points (fun i -> float_of_int (i mod 7)) in
@@ -164,6 +195,7 @@ let bechamel_tests =
     Test.make ~name:"fig5/find-replay-sim" (Staged.stage kernel_fig5);
     Test.make ~name:"fig6/cat-tr-2pe-sim" (Staged.stage kernel_fig6);
     Test.make ~name:"fig7/fft-2048" (Staged.stage kernel_fig7);
+    Test.make ~name:"figS/serve-pool-sim" (Staged.stage kernel_figs);
     Test.make ~name:"t1/null-syscall-sim" (Staged.stage kernel_t1);
     Test.make ~name:"t2/linux-create-model" (Staged.stage kernel_t2);
   ]
@@ -274,6 +306,7 @@ let experiments_json () =
                   ])
               curves))
        results_fig6
+  |> opt "fig6x" Fig6x.to_json results_fig6x
   |> opt "fig7"
        (fun (t : Fig7.t) ->
          jobj
@@ -283,6 +316,7 @@ let experiments_json () =
              ("m3_accel", measure_json t.Fig7.m3_accel);
            ])
        results_fig7
+  |> opt "figS" Figs.to_json results_figs
   |> opt "t1"
        (fun (t : Tables.t1) ->
          jobj
@@ -343,6 +377,7 @@ let run_quick () =
       ("fig5/find-replay-sim", kernel_fig5);
       ("fig6/cat-tr-2pe-sim", kernel_fig6);
       ("fig7/fft-2048", kernel_fig7);
+      ("figS/serve-pool-sim", kernel_figs);
       ("t2/linux-create-model", kernel_t2);
     ]
   in
@@ -396,15 +431,19 @@ let run_bechamel () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--quick" args then begin
-    run_quick ();
-    exit 0
-  end;
+  let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
   let bechamel_only = List.mem "--bechamel-only" args in
   let wanted =
     List.filter (fun a -> not (String.length a > 2 && a.[0] = '-')) args
   in
+  (* Bare [--quick] is the CI smoke: one pass per kernel, nothing
+     else. With experiments named, [--quick] instead shrinks their
+     sweeps (fig6x, figS). *)
+  if quick && wanted = [] then begin
+    run_quick ();
+    exit 0
+  end;
   if not bechamel_only then begin
     Format.fprintf ppf
       "M3 reproduction — paper evaluation tables (simulated cycles)@.";
@@ -412,7 +451,7 @@ let () =
     List.iter
       (fun (name, f) ->
         if wanted = [] || List.mem name wanted then begin
-          f ();
+          f ~quick;
           line ()
         end)
       experiments;

@@ -35,6 +35,12 @@ let experiments =
         Format.fprintf ppf "results written to FIG6X_results.json@." );
     ( "fig7",
       fun ~quick:_ -> M3_harness.Fig7.print ppf (M3_harness.Fig7.run ()) );
+    ( "figS",
+      fun ~quick ->
+        let t = M3_harness.Figs.run ~quick () in
+        M3_harness.Figs.print ppf t;
+        M3_harness.Figs.write_json t "SERVE_results.json";
+        Format.fprintf ppf "results written to SERVE_results.json@." );
     ( "t1",
       fun ~quick:_ -> M3_harness.Tables.print_t1 ppf (M3_harness.Tables.run_t1 ())
     );
@@ -68,7 +74,7 @@ let run_cmd =
     Arg.(
       value & flag
       & info [ "quick" ]
-          ~doc:"Shrink sweeps to a CI-sized smoke (honored by fig6x).")
+          ~doc:"Shrink sweeps to a CI-sized smoke (honored by fig6x and figS).")
   in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")

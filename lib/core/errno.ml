@@ -17,6 +17,7 @@ type t =
   | E_timeout
   | E_vpe_dead
   | E_pipe_broken
+  | E_overload
   | E_dtu of string
 
 let to_string = function
@@ -38,6 +39,7 @@ let to_string = function
   | E_timeout -> "timed out"
   | E_vpe_dead -> "VPE crashed"
   | E_pipe_broken -> "pipe peer died"
+  | E_overload -> "service overloaded"
   | E_dtu m -> "hardware error: " ^ m
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -61,6 +63,7 @@ let to_int = function
   | E_timeout -> 16
   | E_vpe_dead -> 17
   | E_pipe_broken -> 18
+  | E_overload -> 19
   | E_dtu _ -> 14
 
 let of_int = function
@@ -82,6 +85,7 @@ let of_int = function
   | 16 -> E_timeout
   | 17 -> E_vpe_dead
   | 18 -> E_pipe_broken
+  | 19 -> E_overload
   | _ -> E_dtu "remote"
 
 let equal a b = to_int a = to_int b

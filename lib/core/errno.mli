@@ -19,6 +19,15 @@ type t =
   | E_timeout        (** watchdog expired on a round-trip *)
   | E_vpe_dead       (** VPE crashed and was aborted by the kernel *)
   | E_pipe_broken    (** pipe peer crashed with data still in flight *)
+  | E_overload       (** request rejected by admission control.  A service
+                         whose bounded queue is past its watermark answers
+                         the request immediately with this code instead of
+                         enqueueing it; the client must treat the request
+                         as never executed and either back off and resend
+                         or surface the rejection.  Rejects are cheap by
+                         design — the reply carries no payload beyond the
+                         sequence number, so overload answers cost one
+                         message each way. *)
   | E_dtu of string  (** unexpected hardware-level failure *)
 
 val equal : t -> t -> bool

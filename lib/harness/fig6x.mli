@@ -54,6 +54,9 @@ val verdict : t -> (int * int * float * float option * bool) option
 val all_pass : t -> bool
 val print : Format.formatter -> t -> unit
 
-(** [write_json t path] dumps the sweep (cells, queue stats, acceptance
-    verdict) as JSON — uploaded as a CI artifact. *)
+(** [to_json t] is the sweep (cells, queue stats, acceptance verdict)
+    as a JSON document; [write_json t path] dumps it to a file —
+    uploaded as a CI artifact. *)
+val to_json : t -> string
+
 val write_json : t -> string -> unit

@@ -1,0 +1,555 @@
+module Engine = M3_sim.Engine
+module Process = M3_sim.Process
+module Rng = M3_sim.Rng
+module Stats = M3_sim.Stats
+module Plan = M3_fault.Plan
+module Pool = M3_serve.Pool
+module Load = M3_serve.Load
+module Wire = M3_serve.Wire
+
+type sweep_point = {
+  s_util : float;
+  s_offered : float;
+  s_throughput : float;
+  s_mean : float;
+  s_p50 : float;
+  s_p99 : float;
+  s_completed : int;
+  s_rejected : int;
+}
+
+type curve = { w_workers : int; w_points : sweep_point list }
+
+type admission_out = {
+  a_workers : int;
+  a_queue_limit : int;
+  a_util : float;
+  a_low_p99 : float;
+  a_p99 : float;
+  a_completed : int;
+  a_rejected : int;
+}
+
+type crash_out = {
+  k_workers : int;
+  k_victim_pe : int;
+  k_crashes : int;
+  k_restarts : int;
+  k_retried : int;
+  k_window : int * int;
+  k_healthy_tput : float;
+  k_degraded_tput : float;
+  k_ratio : float;
+  k_completed_healthy : int;
+  k_completed_degraded : int;
+}
+
+type mix_out = {
+  m_requests : int;
+  m_completed : int;
+  m_failed : int;
+  m_p99 : float;
+  m_services : int;
+}
+
+type t = {
+  g_quick : bool;
+  g_service : int;
+  g_requests : int;
+  g_utils : float list;
+  g_curves : curve list;
+  g_admission : admission_out;
+  g_crash : crash_out;
+  g_mix : mix_out;
+}
+
+(* --- knobs ------------------------------------------------------------ *)
+
+let echo_service = 2_000 (* cycles of App work per echo request *)
+let pools_full = [ 1; 2; 4; 8 ]
+let pools_quick = [ 1; 4 ]
+let utils_full = [ 0.3; 0.5; 0.7; 0.85; 1.0; 1.2; 1.5 ]
+let utils_quick = [ 0.3; 0.6; 0.9; 1.2; 1.5 ]
+let requests_full = 600
+let requests_quick = 240
+let overload_util = 1.5
+let crash_util = 0.6
+
+(* A pool of [n] workers nominally serves one echo every
+   [echo_service / n] cycles; a schedule at utilization [u] draws
+   arrivals with mean gap [echo_service / (n * u)]. *)
+let mean_gap ~workers ~util =
+  float_of_int echo_service /. (float_of_int workers *. util)
+
+(* --- one simulated cell ----------------------------------------------- *)
+
+(* Every cell is a fresh engine: bootstrap, launch the load-generating
+   client, drive to idle, insist the client exited 0. *)
+let run_sim ?fs_seed ?fs_instances ?plan ~label main =
+  let engine = Engine.create () in
+  let fs = fs_seed <> None in
+  let fs_config ~dram =
+    let base = M3.M3fs.default_config ~dram in
+    match fs_seed with Some seed -> { base with M3.M3fs.seed } | None -> base
+  in
+  let obs =
+    match !Runner.observer with
+    | None -> None
+    | Some attach ->
+      let o = M3_obs.Obs.of_engine engine in
+      attach o;
+      Some o
+  in
+  let sys =
+    M3.Bootstrap.start ~fs:fs_config ?fs_instances ~no_fs:(not fs) ?faults:plan
+      ?obs engine
+  in
+  let exit = M3.Bootstrap.launch sys ~name:"client" (main sys) in
+  ignore (Engine.run engine);
+  if fs then M3.M3fs.forget ~engine;
+  match Process.Ivar.peek exit with
+  | Some 0 -> ()
+  | Some code -> failwith (Printf.sprintf "figS %s: client exited %d" label code)
+  | None -> failwith (Printf.sprintf "figS %s: client never exited" label)
+
+(* Run one open-loop schedule against a fresh pool and return what the
+   client and the dispatcher saw. *)
+let run_pool ?fs_seed ?fs_instances ?plan ~label ~cfg ~schedule () =
+  let out = ref None in
+  run_sim ?fs_seed ?fs_instances ?plan ~label (fun sys env ->
+      let cfg = { cfg with Pool.fs_services = sys.M3.Bootstrap.fs_services } in
+      match Pool.start env cfg with
+      | Error _ -> 1
+      | Ok pool -> (
+        let cr = Pool.run_open env pool ~schedule in
+        match Pool.stop env pool with
+        | Ok () ->
+          out := Some (cr, Pool.stats pool);
+          0
+        | Error _ -> 1));
+  match !out with
+  | Some r -> r
+  | None -> failwith (Printf.sprintf "figS %s: no result" label)
+
+let pct st p = Stats.percentile st p
+
+let sweep_cell ~workers ~util ~requests ~seed =
+  let rng = Rng.create ~seed in
+  let schedule =
+    Load.poisson ~rng
+      ~mean_gap:(mean_gap ~workers ~util)
+      ~count:requests
+      ~mix:(Load.pure (Wire.Echo echo_service))
+  in
+  let label = Printf.sprintf "sweep w%d u%.2f" workers util in
+  let cfg = Pool.default_config ~name:"sweep" ~workers () in
+  let cr, _st = run_pool ~label ~cfg ~schedule () in
+  let makespan = max 1 (cr.Pool.cr_last_done - cr.Pool.cr_first_send) in
+  {
+    s_util = util;
+    s_offered = Load.offered_rate schedule;
+    s_throughput = float_of_int cr.Pool.cr_completed /. float_of_int makespan;
+    s_mean = Stats.mean cr.Pool.cr_latency;
+    s_p50 = pct cr.Pool.cr_latency 50.0;
+    s_p99 = pct cr.Pool.cr_latency 99.0;
+    s_completed = cr.Pool.cr_completed;
+    s_rejected = cr.Pool.cr_rejected;
+  }
+
+let admission_cell ~workers ~requests ~seed ~low_p99 =
+  let queue_limit = 2 * workers in
+  let rng = Rng.create ~seed in
+  let schedule =
+    Load.poisson ~rng
+      ~mean_gap:(mean_gap ~workers ~util:overload_util)
+      ~count:requests
+      ~mix:(Load.pure (Wire.Echo echo_service))
+  in
+  let cfg =
+    { (Pool.default_config ~name:"admit" ~workers ()) with Pool.queue_limit }
+  in
+  let cr, _st = run_pool ~label:"admission" ~cfg ~schedule () in
+  {
+    a_workers = workers;
+    a_queue_limit = queue_limit;
+    a_util = overload_util;
+    a_low_p99 = low_p99;
+    a_p99 = pct cr.Pool.cr_latency 99.0;
+    a_completed = cr.Pool.cr_completed;
+    a_rejected = cr.Pool.cr_rejected;
+  }
+
+(* Crashes only, so the run measures the crash path and nothing else
+   (same shape as the crash harness). *)
+let crash_config ~victim_pe ~after =
+  {
+    Plan.default_config with
+    drop_prob = 0.0;
+    link_fault_prob = 0.0;
+    corrupt_prob = 0.0;
+    stall_prob = 0.0;
+    crashes = [ (victim_pe, after) ];
+  }
+
+(* PE layout without fs (lowest free PE wins): kernel 0, client 1,
+   dispatcher 2, workers 3..2+n; the replacement lands on 3+n. Killing
+   PE 3 kills worker seat 0. *)
+let crash_victim_pe = 3
+
+let crash_cell ~workers ~requests ~seed =
+  let schedule_of s =
+    Load.poisson ~rng:(Rng.create ~seed:s)
+      ~mean_gap:(mean_gap ~workers ~util:crash_util)
+      ~count:requests
+      ~mix:(Load.pure (Wire.Echo echo_service))
+  in
+  let cfg = Pool.default_config ~name:"crash" ~workers () in
+  let healthy_cr, _ =
+    run_pool ~label:"crash-healthy" ~cfg ~schedule:(schedule_of seed) ()
+  in
+  let plan =
+    Plan.create
+      ~config:(crash_config ~victim_pe:crash_victim_pe ~after:40)
+      ~seed:(seed lxor 0xC4A5) ()
+  in
+  let degraded_cr, degraded_st =
+    run_pool ~plan ~label:"crash-degraded" ~cfg ~schedule:(schedule_of seed) ()
+  in
+  (* Post-restart steady state: skip a settling margin after the
+     replacement came up, then compare completion rates over a fixed
+     window of the two runs (identical arrival schedules). *)
+  let w0 = max 0 degraded_st.Pool.p_restart_cycle + 20_000 in
+  let w1 = w0 + 150_000 in
+  let tput cr =
+    let n =
+      List.length
+        (List.filter
+           (fun (at, _) -> at >= w0 && at < w1)
+           cr.Pool.cr_completions)
+    in
+    float_of_int n /. float_of_int (w1 - w0)
+  in
+  let healthy_tput = tput healthy_cr in
+  let degraded_tput = tput degraded_cr in
+  {
+    k_workers = workers;
+    k_victim_pe = crash_victim_pe;
+    k_crashes = Plan.crashes_injected plan;
+    k_restarts = degraded_st.Pool.p_restarts;
+    k_retried = degraded_st.Pool.p_retried;
+    k_window = (w0, w1);
+    k_healthy_tput = healthy_tput;
+    k_degraded_tput = degraded_tput;
+    k_ratio = (if healthy_tput > 0.0 then degraded_tput /. healthy_tput else 0.0);
+    k_completed_healthy = healthy_cr.Pool.cr_completed;
+    k_completed_degraded = degraded_cr.Pool.cr_completed;
+  }
+
+let mix_files = 8
+
+let mix_seed_files =
+  List.init mix_files (fun i ->
+      {
+        M3.M3fs.sd_path = Printf.sprintf "/s%d" i;
+        sd_size = 8 * 1024;
+        sd_blocks_per_extent = 4;
+        sd_dir = false;
+      })
+
+let mix_cell ~requests ~seed =
+  let workers = 4 in
+  let rng = Rng.create ~seed in
+  let mix =
+    [
+      (6, fun _ -> Wire.Echo echo_service);
+      (2, fun s -> Wire.Fs_stat s);
+      (1, fun s -> Wire.Fs_read s);
+      (1, fun _ -> Wire.Fft 64);
+    ]
+  in
+  let schedule =
+    Load.poisson ~rng ~mean_gap:(float_of_int echo_service) ~count:requests ~mix
+  in
+  let cfg =
+    { (Pool.default_config ~name:"mix" ~workers ()) with Pool.files = mix_files }
+  in
+  let cr, _st =
+    run_pool ~fs_seed:mix_seed_files ~fs_instances:2 ~label:"mix" ~cfg ~schedule
+      ()
+  in
+  {
+    m_requests = requests;
+    m_completed = cr.Pool.cr_completed;
+    m_failed = cr.Pool.cr_failed;
+    m_p99 = pct cr.Pool.cr_latency 99.0;
+    m_services = 2;
+  }
+
+(* --- the experiment ---------------------------------------------------- *)
+
+let run ?(quick = false) ?pools ?utils ?requests ?(seed = 0x5E5E) () =
+  let pools =
+    match pools with
+    | Some p -> p
+    | None -> if quick then pools_quick else pools_full
+  in
+  let utils =
+    match utils with
+    | Some u -> u
+    | None -> if quick then utils_quick else utils_full
+  in
+  let requests =
+    match requests with
+    | Some r -> r
+    | None -> if quick then requests_quick else requests_full
+  in
+  let point_seed ~workers ~idx = seed + (workers * 1000) + idx in
+  let curves =
+    List.map
+      (fun workers ->
+        {
+          w_workers = workers;
+          w_points =
+            List.mapi
+              (fun idx util ->
+                sweep_cell ~workers ~util ~requests
+                  ~seed:(point_seed ~workers ~idx))
+              utils;
+        })
+      pools
+  in
+  let main_workers =
+    if List.mem 4 pools then 4 else List.fold_left max 1 pools
+  in
+  let low_p99 =
+    let c = List.find (fun c -> c.w_workers = main_workers) curves in
+    (List.hd c.w_points).s_p99
+  in
+  let admission =
+    admission_cell ~workers:main_workers ~requests ~seed:(seed + 71) ~low_p99
+  in
+  let crash =
+    crash_cell ~workers:4
+      ~requests:(max requests 400)
+      ~seed:(seed + 113)
+  in
+  let mix = mix_cell ~requests:(max 120 (requests / 4)) ~seed:(seed + 199) in
+  {
+    g_quick = quick;
+    g_service = echo_service;
+    g_requests = requests;
+    g_utils = utils;
+    g_curves = curves;
+    g_admission = admission;
+    g_crash = crash;
+    g_mix = mix;
+  }
+
+(* --- verdicts ---------------------------------------------------------- *)
+
+(* The acceptance criteria are stated for the 4-worker pool; fall back
+   to the largest pool when 4 was excluded from the sweep. *)
+let main_curve t =
+  match List.find_opt (fun c -> c.w_workers = 4) t.g_curves with
+  | Some c -> c
+  | None ->
+    let w = List.fold_left (fun acc c -> max acc c.w_workers) 1 t.g_curves in
+    List.find (fun c -> c.w_workers = w) t.g_curves
+
+let knee_p99_factor = 4.0
+let admission_p99_factor = 3.0
+
+let knee_verdict t =
+  let c = main_curve t in
+  match c.w_points with
+  | [] -> false
+  | low :: _ ->
+    let last = List.nth c.w_points (List.length c.w_points - 1) in
+    let peak =
+      List.fold_left (fun acc p -> Float.max acc p.s_throughput) 0.0 c.w_points
+    in
+    last.s_p99 >= knee_p99_factor *. low.s_p99
+    && last.s_throughput >= 0.8 *. peak
+
+let admission_verdict t =
+  let a = t.g_admission in
+  a.a_rejected > 0 && a.a_p99 <= admission_p99_factor *. a.a_low_p99
+
+let crash_verdict t =
+  let k = t.g_crash in
+  let floor_ratio = float_of_int (k.k_workers - 1) /. float_of_int k.k_workers in
+  k.k_crashes = 1 && k.k_restarts >= 1 && k.k_ratio >= floor_ratio
+
+let mix_verdict t =
+  let m = t.g_mix in
+  m.m_failed = 0 && m.m_completed = m.m_requests
+
+let all_pass t =
+  knee_verdict t && admission_verdict t && crash_verdict t && mix_verdict t
+
+(* --- printing ---------------------------------------------------------- *)
+
+let print ppf t =
+  Format.fprintf ppf
+    "Figure S: serving-pool throughput vs latency (echo service %d cycles, \
+     %d requests per point)@."
+    t.g_service t.g_requests;
+  Format.fprintf ppf "  %-8s" "workers";
+  List.iter (fun u -> Format.fprintf ppf "%10.2f" u) t.g_utils;
+  Format.fprintf ppf "   (offered load / nominal capacity)@.";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-8d" c.w_workers;
+      List.iter (fun p -> Format.fprintf ppf "%10.0f" p.s_p99) c.w_points;
+      Format.fprintf ppf "   p99 cycles@.")
+    t.g_curves;
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  %-8d" c.w_workers;
+      List.iter
+        (fun p -> Format.fprintf ppf "%10.4f" (p.s_throughput *. 1000.0))
+        c.w_points;
+      Format.fprintf ppf "   completions per kcycle@.")
+    t.g_curves;
+  let a = t.g_admission in
+  Format.fprintf ppf
+    "  admission: %d workers, queue limit %d, %.1fx load -> p99 %.0f vs \
+     low-load %.0f (target <= %.0fx), %d accepted, %d rejected %s@."
+    a.a_workers a.a_queue_limit a.a_util a.a_p99 a.a_low_p99
+    admission_p99_factor a.a_completed a.a_rejected
+    (if admission_verdict t then "PASS" else "FAIL");
+  let k = t.g_crash in
+  let w0, w1 = k.k_window in
+  Format.fprintf ppf
+    "  crash: pe%d killed, %d crash(es), %d restart(s), %d retried; window \
+     [%d,%d) tput %.4f vs healthy %.4f per kcycle -> ratio %.2f (target >= \
+     %.2f) %s@."
+    k.k_victim_pe k.k_crashes k.k_restarts k.k_retried w0 w1
+    (k.k_degraded_tput *. 1000.0)
+    (k.k_healthy_tput *. 1000.0)
+    k.k_ratio
+    (float_of_int (k.k_workers - 1) /. float_of_int k.k_workers)
+    (if crash_verdict t then "PASS" else "FAIL");
+  let m = t.g_mix in
+  Format.fprintf ppf
+    "  mix: %d requests (echo/stat/read/fft) over %d m3fs shards -> %d \
+     completed, %d failed, p99 %.0f %s@."
+    m.m_requests m.m_services m.m_completed m.m_failed m.m_p99
+    (if mix_verdict t then "PASS" else "FAIL");
+  Format.fprintf ppf
+    "  knee: p99 %s by >= %.0fx at saturation while throughput holds 80%% of \
+     peak -> %s@."
+    "inflates" knee_p99_factor
+    (if knee_verdict t then "PASS" else "FAIL")
+
+(* --- machine-readable results (SERVE_results.json) --------------------- *)
+
+let jstr s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let jobj fields =
+  "{"
+  ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+let jfloat f = if Float.is_nan f then "null" else Printf.sprintf "%.6f" f
+let jbool b = if b then "true" else "false"
+
+let to_json t =
+  jobj
+    [
+      ("experiment", jstr "figS");
+      ("quick", jbool t.g_quick);
+      ("service_cycles", string_of_int t.g_service);
+      ("requests_per_point", string_of_int t.g_requests);
+      ("utils", jarr (List.map jfloat t.g_utils));
+      ( "curves",
+        jarr
+          (List.map
+             (fun c ->
+               jobj
+                 [
+                   ("workers", string_of_int c.w_workers);
+                   ( "points",
+                     jarr
+                       (List.map
+                          (fun p ->
+                            jobj
+                              [
+                                ("util", jfloat p.s_util);
+                                ("offered", jfloat p.s_offered);
+                                ("throughput", jfloat p.s_throughput);
+                                ("mean", jfloat p.s_mean);
+                                ("p50", jfloat p.s_p50);
+                                ("p99", jfloat p.s_p99);
+                                ("completed", string_of_int p.s_completed);
+                                ("rejected", string_of_int p.s_rejected);
+                              ])
+                          c.w_points) );
+                 ])
+             t.g_curves) );
+      ( "admission",
+        let a = t.g_admission in
+        jobj
+          [
+            ("workers", string_of_int a.a_workers);
+            ("queue_limit", string_of_int a.a_queue_limit);
+            ("util", jfloat a.a_util);
+            ("low_p99", jfloat a.a_low_p99);
+            ("p99", jfloat a.a_p99);
+            ("completed", string_of_int a.a_completed);
+            ("rejected", string_of_int a.a_rejected);
+            ("target_factor", jfloat admission_p99_factor);
+            ("pass", jbool (admission_verdict t));
+          ] );
+      ( "crash",
+        let k = t.g_crash in
+        let w0, w1 = k.k_window in
+        jobj
+          [
+            ("workers", string_of_int k.k_workers);
+            ("victim_pe", string_of_int k.k_victim_pe);
+            ("crashes", string_of_int k.k_crashes);
+            ("restarts", string_of_int k.k_restarts);
+            ("retried", string_of_int k.k_retried);
+            ("window", jarr [ string_of_int w0; string_of_int w1 ]);
+            ("healthy_tput", jfloat k.k_healthy_tput);
+            ("degraded_tput", jfloat k.k_degraded_tput);
+            ("ratio", jfloat k.k_ratio);
+            ("completed_healthy", string_of_int k.k_completed_healthy);
+            ("completed_degraded", string_of_int k.k_completed_degraded);
+            ("pass", jbool (crash_verdict t));
+          ] );
+      ( "mix",
+        let m = t.g_mix in
+        jobj
+          [
+            ("requests", string_of_int m.m_requests);
+            ("completed", string_of_int m.m_completed);
+            ("failed", string_of_int m.m_failed);
+            ("p99", jfloat m.m_p99);
+            ("services", string_of_int m.m_services);
+            ("pass", jbool (mix_verdict t));
+          ] );
+      ("knee_pass", jbool (knee_verdict t));
+      ("all_pass", jbool (all_pass t));
+    ]
+
+let write_json t path =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,122 @@
+(** Figure S: throughput–latency behaviour of multi-PE serving pools.
+
+    Not a figure from the paper — the serving-pool experiment that
+    §5's benchmarks gesture at: how do request latencies behave as an
+    open-loop load approaches and passes the capacity of a pool of
+    dedicated service PEs, and what do admission control and crash
+    recovery buy. Four parts:
+
+    - a {e sweep}: offered load from 30% to 150% of nominal capacity
+      against pools of 1/2/4/8 workers, unbounded admission — the
+      throughput–latency knee;
+    - an {e admission} cell: the 4-worker pool at 1.5x overload with a
+      bounded queue, measuring the p99 of {e accepted} requests and
+      the reject count;
+    - a {e crash} cell: the same pool with a worker-PE crash injected
+      and its supervised restart, comparing windowed post-restart
+      throughput against a healthy twin run on the same schedule;
+    - a {e mix} cell: echo + m3fs stat/read (via the shard ring) + FFT
+      requests against a pool mounting two m3fs shards. *)
+
+type sweep_point = {
+  s_util : float;  (** target utilization the schedule was drawn for *)
+  s_offered : float;  (** realized offered rate, requests/cycle *)
+  s_throughput : float;  (** completions/cycle over the makespan *)
+  s_mean : float;
+  s_p50 : float;
+  s_p99 : float;
+  s_completed : int;
+  s_rejected : int;
+}
+
+type curve = { w_workers : int; w_points : sweep_point list }
+
+type admission_out = {
+  a_workers : int;
+  a_queue_limit : int;
+  a_util : float;
+  a_low_p99 : float;  (** p99 of the same pool at the lowest sweep load *)
+  a_p99 : float;  (** p99 of accepted requests under overload *)
+  a_completed : int;
+  a_rejected : int;
+}
+
+type crash_out = {
+  k_workers : int;
+  k_victim_pe : int;
+  k_crashes : int;  (** crashes the plan actually injected *)
+  k_restarts : int;  (** replacement workers the dispatcher started *)
+  k_retried : int;  (** requests re-dispatched after the death *)
+  k_window : int * int;  (** post-restart measurement window (cycles) *)
+  k_healthy_tput : float;  (** healthy twin's throughput in that window *)
+  k_degraded_tput : float;
+  k_ratio : float;  (** degraded / healthy *)
+  k_completed_healthy : int;
+  k_completed_degraded : int;
+}
+
+type mix_out = {
+  m_requests : int;
+  m_completed : int;
+  m_failed : int;
+  m_p99 : float;
+  m_services : int;  (** m3fs shards the workers mounted *)
+}
+
+type t = {
+  g_quick : bool;
+  g_service : int;  (** echo service time, cycles *)
+  g_requests : int;  (** requests per sweep point *)
+  g_utils : float list;
+  g_curves : curve list;
+  g_admission : admission_out;
+  g_crash : crash_out;
+  g_mix : mix_out;
+}
+
+(** [run ()] executes every cell and returns the collected results.
+    [quick] shrinks the sweep (fewer pools, fewer loads, shorter
+    schedules) to CI size. [pools], [utils] and [requests] override
+    the sweep dimensions; [seed] feeds every schedule (same seed,
+    same schedules, same results — the determinism test relies on
+    it). *)
+val run :
+  ?quick:bool ->
+  ?pools:int list ->
+  ?utils:float list ->
+  ?requests:int ->
+  ?seed:int ->
+  unit ->
+  t
+
+(** The curve the acceptance checks run against: the 4-worker pool
+    (the one the issue's criteria name), or the largest pool swept
+    when 4 is absent. *)
+val main_curve : t -> curve
+
+(** Saturation knee on {!main_curve}: overload p99 at least
+    [knee_p99_factor] times the low-load p99 while throughput has
+    saturated (within 80% of peak). *)
+val knee_verdict : t -> bool
+
+val knee_p99_factor : float
+
+(** Accepted-request p99 under 1.5x overload stays within
+    [admission_p99_factor] of the low-load p99, and requests were
+    actually rejected. *)
+val admission_verdict : t -> bool
+
+val admission_p99_factor : float
+
+(** Exactly one injected crash, at least one supervised restart, and
+    post-restart windowed throughput at least [(n-1)/n] of the healthy
+    twin's. *)
+val crash_verdict : t -> bool
+
+(** Every mixed-kind request completed. *)
+val mix_verdict : t -> bool
+
+val all_pass : t -> bool
+val print : Format.formatter -> t -> unit
+val to_json : t -> string
+val write_json : t -> string -> unit

@@ -238,7 +238,7 @@ let print_obs ppf m =
           | Some n -> Printf.sprintf "  (%d resolves)" n
           | None -> ""))
       queues);
-  match Metrics.shard_resolves m with
+  (match Metrics.shard_resolves m with
   | [] -> ()
   | resolves when Metrics.fs_queues m <> [] ->
     ignore resolves (* already folded into the queue table above *)
@@ -246,4 +246,32 @@ let print_obs ppf m =
     Format.fprintf ppf "  shard resolutions:@.";
     List.iter
       (fun (srv, n) -> Format.fprintf ppf "    %-14s %8d@." srv n)
-      resolves
+      resolves);
+  match Metrics.serve_latencies m with
+  | [] -> ()
+  | lats ->
+    Format.fprintf ppf "  serve pools (per pool):@.";
+    let queues = Metrics.serve_queues m
+    and batches = Metrics.serve_batches m
+    and rejects = Metrics.serve_rejects m
+    and restarts = Metrics.serve_restarts m in
+    let n pool alist = Option.value ~default:0 (List.assoc_opt pool alist) in
+    List.iter
+      (fun (pool, st) ->
+        Format.fprintf ppf "    %-14s %5d done   latency %s@." pool
+          (Stats.count st) (pcts st);
+        (match List.assoc_opt pool queues with
+        | Some q ->
+          Format.fprintf ppf "    %-14s queue depth at admit: %s@." "" (pcts q)
+        | None -> ());
+        (match List.assoc_opt pool batches with
+        | Some b ->
+          Format.fprintf ppf
+            "    %-14s %5d batches (mean size %.1f)@." "" (Stats.count b)
+            (Stats.mean b)
+        | None -> ());
+        let rej = n pool rejects and rst = n pool restarts in
+        if rej > 0 || rst > 0 then
+          Format.fprintf ppf "    %-14s %5d rejected, %d worker restarts@." ""
+            rej rst)
+      lats

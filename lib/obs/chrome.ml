@@ -281,6 +281,33 @@ let record t ~at (ev : Event.t) =
     ensure_tid t pid tid_core ~name:"core";
     marker t ~pid ~tid:tid_core ~at ~name:"heartbeat" ~cat:"kernel"
       (args_of [ ("probed", probed); ("dead", dead) ])
+  | Event.Serve_admit { pe; pool; seq; depth } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:("serve.admit:" ^ pool) ~cat:"serve"
+      (args_of [ ("seq", seq); ("depth", depth) ])
+  | Event.Serve_reject { pe; pool; seq; depth } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:("serve.reject:" ^ pool) ~cat:"serve"
+      (args_of [ ("seq", seq); ("depth", depth) ])
+  | Event.Serve_batch { pe; pool; worker; size } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:("serve.batch:" ^ pool) ~cat:"serve"
+      (args_of [ ("worker", worker); ("size", size) ])
+  | Event.Serve_done { pe; pool; seq; cycles } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    slice t ~pid ~tid:tid_core ~ts:(at - cycles) ~dur:cycles
+      ~name:("serve.done:" ^ pool) ~cat:"serve"
+      (args_of [ ("seq", seq) ])
+  | Event.Serve_restart { pe; pool; worker; attempt } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:("serve.restart:" ^ pool)
+      ~cat:"serve"
+      (args_of [ ("worker", worker); ("attempt", attempt) ])
 
 let sink t =
   { Obs.sink_name = "chrome"; sink_emit = (fun ~at ev -> record t ~at ev) }

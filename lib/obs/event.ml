@@ -51,6 +51,11 @@ type t =
   | Vpe_abort of { vpe : int; pe : int; reason : string }
   | Vpe_restart of { vpe : int; pe : int; name : string; attempt : int }
   | Kernel_heartbeat of { pe : int; probed : int; dead : int }
+  | Serve_admit of { pe : int; pool : string; seq : int; depth : int }
+  | Serve_reject of { pe : int; pool : string; seq : int; depth : int }
+  | Serve_batch of { pe : int; pool : string; worker : int; size : int }
+  | Serve_done of { pe : int; pool : string; seq : int; cycles : int }
+  | Serve_restart of { pe : int; pool : string; worker : int; attempt : int }
 
 let name = function
   | Dtu_send { reply = false; _ } -> "dtu.send"
@@ -84,6 +89,11 @@ let name = function
   | Vpe_abort _ -> "vpe.abort"
   | Vpe_restart _ -> "vpe.restart"
   | Kernel_heartbeat _ -> "kernel.heartbeat"
+  | Serve_admit _ -> "serve.admit"
+  | Serve_reject _ -> "serve.reject"
+  | Serve_batch _ -> "serve.batch"
+  | Serve_done _ -> "serve.done"
+  | Serve_restart _ -> "serve.restart"
 
 let pp ppf t =
   let f fmt = Format.fprintf ppf fmt in
@@ -140,5 +150,15 @@ let pp ppf t =
     f "vpe.restart vpe%d pe%d %s attempt=%d" vpe pe name attempt
   | Kernel_heartbeat { pe; probed; dead } ->
     f "kernel.heartbeat pe%d probed=%d dead=%d" pe probed dead
+  | Serve_admit { pe; pool; seq; depth } ->
+    f "serve.admit pe%d %s seq=%d depth=%d" pe pool seq depth
+  | Serve_reject { pe; pool; seq; depth } ->
+    f "serve.reject pe%d %s seq=%d depth=%d" pe pool seq depth
+  | Serve_batch { pe; pool; worker; size } ->
+    f "serve.batch pe%d %s worker=%d size=%d" pe pool worker size
+  | Serve_done { pe; pool; seq; cycles } ->
+    f "serve.done pe%d %s seq=%d cycles=%d" pe pool seq cycles
+  | Serve_restart { pe; pool; worker; attempt } ->
+    f "serve.restart pe%d %s worker=%d attempt=%d" pe pool worker attempt
 
 let to_string t = Format.asprintf "%a" pp t

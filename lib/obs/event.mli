@@ -90,6 +90,22 @@ type t =
   | Kernel_heartbeat of { pe : int; probed : int; dead : int }
       (** one prober sweep from the kernel on [pe]: [probed] running
           VPEs pinged, [dead] of them found unresponsive *)
+  | Serve_admit of { pe : int; pool : string; seq : int; depth : int }
+      (** dispatcher admitted request [seq] with [depth] requests
+          already queued or in flight *)
+  | Serve_reject of { pe : int; pool : string; seq : int; depth : int }
+      (** admission control turned request [seq] away with
+          [E_overload]; [depth] is the queue depth that tripped the
+          watermark *)
+  | Serve_batch of { pe : int; pool : string; worker : int; size : int }
+      (** dispatcher coalesced [size] requests into one DTU message to
+          worker [worker] *)
+  | Serve_done of { pe : int; pool : string; seq : int; cycles : int }
+      (** request [seq] completed; [cycles] is dispatcher-observed
+          latency from admission to worker reply *)
+  | Serve_restart of { pe : int; pool : string; worker : int; attempt : int }
+      (** the dispatcher's watchdog replaced crashed worker [worker];
+          [pe] is the replacement's PE *)
 
 (** [name t] is the stable dotted kind name, e.g. ["dtu.send"]. *)
 val name : t -> string

@@ -11,6 +11,11 @@ type t = {
   fs_lat : (string, Stats.t) Hashtbl.t;
   fs_queue : (string, Stats.t) Hashtbl.t;
   shard_hits : (string, int ref) Hashtbl.t;
+  serve_queue : (string, Stats.t) Hashtbl.t;
+  serve_batch : (string, Stats.t) Hashtbl.t;
+  serve_lat : (string, Stats.t) Hashtbl.t;
+  serve_rejects : (string, int ref) Hashtbl.t;
+  serve_restarts : (string, int ref) Hashtbl.t;
   mutable dtu_sent_msgs : int;
   mutable dtu_sent_bytes : int;
   mutable dtu_dropped : int;
@@ -40,6 +45,11 @@ let create () =
     fs_lat = Hashtbl.create 8;
     fs_queue = Hashtbl.create 8;
     shard_hits = Hashtbl.create 8;
+    serve_queue = Hashtbl.create 4;
+    serve_batch = Hashtbl.create 4;
+    serve_lat = Hashtbl.create 4;
+    serve_rejects = Hashtbl.create 4;
+    serve_restarts = Hashtbl.create 4;
     dtu_sent_msgs = 0;
     dtu_sent_bytes = 0;
     dtu_dropped = 0;
@@ -109,6 +119,16 @@ let record t (ev : Event.t) =
     t.faults_injected <- t.faults_injected + 1
   | Event.Dtu_nack _ -> t.dtu_nacks <- t.dtu_nacks + 1
   | Event.Dtu_retry _ -> t.dtu_retries <- t.dtu_retries + 1
+  | Event.Serve_admit { pool; depth; _ } ->
+    observe t.serve_queue pool (float_of_int depth)
+  | Event.Serve_reject { pool; depth; _ } ->
+    observe t.serve_queue pool (float_of_int depth);
+    bump t.serve_rejects pool 1
+  | Event.Serve_batch { pool; size; _ } ->
+    observe t.serve_batch pool (float_of_int size)
+  | Event.Serve_done { pool; cycles; _ } ->
+    observe t.serve_lat pool (float_of_int cycles)
+  | Event.Serve_restart { pool; _ } -> bump t.serve_restarts pool 1
   (* Aborted VPEs still emit Vpe_exit, so the abort marker itself only
      counts into the per-kind table. *)
   | Event.Dtu_receive _ | Event.Syscall_enter _ | Event.Fs_request _
@@ -149,6 +169,11 @@ let syscalls t = sorted_bindings t.syscall_lat
 let fs_ops t = sorted_bindings t.fs_lat
 let fs_queues t = sorted_bindings t.fs_queue
 let shard_resolves t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.shard_hits)
+let serve_queues t = sorted_bindings t.serve_queue
+let serve_batches t = sorted_bindings t.serve_batch
+let serve_latencies t = sorted_bindings t.serve_lat
+let serve_rejects t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.serve_rejects)
+let serve_restarts t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.serve_restarts)
 
 let dtu_sent_msgs t = t.dtu_sent_msgs
 let dtu_sent_bytes t = t.dtu_sent_bytes

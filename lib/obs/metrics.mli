@@ -37,6 +37,23 @@ val fs_queues : t -> (string * M3_sim.Stats.t) list
     ([fs.shard.resolve] events), keyed by service name. *)
 val shard_resolves : t -> (string * int) list
 
+(** Per serving pool (keyed by pool name): queue depth at each
+    admission decision ([serve.admit] + [serve.reject] events). *)
+val serve_queues : t -> (string * M3_sim.Stats.t) list
+
+(** Per pool: requests coalesced per dispatched worker message. *)
+val serve_batches : t -> (string * M3_sim.Stats.t) list
+
+(** Per pool: dispatcher-observed request latency (admission to worker
+    reply), from [serve.done] events. *)
+val serve_latencies : t -> (string * M3_sim.Stats.t) list
+
+(** Per pool: requests turned away with [E_overload]. *)
+val serve_rejects : t -> (string * int) list
+
+(** Per pool: crashed workers replaced by the dispatcher watchdog. *)
+val serve_restarts : t -> (string * int) list
+
 val dtu_sent_msgs : t -> int
 
 (** Sum of wire bytes (header + payload) over all traced DTU sends and

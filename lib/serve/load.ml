@@ -1,0 +1,38 @@
+module Rng = M3_sim.Rng
+
+type arrival = { at : int; req : Wire.request }
+type mix = (int * (int -> Wire.kind)) list
+
+let pure k = [ (1, fun _ -> k) ]
+
+let poisson ~rng ~mean_gap ~count ~mix =
+  if mix = [] then invalid_arg "Load.poisson: empty mix";
+  if List.exists (fun (w, _) -> w <= 0) mix then
+    invalid_arg "Load.poisson: non-positive weight";
+  if mean_gap <= 0.0 then invalid_arg "Load.poisson: non-positive mean gap";
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 mix in
+  let pick seq =
+    let rec go draw = function
+      | [] -> assert false
+      | (w, make) :: tl -> if draw < w then make seq else go (draw - w) tl
+    in
+    go (Rng.int rng total) mix
+  in
+  let arrivals = Array.make count { at = 0; req = { Wire.seq = 0; rk = Echo 0 } } in
+  let t = ref 0 in
+  for seq = 0 to count - 1 do
+    (* Inverse-transform sampling; [Rng.float] is in [0, 1) so the log
+       argument stays positive. *)
+    let u = Rng.float rng in
+    let gap = int_of_float (Float.round (-.mean_gap *. log (1.0 -. u))) in
+    t := !t + Stdlib.max 1 gap;
+    arrivals.(seq) <- { at = !t; req = { Wire.seq; rk = pick seq } }
+  done;
+  arrivals
+
+let offered_rate schedule =
+  let n = Array.length schedule in
+  if n < 2 then 0.0
+  else
+    let span = schedule.(n - 1).at - schedule.(0).at in
+    if span <= 0 then 0.0 else float_of_int (n - 1) /. float_of_int span

@@ -1,0 +1,34 @@
+(** Deterministic load generation.
+
+    The open-loop side of the serving experiments: arrival times are
+    drawn {e before} the simulation runs, from an explicitly seeded
+    {!M3_sim.Rng}, so the same seed always produces the same schedule
+    (the determinism test compares schedules structurally). The client
+    then sends request [i] at cycle [at_i] regardless of how the pool
+    is doing — which is what exposes the throughput–latency knee that
+    closed-loop clients (who slow down with the service) cannot
+    show. *)
+
+type arrival = { at : int; req : Wire.request }
+
+(** A weighted request mix. Each entry is [(weight, make)]; [make]
+    receives the request's sequence number and builds its kind, so
+    e.g. [(1, fun seq -> Wire.Fs_stat seq)] spreads filesystem
+    requests over the seed files deterministically. *)
+type mix = (int * (int -> Wire.kind)) list
+
+(** [pure k] is the single-kind mix. *)
+val pure : Wire.kind -> mix
+
+(** [poisson ~rng ~mean_gap ~count ~mix] draws [count] arrivals with
+    exponentially distributed inter-arrival gaps of mean [mean_gap]
+    cycles (clamped to at least 1), i.e. an open-loop Poisson process
+    with rate [1 / mean_gap]. Arrival [i] carries sequence number [i].
+    @raise Invalid_argument on an empty mix, non-positive weights or
+    [mean_gap <= 0]. *)
+val poisson :
+  rng:M3_sim.Rng.t -> mean_gap:float -> count:int -> mix:mix -> arrival array
+
+(** [offered_rate schedule] is the realized arrival rate in requests
+    per cycle (0 for fewer than two arrivals). *)
+val offered_rate : arrival array -> float

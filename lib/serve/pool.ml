@@ -1,0 +1,789 @@
+module Engine = M3_sim.Engine
+module Process = M3_sim.Process
+module Stats = M3_sim.Stats
+module Account = M3_sim.Account
+module Endpoint = M3_dtu.Endpoint
+module Obs = M3_obs.Obs
+module Event = M3_obs.Event
+module Env = M3.Env
+module Errno = M3.Errno
+module Gate = M3.Gate
+module Syscalls = M3.Syscalls
+module Vpe_api = M3.Vpe_api
+module Vfs = M3.Vfs
+module File = M3.File
+module Fs_proto = M3.Fs_proto
+module Cost_model = M3_hw.Cost_model
+module Fft = M3_hw.Fft
+
+let ok = Errno.ok_exn
+let ( let* ) r f = match r with Ok v -> f v | Error e -> Error e
+
+(* --- layout ----------------------------------------------------------- *)
+
+(* Handoff selectors live above Pipe's 1000/1001 so a pool and a pipe
+   can coexist in one VPE. *)
+let handoff_req_sel = 2000 (* dispatcher publishes; the client obtains *)
+let handoff_comp_sel = 2001 (* the client delegates to the dispatcher *)
+let handoff_worker_sel = 2002 (* each worker publishes; dispatcher obtains *)
+
+(* Requests are 17 bytes + the 32-byte DTU header -> 64-byte slots. *)
+let req_order = 6
+let req_slots = 32
+let req_credits = Endpoint.Credits 32
+
+(* Admission verdicts are 9 bytes (+ header); the ring is deep because
+   verdicts can pile up while an open-loop client sleeps between
+   arrivals. *)
+let resp_order = 6
+let resp_slots = 64
+
+(* Batches and worker replies: up to 13 items of 17 bytes fit an order
+   8 slot with header, count and generation bytes. *)
+let batch_order = 8
+let batch_slots = 4
+let batch_credits = Endpoint.Credits 2
+let max_batch = 13
+
+(* One outstanding reply per worker seat, 8 seats max by default. *)
+let wreply_slots = 16
+
+(* Completion notices: up to [notice_max] done items (17 bytes each)
+   in an order 7 slot; the dispatcher holds [comp_credits] notices in
+   flight and the client's replies (into the ack gate) refund them. *)
+let notice_order = 7
+let notice_max = 5
+let comp_slots = 16
+let comp_credits = 8
+let ack_order = 5
+let ack_slots = 16
+
+let disp_poll = 500 (* dispatcher poll quantum under a fault plan *)
+let client_poll = 500
+let tail_deadline = 20_000_000 (* client bail-out under a fault plan *)
+
+(* --- configuration ---------------------------------------------------- *)
+
+type config = {
+  name : string;
+  workers : int;
+  batch_max : int;
+  batch_threshold : int;
+  queue_limit : int;
+  fs_services : string list;
+  files : int;
+  watchdog : int;
+  max_restarts : int;
+}
+
+let default_config ?(name = "pool") ~workers () =
+  {
+    name;
+    workers;
+    batch_max = 8;
+    batch_threshold = 2;
+    queue_limit = 1_000_000;
+    fs_services = [];
+    files = 0;
+    watchdog = 150_000;
+    max_restarts = 1;
+  }
+
+type pool_stats = {
+  mutable p_admitted : int;
+  mutable p_rejected : int;
+  mutable p_completed : int;
+  mutable p_failed : int;
+  mutable p_retried : int;
+  mutable p_restarts : int;
+  mutable p_restart_cycle : int;
+  mutable p_batches : int;
+  mutable p_batched : int;
+  mutable p_max_depth : int;
+  p_worker_service : Stats.t array;
+  p_disp_latency : Stats.t;
+}
+
+let make_stats ~workers =
+  {
+    p_admitted = 0;
+    p_rejected = 0;
+    p_completed = 0;
+    p_failed = 0;
+    p_retried = 0;
+    p_restarts = 0;
+    p_restart_cycle = -1;
+    p_batches = 0;
+    p_batched = 0;
+    p_max_depth = 0;
+    p_worker_service = Array.init workers (fun _ -> Stats.create ());
+    p_disp_latency = Stats.create ();
+  }
+
+let service_latency st =
+  Array.fold_left Stats.merge (Stats.create ()) st.p_worker_service
+
+(* --- small deque ------------------------------------------------------- *)
+
+(* FIFO with a push-front path for re-enqueued batches (a dead
+   worker's requests go back to the head so retries do not also eat
+   the tail latency of the whole queue). *)
+module Dq = struct
+  type 'a t = { mutable front : 'a list; q : 'a Queue.t }
+
+  let create () = { front = []; q = Queue.create () }
+  let push t x = Queue.push x t.q
+  let push_front_list t xs = t.front <- xs @ t.front
+  let length t = List.length t.front + Queue.length t.q
+
+  let pop t =
+    match t.front with
+    | x :: tl ->
+      t.front <- tl;
+      Some x
+    | [] -> Queue.take_opt t.q
+
+  let take t k =
+    let rec go k acc =
+      if k = 0 then List.rev acc
+      else match pop t with None -> List.rev acc | Some x -> go (k - 1) (x :: acc)
+    in
+    go k []
+end
+
+(* The partner publishes its send gate at a well-known selector; poll
+   until it got that far (same idiom as Pipe). *)
+let obtain_with_retry env ~vpe_sel ~own_sel ~other_sel =
+  let rec go tries =
+    match Syscalls.obtain env ~vpe_sel ~own_sel ~other_sel with
+    | Ok () -> Ok ()
+    | Error Errno.E_no_sel when tries > 0 ->
+      Process.wait 500;
+      go (tries - 1)
+    | Error e -> Error e
+  in
+  go 20_000
+
+(* --- worker ------------------------------------------------------------ *)
+
+let file_path cfg i =
+  if cfg.files <= 0 then "/s0" else Printf.sprintf "/s%d" (i mod cfg.files)
+
+let worker_body cfg ~widx (cenv : Env.t) =
+  if cfg.fs_services <> [] then
+    ok (Vfs.mount_sharded cenv ~path:"/" ~services:cfg.fs_services);
+  let rgate =
+    ok (Gate.create_recv cenv ~slot_order:batch_order ~slot_count:batch_slots)
+  in
+  let _published =
+    ok
+      (Gate.create_send ~sel:handoff_worker_sel cenv rgate
+         ~label:(Int64.of_int widx) ~credits:batch_credits)
+  in
+  let scratch = ref None in
+  let scratch_addr () =
+    match !scratch with
+    | Some a -> a
+    | None ->
+      let a = Env.alloc_spm cenv ~size:4096 in
+      scratch := Some a;
+      a
+  in
+  let serve_one (rk : Wire.kind) =
+    match rk with
+    | Wire.Echo cycles ->
+      Env.charge cenv Account.App cycles;
+      Errno.E_ok
+    | Wire.Fs_stat i -> (
+      match Vfs.stat cenv (file_path cfg i) with
+      | Ok _ -> Errno.E_ok
+      | Error e -> e)
+    | Wire.Fs_read i -> (
+      match Vfs.open_ cenv (file_path cfg i) ~flags:Fs_proto.o_read with
+      | Error e -> e
+      | Ok f ->
+        let res = File.read cenv f ~local:(scratch_addr ()) ~len:4096 in
+        ignore (File.close cenv f);
+        (match res with Ok _ -> Errno.E_ok | Error e -> e))
+    | Wire.Fft points ->
+      (* The arithmetic really runs (host-side, free); the simulated
+         cost is the software-FFT cycle model. *)
+      let buf = Bytes.make (points * Fft.bytes_per_point) '\000' in
+      ignore (Fft.transform_bytes buf);
+      Env.charge cenv Account.App (Cost_model.fft_cycles ~accel:false ~points);
+      Errno.E_ok
+  in
+  let rec loop () =
+    let msg = Gate.recv cenv rgate in
+    let gen, items = Wire.decode_batch msg.Endpoint.payload in
+    match items with
+    | [] ->
+      ignore
+        (Gate.reply cenv rgate ~slot:msg.Endpoint.slot
+           (Wire.encode_worker_reply ~worker:widx ~gen []));
+      0
+    | items ->
+      (* fold, not map: service must run in list order so cycles
+         accumulate deterministically *)
+      let dones =
+        List.rev
+          (List.fold_left
+             (fun acc (it : Wire.request) ->
+               let t0 = Engine.now cenv.engine in
+               let err = serve_one it.rk in
+               {
+                 Wire.d_seq = it.seq;
+                 d_err = err;
+                 d_cycles = Engine.now cenv.engine - t0;
+               }
+               :: acc)
+             [] items)
+      in
+      ignore
+        (Gate.reply cenv rgate ~slot:msg.Endpoint.slot
+           (Wire.encode_worker_reply ~worker:widx ~gen dones));
+      loop ()
+  in
+  loop ()
+
+(* --- dispatcher -------------------------------------------------------- *)
+
+type wstate =
+  | W_idle
+  | W_busy of { batch : (Wire.request * int) list; since : int }
+  | W_dead
+
+type wrk = {
+  w_idx : int;
+  mutable w_vpe : Vpe_api.t;
+  mutable w_sgate : Gate.send_gate;
+  mutable w_gen : int;
+  mutable w_restarts : int;
+  mutable w_state : wstate;
+}
+
+let dispatcher_body cfg stats (cenv : Env.t) =
+  let plan_enabled = M3_fault.Plan.enabled (M3_noc.Fabric.faults cenv.fabric) in
+  let obs = M3_noc.Fabric.obs cenv.fabric in
+  let my_pe = M3_hw.Pe.id cenv.pe in
+  let emit ev = if Obs.enabled obs then Obs.emit obs ev in
+  let now () = Engine.now cenv.engine in
+  let req = ok (Gate.create_recv cenv ~slot_order:req_order ~slot_count:req_slots) in
+  let wreply =
+    ok (Gate.create_recv cenv ~slot_order:batch_order ~slot_count:wreply_slots)
+  in
+  let ackg = ok (Gate.create_recv cenv ~slot_order:ack_order ~slot_count:ack_slots) in
+  let comp = Gate.send_gate_of_sel handoff_comp_sel in
+  let spawn_worker idx =
+    let* vpe =
+      Vpe_api.create cenv
+        ~name:(Printf.sprintf "%s.w%d" cfg.name idx)
+        ~core:M3_hw.Core_type.General_purpose
+    in
+    let* () = Vpe_api.run cenv vpe (worker_body cfg ~widx:idx) in
+    let sel = Env.alloc_sel cenv in
+    let* () =
+      obtain_with_retry cenv ~vpe_sel:vpe.Vpe_api.vpe_sel ~own_sel:sel
+        ~other_sel:handoff_worker_sel
+    in
+    Ok (vpe, Gate.send_gate_of_sel sel)
+  in
+  let mk_worker i =
+    let vpe, sg = ok (spawn_worker i) in
+    { w_idx = i; w_vpe = vpe; w_sgate = sg; w_gen = 0; w_restarts = 0;
+      w_state = W_idle }
+  in
+  let workers =
+    let w0 = mk_worker 0 in
+    let a = Array.make cfg.workers w0 in
+    for i = 1 to cfg.workers - 1 do
+      a.(i) <- mk_worker i
+    done;
+    a
+  in
+  (* Publish the request gate only now: a client that got through
+     [start] sends against a fully staffed pool, so worker boot time
+     never pollutes measured latencies. *)
+  let _published =
+    ok (Gate.create_send ~sel:handoff_req_sel cenv req ~label:0L ~credits:req_credits)
+  in
+  let pending : (Wire.request * int) Dq.t = Dq.create () in
+  let notices : Wire.done_item Dq.t = Dq.create () in
+  let inflight = ref 0 in
+  let drain_slot = ref None in
+  let handle_req (msg : Endpoint.message) =
+    match Wire.decode_client_msg msg.payload with
+    | Wire.Drain -> drain_slot := Some msg.slot
+    | Wire.Request rq ->
+      let depth = Dq.length pending + !inflight + Gate.backlog cenv req in
+      if depth >= cfg.queue_limit then begin
+        stats.p_rejected <- stats.p_rejected + 1;
+        emit (Event.Serve_reject { pe = my_pe; pool = cfg.name; seq = rq.seq; depth });
+        ignore
+          (Gate.reply cenv req ~slot:msg.slot
+             (Wire.encode_admit ~err:Errno.E_overload ~seq:rq.seq))
+      end
+      else begin
+        stats.p_admitted <- stats.p_admitted + 1;
+        if depth > stats.p_max_depth then stats.p_max_depth <- depth;
+        emit (Event.Serve_admit { pe = my_pe; pool = cfg.name; seq = rq.seq; depth });
+        Dq.push pending (rq, now ());
+        ignore
+          (Gate.reply cenv req ~slot:msg.slot
+             (Wire.encode_admit ~err:Errno.E_ok ~seq:rq.seq))
+      end
+  in
+  let handle_wreply (msg : Endpoint.message) =
+    let widx, gen, dones = Wire.decode_worker_reply msg.payload in
+    Gate.ack cenv wreply ~slot:msg.slot;
+    if widx >= 0 && widx < Array.length workers then begin
+      let w = workers.(widx) in
+      (* a stale generation is a ghost: the batch was already
+         re-enqueued when this worker was declared dead *)
+      if gen = w.w_gen then
+        match w.w_state with
+        | W_busy { batch; _ } ->
+          w.w_state <- W_idle;
+          inflight := !inflight - List.length batch;
+          List.iter
+            (fun (d : Wire.done_item) ->
+              (match
+                 List.find_opt
+                   (fun ((r : Wire.request), _) -> r.seq = d.d_seq)
+                   batch
+               with
+              | Some (_, admitted_at) ->
+                let lat = now () - admitted_at in
+                Stats.add stats.p_disp_latency (float_of_int lat);
+                emit
+                  (Event.Serve_done
+                     { pe = my_pe; pool = cfg.name; seq = d.d_seq; cycles = lat })
+              | None -> ());
+              Stats.add stats.p_worker_service.(widx) (float_of_int d.d_cycles);
+              if Errno.equal d.d_err Errno.E_ok then
+                stats.p_completed <- stats.p_completed + 1
+              else stats.p_failed <- stats.p_failed + 1;
+              Dq.push notices d)
+            dones
+        | W_idle | W_dead -> ()
+    end
+  in
+  let handle_ack (msg : Endpoint.message) = Gate.ack cenv ackg ~slot:msg.slot in
+  let replace_worker w ~requeue =
+    Dq.push_front_list pending requeue;
+    stats.p_retried <- stats.p_retried + List.length requeue;
+    ignore (Syscalls.revoke cenv ~sel:w.w_vpe.Vpe_api.vpe_sel);
+    w.w_gen <- w.w_gen + 1;
+    if w.w_restarts >= cfg.max_restarts then w.w_state <- W_dead
+    else begin
+      w.w_restarts <- w.w_restarts + 1;
+      match spawn_worker w.w_idx with
+      | Error _ -> w.w_state <- W_dead
+      | Ok (vpe, sg) ->
+        w.w_vpe <- vpe;
+        w.w_sgate <- sg;
+        w.w_state <- W_idle;
+        stats.p_restarts <- stats.p_restarts + 1;
+        stats.p_restart_cycle <- now ();
+        emit
+          (Event.Serve_restart
+             { pe = vpe.Vpe_api.pe_id; pool = cfg.name; worker = w.w_idx;
+               attempt = w.w_restarts })
+    end
+  in
+  let check_watchdogs progress =
+    Array.iter
+      (fun w ->
+        match w.w_state with
+        | W_busy { batch; since } when now () - since > cfg.watchdog ->
+          inflight := !inflight - List.length batch;
+          w.w_state <- W_idle;
+          replace_worker w ~requeue:batch;
+          progress := true
+        | _ -> ())
+      workers
+  in
+  let find_idle () =
+    let rec go i =
+      if i >= Array.length workers then None
+      else match workers.(i).w_state with
+        | W_idle -> Some workers.(i)
+        | _ -> go (i + 1)
+    in
+    go 0
+  in
+  let dispatch progress =
+    let rec go () =
+      if Dq.length pending > 0 then
+        match find_idle () with
+        | None -> ()
+        | Some w ->
+          let depth = Dq.length pending in
+          let bsz =
+            if depth > cfg.batch_threshold then Stdlib.min cfg.batch_max depth
+            else 1
+          in
+          let batch = Dq.take pending bsz in
+          let payload = Wire.encode_batch ~gen:w.w_gen (List.map fst batch) in
+          (match
+             Gate.send cenv w.w_sgate payload
+               ~reply:(wreply, Int64.of_int w.w_idx) ()
+           with
+          | Ok () ->
+            w.w_state <- W_busy { batch; since = now () };
+            inflight := !inflight + List.length batch;
+            stats.p_batches <- stats.p_batches + 1;
+            stats.p_batched <- stats.p_batched + List.length batch;
+            emit
+              (Event.Serve_batch
+                 { pe = my_pe; pool = cfg.name; worker = w.w_idx;
+                   size = List.length batch })
+          | Error _ ->
+            (* the send gate died with its worker *)
+            replace_worker w ~requeue:batch);
+          progress := true;
+          go ()
+    in
+    go ()
+  in
+  let flush_notices progress =
+    let rec go () =
+      if Dq.length notices > 0 then begin
+        let items = Dq.take notices notice_max in
+        match Gate.send cenv comp (Wire.encode_notice items) ~reply:(ackg, 0L) () with
+        | Ok () ->
+          progress := true;
+          go ()
+        | Error _ ->
+          (* out of notice credits (client has not replied yet) or a
+             transient: try again next round *)
+          Dq.push_front_list notices items
+      end
+    in
+    go ()
+  in
+  let try_finish () =
+    match !drain_slot with
+    | Some slot
+      when Dq.length pending = 0 && !inflight = 0 && Dq.length notices = 0 ->
+      ignore
+        (Gate.reply cenv req ~slot
+           (Wire.encode_admit ~err:Errno.E_ok ~seq:Wire.drain_seq));
+      drain_slot := None;
+      Array.iter
+        (fun w ->
+          match w.w_state with
+          | W_dead -> ()
+          | _ ->
+            ignore
+              (Gate.send cenv w.w_sgate
+                 (Wire.encode_batch ~gen:w.w_gen [])
+                 ~reply:(wreply, 0L) ());
+            ignore (Vpe_api.wait cenv w.w_vpe))
+        workers;
+      true
+    | _ -> false
+  in
+  let drain_gate g handler progress =
+    let rec go () =
+      match Gate.fetch cenv g with
+      | Some msg ->
+        handler msg;
+        progress := true;
+        go ()
+      | None -> ()
+    in
+    go ()
+  in
+  let gates = [ req; wreply; ackg ] in
+  let rec loop () =
+    let progress = ref false in
+    drain_gate req handle_req progress;
+    drain_gate wreply handle_wreply progress;
+    drain_gate ackg handle_ack progress;
+    if plan_enabled then check_watchdogs progress;
+    dispatch progress;
+    flush_notices progress;
+    if try_finish () then 0
+    else if !progress then loop ()
+    else if plan_enabled then begin
+      (* a crashed worker never answers; poll so the watchdog keeps
+         running instead of parking on a reply that cannot come *)
+      Process.wait disp_poll;
+      loop ()
+    end
+    else begin
+      let i, msg = Gate.recv_any cenv gates in
+      (match i with
+      | 0 -> handle_req msg
+      | 1 -> handle_wreply msg
+      | _ -> handle_ack msg);
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- client side -------------------------------------------------------- *)
+
+type t = {
+  t_cfg : config;
+  t_stats : pool_stats;
+  t_disp : Vpe_api.t;
+  t_req : Gate.send_gate;
+  t_resp : Gate.recv_gate;
+  t_comp : Gate.recv_gate;
+  t_drained : bool ref;
+}
+
+let config t = t.t_cfg
+let stats t = t.t_stats
+
+type client_result = {
+  cr_sent : int;
+  cr_admitted : int;
+  cr_rejected : int;
+  cr_completed : int;
+  cr_failed : int;
+  cr_latency : Stats.t;
+  cr_first_send : int;
+  cr_last_done : int;
+  cr_completions : (int * int) list;
+}
+
+let start env cfg =
+  if cfg.workers < 1 then Error Errno.E_inv_args
+  else if cfg.batch_max < 1 || cfg.batch_max > max_batch then
+    Error Errno.E_inv_args
+  else begin
+    let stats = make_stats ~workers:cfg.workers in
+    let* disp =
+      Vpe_api.create env ~name:(cfg.name ^ ".disp")
+        ~core:M3_hw.Core_type.General_purpose
+    in
+    let* comp = Gate.create_recv env ~slot_order:notice_order ~slot_count:comp_slots in
+    let* comp_sg =
+      Gate.create_send env comp ~label:0L ~credits:(Endpoint.Credits comp_credits)
+    in
+    let* () =
+      Syscalls.delegate env ~vpe_sel:disp.Vpe_api.vpe_sel
+        ~own_sel:comp_sg.Gate.sg_user.Env.eu_sel ~other_sel:handoff_comp_sel
+    in
+    let* resp = Gate.create_recv env ~slot_order:resp_order ~slot_count:resp_slots in
+    let* () = Vpe_api.run env disp (dispatcher_body cfg stats) in
+    let sel = Env.alloc_sel env in
+    let* () =
+      obtain_with_retry env ~vpe_sel:disp.Vpe_api.vpe_sel ~own_sel:sel
+        ~other_sel:handoff_req_sel
+    in
+    Ok
+      {
+        t_cfg = cfg;
+        t_stats = stats;
+        t_disp = disp;
+        t_req = Gate.send_gate_of_sel sel;
+        t_resp = resp;
+        t_comp = comp;
+        t_drained = ref false;
+      }
+  end
+
+(* Request lifecycle on the client: 0 unsent, 1 sent, 3 final.
+   (Admit-ok replies carry no new information — only rejects and
+   completions resolve a request.) *)
+type session = {
+  s_n : int;
+  s_send_cycle : int array;
+  s_state : int array;
+  mutable s_sent : int;
+  mutable s_rejected : int;
+  mutable s_completed : int;
+  mutable s_failed : int;
+  mutable s_unresolved : int;
+  s_latency : Stats.t;
+  mutable s_first_send : int;
+  mutable s_last_done : int;
+  mutable s_completions : (int * int) list;
+}
+
+let make_session n =
+  {
+    s_n = n;
+    s_send_cycle = Array.make (Stdlib.max n 1) 0;
+    s_state = Array.make (Stdlib.max n 1) 0;
+    s_sent = 0;
+    s_rejected = 0;
+    s_completed = 0;
+    s_failed = 0;
+    s_unresolved = 0;
+    s_latency = Stats.create ();
+    s_first_send = 0;
+    s_last_done = 0;
+    s_completions = [];
+  }
+
+let handle_resp env t sess (msg : Endpoint.message) =
+  let err, seq = Wire.decode_admit msg.payload in
+  Gate.ack env t.t_resp ~slot:msg.slot;
+  if seq = Wire.drain_seq then t.t_drained := true
+  else if seq >= 0 && seq < sess.s_n && sess.s_state.(seq) = 1 then
+    if not (Errno.equal err Errno.E_ok) then begin
+      sess.s_state.(seq) <- 3;
+      sess.s_rejected <- sess.s_rejected + 1;
+      sess.s_unresolved <- sess.s_unresolved - 1
+    end
+
+let handle_comp env t sess (msg : Endpoint.message) =
+  let items = Wire.decode_notice msg.payload in
+  let now = Engine.now env.Env.engine in
+  ignore (Gate.reply env t.t_comp ~slot:msg.slot (Bytes.create 0));
+  List.iter
+    (fun (d : Wire.done_item) ->
+      let seq = d.d_seq in
+      if seq >= 0 && seq < sess.s_n && sess.s_state.(seq) = 1 then begin
+        sess.s_state.(seq) <- 3;
+        sess.s_unresolved <- sess.s_unresolved - 1;
+        if Errno.equal d.d_err Errno.E_ok then begin
+          let lat = now - sess.s_send_cycle.(seq) in
+          sess.s_completed <- sess.s_completed + 1;
+          sess.s_last_done <- now;
+          Stats.add sess.s_latency (float_of_int lat);
+          sess.s_completions <- (now, lat) :: sess.s_completions
+        end
+        else sess.s_failed <- sess.s_failed + 1
+      end)
+    items
+
+let drain_client env t sess =
+  let rec resp () =
+    match Gate.fetch env t.t_resp with
+    | Some msg ->
+      handle_resp env t sess msg;
+      resp ()
+    | None -> ()
+  in
+  let rec comp () =
+    match Gate.fetch env t.t_comp with
+    | Some msg ->
+      handle_comp env t sess msg;
+      comp ()
+    | None -> ()
+  in
+  resp ();
+  comp ()
+
+(* Send with credit backpressure: admission verdicts refund request
+   credits, so block on the verdict gate when they run out. *)
+let send_bp env t sess payload =
+  let rec go tries =
+    match Gate.send env t.t_req payload ~reply:(t.t_resp, 0L) () with
+    | Ok () -> Ok ()
+    | Error Errno.E_no_credits when tries > 0 ->
+      let msg = Gate.recv env t.t_resp in
+      handle_resp env t sess msg;
+      go (tries - 1)
+    | Error e -> Error e
+  in
+  go 100_000
+
+let plan_enabled env =
+  M3_fault.Plan.enabled (M3_noc.Fabric.faults env.Env.fabric)
+
+(* Wait until every sent request is resolved. Under a fault plan the
+   wait polls with a deadline (a lost request must not hang the
+   client); without one it parks on the gates. *)
+let await_tail env t sess ~extra =
+  if plan_enabled env then begin
+    let deadline = Engine.now env.Env.engine + tail_deadline in
+    let unresolved () = sess.s_unresolved > 0 || extra () in
+    while unresolved () && Engine.now env.Env.engine < deadline do
+      drain_client env t sess;
+      if unresolved () then Process.wait client_poll
+    done
+  end
+  else
+    while sess.s_unresolved > 0 || extra () do
+      let i, msg = Gate.recv_any env [ t.t_resp; t.t_comp ] in
+      if i = 0 then handle_resp env t sess msg else handle_comp env t sess msg
+    done
+
+let result_of sess =
+  {
+    cr_sent = sess.s_sent;
+    cr_admitted = sess.s_completed + sess.s_failed + sess.s_unresolved;
+    cr_rejected = sess.s_rejected;
+    cr_completed = sess.s_completed;
+    cr_failed = sess.s_failed;
+    cr_latency = sess.s_latency;
+    cr_first_send = sess.s_first_send;
+    cr_last_done = sess.s_last_done;
+    cr_completions = List.rev sess.s_completions;
+  }
+
+let send_one env t sess (rq : Wire.request) =
+  match send_bp env t sess (Wire.encode_request rq) with
+  | Ok () ->
+    let now = Engine.now env.Env.engine in
+    if sess.s_sent = 0 then sess.s_first_send <- now;
+    sess.s_send_cycle.(rq.seq) <- now;
+    sess.s_state.(rq.seq) <- 1;
+    sess.s_sent <- sess.s_sent + 1;
+    sess.s_unresolved <- sess.s_unresolved + 1
+  | Error _ ->
+    (* count a lost send as a failure so accounting still closes *)
+    sess.s_state.(rq.seq) <- 3;
+    sess.s_failed <- sess.s_failed + 1
+
+let run_open env t ~schedule =
+  let n = Array.length schedule in
+  let sess = make_session n in
+  (* Arrival times are relative to the start of the run, not to boot —
+     the schedule is drawn before the simulation exists. *)
+  let t0 = Engine.now env.Env.engine in
+  for i = 0 to n - 1 do
+    let a = schedule.(i) in
+    drain_client env t sess;
+    let now = Engine.now env.Env.engine in
+    if now < t0 + a.Load.at then Process.wait (t0 + a.Load.at - now);
+    send_one env t sess a.Load.req
+  done;
+  await_tail env t sess ~extra:(fun () -> false);
+  result_of sess
+
+let run_closed env t ~clients ~total ~make =
+  let clients = Stdlib.max 1 clients in
+  let sess = make_session total in
+  let next = ref 0 in
+  let pump () =
+    while !next < total && sess.s_unresolved < clients do
+      send_one env t sess { Wire.seq = !next; rk = make !next };
+      incr next
+    done
+  in
+  pump ();
+  if plan_enabled env then begin
+    let deadline = Engine.now env.Env.engine + tail_deadline in
+    while
+      (!next < total || sess.s_unresolved > 0)
+      && Engine.now env.Env.engine < deadline
+    do
+      drain_client env t sess;
+      pump ();
+      if !next < total || sess.s_unresolved > 0 then Process.wait client_poll
+    done
+  end
+  else
+    while !next < total || sess.s_unresolved > 0 do
+      let i, msg = Gate.recv_any env [ t.t_resp; t.t_comp ] in
+      if i = 0 then handle_resp env t sess msg else handle_comp env t sess msg;
+      pump ()
+    done;
+  result_of sess
+
+let stop env t =
+  let sess = make_session 0 in
+  let* () = send_bp env t sess (Wire.encode_drain ()) in
+  await_tail env t sess ~extra:(fun () -> not !(t.t_drained));
+  if not !(t.t_drained) then Error Errno.E_timeout
+  else
+    let* code = Vpe_api.wait env t.t_disp in
+    if code = 0 then Ok () else Error (Errno.E_dtu "dispatcher failed")

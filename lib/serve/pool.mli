@@ -1,0 +1,123 @@
+(** Multi-PE request-serving pools.
+
+    A pool is three tiers of VPEs wired together with gates:
+
+    {v
+      client ──requests──► dispatcher ──batches──► worker 0..N-1
+             ◄─admit/rej──            ◄─replies──
+             ◄─completions─
+    v}
+
+    The {e client} (the VPE that called {!start}) generates load; the
+    {e dispatcher} runs on its own PE, admits or rejects each request
+    against a bounded queue, coalesces queued requests into batches of
+    up to [batch_max] per DTU message, and feeds the {e workers} — one
+    VPE per dedicated PE each serving one batch at a time.
+
+    Flow control is pure DTU credits: every channel is
+    request/response, so ringbuffer slots are always freed by a reply
+    and no tier can wedge another by falling behind (§4.5.4's gates
+    end-to-end). Admission control answers immediately — an accepted
+    request is replied to with [E_ok] before dispatch, a rejected one
+    with {!M3.Errno.E_overload} — so clients learn the verdict in one
+    round trip even when the pool is saturated.
+
+    When a fault plan is attached to the fabric the dispatcher also
+    arms a per-worker watchdog: a batch outstanding for longer than
+    [watchdog] cycles declares the worker dead, re-enqueues the batch
+    at the front of the queue, revokes the worker's capabilities and
+    starts a replacement on a spare PE (the crashed PE was
+    quarantined by the kernel), up to [max_restarts] times per seat.
+    Without a plan the watchdog code never runs and the pool costs
+    nothing extra. *)
+
+type config = {
+  name : string;  (** pool name carried by serve.* events and metrics *)
+  workers : int;
+  batch_max : int;  (** max requests coalesced per worker message (1..13) *)
+  batch_threshold : int;
+      (** coalesce only when more than this many requests are queued;
+          below it requests dispatch singly for latency *)
+  queue_limit : int;
+      (** admission watermark: queued + in-flight + ringbuffer backlog
+          at or above this rejects with [E_overload] *)
+  fs_services : string list;
+      (** m3fs shard set workers mount (for [Fs_stat]/[Fs_read]);
+          empty = no filesystem *)
+  files : int;  (** seed files ["/s0".."/s<files-1>"] the fs kinds address *)
+  watchdog : int;
+      (** cycles a batch may be outstanding before the worker is
+          declared dead (armed only under a fault plan) *)
+  max_restarts : int;  (** replacement workers per seat *)
+}
+
+(** 8-deep batches above a 2-deep queue, effectively unbounded
+    admission, 150k-cycle watchdog, one restart per seat. *)
+val default_config : ?name:string -> workers:int -> unit -> config
+
+(** Dispatcher-side counters, updated live during the run. *)
+type pool_stats = {
+  mutable p_admitted : int;
+  mutable p_rejected : int;
+  mutable p_completed : int;
+  mutable p_failed : int;  (** admitted but worker answered non-[E_ok] *)
+  mutable p_retried : int;  (** re-dispatched after a worker death *)
+  mutable p_restarts : int;
+  mutable p_restart_cycle : int;  (** cycle the last restart finished; -1 if none *)
+  mutable p_batches : int;  (** worker messages sent *)
+  mutable p_batched : int;  (** requests carried by those messages *)
+  mutable p_max_depth : int;  (** deepest queue seen at admission *)
+  p_worker_service : M3_sim.Stats.t array;  (** service cycles per seat *)
+  p_disp_latency : M3_sim.Stats.t;  (** admission → completion, dispatcher clock *)
+}
+
+(** Pool-level service-time distribution: the per-seat distributions
+    combined with {!M3_sim.Stats.merge}. *)
+val service_latency : pool_stats -> M3_sim.Stats.t
+
+type t
+
+val config : t -> config
+val stats : t -> pool_stats
+
+(** What the load-generating client observed. Latency is client clock:
+    request send to completion notice, for requests that were admitted
+    and completed. *)
+type client_result = {
+  cr_sent : int;
+  cr_admitted : int;
+  cr_rejected : int;  (** answered [E_overload] *)
+  cr_completed : int;
+  cr_failed : int;
+  cr_latency : M3_sim.Stats.t;
+  cr_first_send : int;
+  cr_last_done : int;  (** cycle of the last completion (0 if none) *)
+  cr_completions : (int * int) list;
+      (** (completion cycle, latency) per completed request, in
+          completion order — windowed-throughput analysis for the
+          degraded-mode run *)
+}
+
+(** [start env cfg] creates the dispatcher VPE (which in turn creates
+    the workers), exchanges the gates, and returns a handle the
+    calling VPE drives. *)
+val start : M3.Env.t -> config -> (t, M3.Errno.t) result
+
+(** [run_open env t ~schedule] plays an open-loop schedule: request
+    [i] is sent [schedule.(i).at] cycles after the run started (or as
+    soon after as send-credit backpressure allows), then the client
+    waits for every outstanding verdict and completion. *)
+val run_open : M3.Env.t -> t -> schedule:Load.arrival array -> client_result
+
+(** [run_closed env t ~clients ~total ~make] models [clients] virtual
+    closed-loop users: at most [clients] requests are unresolved at
+    any time, new ones (kinds from [make seq]) issue as completions
+    arrive, [total] requests in all. *)
+val run_closed :
+  M3.Env.t -> t -> clients:int -> total:int -> make:(int -> Wire.kind) ->
+  client_result
+
+(** [stop env t] sends the drain marker, waits until the dispatcher
+    has finished everything and shut the workers down, and reaps the
+    dispatcher VPE. *)
+val stop : M3.Env.t -> t -> (unit, M3.Errno.t) result

@@ -1,0 +1,70 @@
+(** Wire protocol of the serving subsystem.
+
+    Four message families flow through a pool:
+
+    - client → dispatcher: one request per message (or the final drain
+      marker), answered immediately with an admission verdict,
+    - dispatcher → worker: a batch of up to [batch] requests coalesced
+      into one DTU message (an empty batch means "shut down"),
+    - worker → dispatcher: the per-batch reply with one status and
+      service time per request,
+    - dispatcher → client: a completion notice carrying several
+      finished requests at once.
+
+    Everything is fixed-size integers via {!M3.Msgbuf}, so message
+    sizes are predictable and the ringbuffer slot orders in
+    {!Pool} can be stated as constants. *)
+
+(** What a request asks the worker to do. The integer argument is
+    interpreted per kind; for the filesystem kinds it selects a seed
+    file (modulo the pool's file count). *)
+type kind =
+  | Echo of int     (** charge this many compute cycles *)
+  | Fs_stat of int  (** stat a seed file via the shard ring *)
+  | Fs_read of int  (** read the first 4 KiB of a seed file *)
+  | Fft of int      (** software-FFT this many complex points *)
+
+type request = { seq : int; rk : kind }
+
+(** Per-request completion record echoed up the reply path:
+    worker-side status and service cycles. *)
+type done_item = { d_seq : int; d_err : M3.Errno.t; d_cycles : int }
+
+val kind_name : kind -> string
+
+(** {1 Client requests} *)
+
+type client_msg =
+  | Request of request
+  | Drain  (** "no more requests; answer when everything finished" *)
+
+val encode_request : request -> Bytes.t
+val encode_drain : unit -> Bytes.t
+val decode_client_msg : Bytes.t -> client_msg
+
+(** {1 Admission verdicts (dispatcher's immediate reply)} *)
+
+(** The sequence number a drain reply carries. *)
+val drain_seq : int
+
+val encode_admit : err:M3.Errno.t -> seq:int -> Bytes.t
+val decode_admit : Bytes.t -> M3.Errno.t * int
+
+(** {1 Batches (dispatcher → worker)} *)
+
+(** [gen] is the worker generation — incremented on every restart so a
+    stale reply from a presumed-dead worker cannot be attributed to
+    its replacement. An empty item list is the shutdown marker. *)
+val encode_batch : gen:int -> request list -> Bytes.t
+
+val decode_batch : Bytes.t -> int * request list
+
+(** {1 Worker replies} *)
+
+val encode_worker_reply : worker:int -> gen:int -> done_item list -> Bytes.t
+val decode_worker_reply : Bytes.t -> int * int * done_item list
+
+(** {1 Completion notices (dispatcher → client)} *)
+
+val encode_notice : done_item list -> Bytes.t
+val decode_notice : Bytes.t -> done_item list

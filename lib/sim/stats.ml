@@ -54,7 +54,7 @@ let percentile t p =
   else begin
     if not t.sorted then begin
       let live = Array.sub t.samples 0 t.count in
-      Array.sort compare live;
+      Array.sort Float.compare live;
       t.samples <- live;
       t.sorted <- true
     end;
@@ -66,6 +66,17 @@ let percentile t p =
     let frac = rank -. float_of_int lo in
     t.samples.(lo) +. (frac *. (t.samples.(hi) -. t.samples.(lo)))
   end
+
+let merge a b =
+  let t = create () in
+  let absorb s =
+    for i = 0 to s.count - 1 do
+      add t s.samples.(i)
+    done
+  in
+  absorb a;
+  absorb b;
+  t
 
 let of_list xs =
   let t = create () in

@@ -20,9 +20,17 @@ val max : t -> float
     with linear interpolation between closest ranks: 0 observations
     yield [0.0], one observation yields that value for every [p], two
     observations interpolate between them (so [percentile t 50.0] is
-    their midpoint). Observations are retained internally to support
-    this; cost is O(n log n) on the first query after an [add]. *)
+    their midpoint). Fractional [p] is supported — [percentile t 99.9]
+    is the tail SLO quantile. Observations are retained internally to
+    support this; cost is O(n log n) on the first query after an
+    [add]. *)
 val percentile : t -> float -> float
+
+(** [merge a b] is a fresh summary over the union of both sample sets
+    ([a] and [b] are not modified). Order statistics of the result are
+    exact, not approximated from the inputs' moments — used to
+    aggregate per-worker latency into pool-level SLOs. *)
+val merge : t -> t -> t
 
 (** [of_list xs] summarizes a list of observations. *)
 val of_list : float list -> t

@@ -4,4 +4,5 @@ let () =
    @ Test_hw.suites @ Test_os.suites @ Test_os2.suites @ Test_os3.suites @ Test_fs_image.suites
    @ Test_linux.suites @ Test_trace.suites @ Test_irq.suites
    @ Test_harness.suites @ Test_ablations.suites @ Test_obs.suites
-   @ Test_fault.suites @ Test_crash.suites @ Test_shard.suites)
+   @ Test_fault.suites @ Test_crash.suites @ Test_shard.suites
+   @ Test_serve.suites)

@@ -1,0 +1,438 @@
+(* Regression tests for the serving-pool PR:
+
+   - the serve wire format round-trips (requests, drain, admission
+     verdicts, generation-tagged batches, worker replies, completion
+     notices), and [E_overload] survives both its integer encoding and
+     the admission-verdict wire path,
+   - [Stats.merge] combines distributions exactly and [percentile]
+     takes fractional ranks (p99.9),
+   - [Load.poisson] is a pure function of its Rng: same seed, same
+     schedule, cycle for cycle,
+   - a pool serves an open-loop schedule and a closed-loop client set
+     to completion; a bounded queue rejects overload with
+     [E_overload] while every accepted request still completes,
+   - merely constructing serve values (schedules, configs, encoded
+     requests) costs zero simulated cycles: a run that never starts a
+     pool is byte-identical to one that never mentions serve,
+   - the figS experiment is deterministic (same seed, same JSON) and
+     its acceptance criteria hold on the CI-sized sweep: the
+     throughput-latency knee, the admission-control SLO, and the
+     crash-restart throughput floor. *)
+
+module Engine = M3_sim.Engine
+module Rng = M3_sim.Rng
+module Stats = M3_sim.Stats
+module Bootstrap = M3.Bootstrap
+module Env = M3.Env
+module Errno = M3.Errno
+module Syscalls = M3.Syscalls
+module Obs = M3_obs.Obs
+module Metrics = M3_obs.Metrics
+module Wire = M3_serve.Wire
+module Load = M3_serve.Load
+module Pool = M3_serve.Pool
+module Figs = M3_harness.Figs
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let ok = Errno.ok_exn
+
+(* --- wire format -------------------------------------------------------- *)
+
+let test_request_round_trip () =
+  List.iter
+    (fun rk ->
+      let rq = { Wire.seq = 12345; rk } in
+      match Wire.decode_client_msg (Wire.encode_request rq) with
+      | Wire.Request rq' ->
+        check_bool (Wire.kind_name rk ^ " round-trips") true (rq = rq')
+      | Wire.Drain -> Alcotest.fail "request decoded as drain")
+    [ Wire.Echo 2000; Wire.Fs_stat 7; Wire.Fs_read 3; Wire.Fft 64 ]
+
+let test_drain_round_trip () =
+  match Wire.decode_client_msg (Wire.encode_drain ()) with
+  | Wire.Drain -> ()
+  | Wire.Request _ -> Alcotest.fail "drain decoded as request"
+
+let test_admit_round_trip () =
+  List.iter
+    (fun (err, seq) ->
+      let err', seq' = Wire.decode_admit (Wire.encode_admit ~err ~seq) in
+      check_bool "errno round-trips" true (Errno.equal err err');
+      check_int "seq round-trips" seq seq')
+    [
+      (Errno.E_ok, 0);
+      (Errno.E_overload, 41);
+      (Errno.E_ok, Wire.drain_seq);
+    ]
+
+let test_batch_round_trip () =
+  let items =
+    List.init 13 (fun i -> { Wire.seq = (i * 37) + 1; rk = Wire.Echo i })
+  in
+  let gen, items' = Wire.decode_batch (Wire.encode_batch ~gen:5 items) in
+  check_int "generation" 5 gen;
+  check_bool "items round-trip in order" true (items = items');
+  let gen0, empty = Wire.decode_batch (Wire.encode_batch ~gen:0 []) in
+  check_int "empty batch generation" 0 gen0;
+  check_int "empty batch" 0 (List.length empty)
+
+let test_worker_reply_round_trip () =
+  let dones =
+    [
+      { Wire.d_seq = 9; d_err = Errno.E_ok; d_cycles = 2048 };
+      { Wire.d_seq = 10; d_err = Errno.E_no_perm; d_cycles = 1 };
+    ]
+  in
+  let worker, gen, dones' =
+    Wire.decode_worker_reply (Wire.encode_worker_reply ~worker:3 ~gen:2 dones)
+  in
+  check_int "worker" 3 worker;
+  check_int "generation" 2 gen;
+  check_bool "done items round-trip" true (dones = dones')
+
+let test_notice_round_trip () =
+  let dones =
+    List.init 5 (fun i -> { Wire.d_seq = i; d_err = Errno.E_ok; d_cycles = i })
+  in
+  check_bool "notice round-trips" true
+    (dones = Wire.decode_notice (Wire.encode_notice dones))
+
+(* E_overload is a wire errno: its integer encoding must be stable and
+   collision-free (the admission reject path crosses PEs as a byte). *)
+let test_overload_errno () =
+  check_int "stable wire encoding" 19 (Errno.to_int Errno.E_overload);
+  check_bool "of_int inverts to_int" true
+    (Errno.equal Errno.E_overload (Errno.of_int 19));
+  check_bool "has a message" true
+    (String.length (Errno.to_string Errno.E_overload) > 0)
+
+(* --- stats satellites --------------------------------------------------- *)
+
+let test_stats_merge_is_exact () =
+  let a = Stats.create () and b = Stats.create () in
+  let all = Stats.create () in
+  let rng = Rng.create ~seed:7 in
+  for i = 0 to 199 do
+    let v = Rng.float rng *. 1000.0 in
+    Stats.add (if i mod 3 = 0 then a else b) v;
+    Stats.add all v
+  done;
+  let m = Stats.merge a b in
+  check_int "count" (Stats.count all) (Stats.count m);
+  Alcotest.(check (float 1e-9)) "mean" (Stats.mean all) (Stats.mean m);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%.1f" p)
+        (Stats.percentile all p) (Stats.percentile m p))
+    [ 0.0; 50.0; 95.0; 99.0; 100.0 ]
+
+let test_percentile_fractional_and_negative () =
+  let s = Stats.create () in
+  for i = 1 to 1000 do
+    Stats.add s (float_of_int i -. 500.0)
+  done;
+  (* 1000 samples of i - 500: exact order statistics, with linear
+     interpolation between ranks (rank = p/100 * (n-1)). *)
+  Alcotest.(check (float 1e-6)) "p99.9 interpolates the tail" 499.001
+    (Stats.percentile s 99.9);
+  Alcotest.(check (float 1e-6)) "p0 is the minimum" (-499.0)
+    (Stats.percentile s 0.0);
+  Alcotest.(check (float 1e-6)) "negative values sort numerically" (-449.05)
+    (Stats.percentile s 5.0)
+
+(* --- load generation ---------------------------------------------------- *)
+
+let schedule ~seed ~count =
+  Load.poisson ~rng:(Rng.create ~seed) ~mean_gap:700.0 ~count
+    ~mix:(Load.pure (Wire.Echo 2000))
+
+let test_poisson_is_deterministic () =
+  let a = schedule ~seed:11 ~count:300 in
+  let b = schedule ~seed:11 ~count:300 in
+  check_bool "same seed, same schedule" true (a = b);
+  let c = schedule ~seed:12 ~count:300 in
+  check_bool "different seed, different schedule" true (a <> c)
+
+let test_poisson_shape () =
+  let n = 2000 in
+  let s = schedule ~seed:3 ~count:n in
+  check_int "count" n (Array.length s);
+  Array.iteri (fun i a -> check_int "seq is the index" i a.Load.req.Wire.seq) s;
+  let monotone = ref true in
+  for i = 1 to n - 1 do
+    if s.(i).Load.at <= s.(i - 1).Load.at then monotone := false
+  done;
+  check_bool "arrival times strictly increase" true !monotone;
+  (* Mean inter-arrival gap within 10% of the requested mean. *)
+  let span = float_of_int (s.(n - 1).Load.at - s.(0).Load.at) in
+  let mean = span /. float_of_int (n - 1) in
+  check_bool
+    (Printf.sprintf "mean gap %.1f near 700" mean)
+    true
+    (mean > 630.0 && mean < 770.0)
+
+let test_poisson_validates () =
+  let rng = Rng.create ~seed:1 in
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "empty mix" true
+    (raises (fun () -> Load.poisson ~rng ~mean_gap:10.0 ~count:1 ~mix:[]));
+  check_bool "non-positive weight" true
+    (raises (fun () ->
+         Load.poisson ~rng ~mean_gap:10.0 ~count:1
+           ~mix:[ (0, fun _ -> Wire.Echo 1) ]));
+  check_bool "non-positive gap" true
+    (raises (fun () ->
+         Load.poisson ~rng ~mean_gap:0.0 ~count:1
+           ~mix:(Load.pure (Wire.Echo 1))))
+
+(* --- pools end to end --------------------------------------------------- *)
+
+(* Boot without a filesystem, run [main] as the load-generating
+   client, insist it exits 0. [metrics], when given, is attached as an
+   observability sink. *)
+let run_app ?metrics main =
+  let engine = Engine.create () in
+  let obs =
+    Option.map
+      (fun m ->
+        let obs = Obs.of_engine engine in
+        Obs.attach obs (Metrics.sink m);
+        obs)
+      metrics
+  in
+  let sys = Bootstrap.start ~no_fs:true ?obs engine in
+  let exit = Bootstrap.launch sys ~name:"app" main in
+  ignore (Engine.run engine);
+  Bootstrap.expect_exit sys exit
+
+let test_open_loop_completes () =
+  let sched = schedule ~seed:21 ~count:60 in
+  let out = ref None in
+  run_app (fun env ->
+      let pool =
+        ok (Pool.start env (Pool.default_config ~name:"t" ~workers:2 ()))
+      in
+      let cr = Pool.run_open env pool ~schedule:sched in
+      ok (Pool.stop env pool);
+      out := Some (cr, Pool.stats pool);
+      0);
+  let cr, st = Option.get !out in
+  check_int "sent" 60 cr.Pool.cr_sent;
+  check_int "completed" 60 cr.Pool.cr_completed;
+  check_int "rejected" 0 cr.Pool.cr_rejected;
+  check_int "failed" 0 cr.Pool.cr_failed;
+  check_int "latency samples" 60 (Stats.count cr.Pool.cr_latency);
+  check_int "completion records" 60 (List.length cr.Pool.cr_completions);
+  check_int "dispatcher admitted" 60 st.Pool.p_admitted;
+  check_int "dispatcher completed" 60 st.Pool.p_completed;
+  check_int "requests batched" 60 st.Pool.p_batched;
+  check_int "pool service samples" 60 (Stats.count (Pool.service_latency st));
+  check_bool "latencies are positive" true (Stats.mean cr.Pool.cr_latency > 0.0)
+
+let test_closed_loop_completes () =
+  let out = ref None in
+  run_app (fun env ->
+      let pool =
+        ok (Pool.start env (Pool.default_config ~name:"t" ~workers:2 ()))
+      in
+      let cr =
+        Pool.run_closed env pool ~clients:4 ~total:40 ~make:(fun _ ->
+            Wire.Echo 1500)
+      in
+      ok (Pool.stop env pool);
+      out := Some cr;
+      0);
+  let cr = Option.get !out in
+  check_int "sent" 40 cr.Pool.cr_sent;
+  check_int "completed" 40 cr.Pool.cr_completed;
+  check_int "rejected" 0 cr.Pool.cr_rejected
+
+(* A one-worker pool with a two-deep queue under a dense burst:
+   overload must be rejected with E_overload (counted, not served),
+   and every accepted request must still complete. Batching kicks in
+   on the backlog, so strictly fewer worker messages than requests. *)
+let test_admission_rejects_overload () =
+  let sched =
+    Load.poisson ~rng:(Rng.create ~seed:31) ~mean_gap:120.0 ~count:80
+      ~mix:(Load.pure (Wire.Echo 3000))
+  in
+  let metrics = Metrics.create () in
+  let out = ref None in
+  run_app ~metrics (fun env ->
+      let pool =
+        ok
+          (Pool.start env
+             {
+               (Pool.default_config ~name:"adm" ~workers:1 ()) with
+               Pool.queue_limit = 4;
+             })
+      in
+      let cr = Pool.run_open env pool ~schedule:sched in
+      ok (Pool.stop env pool);
+      out := Some (cr, Pool.stats pool);
+      0);
+  let cr, st = Option.get !out in
+  check_bool "some requests rejected" true (cr.Pool.cr_rejected > 0);
+  check_bool "some requests served" true (cr.Pool.cr_completed > 0);
+  check_int "every request resolved" 80
+    (cr.Pool.cr_completed + cr.Pool.cr_rejected + cr.Pool.cr_failed);
+  check_int "client and dispatcher agree on rejects" cr.Pool.cr_rejected
+    st.Pool.p_rejected;
+  check_int "client and dispatcher agree on completions" cr.Pool.cr_completed
+    st.Pool.p_completed;
+  check_bool "backlog was batched" true (st.Pool.p_batches < st.Pool.p_batched);
+  (* The serve.* events landed in the metrics sink. *)
+  check_int "metrics saw the rejects" st.Pool.p_rejected
+    (match List.assoc_opt "adm" (Metrics.serve_rejects metrics) with
+    | Some n -> n
+    | None -> 0);
+  (match List.assoc_opt "adm" (Metrics.serve_latencies metrics) with
+  | Some s -> check_int "metrics saw every completion" st.Pool.p_completed
+                (Stats.count s)
+  | None -> Alcotest.fail "no serve latency metrics");
+  match List.assoc_opt "adm" (Metrics.serve_batches metrics) with
+  | Some s -> check_int "metrics saw every batch" st.Pool.p_batches
+                (Stats.count s)
+  | None -> Alcotest.fail "no serve batch metrics"
+
+(* --- zero-cost guard ---------------------------------------------------- *)
+
+(* The same no-pool workload, once oblivious to serve and once
+   constructing schedules/configs/encodings on the side: logs and
+   final cycle must match byte for byte (serve values are host-side
+   until a pool actually starts). *)
+let logged_run ~with_serve_values =
+  let engine = Engine.create () in
+  let mem = Obs.Memory.create () in
+  let obs = Obs.of_engine engine in
+  Obs.attach obs (Obs.Memory.sink mem);
+  let sys = Bootstrap.start ~no_fs:true ~obs engine in
+  let exit =
+    Bootstrap.launch sys ~name:"app" (fun env ->
+        if with_serve_values then begin
+          let sched = schedule ~seed:77 ~count:50 in
+          let cfg = Pool.default_config ~name:"unused" ~workers:4 () in
+          ignore (Wire.encode_request sched.(0).Load.req);
+          ignore (Load.offered_rate sched);
+          ignore cfg.Pool.queue_limit
+        end;
+        for _ = 1 to 20 do
+          ok (Syscalls.noop env)
+        done;
+        0)
+  in
+  let final = Engine.run engine in
+  Bootstrap.expect_exit sys exit;
+  (Obs.Memory.to_string mem, final)
+
+let test_no_pool_is_zero_cost () =
+  let log_plain, cycles_plain = logged_run ~with_serve_values:false in
+  let log_values, cycles_values = logged_run ~with_serve_values:true in
+  check_bool "log not empty" true (String.length log_plain > 0);
+  check_string "byte-identical event logs" log_plain log_values;
+  check_int "identical final cycle" cycles_plain cycles_values
+
+(* --- figS: determinism and acceptance ----------------------------------- *)
+
+let test_figs_is_deterministic () =
+  let tiny () =
+    Figs.run ~quick:true ~pools:[ 1 ] ~utils:[ 0.4; 1.3 ] ~requests:80
+      ~seed:0xD1CE ()
+  in
+  let a = tiny () and b = tiny () in
+  check_string "same seed, same SERVE_results.json" (Figs.to_json a)
+    (Figs.to_json b)
+
+(* One CI-sized figS run shared by the acceptance checks. *)
+let figs_quick = lazy (Figs.run ~quick:true ())
+
+let test_figs_knee () =
+  let t = Lazy.force figs_quick in
+  let c = Figs.main_curve t in
+  check_int "acceptance curve is the 4-worker pool" 4 c.Figs.w_workers;
+  let low = List.hd c.Figs.w_points in
+  let last = List.nth c.Figs.w_points (List.length c.Figs.w_points - 1) in
+  check_bool
+    (Printf.sprintf "p99 inflates %.0f -> %.0f at saturation" low.Figs.s_p99
+       last.Figs.s_p99)
+    true
+    (last.Figs.s_p99 >= Figs.knee_p99_factor *. low.Figs.s_p99);
+  check_bool "knee verdict" true (Figs.knee_verdict t)
+
+let test_figs_admission_slo () =
+  let t = Lazy.force figs_quick in
+  let a = t.Figs.g_admission in
+  check_bool "overload was rejected" true (a.Figs.a_rejected > 0);
+  check_bool
+    (Printf.sprintf "accepted p99 %.0f <= 3x low-load p99 %.0f" a.Figs.a_p99
+       a.Figs.a_low_p99)
+    true
+    (a.Figs.a_p99 <= Figs.admission_p99_factor *. a.Figs.a_low_p99);
+  check_bool "admission verdict" true (Figs.admission_verdict t)
+
+let test_figs_crash_restart () =
+  let t = Lazy.force figs_quick in
+  let k = t.Figs.g_crash in
+  check_int "exactly one injected crash" 1 k.Figs.k_crashes;
+  check_bool "at least one supervised restart" true (k.Figs.k_restarts >= 1);
+  check_bool "dead worker's batch was retried" true (k.Figs.k_retried >= 1);
+  check_bool
+    (Printf.sprintf "post-restart throughput ratio %.2f >= 0.75" k.Figs.k_ratio)
+    true
+    (k.Figs.k_ratio
+    >= float_of_int (k.Figs.k_workers - 1) /. float_of_int k.Figs.k_workers);
+  check_bool "crash verdict" true (Figs.crash_verdict t)
+
+let test_figs_mix () =
+  let t = Lazy.force figs_quick in
+  check_bool "mixed-kind requests all completed" true (Figs.mix_verdict t)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "serve.wire",
+      [
+        tc "request round-trips" test_request_round_trip;
+        tc "drain round-trips" test_drain_round_trip;
+        tc "admission verdict round-trips" test_admit_round_trip;
+        tc "batch round-trips" test_batch_round_trip;
+        tc "worker reply round-trips" test_worker_reply_round_trip;
+        tc "notice round-trips" test_notice_round_trip;
+        tc "E_overload encoding is stable" test_overload_errno;
+      ] );
+    ( "serve.stats",
+      [
+        tc "merge is exact" test_stats_merge_is_exact;
+        tc "fractional and negative percentiles"
+          test_percentile_fractional_and_negative;
+      ] );
+    ( "serve.load",
+      [
+        tc "poisson is deterministic" test_poisson_is_deterministic;
+        tc "poisson shape" test_poisson_shape;
+        tc "poisson validates arguments" test_poisson_validates;
+      ] );
+    ( "serve.pool",
+      [
+        tc "open loop completes" test_open_loop_completes;
+        tc "closed loop completes" test_closed_loop_completes;
+        tc "admission rejects overload" test_admission_rejects_overload;
+        tc "no pool, no cost" test_no_pool_is_zero_cost;
+      ] );
+    ( "serve.figS",
+      [
+        tc "deterministic results" test_figs_is_deterministic;
+        tc "knee" test_figs_knee;
+        tc "admission SLO" test_figs_admission_slo;
+        tc "crash restart" test_figs_crash_restart;
+        tc "mixed kinds" test_figs_mix;
+      ] );
+  ]
