@@ -169,6 +169,29 @@ let kernel_figs () =
              ignore (M3_serve.Pool.run_open env pool ~schedule));
          M3.Errno.ok_exn (M3_serve.Pool.stop env pool)))
 
+(* The scheduler pipeline end to end: an elastic pool parks its spare
+   seats at startup, a burst wakes them through suspend/resume, and
+   the drain parks them again. *)
+let kernel_sched () =
+  ignore
+    (Runner.run_m3 ~pe_count:8 ~dram_mib:4 ~no_fs:true ~sched:true
+       (fun env ~measured ->
+         let schedule =
+           M3_serve.Load.poisson
+             ~rng:(M3_sim.Rng.create ~seed:43)
+             ~mean_gap:250.0 ~count:32
+             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000))
+         in
+         let cfg =
+           M3_serve.Pool.default_config ~name:"bsched" ~min_workers:1
+             ~workers:3 ()
+         in
+         let cfg = { cfg with M3_serve.Pool.grow_depth = 2; scale_cooldown = 5_000 } in
+         let pool = M3.Errno.ok_exn (M3_serve.Pool.start env cfg) in
+         measured (fun () ->
+             ignore (M3_serve.Pool.run_open env pool ~schedule));
+         M3.Errno.ok_exn (M3_serve.Pool.stop env pool)))
+
 let kernel_fig7 () =
   let points = 2048 in
   let re = Array.init points (fun i -> float_of_int (i mod 7)) in
@@ -196,6 +219,7 @@ let bechamel_tests =
     Test.make ~name:"fig6/cat-tr-2pe-sim" (Staged.stage kernel_fig6);
     Test.make ~name:"fig7/fft-2048" (Staged.stage kernel_fig7);
     Test.make ~name:"figS/serve-pool-sim" (Staged.stage kernel_figs);
+    Test.make ~name:"sched/elastic-pool-sim" (Staged.stage kernel_sched);
     Test.make ~name:"t1/null-syscall-sim" (Staged.stage kernel_t1);
     Test.make ~name:"t2/linux-create-model" (Staged.stage kernel_t2);
   ]
@@ -366,9 +390,12 @@ let write_results_json ~bechamel_rows path =
 (* --- quick smoke (CI) --------------------------------------------------- *)
 
 (* One pass over each scaled-down kernel: exercises boot, the
-   filesystem, trace replay, pipes and the FFT model end-to-end in a
-   few seconds, without bechamel's repeated sampling or the full-size
-   figure runs. *)
+   filesystem, trace replay, pipes, the FFT model and the VPE
+   scheduler end-to-end in a few seconds, without bechamel's repeated
+   sampling or the full-size figure runs. Each kernel's host
+   wall-clock is recorded so even CI runs leave a host-perf
+   trajectory in [BENCH_results.json]. Returns [(name, ns)] rows in
+   the same shape as {!run_bechamel}. *)
 let run_quick () =
   let kernels =
     [
@@ -378,16 +405,23 @@ let run_quick () =
       ("fig6/cat-tr-2pe-sim", kernel_fig6);
       ("fig7/fft-2048", kernel_fig7);
       ("figS/serve-pool-sim", kernel_figs);
+      ("sched/elastic-pool-sim", kernel_sched);
       ("t2/linux-create-model", kernel_t2);
     ]
   in
   Format.fprintf ppf "Quick smoke: one pass per benchmark kernel@.";
-  List.iter
-    (fun (name, f) ->
-      f ();
-      Format.fprintf ppf "  %-40s ok@." name)
-    kernels;
-  Format.fprintf ppf "quick smoke passed (%d kernels)@." (List.length kernels)
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+        Format.fprintf ppf "  %-40s ok  %10.3f ms@." name ms;
+        (name, ms *. 1e6))
+      kernels
+  in
+  Format.fprintf ppf "quick smoke passed (%d kernels)@." (List.length kernels);
+  rows
 
 (* --- bechamel ---------------------------------------------------------- *)
 
@@ -441,7 +475,8 @@ let () =
      else. With experiments named, [--quick] instead shrinks their
      sweeps (fig6x, figS). *)
   if quick && wanted = [] then begin
-    run_quick ();
+    let rows = run_quick () in
+    write_results_json ~bechamel_rows:rows "BENCH_results.json";
     exit 0
   end;
   if not bechamel_only then begin

@@ -15,7 +15,7 @@ let shard_names ~base n =
   else List.init n (fun i -> Printf.sprintf "%s.%d" base i)
 
 let start ?platform_config ?fs ?(fs_instances = 1) ?(no_fs = false) ?obs
-    ?faults engine =
+    ?faults ?sched engine =
   let platform = Platform.create ?config:platform_config engine in
   (* Install the bus before the kernel boots so bring-up traffic is
      traced too. *)
@@ -26,7 +26,7 @@ let start ?platform_config ?fs ?(fs_instances = 1) ?(no_fs = false) ?obs
   Option.iter
     (fun p -> M3_noc.Fabric.set_faults (Platform.fabric platform) p)
     faults;
-  let kernel = Kernel.create platform ~kernel_pe:0 in
+  let kernel = Kernel.create ?sched platform ~kernel_pe:0 in
   ignore (Kernel.boot kernel);
   (* Devices run their hardware behavior from reset. *)
   List.iter

@@ -44,6 +44,7 @@ val start :
   ?no_fs:bool ->
   ?obs:M3_obs.Obs.t ->
   ?faults:M3_fault.Plan.t ->
+  ?sched:M3_sched.Sched.t ->
   M3_sim.Engine.t ->
   t
 

@@ -28,8 +28,8 @@ type ep_slot =
 
 type t = {
   uid : int;
-  pe : Pe.t;
-  dtu : M3_dtu.Dtu.t;
+  mutable pe : Pe.t;
+  mutable dtu : M3_dtu.Dtu.t;
   engine : Engine.t;
   fabric : Fabric.t;
   kernel_pe : int;
@@ -69,10 +69,21 @@ let create ~pe ~fabric ~kernel_pe ~vpe_id ~name ~image_bytes ~args ~account =
     spin_transfers = false;
   }
 
+(* The kernel retargets a migrated VPE's environment before firing its
+   quiesce continuation, so libm3 code that cached [t] keeps working —
+   only [t.pe]/[t.dtu] change under it. *)
+let migrate t ~pe =
+  t.pe <- pe;
+  t.dtu <- Pe.dtu pe
+
 let charge t cat n =
   if n > 0 then begin
     Account.charge t.account cat n;
-    Process.wait n
+    Process.wait n;
+    (* Suspend checkpoint: compute-bound code that never blocks on the
+       DTU still quiesces at its next accounting boundary. *)
+    if M3_dtu.Dtu.suspend_pending t.dtu then
+      ignore (M3_dtu.Dtu.quiesce_point t.dtu)
   end
 
 let charge_only t cat n = if n > 0 then Account.charge t.account cat n

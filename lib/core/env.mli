@@ -53,8 +53,10 @@ type t = {
       (** globally unique across all simulated systems in this host
           process — keys for libm3 side tables (mount table, scratch
           buffers) that cannot live in this record *)
-  pe : M3_hw.Pe.t;
-  dtu : M3_dtu.Dtu.t;
+  mutable pe : M3_hw.Pe.t;
+      (** mutable: the kernel scheduler retargets these two on
+          migration, before the VPE's quiesced continuation fires *)
+  mutable dtu : M3_dtu.Dtu.t;
   engine : M3_sim.Engine.t;
   fabric : M3_noc.Fabric.t;
   kernel_pe : int;
@@ -91,6 +93,11 @@ val create :
     [charge] consumes simulated time {e and} books it; [charge_only]
     books time that has already passed (e.g. while blocked on the
     DTU). *)
+
+(** [migrate t ~pe] repoints the environment at a different PE after
+    the kernel moved the VPE's state there. Kernel-side only; must run
+    while the VPE is quiesced. *)
+val migrate : t -> pe:M3_hw.Pe.t -> unit
 
 val charge : t -> Account.category -> int -> unit
 val charge_only : t -> Account.category -> int -> unit

@@ -38,7 +38,14 @@ and srv_obj = {
 
 and obj =
   | O_vpe of vpe
-  | O_mem of { mem_pe : int; mem_addr : int; mem_size : int; mem_perm : Perm.t }
+  | O_mem of {
+      (* mutable so the scheduler can retarget a migrated VPE's own-SPM
+         windows (and its DRAM staging cap) without reissuing caps *)
+      mutable mem_pe : int;
+      mutable mem_addr : int;
+      mem_size : int;
+      mem_perm : Perm.t;
+    }
   | O_rgate of rgate_obj
   | O_sgate of {
       sg_rgate : rgate_obj;

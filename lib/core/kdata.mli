@@ -53,7 +53,13 @@ and srv_obj = {
 
 and obj =
   | O_vpe of vpe
-  | O_mem of { mem_pe : int; mem_addr : int; mem_size : int; mem_perm : Perm.t }
+  | O_mem of {
+      mutable mem_pe : int;
+          (** mutable: the scheduler repoints SPM windows on migration *)
+      mutable mem_addr : int;
+      mem_size : int;
+      mem_perm : Perm.t;
+    }
   | O_rgate of rgate_obj
   | O_sgate of {
       sg_rgate : rgate_obj;

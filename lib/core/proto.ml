@@ -15,12 +15,18 @@ type opcode =
   | Exchange_sess
   | Revoke
   | Route_irq
+  (* scheduler syscalls — appended, the encoding is list-index based *)
+  | Vpe_suspend
+  | Vpe_resume
+  | Sched_join
+  | Vpe_sched_state
 
 let all_opcodes =
   [
     Noop; Create_vpe; Vpe_start; Vpe_wait; Vpe_exit; Create_rgate;
     Create_sgate; Req_mem; Derive_mem; Activate; Exchange; Create_srv;
-    Open_sess; Exchange_sess; Revoke; Route_irq;
+    Open_sess; Exchange_sess; Revoke; Route_irq; Vpe_suspend; Vpe_resume;
+    Sched_join; Vpe_sched_state;
   ]
 
 let opcode_to_int op =
@@ -49,6 +55,10 @@ let opcode_name = function
   | Exchange_sess -> "exchange_sess"
   | Revoke -> "revoke"
   | Route_irq -> "route_irq"
+  | Vpe_suspend -> "vpe_suspend"
+  | Vpe_resume -> "vpe_resume"
+  | Sched_join -> "sched_join"
+  | Vpe_sched_state -> "vpe_sched_state"
 
 let core_kind_to_int = function
   | M3_hw.Core_type.General_purpose -> 0

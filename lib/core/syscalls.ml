@@ -143,6 +143,19 @@ let vpe_wait env ~vpe_sel =
   | Error e -> Error e
   | Ok r -> Ok (R.u64 r)
 
+let vpe_suspend env ~vpe_sel =
+  unit_reply (syscall env Proto.Vpe_suspend (fun w -> W.u64 w vpe_sel))
+
+let vpe_resume env ~vpe_sel =
+  unit_reply (syscall env Proto.Vpe_resume (fun w -> W.u64 w vpe_sel))
+
+let sched_join env = unit_reply (syscall env Proto.Sched_join (fun _ -> ()))
+
+let vpe_sched_state env ~vpe_sel =
+  match syscall env Proto.Vpe_sched_state (fun w -> W.u64 w vpe_sel) with
+  | Error e -> Error e
+  | Ok r -> Ok (R.u64 r)
+
 let vpe_exit env ~code =
   let w = W.create () in
   W.u8 w (Proto.opcode_to_int Proto.Vpe_exit);

@@ -29,6 +29,27 @@ val vpe_wait : Env.t -> vpe_sel:int -> int result_
 (** [vpe_exit env ~code] reports termination; never replied to. *)
 val vpe_exit : Env.t -> code:int -> unit result_
 
+(** [vpe_suspend env ~vpe_sel] asks the kernel scheduler to capture
+    the child's state off its PE at the child's next quiesce point;
+    the PE becomes free for other VPEs. Requires a scheduler-enabled
+    kernel ([E_inv_args] otherwise); [E_exists] if already suspended. *)
+val vpe_suspend : Env.t -> vpe_sel:int -> unit result_
+
+(** [vpe_resume env ~vpe_sel] requeues a suspended child for
+    placement on a free (same-class, possibly different) PE.
+    Idempotent on a running child. *)
+val vpe_resume : Env.t -> vpe_sel:int -> unit result_
+
+(** [sched_join env] opts the calling VPE into time-multiplexing: its
+    PE may be preempted on slice expiry or yield-on-block. *)
+val sched_join : Env.t -> unit result_
+
+(** [vpe_sched_state env ~vpe_sel] queries where a child is in the
+    suspend/resume life cycle: [0] placed on a PE, [1] suspension in
+    flight (quiesce or capture pending), [2] parked (image held by the
+    kernel), [3] queued for placement. *)
+val vpe_sched_state : Env.t -> vpe_sel:int -> int result_
+
 (** [create_rgate env ~ep ~buf_addr ~slot_order ~slot_count] creates a
     receive gate bound to endpoint [ep] with a ringbuffer in the
     caller's SPM; the kernel configures the endpoint remotely. Returns

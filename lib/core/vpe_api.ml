@@ -56,6 +56,30 @@ let exec env t ?(args = Bytes.empty) path =
           start_program env t ~args ~image_bytes:prog.prog_image_bytes name)))
 
 let wait env t = Syscalls.vpe_wait env ~vpe_sel:t.vpe_sel
+let suspend env t = Syscalls.vpe_suspend env ~vpe_sel:t.vpe_sel
+let resume env t = Syscalls.vpe_resume env ~vpe_sel:t.vpe_sel
+let sched_join env = Syscalls.sched_join env
+
+type sched_state = Placed | Suspending | Parked | Queued
+
+let sched_state env t =
+  match Syscalls.vpe_sched_state env ~vpe_sel:t.vpe_sel with
+  | Error e -> Error e
+  | Ok 0 -> Ok Placed
+  | Ok 1 -> Ok Suspending
+  | Ok 2 -> Ok Parked
+  | Ok _ -> Ok Queued
+
+let await_parked env t ?(poll = 500) () =
+  let rec go () =
+    match sched_state env t with
+    | Error e -> Error e
+    | Ok Parked -> Ok ()
+    | Ok _ ->
+      M3_sim.Process.wait poll;
+      go ()
+  in
+  go ()
 
 (* Supervised child: create + run + wait, and when the wait reports
    [E_vpe_dead] (the child's PE crashed and the kernel aborted it),

@@ -40,6 +40,39 @@ val start_program :
     (its PE crashed). *)
 val wait : Env.t -> t -> int result_
 
+(** [suspend env t] parks the child off its PE (kernel scheduler
+    required): the child's state is captured at its next quiesce point
+    and its PE freed. Peers talking to it block until [resume]. *)
+val suspend : Env.t -> t -> unit result_
+
+(** [resume env t] places a suspended child back onto a free
+    compatible PE — possibly a different one; the child and its peers
+    observe the migration only as latency. *)
+val resume : Env.t -> t -> unit result_
+
+(** [sched_join env] opts the calling VPE into PE time-multiplexing
+    (slice preemption and yield-on-block). *)
+val sched_join : Env.t -> unit result_
+
+(** The child's position in the suspend/resume life cycle, as the
+    kernel scheduler sees it. *)
+type sched_state =
+  | Placed  (** running on a PE *)
+  | Suspending  (** suspension requested, quiesce or capture pending *)
+  | Parked  (** state captured, image held until [resume] *)
+  | Queued  (** runnable, waiting for a free PE *)
+
+(** [sched_state env t] queries the child's life-cycle position.
+    [Error E_inv_args] without a scheduler-enabled kernel. *)
+val sched_state : Env.t -> t -> sched_state result_
+
+(** [await_parked env t ?poll ()] polls until [sched_state] reports
+    [Parked] — the synchronisation a pool needs between issuing its
+    initial suspends and opening the doors to clients (a suspend only
+    completes at the child's next quiesce point). Polls every [poll]
+    cycles (default 500). Fails as [sched_state] does. *)
+val await_parked : Env.t -> t -> ?poll:int -> unit -> unit result_
+
 (** [run_supervised env ~name ~core ?args ?max_restarts main] runs
     [main] in a child VPE and retries — on a fresh PE, the crashed one
     having been quarantined — when the child is aborted, up to

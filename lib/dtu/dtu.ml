@@ -48,6 +48,12 @@ type ep_state =
   | S_send of send_state
   | S_recv of recv_state
   | S_mem of mem_state
+  | S_park of send_state
+      (* send EP whose destination VPE is suspended: the kernel parked
+         it to freeze outbound traffic (a retry against the old PE could
+         reach whoever is placed there next). Credits and config are
+         preserved; the kernel rewrites it to [S_send] with the new
+         destination when the VPE resumes. *)
 
 type t = {
   engine : Engine.t;
@@ -58,6 +64,12 @@ type t = {
   ep_waiters : unit Process.Waitq.waitq array;
   mutable privileged : bool;
   mutable failed : bool; (* pe_crash fired: core and DTU answer nothing *)
+  mutable suspend_pending : bool; (* kernel asked the program to quiesce *)
+  mutable suspended : bool; (* state captured; deliveries NACK "suspended" *)
+  mutable parked : (t -> unit) option; (* quiesced program's continuation *)
+  mutable on_quiesce : (unit -> unit) option; (* kernel's quiesce callback *)
+  mutable idle_since : int option; (* cycle the program parked in a wait *)
+  mutable pending_replies : int; (* sends with a reply grant still unanswered *)
   mutable cmds_accepted : int;
   mutable store_of : int -> Store.t option;
   mutable dtu_of : int -> t option;
@@ -82,6 +94,12 @@ let create engine fabric ~pe ~spm ~ep_count =
     ep_waiters = Array.init ep_count (fun _ -> Process.Waitq.create ());
     privileged = true;
     failed = false;
+    suspend_pending = false;
+    suspended = false;
+    parked = None;
+    on_quiesce = None;
+    idle_since = None;
+    pending_replies = 0;
     cmds_accepted = 0;
     store_of = (fun _ -> None);
     dtu_of = (fun _ -> None);
@@ -138,7 +156,7 @@ let ep_config t ~ep =
   check_ep t ep;
   match t.eps.(ep) with
   | S_invalid -> Endpoint.Invalid
-  | S_send s ->
+  | S_send s | S_park s ->
     Endpoint.Send
       {
         dst_pe = s.s_dst_pe;
@@ -164,7 +182,7 @@ let ep_config t ~ep =
 let credits t ~ep =
   check_ep t ep;
   match t.eps.(ep) with
-  | S_send s -> (
+  | S_send s | S_park s -> (
     match s.s_max with
     | Endpoint.Unlimited -> Some Endpoint.Unlimited
     | Endpoint.Credits _ -> Some (Endpoint.Credits s.s_cur))
@@ -180,6 +198,54 @@ let config_local t ~ep config =
     Ok ()
   end
 
+(* --- suspend/quiesce checkpoints -------------------------------------- *)
+
+(* EPs 0 and 1 are the syscall send/reply channel by platform
+   convention; a program blocked there is mid-syscall and must not be
+   captured (the kernel's reply would land in a snapshot instead of the
+   live ringbuffer). Quiesce points therefore only fire on waits whose
+   endpoints are all application-level. *)
+let suspendable_ep ep = ep >= 2
+
+(* Cooperative suspend checkpoint. When the kernel has flagged this
+   DTU for suspension, the calling program parks itself here and hands
+   its continuation to the kernel (via [take_parked]); the kernel fires
+   it after restoring the captured state — on this DTU, or on the DTU
+   of the PE the VPE migrated to. Returns the DTU the program resumed
+   on, which callers thread into the rest of their wait loop. When no
+   suspension is pending this is a pure no-op: no time, no events. *)
+let rec quiesce_point t =
+  if not t.suspend_pending || t.pending_replies > 0 then
+    (* An outstanding reply grant pins the VPE to this PE: the reply is
+       addressed to this DTU's ringbuffer and a capture would strand it
+       in the sender's retry loop aimed at the old coordinates. The
+       program quiesces at the wait after the reply lands (the reply
+       itself travels with the snapshot, in the ringbuffer). *)
+    t
+  else
+    let next =
+      Process.suspend (fun resume ->
+          t.suspend_pending <- false;
+          t.parked <- Some resume;
+          match t.on_quiesce with
+          | Some f ->
+            t.on_quiesce <- None;
+            f ()
+          | None -> ())
+    in
+    quiesce_point next
+
+let suspend_pending t = t.suspend_pending
+let is_suspended t = t.suspended
+let idle_since t = t.idle_since
+let quiesced t = t.parked <> None
+let set_on_quiesce t f = t.on_quiesce <- Some f
+
+let take_parked t =
+  let p = t.parked in
+  t.parked <- None;
+  p
+
 (* --- message delivery (runs at the receiving DTU) ------------------- *)
 
 let faults t = Fabric.faults t.fabric
@@ -187,7 +253,7 @@ let faults t = Fabric.faults t.fabric
 let refill_credits t crd_ep =
   if crd_ep >= 0 && crd_ep < Array.length t.eps then
     match t.eps.(crd_ep) with
-    | S_send s -> (
+    | S_send s | S_park s -> (
       match s.s_max with
       | Endpoint.Credits max ->
         s.s_cur <- min max (s.s_cur + 1);
@@ -212,7 +278,17 @@ type deliver_result =
   | Rejected of string
 
 let deliver_message t ~dst_ep ~(header : Header.t) ~payload ~msg =
-  if
+  if t.suspended then begin
+    (* The endpoint set is captured in a kernel-held snapshot; the
+       message must wait in the sender's retry loop until the kernel
+       restores the VPE (possibly on another PE). Checked before the
+       endpoint lookup — the wiped EP would otherwise answer with the
+       non-retryable "no recv ep" and lose the message for good. *)
+    t.msgs_dropped <- t.msgs_dropped + 1;
+    obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason:"suspended";
+    Rejected "suspended"
+  end
+  else if
     M3_fault.Plan.enabled (faults t)
     && header.checksum <> Header.payload_checksum payload
   then begin
@@ -247,7 +323,10 @@ let deliver_message t ~dst_ep ~(header : Header.t) ~payload ~msg =
         (* The reply credit refills only on an accepted delivery; a
            rejected reply refunds through the NACK path instead, so a
            retried reply cannot refill twice. *)
-        if header.is_reply then ignore (refill_credits t header.crd_ep);
+        if header.is_reply then begin
+          ignore (refill_credits t header.crd_ep);
+          t.pending_replies <- max 0 (t.pending_replies - 1)
+        end;
         let slot = r.r_wpos in
         let addr = r.r_buf_addr + (slot * slot_size) in
         Header.write t.spm ~addr header;
@@ -271,7 +350,7 @@ let deliver_message t ~dst_ep ~(header : Header.t) ~payload ~msg =
         Process.Waitq.broadcast t.ep_waiters.(dst_ep) ();
         Accepted
       end
-    | S_invalid | S_send _ | S_mem _ ->
+    | S_invalid | S_send _ | S_mem _ | S_park _ ->
       t.msgs_dropped <- t.msgs_dropped + 1;
       obs_drop t ~ep:dst_ep ~src_pe:header.sender_pe ~msg ~reason:"no recv ep";
       Rejected "no recv ep"
@@ -283,6 +362,14 @@ let deliver_message t ~dst_ep ~(header : Header.t) ~payload ~msg =
 let retryable = function
   | "oversize" | "no recv ep" | "no dtu" -> false
   | _ -> true
+
+(* A send into a suspended DTU always retransmits — even without a
+   fault plan attached — because the condition clears deterministically
+   when the kernel resumes the VPE. Bounded geometric backoff so a
+   resume that takes a while (the scheduler may first have to make room
+   on another PE) is bridged without flooding the fabric. *)
+let suspend_max_retries = 100
+let suspend_backoff ~attempt = min (64 lsl min attempt 7) 8192
 
 (* [transmit] sends one attempt; [handle_failure] runs at the sending
    DTU when the attempt's NACK arrives and either schedules a
@@ -325,16 +412,29 @@ let rec transmit t ~dst_pe ~dst_ep ~(header : Header.t) ~payload ~msg ~attempt =
 and handle_failure t ~dst_pe ~dst_ep ~(header : Header.t) ~payload ~msg ~attempt
     reason =
   let plan = faults t in
-  if
+  let plan_retry =
     M3_fault.Plan.enabled plan && retryable reason
     && attempt < M3_fault.Plan.max_retries plan
+  in
+  if plan_retry || (reason = "suspended" && attempt < suspend_max_retries)
   then begin
-    let backoff = M3_fault.Plan.backoff plan ~attempt in
+    let backoff =
+      if plan_retry then M3_fault.Plan.backoff plan ~attempt
+      else suspend_backoff ~attempt
+    in
     let obs = Fabric.obs t.fabric in
     if Obs.enabled obs then
       Obs.emit obs (Event.Dtu_retry { pe = t.pe; dst_pe; msg; attempt; backoff });
-    Engine.schedule t.engine ~delay:backoff (fun () ->
-        transmit t ~dst_pe ~dst_ep ~header ~payload ~msg ~attempt:(attempt + 1))
+    if reason = "suspended" then
+      (* The kernel may park or rebind the sending EP while the
+         destination is captured; the retransmit must follow the EP's
+         current configuration instead of the stale destination. *)
+      Engine.schedule t.engine ~delay:backoff (fun () ->
+          retransmit_suspended t ~dst_pe ~dst_ep ~header ~payload ~msg
+            ~attempt:(attempt + 1))
+    else
+      Engine.schedule t.engine ~delay:backoff (fun () ->
+          transmit t ~dst_pe ~dst_ep ~header ~payload ~msg ~attempt:(attempt + 1))
   end
   else begin
     if attempt > 0 then t.msgs_expired <- t.msgs_expired + 1;
@@ -349,10 +449,34 @@ and handle_failure t ~dst_pe ~dst_ep ~(header : Header.t) ~payload ~msg ~attempt
        the reply would have refilled); a failed send refunds our own. *)
     if header.is_reply then (
       match t.dtu_of dst_pe with
-      | Some dst -> refund_credit dst ~ep:header.crd_ep
+      | Some dst ->
+        refund_credit dst ~ep:header.crd_ep;
+        dst.pending_replies <- max 0 (dst.pending_replies - 1)
       | None -> ())
     else refund_credit t ~ep:header.crd_ep
   end
+
+and retransmit_suspended t ~dst_pe ~dst_ep ~(header : Header.t) ~payload ~msg
+    ~attempt =
+  if header.is_reply then
+    transmit t ~dst_pe ~dst_ep ~header ~payload ~msg ~attempt
+  else
+    match
+      if header.crd_ep >= 0 && header.crd_ep < Array.length t.eps then
+        t.eps.(header.crd_ep)
+      else S_invalid
+    with
+    | S_park _ when attempt < suspend_max_retries ->
+      (* Kernel froze this EP: its destination VPE is between PEs. Poll
+         until the resume rewrites it. *)
+      Engine.schedule t.engine ~delay:(suspend_backoff ~attempt) (fun () ->
+          retransmit_suspended t ~dst_pe ~dst_ep ~header ~payload ~msg
+            ~attempt:(attempt + 1))
+    | S_send s ->
+      transmit t ~dst_pe:s.s_dst_pe ~dst_ep:s.s_dst_ep ~header ~payload ~msg
+        ~attempt
+    | S_park _ | S_invalid | S_recv _ | S_mem _ ->
+      transmit t ~dst_pe ~dst_ep ~header ~payload ~msg ~attempt
 
 (* DTU command acceptance: the fixed decode latency, plus any stall or
    permanent crash an attached fault plan injects. A crash marks the
@@ -383,9 +507,15 @@ let accept_command t =
 
 (* --- software-facing commands --------------------------------------- *)
 
-let send t ~ep ~payload ?reply () =
+let rec send t ~ep ~payload ?reply () =
   check_ep t ep;
   match t.eps.(ep) with
+  | S_park _ ->
+    (* Destination VPE is suspended. Block until the kernel rewrites
+       the EP at resume (the Config broadcast wakes the waitq); the
+       caller observes only added latency. *)
+    Process.Waitq.park t.ep_waiters.(ep);
+    send t ~ep ~payload ?reply ()
   | S_send s ->
     let size = Header.size + Bytes.length payload in
     if size > 1 lsl s.s_msg_order then Error Dtu_error.Msg_too_big
@@ -436,6 +566,7 @@ let send t ~ep ~payload ?reply () =
                  msg;
                  reply = false;
                });
+        if has_reply then t.pending_replies <- t.pending_replies + 1;
         transmit t ~dst_pe:s.s_dst_pe ~dst_ep:s.s_dst_ep ~header
           ~payload:(Bytes.copy payload) ~msg ~attempt:0;
         Ok ()
@@ -492,7 +623,7 @@ let reply t ~ep ~slot ~payload =
       Ok ()
     end
   | S_recv _ -> Error Dtu_error.Invalid_ep
-  | S_invalid | S_send _ | S_mem _ -> Error Dtu_error.Invalid_ep
+  | S_invalid | S_send _ | S_mem _ | S_park _ -> Error Dtu_error.Invalid_ep
 
 let fetch t ~ep =
   check_ep t ep;
@@ -514,7 +645,7 @@ let fetch t ~ep =
       else scan (tried + 1) ((pos + 1) mod r.r_slot_count)
     in
     scan 0 r.r_rpos
-  | S_invalid | S_send _ | S_mem _ -> None
+  | S_invalid | S_send _ | S_mem _ | S_park _ -> None
 
 let buffered t ~ep =
   check_ep t ep;
@@ -523,7 +654,7 @@ let buffered t ~ep =
     let n = ref 0 in
     Array.iter (fun u -> if u then incr n) r.r_unread;
     !n
-  | S_invalid | S_send _ | S_mem _ -> 0
+  | S_invalid | S_send _ | S_mem _ | S_park _ -> 0
 
 let is_recv t ep = match t.eps.(ep) with S_recv _ -> true | _ -> false
 
@@ -536,9 +667,14 @@ let check_revoked t ~ep ~was_recv =
   if was_recv && not (is_recv t ep) then raise (Dtu_error.Error Dtu_error.Invalid_ep)
 
 let rec wait_msg t ~ep =
+  let t = if suspendable_ep ep then quiesce_point t else t in
   match fetch t ~ep with
-  | Some msg -> msg
+  | Some msg ->
+    t.idle_since <- None;
+    msg
   | None ->
+    if suspendable_ep ep && t.idle_since = None then
+      t.idle_since <- Some (Engine.now t.engine);
     let was_recv = is_recv t ep in
     Process.Waitq.park t.ep_waiters.(ep);
     check_revoked t ~ep ~was_recv;
@@ -549,6 +685,9 @@ let wait_reconfig t ~ep =
   Process.Waitq.park t.ep_waiters.(ep)
 
 let rec wait_any t ~eps =
+  let t =
+    if List.for_all suspendable_ep eps then quiesce_point t else t
+  in
   let rec poll = function
     | [] -> None
     | ep :: rest -> (
@@ -557,8 +696,12 @@ let rec wait_any t ~eps =
       | None -> poll rest)
   in
   match poll eps with
-  | Some hit -> hit
+  | Some hit ->
+    t.idle_since <- None;
+    hit
   | None ->
+    if List.for_all suspendable_ep eps && t.idle_since = None then
+      t.idle_since <- Some (Engine.now t.engine);
     let was_recv = List.map (fun ep -> (ep, is_recv t ep)) eps in
     Process.suspend (fun resume ->
         (* One registration per queue, all cancelled on the first
@@ -579,12 +722,17 @@ let wait_msg_for t ~ep ~timeout =
   if timeout <= 0 then invalid_arg "Dtu.wait_msg_for: timeout must be positive";
   let deadline = Engine.now t.engine + timeout in
   let rec loop () =
+    let t = if suspendable_ep ep then quiesce_point t else t in
     match fetch t ~ep with
-    | Some msg -> Some msg
+    | Some msg ->
+      t.idle_since <- None;
+      Some msg
     | None ->
       let remaining = deadline - Engine.now t.engine in
       if remaining <= 0 then None
       else begin
+        if suspendable_ep ep && t.idle_since = None then
+          t.idle_since <- Some (Engine.now t.engine);
         let was_recv = is_recv t ep in
         let woke =
           Process.suspend (fun resume ->
@@ -613,7 +761,7 @@ let ack t ~ep ~slot =
   | S_recv r when slot >= 0 && slot < r.r_slot_count ->
     r.r_occupied.(slot) <- false;
     r.r_unread.(slot) <- false
-  | S_recv _ | S_invalid | S_send _ | S_mem _ -> ()
+  | S_recv _ | S_invalid | S_send _ | S_mem _ | S_park _ -> ()
 
 (* --- memory endpoints ------------------------------------------------ *)
 
@@ -625,7 +773,7 @@ let mem_access t ~ep ~off ~len ~need =
     else if off < 0 || len < 0 || off + len > m.m_size then
       Error Dtu_error.Out_of_bounds
     else Ok m
-  | S_invalid | S_send _ | S_recv _ -> Error Dtu_error.Invalid_ep
+  | S_invalid | S_send _ | S_recv _ | S_park _ -> Error Dtu_error.Invalid_ep
 
 let read_mem t ~ep ~off ~local ~len =
   match mem_access t ~ep ~off ~len ~need:Perm.r with
@@ -690,6 +838,9 @@ type ext_action =
   | Raw_write of int * Bytes.t
   | Raw_read of int * int
   | Reset
+  | Suspend
+  | Park of int
+  | Rebind of int * int (* ep, new destination PE *)
 
 let apply_ext t ~from_privileged action =
   if not from_privileged then Error Dtu_error.Not_privileged
@@ -717,11 +868,51 @@ let apply_ext t ~from_privileged action =
     | Raw_read (addr, len) -> Ok (Store.read_bytes t.spm ~addr ~len)
     | Reset ->
       Array.fill t.eps 0 (Array.length t.eps) S_invalid;
+      (* A hardware reset also clears the suspend machinery — the PE may
+         have been freed by a suspension (flag still up) and is being
+         recycled for a different VPE. All fields are already in their
+         cleared state when no scheduler runs, so this costs nothing. *)
+      t.suspend_pending <- false;
+      t.suspended <- false;
+      t.parked <- None;
+      t.on_quiesce <- None;
+      t.idle_since <- None;
+      t.pending_replies <- 0;
       (* Same as Invalidate: blocked waiters must observe the wipe
          instead of sleeping forever on endpoints that no longer
          exist. *)
       Array.iter (fun q -> Process.Waitq.broadcast q ()) t.ep_waiters;
       Ok Bytes.empty
+    | Suspend ->
+      t.suspend_pending <- true;
+      (* A program parked in a wait loop must wake to notice the flag
+         and reach its quiesce point; running programs hit it at their
+         next checkpoint. *)
+      Array.iter (fun q -> Process.Waitq.broadcast q ()) t.ep_waiters;
+      Ok Bytes.empty
+    | Park ep -> (
+      check_ep t ep;
+      match t.eps.(ep) with
+      | S_send s ->
+        t.eps.(ep) <- S_park s;
+        Ok Bytes.empty
+      | S_park _ -> Ok Bytes.empty
+      | S_invalid | S_recv _ | S_mem _ -> Error Dtu_error.Invalid_ep)
+    | Rebind (ep, new_dst) -> (
+      check_ep t ep;
+      match t.eps.(ep) with
+      | S_send s | S_park s ->
+        (* Unparks and retargets in one step, preserving the credit
+           budget exactly ([ext_config] would reset the maximum to the
+           instantaneous counter and leak in-flight credits). *)
+        t.eps.(ep) <- S_send { s with s_dst_pe = new_dst };
+        Process.Waitq.broadcast t.ep_waiters.(ep) ();
+        Ok Bytes.empty
+      | S_mem m ->
+        t.eps.(ep) <- S_mem { m with m_dst_pe = new_dst };
+        Process.Waitq.broadcast t.ep_waiters.(ep) ();
+        Ok Bytes.empty
+      | S_invalid | S_recv _ -> Error Dtu_error.Invalid_ep)
 
 let ext_command t ~target ~wire_out ~wire_back action =
   if not t.privileged then Error Dtu_error.Not_privileged
@@ -775,6 +966,135 @@ let ext_reset t ~target =
   unit_result
     (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
        Reset)
+
+(* --- VPE suspend: quiesce flag + state capture/restore ---------------- *)
+
+let ext_suspend t ~target =
+  unit_result
+    (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
+       Suspend)
+
+(* [ext_park t ~target ~ep] freezes a send endpoint whose destination
+   VPE is being suspended. Sends block, scheduled retransmits hold; the
+   kernel later rewrites the EP via [ext_config] (same or new
+   destination PE), which releases them. *)
+let ext_park t ~target ~ep =
+  unit_result
+    (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
+       (Park ep))
+
+(* [ext_rebind t ~target ~ep ~dst_pe] retargets a send or memory
+   endpoint at a migrated VPE's new PE. On a parked send EP this is
+   also the release: blocked senders and held retransmits resume
+   against the new destination. *)
+let ext_rebind t ~target ~ep ~dst_pe =
+  unit_result
+    (ext_command t ~target ~wire_out:ext_cmd_bytes ~wire_back:request_bytes
+       (Rebind (ep, dst_pe)))
+
+type snapshot = {
+  snap_pe : int; (* PE the state was captured from *)
+  snap_eps : ep_state array; (* deep copies, including live ring state *)
+  snap_spm : Bytes.t;
+  snap_privileged : bool;
+}
+
+let snapshot_bytes s = Bytes.length s.snap_spm
+
+let copy_ep = function
+  | S_invalid -> S_invalid
+  | S_send s -> S_send { s with s_cur = s.s_cur }
+  | S_park s -> S_park { s with s_cur = s.s_cur }
+  | S_recv r ->
+    S_recv
+      {
+        r with
+        r_occupied = Array.copy r.r_occupied;
+        r_unread = Array.copy r.r_unread;
+      }
+  | S_mem m -> S_mem m
+
+(* [ext_capture t ~target] pulls the target DTU's full architectural
+   state — endpoint registers including live credit counters and
+   ringbuffer occupancy, plus the whole SPM (which holds the program
+   image, heap and all delivered-but-unfetched messages) — over the
+   NoC, then marks the target suspended and wipes its endpoints. Wire
+   cost is dominated by the SPM image (8 bytes/cycle). The program
+   must already be quiesced; the kernel enforces that ordering. *)
+let ext_capture t ~target =
+  if not t.privileged then Error Dtu_error.Not_privileged
+  else begin
+    accept_command t;
+    let iv = Process.Ivar.create () in
+    Fabric.transfer t.fabric ~src:t.pe ~dst:target ~bytes:ext_cmd_bytes
+      ~on_deliver:(fun () ->
+        match t.dtu_of target with
+        | Some dst when not dst.failed ->
+          let spm_len = Store.size dst.spm in
+          let snap =
+            {
+              snap_pe = dst.pe;
+              snap_eps = Array.map copy_ep dst.eps;
+              snap_spm = Store.read_bytes dst.spm ~addr:0 ~len:spm_len;
+              snap_privileged = dst.privileged;
+            }
+          in
+          dst.suspended <- true;
+          dst.idle_since <- None;
+          Array.fill dst.eps 0 (Array.length dst.eps) S_invalid;
+          let wire_back =
+            request_bytes + spm_len
+            + (Array.length snap.snap_eps * ext_cmd_bytes)
+          in
+          Fabric.transfer t.fabric ~src:target ~dst:t.pe ~bytes:wire_back
+            ~on_deliver:(fun () -> Process.Ivar.fill iv (Ok snap))
+        | Some _ | None ->
+          Fabric.transfer t.fabric ~src:target ~dst:t.pe ~bytes:request_bytes
+            ~on_deliver:(fun () ->
+              Process.Ivar.fill iv (Error Dtu_error.Invalid_ep)));
+    Process.Ivar.read iv
+  end
+
+(* [ext_restore t ~target snap] is the inverse: pushes the captured SPM
+   and endpoint registers into the target DTU and clears its suspended
+   flag. The target may differ from [snap.snap_pe] — that is a
+   migration; endpoint configs transfer verbatim because they name
+   remote PEs, not the local one. *)
+let ext_restore t ~target (snap : snapshot) =
+  if not t.privileged then Error Dtu_error.Not_privileged
+  else begin
+    accept_command t;
+    let wire_out =
+      ext_cmd_bytes
+      + Bytes.length snap.snap_spm
+      + (Array.length snap.snap_eps * ext_cmd_bytes)
+    in
+    let iv = Process.Ivar.create () in
+    Fabric.transfer t.fabric ~src:t.pe ~dst:target ~bytes:wire_out
+      ~on_deliver:(fun () ->
+        let result =
+          match t.dtu_of target with
+          | Some dst
+            when (not dst.failed)
+                 && Array.length dst.eps = Array.length snap.snap_eps
+                 && Bytes.length snap.snap_spm <= Store.size dst.spm ->
+            Store.write_bytes dst.spm ~addr:0 snap.snap_spm ~pos:0
+              ~len:(Bytes.length snap.snap_spm);
+            Array.iteri
+              (fun i ep -> dst.eps.(i) <- copy_ep ep)
+              snap.snap_eps;
+            dst.privileged <- snap.snap_privileged;
+            dst.suspended <- false;
+            dst.suspend_pending <- false;
+            dst.idle_since <- None;
+            Array.iter (fun q -> Process.Waitq.broadcast q ()) dst.ep_waiters;
+            Ok ()
+          | Some _ | None -> Error Dtu_error.Invalid_ep
+        in
+        Fabric.transfer t.fabric ~src:target ~dst:t.pe ~bytes:request_bytes
+          ~on_deliver:(fun () -> Process.Ivar.fill iv result));
+    Process.Ivar.read iv
+  end
 
 let failed t = t.failed
 

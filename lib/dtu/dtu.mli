@@ -149,6 +149,95 @@ val ext_read :
     (kernel resetting a PE when a VPE is revoked). *)
 val ext_reset : t -> target:int -> (unit, Dtu_error.t) result
 
+(** {1 VPE suspend/resume (privileged)}
+
+    The mechanism half of PE time-multiplexing (§4.4: DTU-mediated
+    state save/restore makes even bare-metal cores schedulable by a
+    remote kernel). The kernel flags a DTU with {!ext_suspend}; the
+    program on that PE parks itself at its next {e quiesce point} (the
+    top of any application-level wait, or a compute checkpoint) and
+    hands its continuation to the kernel. The kernel then pulls the
+    full architectural state with {!ext_capture} and later pushes it
+    back — to the same or a different PE — with {!ext_restore}.
+
+    While a DTU is suspended, deliveries are NACKed with the always-
+    retryable reason ["suspended"]: senders retransmit on a bounded
+    deterministic backoff even without a fault plan, so survivors
+    observe a migration only as latency. *)
+
+(** [ext_suspend t ~target] asks the program on [target] to quiesce:
+    sets the suspend-pending flag and wakes any parked waiter so it
+    reaches its quiesce point. Completion is observed via {!quiesced}
+    (or the {!set_on_quiesce} callback), not by this round-trip. *)
+val ext_suspend : t -> target:int -> (unit, Dtu_error.t) result
+
+(** Captured DTU + SPM state of one PE, held by the kernel between
+    suspend and resume. *)
+type snapshot
+
+(** Size of the captured SPM image in bytes. *)
+val snapshot_bytes : snapshot -> int
+
+(** [ext_capture t ~target] copies the target's endpoint registers
+    (including live credits and ringbuffer state) and SPM contents out
+    over the NoC, marks the target suspended and wipes its endpoints.
+    Call only after the program has quiesced. *)
+val ext_capture : t -> target:int -> (snapshot, Dtu_error.t) result
+
+(** [ext_restore t ~target snap] writes a captured state into
+    [target]'s DTU and SPM and clears the suspended flag; [target] may
+    differ from the PE the snapshot was taken on (migration). *)
+val ext_restore : t -> target:int -> snapshot -> (unit, Dtu_error.t) result
+
+(** [ext_park t ~target ~ep] freezes a {e send} endpoint on [target]
+    whose destination VPE is being suspended: sends on it block and
+    scheduled retransmits hold, instead of racing a retry against
+    whatever VPE is placed on the old PE next. The kernel releases the
+    endpoint by rewriting it with {!ext_config} (same or migrated
+    destination, credits preserved — read them back via {!ep_config}). *)
+val ext_park : t -> target:int -> ep:int -> (unit, Dtu_error.t) result
+
+(** [ext_rebind t ~target ~ep ~dst_pe] retargets a send or memory
+    endpoint of [target] at a migrated VPE's new PE, preserving the
+    credit budget. On a parked send EP this also releases blocked
+    senders and held retransmits against the new destination. *)
+val ext_rebind :
+  t -> target:int -> ep:int -> dst_pe:int -> (unit, Dtu_error.t) result
+
+(** [suspend_pending t] is true between {!ext_suspend} and the
+    program's arrival at a quiesce point. *)
+val suspend_pending : t -> bool
+
+(** [is_suspended t] is true between {!ext_capture} and
+    {!ext_restore}: deliveries NACK with ["suspended"]. *)
+val is_suspended : t -> bool
+
+(** [quiesced t] is true once the program has parked at a quiesce
+    point and its continuation awaits {!take_parked}. *)
+val quiesced : t -> bool
+
+(** [set_on_quiesce t f] registers a one-shot callback fired when the
+    program parks at its quiesce point (the kernel's completion
+    signal). *)
+val set_on_quiesce : t -> (unit -> unit) -> unit
+
+(** [take_parked t] removes and returns the parked program's
+    continuation. The kernel fires it with the DTU to resume on after
+    {!ext_restore} (the same DTU, or another PE's after migration). *)
+val take_parked : t -> (t -> unit) option
+
+(** [idle_since t] is the cycle at which the program parked in an
+    application-level wait with nothing buffered, or [None] while it
+    runs — the scheduler's yield-on-block signal (register
+    introspection, like {!ep_config}). *)
+val idle_since : t -> int option
+
+(** [quiesce_point t] is the cooperative checkpoint: parks the caller
+    when a suspension is pending and returns the DTU resumed on
+    (otherwise [t], for free). Called from DTU wait loops and from
+    [Env.charge] compute checkpoints. *)
+val quiesce_point : t -> t
+
 (** [failed t] is true once an attached fault plan's [pe_crash] fired
     on this PE: the core was killed mid-command and the DTU answers
     neither deliveries nor ext commands (senders get a non-retryable

@@ -52,6 +52,18 @@ type mix_out = {
   m_services : int;
 }
 
+type autoscale_out = {
+  u_floor : int;
+  u_max : int;
+  u_low_p99 : float;
+  u_elastic_p99 : float;
+  u_static_p99 : float;
+  u_scale_ups : int;
+  u_scale_downs : int;
+  u_elastic_completed : int;
+  u_static_completed : int;
+}
+
 type t = {
   g_quick : bool;
   g_service : int;
@@ -61,6 +73,7 @@ type t = {
   g_admission : admission_out;
   g_crash : crash_out;
   g_mix : mix_out;
+  g_autoscale : autoscale_out;
 }
 
 (* --- knobs ------------------------------------------------------------ *)
@@ -84,8 +97,10 @@ let mean_gap ~workers ~util =
 (* --- one simulated cell ----------------------------------------------- *)
 
 (* Every cell is a fresh engine: bootstrap, launch the load-generating
-   client, drive to idle, insist the client exited 0. *)
-let run_sim ?fs_seed ?fs_instances ?plan ~label main =
+   client, drive to idle, insist the client exited 0. [sched] boots the
+   kernel with a VPE scheduler (the autoscale cell needs one);
+   [pe_count] shrinks the platform so elasticity is about real PEs. *)
+let run_sim ?fs_seed ?fs_instances ?plan ?pe_count ?(sched = false) ~label main =
   let engine = Engine.create () in
   let fs = fs_seed <> None in
   let fs_config ~dram =
@@ -100,9 +115,15 @@ let run_sim ?fs_seed ?fs_instances ?plan ~label main =
       attach o;
       Some o
   in
+  let platform_config =
+    Option.map
+      (fun pe_count -> { M3_hw.Platform.default_config with pe_count })
+      pe_count
+  in
+  let sched = if sched then Some (M3_sched.Sched.create ()) else None in
   let sys =
-    M3.Bootstrap.start ~fs:fs_config ?fs_instances ~no_fs:(not fs) ?faults:plan
-      ?obs engine
+    M3.Bootstrap.start ?platform_config ~fs:fs_config ?fs_instances
+      ~no_fs:(not fs) ?faults:plan ?obs ?sched engine
   in
   let exit = M3.Bootstrap.launch sys ~name:"client" (main sys) in
   ignore (Engine.run engine);
@@ -114,9 +135,10 @@ let run_sim ?fs_seed ?fs_instances ?plan ~label main =
 
 (* Run one open-loop schedule against a fresh pool and return what the
    client and the dispatcher saw. *)
-let run_pool ?fs_seed ?fs_instances ?plan ~label ~cfg ~schedule () =
+let run_pool ?fs_seed ?fs_instances ?plan ?pe_count ?sched ~label ~cfg ~schedule
+    () =
   let out = ref None in
-  run_sim ?fs_seed ?fs_instances ?plan ~label (fun sys env ->
+  run_sim ?fs_seed ?fs_instances ?plan ?pe_count ?sched ~label (fun sys env ->
       let cfg = { cfg with Pool.fs_services = sys.M3.Bootstrap.fs_services } in
       match Pool.start env cfg with
       | Error _ -> 1
@@ -285,6 +307,74 @@ let mix_cell ~requests ~seed =
     m_services = 2;
   }
 
+(* --- autoscale cell ----------------------------------------------------
+
+   The scheduler experiment: an elastic pool (floor active, the rest
+   of its seats parked off their PEs by the kernel scheduler) against
+   a static pool of just the floor, both fed the same two-phase ramp —
+   a low phase at half the floor's capacity, then a step to well past
+   it. The static pool saturates and its p99 knees; the elastic one
+   resumes parked workers on the queue-depth signal and holds the p99
+   of accepted requests near the low-load baseline. *)
+
+let autoscale_floor = 2
+let autoscale_max = 5
+let autoscale_low_util = 0.5 (* of floor capacity *)
+let autoscale_high_util = 2.0 (* of floor capacity = 0.8 of the ceiling *)
+let autoscale_pe_count = 8 (* kernel + client + dispatcher + max workers *)
+
+let autoscale_cfg ~elastic =
+  let base =
+    if elastic then
+      Pool.default_config ~name:"auto" ~min_workers:autoscale_floor
+        ~workers:autoscale_max ()
+    else Pool.default_config ~name:"auto" ~workers:autoscale_floor ()
+  in
+  (* React fast relative to the ramp: grow on a 2-deep-per-worker
+     backlog, one decision per 10k cycles. *)
+  { base with Pool.grow_depth = 2; scale_cooldown = 10_000 }
+
+let autoscale_cell ~requests ~seed =
+  let gap u = mean_gap ~workers:autoscale_floor ~util:u in
+  let low_n = requests / 3 in
+  let high_n = requests - low_n in
+  let ramp_of s =
+    Load.ramp ~rng:(Rng.create ~seed:s)
+      ~phases:
+        [ (gap autoscale_low_util, low_n); (gap autoscale_high_util, high_n) ]
+      ~mix:(Load.pure (Wire.Echo echo_service))
+  in
+  let low_schedule =
+    Load.poisson ~rng:(Rng.create ~seed)
+      ~mean_gap:(gap autoscale_low_util)
+      ~count:low_n
+      ~mix:(Load.pure (Wire.Echo echo_service))
+  in
+  let run ~label ~elastic ~schedule =
+    run_pool ~pe_count:autoscale_pe_count ~sched:true ~label
+      ~cfg:(autoscale_cfg ~elastic) ~schedule ()
+  in
+  let low_cr, _ =
+    run ~label:"autoscale-low" ~elastic:true ~schedule:low_schedule
+  in
+  let elastic_cr, elastic_st =
+    run ~label:"autoscale-elastic" ~elastic:true ~schedule:(ramp_of seed)
+  in
+  let static_cr, _ =
+    run ~label:"autoscale-static" ~elastic:false ~schedule:(ramp_of seed)
+  in
+  {
+    u_floor = autoscale_floor;
+    u_max = autoscale_max;
+    u_low_p99 = pct low_cr.Pool.cr_latency 99.0;
+    u_elastic_p99 = pct elastic_cr.Pool.cr_latency 99.0;
+    u_static_p99 = pct static_cr.Pool.cr_latency 99.0;
+    u_scale_ups = elastic_st.Pool.p_scale_ups;
+    u_scale_downs = elastic_st.Pool.p_scale_downs;
+    u_elastic_completed = elastic_cr.Pool.cr_completed;
+    u_static_completed = static_cr.Pool.cr_completed;
+  }
+
 (* --- the experiment ---------------------------------------------------- *)
 
 let run ?(quick = false) ?pools ?utils ?requests ?(seed = 0x5E5E) () =
@@ -334,6 +424,9 @@ let run ?(quick = false) ?pools ?utils ?requests ?(seed = 0x5E5E) () =
       ~seed:(seed + 113)
   in
   let mix = mix_cell ~requests:(max 120 (requests / 4)) ~seed:(seed + 199) in
+  let autoscale =
+    autoscale_cell ~requests:(max 240 requests) ~seed:(seed + 241)
+  in
   {
     g_quick = quick;
     g_service = echo_service;
@@ -343,6 +436,7 @@ let run ?(quick = false) ?pools ?utils ?requests ?(seed = 0x5E5E) () =
     g_admission = admission;
     g_crash = crash;
     g_mix = mix;
+    g_autoscale = autoscale;
   }
 
 (* --- verdicts ---------------------------------------------------------- *)
@@ -384,8 +478,18 @@ let mix_verdict t =
   let m = t.g_mix in
   m.m_failed = 0 && m.m_completed = m.m_requests
 
+let autoscale_p99_factor = 2.0
+
+let autoscale_verdict t =
+  let u = t.g_autoscale in
+  let bound = autoscale_p99_factor *. u.u_low_p99 in
+  u.u_scale_ups >= 1
+  && u.u_elastic_p99 <= bound
+  && u.u_static_p99 > bound
+
 let all_pass t =
   knee_verdict t && admission_verdict t && crash_verdict t && mix_verdict t
+  && autoscale_verdict t
 
 (* --- printing ---------------------------------------------------------- *)
 
@@ -436,6 +540,15 @@ let print ppf t =
      completed, %d failed, p99 %.0f %s@."
     m.m_requests m.m_services m.m_completed m.m_failed m.m_p99
     (if mix_verdict t then "PASS" else "FAIL");
+  let u = t.g_autoscale in
+  Format.fprintf ppf
+    "  autoscale: %d..%d workers vs static %d on a %.1fx ramp -> elastic p99 \
+     %.0f, static p99 %.0f, low-load p99 %.0f (bound %.0fx), %d scale-up(s), \
+     %d scale-down(s) %s@."
+    u.u_floor u.u_max u.u_floor autoscale_high_util u.u_elastic_p99
+    u.u_static_p99 u.u_low_p99 autoscale_p99_factor u.u_scale_ups
+    u.u_scale_downs
+    (if autoscale_verdict t then "PASS" else "FAIL");
   Format.fprintf ppf
     "  knee: p99 %s by >= %.0fx at saturation while throughput holds 80%% of \
      peak -> %s@."
@@ -543,6 +656,22 @@ let to_json t =
             ("p99", jfloat m.m_p99);
             ("services", string_of_int m.m_services);
             ("pass", jbool (mix_verdict t));
+          ] );
+      ( "autoscale",
+        let u = t.g_autoscale in
+        jobj
+          [
+            ("floor", string_of_int u.u_floor);
+            ("max", string_of_int u.u_max);
+            ("low_p99", jfloat u.u_low_p99);
+            ("elastic_p99", jfloat u.u_elastic_p99);
+            ("static_p99", jfloat u.u_static_p99);
+            ("scale_ups", string_of_int u.u_scale_ups);
+            ("scale_downs", string_of_int u.u_scale_downs);
+            ("elastic_completed", string_of_int u.u_elastic_completed);
+            ("static_completed", string_of_int u.u_static_completed);
+            ("target_factor", jfloat autoscale_p99_factor);
+            ("pass", jbool (autoscale_verdict t));
           ] );
       ("knee_pass", jbool (knee_verdict t));
       ("all_pass", jbool (all_pass t));

@@ -16,7 +16,12 @@
       and its supervised restart, comparing windowed post-restart
       throughput against a healthy twin run on the same schedule;
     - a {e mix} cell: echo + m3fs stat/read (via the shard ring) + FFT
-      requests against a pool mounting two m3fs shards. *)
+      requests against a pool mounting two m3fs shards;
+    - an {e autoscale} cell: an elastic pool (kernel VPE scheduler,
+      seats above the floor parked off their PEs) and a static
+      floor-sized pool fed the same low→overload load ramp — the
+      elastic pool resumes parked workers and holds accepted p99 near
+      the low-load baseline while the static pool knees. *)
 
 type sweep_point = {
   s_util : float;  (** target utilization the schedule was drawn for *)
@@ -63,6 +68,18 @@ type mix_out = {
   m_services : int;  (** m3fs shards the workers mounted *)
 }
 
+type autoscale_out = {
+  u_floor : int;  (** active seats both pools start with *)
+  u_max : int;  (** elastic pool's ceiling *)
+  u_low_p99 : float;  (** elastic pool's p99 under the low phase alone *)
+  u_elastic_p99 : float;  (** elastic pool's p99 across the full ramp *)
+  u_static_p99 : float;  (** static floor pool's p99 across the same ramp *)
+  u_scale_ups : int;  (** parked workers the dispatcher resumed *)
+  u_scale_downs : int;  (** workers parked back after the ramp *)
+  u_elastic_completed : int;
+  u_static_completed : int;
+}
+
 type t = {
   g_quick : bool;
   g_service : int;  (** echo service time, cycles *)
@@ -72,6 +89,7 @@ type t = {
   g_admission : admission_out;
   g_crash : crash_out;
   g_mix : mix_out;
+  g_autoscale : autoscale_out;
 }
 
 (** [run ()] executes every cell and returns the collected results.
@@ -115,6 +133,18 @@ val crash_verdict : t -> bool
 
 (** Every mixed-kind request completed. *)
 val mix_verdict : t -> bool
+
+(** The elastic pool grew at least once and held p99 within
+    [autoscale_p99_factor] of the low-load baseline across the ramp,
+    while the static floor pool's p99 exceeded that bound. *)
+val autoscale_verdict : t -> bool
+
+val autoscale_p99_factor : float
+
+(** The autoscale cell alone (exposed for focused tests): an elastic
+    and a static pool on the same ramp, under a scheduler-enabled
+    kernel on a small platform. *)
+val autoscale_cell : requests:int -> seed:int -> autoscale_out
 
 val all_pass : t -> bool
 val print : Format.formatter -> t -> unit

@@ -247,6 +247,29 @@ let print_obs ppf m =
     List.iter
       (fun (srv, n) -> Format.fprintf ppf "    %-14s %8d@." srv n)
       resolves);
+  (if
+     Metrics.sched_suspends m > 0
+     || Metrics.sched_switches m > 0
+     || Metrics.sched_cold_starts m > 0
+   then begin
+     Format.fprintf ppf
+       "  sched: %d suspends (%d B captured), %d resumes (%d migrated), %d \
+        cold starts, %d switches@."
+       (Metrics.sched_suspends m)
+       (Metrics.sched_suspend_bytes m)
+       (Metrics.sched_resumes m)
+       (Metrics.sched_migrations m)
+       (Metrics.sched_cold_starts m)
+       (Metrics.sched_switches m);
+     match Metrics.pool_scales m with
+     | [] -> ()
+     | scales ->
+       Format.fprintf ppf "  pool scaling (pool -> ups, downs):@.";
+       List.iter
+         (fun (pool, ups, downs) ->
+           Format.fprintf ppf "    %-14s %5d up  %5d down@." pool ups downs)
+         scales
+   end);
   match Metrics.serve_latencies m with
   | [] -> ()
   | lats ->

@@ -43,7 +43,7 @@ let snapshot account =
 let observer : (M3_obs.Obs.t -> unit) option ref = ref None
 
 let run_m3 ?(pe_count = 16) ?(dram_mib = 64) ?core_at ?(seeds = [])
-    ?(no_fs = false) ?faults ?inspect app =
+    ?(no_fs = false) ?(sched = false) ?faults ?inspect app =
   let engine = Engine.create () in
   let dram_size = dram_mib * 1024 * 1024 in
   let config =
@@ -64,8 +64,10 @@ let run_m3 ?(pe_count = 16) ?(dram_mib = 64) ?core_at ?(seeds = [])
       attach o;
       Some o
   in
+  let sched = if sched then Some (M3_sched.Sched.create ()) else None in
   let sys =
-    M3.Bootstrap.start ~platform_config:config ~fs ~no_fs ?obs ?faults engine
+    M3.Bootstrap.start ~platform_config:config ~fs ~no_fs ?obs ?sched ?faults
+      engine
   in
   let account = Account.create () in
   let result = ref zero_measure in

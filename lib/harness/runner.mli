@@ -39,13 +39,15 @@ val serialized : measure -> measure
     charge while it runs). [ring] is unused here but kept for scenario
     parameter plumbing. [faults] attaches a fault plan before boot;
     [inspect] runs against the platform after the app has exited
-    (e.g. to collect DTU retry/refund statistics). *)
+    (e.g. to collect DTU retry/refund statistics). [sched] boots the
+    kernel with a VPE scheduler (suspend/resume, time-multiplexing). *)
 val run_m3 :
   ?pe_count:int ->
   ?dram_mib:int ->
   ?core_at:(int -> M3_hw.Core_type.t) ->
   ?seeds:M3.M3fs.seed list ->
   ?no_fs:bool ->
+  ?sched:bool ->
   ?faults:M3_fault.Plan.t ->
   ?inspect:(M3_hw.Platform.t -> unit) ->
   (M3.Env.t -> measured:((unit -> unit) -> unit) -> unit) ->

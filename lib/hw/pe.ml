@@ -37,6 +37,16 @@ let spawn t ~name f =
 
 let running t = t.program
 
+(* Detach/attach move a live (suspended) program handle between PEs
+   without killing it — the scheduler's migration path. No events: the
+   scheduler emits its own vpe.suspend/vpe.resume markers. *)
+let detach t =
+  let p = t.program in
+  t.program <- None;
+  p
+
+let attach t p = t.program <- Some p
+
 let halt t =
   match t.program with
   | Some p ->

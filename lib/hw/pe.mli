@@ -33,5 +33,13 @@ val spawn : t -> name:string -> (unit -> unit) -> M3_sim.Process.t
 (** [running t] is the most recently spawned program, if any. *)
 val running : t -> M3_sim.Process.t option
 
+(** [detach t] takes the program handle off this PE without killing it
+    — the scheduler parking a suspended VPE's process. Emits no event. *)
+val detach : t -> M3_sim.Process.t option
+
+(** [attach t p] installs a detached program handle on this PE (resume
+    after suspend, possibly on a different PE). Emits no event. *)
+val attach : t -> M3_sim.Process.t -> unit
+
 (** [halt t] kills the running program (kernel resetting the PE). *)
 val halt : t -> unit

@@ -308,6 +308,34 @@ let record t ~at (ev : Event.t) =
     marker t ~pid ~tid:tid_core ~at ~name:("serve.restart:" ^ pool)
       ~cat:"serve"
       (args_of [ ("worker", worker); ("attempt", attempt) ])
+  | Event.Vpe_suspend { vpe; pe; bytes } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at
+      ~name:(Printf.sprintf "vpe.suspend:vpe%d" vpe)
+      ~cat:"sched"
+      (args_of [ ("vpe", vpe); ("bytes", bytes) ])
+  | Event.Vpe_resume { vpe; pe; from_pe; cold } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at
+      ~name:(Printf.sprintf "vpe.resume:vpe%d" vpe)
+      ~cat:"sched"
+      (args_of
+         [ ("vpe", vpe); ("from_pe", from_pe); ("cold", (if cold then 1 else 0)) ])
+  | Event.Sched_switch { pe; out_vpe; in_vpe } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:"sched.switch" ~cat:"sched"
+      (args_of [ ("out_vpe", out_vpe); ("in_vpe", in_vpe) ])
+  | Event.Pool_scale { pe; pool; dir; active } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at
+      ~name:
+        (Printf.sprintf "pool.scale:%s:%s" pool (if dir > 0 then "up" else "down"))
+      ~cat:"sched"
+      (args_of [ ("active", active) ])
 
 let sink t =
   { Obs.sink_name = "chrome"; sink_emit = (fun ~at ev -> record t ~at ev) }

@@ -56,6 +56,10 @@ type t =
   | Serve_batch of { pe : int; pool : string; worker : int; size : int }
   | Serve_done of { pe : int; pool : string; seq : int; cycles : int }
   | Serve_restart of { pe : int; pool : string; worker : int; attempt : int }
+  | Vpe_suspend of { vpe : int; pe : int; bytes : int }
+  | Vpe_resume of { vpe : int; pe : int; from_pe : int; cold : bool }
+  | Sched_switch of { pe : int; out_vpe : int; in_vpe : int }
+  | Pool_scale of { pe : int; pool : string; dir : int; active : int }
 
 let name = function
   | Dtu_send { reply = false; _ } -> "dtu.send"
@@ -94,6 +98,10 @@ let name = function
   | Serve_batch _ -> "serve.batch"
   | Serve_done _ -> "serve.done"
   | Serve_restart _ -> "serve.restart"
+  | Vpe_suspend _ -> "vpe.suspend"
+  | Vpe_resume _ -> "vpe.resume"
+  | Sched_switch _ -> "sched.switch"
+  | Pool_scale _ -> "pool.scale"
 
 let pp ppf t =
   let f fmt = Format.fprintf ppf fmt in
@@ -160,5 +168,16 @@ let pp ppf t =
     f "serve.done pe%d %s seq=%d cycles=%d" pe pool seq cycles
   | Serve_restart { pe; pool; worker; attempt } ->
     f "serve.restart pe%d %s worker=%d attempt=%d" pe pool worker attempt
+  | Vpe_suspend { vpe; pe; bytes } ->
+    f "vpe.suspend vpe%d pe%d bytes=%d" vpe pe bytes
+  | Vpe_resume { vpe; pe; from_pe; cold } ->
+    f "vpe.resume vpe%d pe%d from=%d%s" vpe pe from_pe
+      (if cold then " cold" else "")
+  | Sched_switch { pe; out_vpe; in_vpe } ->
+    f "sched.switch pe%d out=%d in=%d" pe out_vpe in_vpe
+  | Pool_scale { pe; pool; dir; active } ->
+    f "pool.scale pe%d %s %s active=%d" pe pool
+      (if dir > 0 then "up" else "down")
+      active
 
 let to_string t = Format.asprintf "%a" pp t

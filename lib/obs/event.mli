@@ -106,6 +106,20 @@ type t =
   | Serve_restart of { pe : int; pool : string; worker : int; attempt : int }
       (** the dispatcher's watchdog replaced crashed worker [worker];
           [pe] is the replacement's PE *)
+  | Vpe_suspend of { vpe : int; pe : int; bytes : int }
+      (** the scheduler captured this VPE's state off [pe]; [bytes] is
+          the SPM image size pulled over the NoC *)
+  | Vpe_resume of { vpe : int; pe : int; from_pe : int; cold : bool }
+      (** the scheduler placed the VPE on [pe]. [from_pe] is the PE it
+          was suspended on (equal to [pe] for an in-place resume);
+          [cold] marks a first placement of a VPE created without a PE *)
+  | Sched_switch of { pe : int; out_vpe : int; in_vpe : int }
+      (** time-multiplex handoff on [pe]: [out_vpe] was suspended so
+          [in_vpe] can run ([-1] = none, for a pure preemption or a
+          placement onto a free PE) *)
+  | Pool_scale of { pe : int; pool : string; dir : int; active : int }
+      (** an elastic pool grew ([dir = +1]) or shrank ([dir = -1]) its
+          worker set; [active] is the new live-worker count *)
 
 (** [name t] is the stable dotted kind name, e.g. ["dtu.send"]. *)
 val name : t -> string

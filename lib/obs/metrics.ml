@@ -31,6 +31,14 @@ type t = {
   mutable faults_injected : int;
   mutable dtu_nacks : int;
   mutable dtu_retries : int;
+  mutable sched_suspends : int;
+  mutable sched_resumes : int;
+  mutable sched_migrations : int;
+  mutable sched_cold_starts : int;
+  mutable sched_switches : int;
+  mutable sched_suspend_bytes : int;
+  pool_scale_ups : (string, int ref) Hashtbl.t;
+  pool_scale_downs : (string, int ref) Hashtbl.t;
 }
 
 let create () =
@@ -65,6 +73,14 @@ let create () =
     faults_injected = 0;
     dtu_nacks = 0;
     dtu_retries = 0;
+    sched_suspends = 0;
+    sched_resumes = 0;
+    sched_migrations = 0;
+    sched_cold_starts = 0;
+    sched_switches = 0;
+    sched_suspend_bytes = 0;
+    pool_scale_ups = Hashtbl.create 4;
+    pool_scale_downs = Hashtbl.create 4;
   }
 
 let bump tbl key n =
@@ -129,6 +145,16 @@ let record t (ev : Event.t) =
   | Event.Serve_done { pool; cycles; _ } ->
     observe t.serve_lat pool (float_of_int cycles)
   | Event.Serve_restart { pool; _ } -> bump t.serve_restarts pool 1
+  | Event.Vpe_suspend { bytes; _ } ->
+    t.sched_suspends <- t.sched_suspends + 1;
+    t.sched_suspend_bytes <- t.sched_suspend_bytes + bytes
+  | Event.Vpe_resume { pe; from_pe; cold; _ } ->
+    t.sched_resumes <- t.sched_resumes + 1;
+    if cold then t.sched_cold_starts <- t.sched_cold_starts + 1
+    else if pe <> from_pe then t.sched_migrations <- t.sched_migrations + 1
+  | Event.Sched_switch _ -> t.sched_switches <- t.sched_switches + 1
+  | Event.Pool_scale { pool; dir; _ } ->
+    bump (if dir > 0 then t.pool_scale_ups else t.pool_scale_downs) pool 1
   (* Aborted VPEs still emit Vpe_exit, so the abort marker itself only
      counts into the per-kind table. *)
   | Event.Dtu_receive _ | Event.Syscall_enter _ | Event.Fs_request _
@@ -189,3 +215,24 @@ let vpes_exited t = t.vpes_exited
 let faults_injected t = t.faults_injected
 let dtu_nacks t = t.dtu_nacks
 let dtu_retries t = t.dtu_retries
+
+let sched_suspends t = t.sched_suspends
+let sched_resumes t = t.sched_resumes
+let sched_migrations t = t.sched_migrations
+let sched_cold_starts t = t.sched_cold_starts
+let sched_switches t = t.sched_switches
+let sched_suspend_bytes t = t.sched_suspend_bytes
+
+let pool_scales t =
+  let pools =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.pool_scale_ups []
+      @ Hashtbl.fold (fun k _ acc -> k :: acc) t.pool_scale_downs [])
+  in
+  List.map
+    (fun pool ->
+      let n tbl =
+        match Hashtbl.find_opt tbl pool with Some r -> !r | None -> 0
+      in
+      (pool, n t.pool_scale_ups, n t.pool_scale_downs))
+    pools

@@ -83,3 +83,27 @@ val dtu_nacks : t -> int
 
 (** Retransmits scheduled by the DTU retry policy. *)
 val dtu_retries : t -> int
+
+(** {1 Scheduler table} *)
+
+(** VPE state captures by the kernel scheduler ([vpe.suspend]). *)
+val sched_suspends : t -> int
+
+(** VPE placements, warm or cold ([vpe.resume]). *)
+val sched_resumes : t -> int
+
+(** Warm resumes that landed on a different PE than the suspend. *)
+val sched_migrations : t -> int
+
+(** First placements of VPEs created without a PE. *)
+val sched_cold_starts : t -> int
+
+(** Time-multiplex handoffs ([sched.switch]). *)
+val sched_switches : t -> int
+
+(** Total SPM bytes pulled over the NoC by state captures. *)
+val sched_suspend_bytes : t -> int
+
+(** Per elastic pool: [(pool, scale_ups, scale_downs)] sorted by
+    name ([pool.scale] events). *)
+val pool_scales : t -> (string * int * int) list

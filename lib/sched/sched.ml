@@ -1,0 +1,173 @@
+(* Kernel VPE scheduler state: run queues, pending operations, policy
+   knobs and counters.
+
+   This module is deliberately mechanism-free — it owns the queues and
+   the arithmetic, while the kernel's sweep process (which can talk to
+   DTUs and to the capability store) executes the decisions. Queues are
+   per core class: a VPE suspended off a general-purpose core can only
+   resume on a compatible one (§4.4's heterogeneity constraint). *)
+
+module Core_type = M3_hw.Core_type
+module Process = M3_sim.Process
+
+(* A runnable-but-not-running VPE. [Cold] has never held a PE — its
+   program image is staged in DRAM and placement is a first boot.
+   [Warm] carries the captured architectural state. *)
+type entry =
+  | Cold of { e_vpe : int; e_core : Core_type.t }
+  | Warm of Vpe_image.t
+
+let entry_vpe = function
+  | Cold { e_vpe; _ } -> e_vpe
+  | Warm img -> Vpe_image.vpe img
+
+let entry_core = function
+  | Cold { e_core; _ } -> e_core
+  | Warm img -> Vpe_image.core img
+
+(* Explicit requests handed to the sweep by syscall handlers, plus the
+   completion signal the DTU's quiesce callback posts back. *)
+type op =
+  | Op_suspend of int
+  | Op_resume of int
+  | Op_quiesced of int
+
+type t = {
+  slice : int; (* cycles a managed VPE may hold a contended PE *)
+  idle_yield : int; (* blocked-this-long VPEs yield their PE *)
+  queues : (Core_type.t, entry Queue.t) Hashtbl.t;
+  managed : (int, unit) Hashtbl.t; (* joined time-multiplexing *)
+  placed_at : (int, int) Hashtbl.t; (* running managed vpe -> cycle placed *)
+  ops : op Queue.t;
+  wake : unit Process.Waitq.waitq;
+  mutable suspends : int;
+  mutable resumes : int;
+  mutable switches : int;
+  mutable preemptions : int;
+}
+
+let default_slice = 10_000
+let default_idle_yield = 2_000
+
+let create ?(slice = default_slice) ?(idle_yield = default_idle_yield) () =
+  {
+    slice;
+    idle_yield;
+    queues = Hashtbl.create 4;
+    managed = Hashtbl.create 16;
+    placed_at = Hashtbl.create 16;
+    ops = Queue.create ();
+    wake = Process.Waitq.create ();
+    suspends = 0;
+    resumes = 0;
+    switches = 0;
+    preemptions = 0;
+  }
+
+let slice t = t.slice
+let idle_yield t = t.idle_yield
+
+(* --- run queues ------------------------------------------------------- *)
+
+let queue_for t core =
+  match Hashtbl.find_opt t.queues core with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.queues core q;
+    q
+
+let enqueue t entry = Queue.push entry (queue_for t (entry_core entry))
+
+let dequeue t ~core =
+  match Hashtbl.find_opt t.queues core with
+  | None -> None
+  | Some q -> Queue.take_opt q
+
+let queued t =
+  Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0
+
+let queued_for t ~core =
+  match Hashtbl.find_opt t.queues core with
+  | None -> 0
+  | Some q -> Queue.length q
+
+(* [remove t ~vpe] drops a killed VPE from every run queue and returns
+   the warm images that were queued for it, so the caller can discard
+   their parked processes and free the captured state. *)
+let remove t ~vpe =
+  let removed = ref [] in
+  Hashtbl.iter
+    (fun _ q ->
+      let keep = Queue.create () in
+      Queue.iter
+        (fun e ->
+          if entry_vpe e = vpe then begin
+            match e with
+            | Warm img -> removed := img :: !removed
+            | Cold _ -> ()
+          end
+          else Queue.push e keep)
+        q;
+      Queue.clear q;
+      Queue.transfer keep q)
+    t.queues;
+  Hashtbl.remove t.managed vpe;
+  Hashtbl.remove t.placed_at vpe;
+  !removed
+
+(* --- pending operations ----------------------------------------------- *)
+
+let request t op =
+  Queue.push op t.ops;
+  Process.Waitq.broadcast t.wake ()
+
+let next_op t = Queue.take_opt t.ops
+let pending_ops t = Queue.length t.ops
+
+(* The sweep parks here between rounds; [request] and VPE lifecycle
+   changes wake it. *)
+let wait_work t = Process.Waitq.park t.wake
+let wake t = Process.Waitq.broadcast t.wake ()
+
+(* --- managed (time-multiplexed) VPEs ---------------------------------- *)
+
+let manage t ~vpe = Hashtbl.replace t.managed vpe ()
+let is_managed t ~vpe = Hashtbl.mem t.managed vpe
+let managed_count t = Hashtbl.length t.managed
+
+let note_placed t ~vpe ~at = Hashtbl.replace t.placed_at vpe at
+let note_unplaced t ~vpe = Hashtbl.remove t.placed_at vpe
+
+let placed_at t ~vpe = Hashtbl.find_opt t.placed_at vpe
+
+(* All managed VPEs currently holding a PE, as (vpe, placed-at) sorted
+   by placement cycle then id — the sweep's tick computation and the
+   idle-yield scan both walk this. *)
+let placed_list t =
+  Hashtbl.fold (fun vpe at acc -> (at, vpe) :: acc) t.placed_at []
+  |> List.sort compare
+  |> List.map (fun (at, vpe) -> (vpe, at))
+
+(* Managed VPEs currently holding a PE whose slice has expired, oldest
+   placement first — the preemption candidates when the queue is
+   non-empty. *)
+let slice_expired t ~now =
+  let expired =
+    Hashtbl.fold
+      (fun vpe at acc -> if now - at >= t.slice then (at, vpe) :: acc else acc)
+      t.placed_at []
+  in
+  List.map snd (List.sort compare expired)
+
+(* --- counters ---------------------------------------------------------- *)
+
+let count_suspend t = t.suspends <- t.suspends + 1
+let count_resume t = t.resumes <- t.resumes + 1
+let count_switch t = t.switches <- t.switches + 1
+let count_preemption t = t.preemptions <- t.preemptions + 1
+
+let suspends t = t.suspends
+let resumes t = t.resumes
+let switches t = t.switches
+let preemptions t = t.preemptions

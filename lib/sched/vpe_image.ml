@@ -1,0 +1,30 @@
+(* A suspended VPE, parked in the kernel between PEs.
+
+   The image pairs the DTU-captured architectural state (endpoint
+   registers, credits, ringbuffer occupancy, the whole SPM — see
+   [M3_dtu.Dtu.ext_capture]) with the two pieces of simulation state
+   that stand in for the core's register file: the quiesced program's
+   process handle and the continuation that restarts it. Firing
+   [img_resume] with the destination DTU is the software half of
+   resume; the kernel does the hardware half ([ext_restore]) first. *)
+
+type t = {
+  img_vpe : int;
+  img_core : M3_hw.Core_type.t;
+  img_from_pe : int; (* PE the state was captured from *)
+  img_captured_at : int; (* cycle of the capture *)
+  img_snapshot : M3_dtu.Dtu.snapshot;
+  img_process : M3_sim.Process.t; (* detached, parked at a quiesce point *)
+  img_resume : M3_dtu.Dtu.t -> unit; (* one-shot; continue on this DTU *)
+}
+
+let vpe t = t.img_vpe
+let core t = t.img_core
+let from_pe t = t.img_from_pe
+let captured_at t = t.img_captured_at
+let snapshot t = t.img_snapshot
+let bytes t = M3_dtu.Dtu.snapshot_bytes t.img_snapshot
+
+(* Discard a parked image (the VPE was killed while suspended): the
+   quiesced process must not linger as a resumable ghost. *)
+let discard t = M3_sim.Process.kill t.img_process

@@ -30,6 +30,28 @@ let poisson ~rng ~mean_gap ~count ~mix =
   done;
   arrivals
 
+let ramp ~rng ~phases ~mix =
+  if phases = [] then invalid_arg "Load.ramp: no phases";
+  let segments =
+    List.map
+      (fun (mean_gap, count) -> poisson ~rng ~mean_gap ~count ~mix)
+      phases
+  in
+  let total = List.fold_left (fun acc s -> acc + Array.length s) 0 segments in
+  let out = Array.make total { at = 0; req = { Wire.seq = 0; rk = Echo 0 } } in
+  let seq = ref 0 in
+  let base = ref 0 in
+  List.iter
+    (fun seg ->
+      Array.iter
+        (fun a ->
+          out.(!seq) <- { at = !base + a.at; req = { a.req with Wire.seq = !seq } };
+          incr seq)
+        seg;
+      if Array.length seg > 0 then base := !base + seg.(Array.length seg - 1).at)
+    segments;
+  out
+
 let offered_rate schedule =
   let n = Array.length schedule in
   if n < 2 then 0.0

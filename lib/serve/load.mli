@@ -29,6 +29,14 @@ val pure : Wire.kind -> mix
 val poisson :
   rng:M3_sim.Rng.t -> mean_gap:float -> count:int -> mix:mix -> arrival array
 
+(** [ramp ~rng ~phases ~mix] concatenates Poisson segments — one
+    [(mean_gap, count)] phase after another, each starting where the
+    previous ended — into a single open-loop schedule with
+    schedule-wide sequence numbers. The autoscale experiment uses it
+    to step the offered load mid-run. *)
+val ramp :
+  rng:M3_sim.Rng.t -> phases:(float * int) list -> mix:mix -> arrival array
+
 (** [offered_rate schedule] is the realized arrival rate in requests
     per cycle (0 for fewer than two arrivals). *)
 val offered_rate : arrival array -> float

@@ -67,6 +67,13 @@ let tail_deadline = 20_000_000 (* client bail-out under a fault plan *)
 type config = {
   name : string;
   workers : int;
+  min_workers : int;
+      (* elastic floor: < [workers] lets the dispatcher park idle
+         workers off their PEs (kernel scheduler required) and wake
+         them again on queue depth. [= workers] is a static pool. *)
+  grow_depth : int; (* backlog per active worker that triggers a wake *)
+  shrink_idle : int; (* cycles a worker idles before it is parked *)
+  scale_cooldown : int; (* min cycles between two scale decisions *)
   batch_max : int;
   batch_threshold : int;
   queue_limit : int;
@@ -76,10 +83,14 @@ type config = {
   max_restarts : int;
 }
 
-let default_config ?(name = "pool") ~workers () =
+let default_config ?(name = "pool") ?min_workers ~workers () =
   {
     name;
     workers;
+    min_workers = (match min_workers with Some m -> m | None -> workers);
+    grow_depth = 4;
+    shrink_idle = 50_000;
+    scale_cooldown = 20_000;
     batch_max = 8;
     batch_threshold = 2;
     queue_limit = 1_000_000;
@@ -100,6 +111,8 @@ type pool_stats = {
   mutable p_batches : int;
   mutable p_batched : int;
   mutable p_max_depth : int;
+  mutable p_scale_ups : int;
+  mutable p_scale_downs : int;
   p_worker_service : Stats.t array;
   p_disp_latency : Stats.t;
 }
@@ -116,6 +129,8 @@ let make_stats ~workers =
     p_batches = 0;
     p_batched = 0;
     p_max_depth = 0;
+    p_scale_ups = 0;
+    p_scale_downs = 0;
     p_worker_service = Array.init workers (fun _ -> Stats.create ());
     p_disp_latency = Stats.create ();
   }
@@ -251,6 +266,7 @@ let worker_body cfg ~widx (cenv : Env.t) =
 type wstate =
   | W_idle
   | W_busy of { batch : (Wire.request * int) list; since : int }
+  | W_parked (* suspended off its PE by the kernel scheduler *)
   | W_dead
 
 type wrk = {
@@ -260,6 +276,7 @@ type wrk = {
   mutable w_gen : int;
   mutable w_restarts : int;
   mutable w_state : wstate;
+  mutable w_idle_since : int; (* cycle it last became idle *)
 }
 
 let dispatcher_body cfg stats (cenv : Env.t) =
@@ -291,7 +308,7 @@ let dispatcher_body cfg stats (cenv : Env.t) =
   let mk_worker i =
     let vpe, sg = ok (spawn_worker i) in
     { w_idx = i; w_vpe = vpe; w_sgate = sg; w_gen = 0; w_restarts = 0;
-      w_state = W_idle }
+      w_state = W_idle; w_idle_since = now () }
   in
   let workers =
     let w0 = mk_worker 0 in
@@ -301,6 +318,24 @@ let dispatcher_body cfg stats (cenv : Env.t) =
     done;
     a
   in
+  (* Elastic pools start with only the floor active: seats above
+     [min_workers] are parked right away (they quiesce at their first
+     receive wait) and resumed on the queue-depth signal. Without a
+     kernel scheduler the suspend fails and the pool degrades to
+     static. *)
+  if cfg.min_workers < cfg.workers then
+    for i = cfg.min_workers to cfg.workers - 1 do
+      let w = workers.(i) in
+      match Vpe_api.suspend cenv w.w_vpe with
+      | Ok () -> (
+        (* Block until the park lands: a suspend only completes at the
+           worker's next quiesce point, and clients must not race the
+           capture traffic. *)
+        match Vpe_api.await_parked cenv w.w_vpe () with
+        | Ok () -> w.w_state <- W_parked
+        | Error _ -> w.w_state <- W_parked)
+      | Error _ -> ()
+    done;
   (* Publish the request gate only now: a client that got through
      [start] sends against a fully staffed pool, so worker boot time
      never pollutes measured latencies. *)
@@ -344,6 +379,7 @@ let dispatcher_body cfg stats (cenv : Env.t) =
         match w.w_state with
         | W_busy { batch; _ } ->
           w.w_state <- W_idle;
+          w.w_idle_since <- now ();
           inflight := !inflight - List.length batch;
           List.iter
             (fun (d : Wire.done_item) ->
@@ -365,7 +401,7 @@ let dispatcher_body cfg stats (cenv : Env.t) =
               else stats.p_failed <- stats.p_failed + 1;
               Dq.push notices d)
             dones
-        | W_idle | W_dead -> ()
+        | W_idle | W_parked | W_dead -> ()
     end
   in
   let handle_ack (msg : Endpoint.message) = Gate.ack cenv ackg ~slot:msg.slot in
@@ -383,6 +419,7 @@ let dispatcher_body cfg stats (cenv : Env.t) =
         w.w_vpe <- vpe;
         w.w_sgate <- sg;
         w.w_state <- W_idle;
+        w.w_idle_since <- now ();
         stats.p_restarts <- stats.p_restarts + 1;
         stats.p_restart_cycle <- now ();
         emit
@@ -411,6 +448,68 @@ let dispatcher_body cfg stats (cenv : Env.t) =
         | _ -> go (i + 1)
     in
     go 0
+  in
+  (* --- elastic scaling ------------------------------------------------ *)
+  let elastic = cfg.min_workers < cfg.workers in
+  let last_scale = ref (-cfg.scale_cooldown) in
+  let active_count () =
+    Array.fold_left
+      (fun a w -> match w.w_state with W_parked | W_dead -> a | _ -> a + 1)
+      0 workers
+  in
+  (* Grow on backlog, shrink on sustained idleness. One decision per
+     cooldown window so capture/restore costs cannot thrash. Waking is
+     optimistic: the worker's send gate stays parked until the kernel
+     places it, and the first batch rides the parked endpoint. *)
+  let try_scale progress =
+    if elastic && now () - !last_scale >= cfg.scale_cooldown then begin
+      let active = active_count () in
+      let backlog = Dq.length pending + !inflight in
+      if backlog > cfg.grow_depth * Stdlib.max 1 active then begin
+        let parked = ref None in
+        Array.iter
+          (fun w -> if !parked = None && w.w_state = W_parked then parked := Some w)
+          workers;
+        match !parked with
+        | None -> ()
+        | Some w -> (
+          match Vpe_api.resume cenv w.w_vpe with
+          | Ok () ->
+            w.w_state <- W_idle;
+            w.w_idle_since <- now ();
+            stats.p_scale_ups <- stats.p_scale_ups + 1;
+            last_scale := now ();
+            emit
+              (Event.Pool_scale
+                 { pe = my_pe; pool = cfg.name; dir = 1; active = active + 1 });
+            progress := true
+          | Error _ -> w.w_state <- W_dead)
+      end
+      else if backlog = 0 && active > cfg.min_workers then begin
+        (* park the highest-index aged-idle worker, so wakes refill in
+           index order *)
+        let victim = ref None in
+        Array.iter
+          (fun w ->
+            match w.w_state with
+            | W_idle when now () - w.w_idle_since >= cfg.shrink_idle ->
+              victim := Some w
+            | _ -> ())
+          workers;
+        match !victim with
+        | None -> ()
+        | Some w -> (
+          match Vpe_api.suspend cenv w.w_vpe with
+          | Ok () ->
+            w.w_state <- W_parked;
+            stats.p_scale_downs <- stats.p_scale_downs + 1;
+            last_scale := now ();
+            emit
+              (Event.Pool_scale
+                 { pe = my_pe; pool = cfg.name; dir = -1; active = active - 1 })
+          | Error _ -> () (* raced a placement change; retry next window *))
+      end
+    end
   in
   let dispatch progress =
     let rec go () =
@@ -470,6 +569,15 @@ let dispatcher_body cfg stats (cenv : Env.t) =
         (Gate.reply cenv req ~slot
            (Wire.encode_admit ~err:Errno.E_ok ~seq:Wire.drain_seq));
       drain_slot := None;
+      (* Wake parked workers first: the shutdown batch below would
+         otherwise block forever on their parked send gates. *)
+      Array.iter
+        (fun w ->
+          if w.w_state = W_parked then begin
+            ignore (Vpe_api.resume cenv w.w_vpe);
+            w.w_state <- W_idle
+          end)
+        workers;
       Array.iter
         (fun w ->
           match w.w_state with
@@ -502,13 +610,14 @@ let dispatcher_body cfg stats (cenv : Env.t) =
     drain_gate wreply handle_wreply progress;
     drain_gate ackg handle_ack progress;
     if plan_enabled then check_watchdogs progress;
+    try_scale progress;
     dispatch progress;
     flush_notices progress;
     if try_finish () then 0
     else if !progress then loop ()
-    else if plan_enabled then begin
-      (* a crashed worker never answers; poll so the watchdog keeps
-         running instead of parking on a reply that cannot come *)
+    else if plan_enabled || elastic then begin
+      (* a crashed worker never answers (watchdog), and scale decisions
+         run on a clock: poll instead of parking on the gates *)
       Process.wait disp_poll;
       loop ()
     end

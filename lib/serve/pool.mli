@@ -34,6 +34,15 @@
 type config = {
   name : string;  (** pool name carried by serve.* events and metrics *)
   workers : int;
+  min_workers : int;
+      (** floor of the elastic range; equal to [workers] (the default)
+          makes the pool static and the scaling code never runs *)
+  grow_depth : int;
+      (** grow when backlog (queued + in-flight) exceeds
+          [grow_depth * active workers] *)
+  shrink_idle : int;
+      (** cycles a worker must sit idle before it may be parked *)
+  scale_cooldown : int;  (** min cycles between scale decisions *)
   batch_max : int;  (** max requests coalesced per worker message (1..13) *)
   batch_threshold : int;
       (** coalesce only when more than this many requests are queued;
@@ -52,8 +61,13 @@ type config = {
 }
 
 (** 8-deep batches above a 2-deep queue, effectively unbounded
-    admission, 150k-cycle watchdog, one restart per seat. *)
-val default_config : ?name:string -> workers:int -> unit -> config
+    admission, 150k-cycle watchdog, one restart per seat.
+    [min_workers] (default [workers], i.e. static) below [workers]
+    makes the pool elastic: seats above the floor start parked via the
+    kernel scheduler and are resumed/parked on the queue-depth
+    signal. *)
+val default_config :
+  ?name:string -> ?min_workers:int -> workers:int -> unit -> config
 
 (** Dispatcher-side counters, updated live during the run. *)
 type pool_stats = {
@@ -67,6 +81,8 @@ type pool_stats = {
   mutable p_batches : int;  (** worker messages sent *)
   mutable p_batched : int;  (** requests carried by those messages *)
   mutable p_max_depth : int;  (** deepest queue seen at admission *)
+  mutable p_scale_ups : int;  (** parked workers resumed on load *)
+  mutable p_scale_downs : int;  (** idle workers parked *)
   p_worker_service : M3_sim.Stats.t array;  (** service cycles per seat *)
   p_disp_latency : M3_sim.Stats.t;  (** admission → completion, dispatcher clock *)
 }

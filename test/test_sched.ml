@@ -1,0 +1,306 @@
+(* Kernel VPE scheduler: correctness gates for suspend/resume.
+
+   - round trip: a stateful child suspended and resumed mid-protocol
+     produces the exact reply bytes and exit code of an uninterrupted
+     run — migration is invisible except as latency;
+   - determinism: two identical suspended runs are byte-identical at
+     the event-log level (the repo's established seeded-log style);
+   - zero cost when off: merely constructing scheduler values costs
+     zero simulated cycles (a scheduler-less run is byte-identical
+     whether or not host code builds a [Sched.t] on the side), and a
+     kernel booted WITH a scheduler that no one uses changes no
+     behavior — same replies, same exit, zero captures and switches;
+   - reclamation: suspend/resume leaks no capabilities or endpoint
+     bookkeeping, and a crash-abort of a VPE parked off its PE still
+     tears everything down. *)
+
+module Engine = M3_sim.Engine
+module Process = M3_sim.Process
+module Endpoint = M3_dtu.Endpoint
+module Obs = M3_obs.Obs
+module Bootstrap = M3.Bootstrap
+module Kernel = M3.Kernel
+module Kdata = M3.Kdata
+module Gate = M3.Gate
+module Syscalls = M3.Syscalls
+module Vpe_api = M3.Vpe_api
+module Errno = M3.Errno
+module Sched = M3_sched.Sched
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+let ok = Errno.ok_exn
+
+(* --- the scenario ------------------------------------------------------ *)
+
+(* A child that folds every request byte into an accumulator and
+   replies with the running value: any lost, duplicated or corrupted
+   state across a migration changes every subsequent reply. *)
+
+let child_sel = 3000
+let rounds = 16
+let sentinel = 255
+
+let child_body (cenv : M3.Env.t) =
+  let rgate = ok (Gate.create_recv cenv ~slot_order:6 ~slot_count:8) in
+  let _pub =
+    ok
+      (Gate.create_send ~sel:child_sel cenv rgate ~label:7L
+         ~credits:(Endpoint.Credits 2))
+  in
+  let acc = ref 1 in
+  let rec loop () =
+    let msg = Gate.recv cenv rgate in
+    let x = Bytes.get_uint8 msg.Endpoint.payload 0 in
+    if x = sentinel then begin
+      ignore (Gate.reply cenv rgate ~slot:msg.Endpoint.slot (Bytes.create 1));
+      !acc land 0x3f
+    end
+    else begin
+      acc := ((!acc * 31) + x) land 0xffffff;
+      let b = Bytes.create 3 in
+      Bytes.set_uint8 b 0 (!acc land 0xff);
+      Bytes.set_uint8 b 1 ((!acc lsr 8) land 0xff);
+      Bytes.set_uint8 b 2 ((!acc lsr 16) land 0xff);
+      ok (Gate.reply cenv rgate ~slot:msg.Endpoint.slot b);
+      loop ()
+    end
+  in
+  loop ()
+
+let obtain_with_retry env ~vpe_sel ~own_sel ~other_sel =
+  let rec go tries =
+    match Syscalls.obtain env ~vpe_sel ~own_sel ~other_sel with
+    | Ok () -> Ok ()
+    | Error Errno.E_no_sel when tries > 0 ->
+      Process.wait 500;
+      go (tries - 1)
+    | Error e -> Error e
+  in
+  go 20_000
+
+type outcome = {
+  o_replies : string;  (** hex of every reply payload, in order *)
+  o_exit : int;
+  o_log : string;  (** the full event log *)
+  o_final : int;  (** final engine cycle *)
+  o_suspends : int;  (** scheduler counter *)
+  o_resumes : int;
+  o_child_caps : int;  (** child capabilities left after its exit *)
+  o_child_eps : int;  (** child endpoint bookkeeping left after exit *)
+  o_parked_mid : int;  (** [suspended_count] observed while parked *)
+  o_susp_after : int;  (** [suspended_count] once everyone exited *)
+  o_free_pes : int;  (** free PEs once everyone exited *)
+}
+
+(* [run_scenario ~with_sched ~suspend_mid ()] drives the child through
+   [rounds] request/reply rounds; with [suspend_mid] it parks the
+   child off its PE after half of them and resumes it before going
+   on. *)
+let run_scenario ~with_sched ~suspend_mid () =
+  let engine = Engine.create () in
+  let mem = Obs.Memory.create () in
+  let obs = Obs.of_engine engine in
+  Obs.attach obs (Obs.Memory.sink mem);
+  let sched = if with_sched then Some (Sched.create ()) else None in
+  let sys = Bootstrap.start ~no_fs:true ~obs ?sched engine in
+  let k = sys.Bootstrap.kernel in
+  let buf = Buffer.create 128 in
+  let parked_mid = ref (-1) in
+  let child_exit = ref min_int in
+  let child_caps = ref (-1) and child_eps = ref (-1) in
+  let exit =
+    Bootstrap.launch sys ~name:"parent" (fun env ->
+        let child =
+          ok
+            (Vpe_api.create env ~name:"child"
+               ~core:M3_hw.Core_type.General_purpose)
+        in
+        ok (Vpe_api.run env child child_body);
+        let sel = M3.Env.alloc_sel env in
+        ok
+          (obtain_with_retry env ~vpe_sel:child.Vpe_api.vpe_sel ~own_sel:sel
+             ~other_sel:child_sel);
+        let sg = Gate.send_gate_of_sel sel in
+        let rg = ok (Gate.create_recv env ~slot_order:6 ~slot_count:8) in
+        let round x =
+          let b = Bytes.create 1 in
+          Bytes.set_uint8 b 0 x;
+          ok (Gate.send env sg b ~reply:(rg, 9L) ());
+          let reply = Gate.recv env rg in
+          Bytes.iter
+            (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c)))
+            reply.Endpoint.payload;
+          Gate.ack env rg ~slot:reply.Endpoint.slot
+        in
+        for i = 1 to rounds / 2 do
+          round i
+        done;
+        if suspend_mid then begin
+          ok (Vpe_api.suspend env child);
+          ok (Vpe_api.await_parked env child ());
+          parked_mid := Kernel.suspended_count k;
+          ok (Vpe_api.resume env child)
+        end;
+        for i = (rounds / 2) + 1 to rounds do
+          round i
+        done;
+        round sentinel;
+        child_exit := ok (Vpe_api.wait env child);
+        (match Kernel.find_vpe k ~vpe_id:child.Vpe_api.vpe_id with
+        | Some v ->
+          child_caps := Kdata.count_caps v;
+          child_eps := Kernel.ep_entries k ~vpe_id:child.Vpe_api.vpe_id
+        | None -> ());
+        0)
+  in
+  let final = Engine.run engine in
+  Bootstrap.expect_exit sys exit;
+  ignore (Process.Ivar.peek exit);
+  {
+    o_replies = Buffer.contents buf;
+    o_exit = !child_exit;
+    o_log = Obs.Memory.to_string mem;
+    o_final = final;
+    o_suspends =
+      (match Kernel.sched k with Some s -> Sched.suspends s | None -> 0);
+    o_resumes =
+      (match Kernel.sched k with Some s -> Sched.resumes s | None -> 0);
+    o_child_caps = !child_caps;
+    o_child_eps = !child_eps;
+    o_parked_mid = !parked_mid;
+    o_susp_after = Kernel.suspended_count k;
+    o_free_pes = Kernel.free_pes k;
+  }
+
+(* --- round trip -------------------------------------------------------- *)
+
+let test_round_trip_is_bit_identical () =
+  let plain = run_scenario ~with_sched:true ~suspend_mid:false () in
+  let susp = run_scenario ~with_sched:true ~suspend_mid:true () in
+  check_bool "replies not empty" true (String.length plain.o_replies > 0);
+  check_string "identical reply bytes across the migration" plain.o_replies
+    susp.o_replies;
+  check_int "identical exit code" plain.o_exit susp.o_exit;
+  check_int "one capture" 1 susp.o_suspends;
+  check_int "one restore" 1 susp.o_resumes;
+  check_int "child was parked off its PE" 1 susp.o_parked_mid
+
+let test_suspended_run_is_deterministic () =
+  let a = run_scenario ~with_sched:true ~suspend_mid:true () in
+  let b = run_scenario ~with_sched:true ~suspend_mid:true () in
+  check_bool "log not empty" true (String.length a.o_log > 0);
+  check_string "byte-identical event logs" a.o_log b.o_log;
+  check_int "identical final cycle" a.o_final b.o_final
+
+(* --- zero cost when off ------------------------------------------------ *)
+
+(* The strong half: a scheduler-less run must be byte-identical to
+   today's logs — holding scheduler values host-side must not perturb
+   the simulation at all. *)
+let test_no_scheduler_is_byte_identical () =
+  let plain = run_scenario ~with_sched:false ~suspend_mid:false () in
+  (* Same run, but with a scheduler constructed and poked on the host
+     side — never handed to the kernel. *)
+  let s = Sched.create () in
+  check_int "fresh scheduler counted nothing" 0 (Sched.suspends s);
+  let with_values = run_scenario ~with_sched:false ~suspend_mid:false () in
+  check_int "still counted nothing" 0 (Sched.switches s);
+  check_bool "log not empty" true (String.length plain.o_log > 0);
+  check_string "byte-identical event logs" plain.o_log with_values.o_log;
+  check_int "identical final cycle" plain.o_final with_values.o_final
+
+(* The behavioral half: a kernel booted with a scheduler that nobody
+   asks to suspend anything must not schedule — same replies, same
+   exit, zero captures, zero switches. (The logs are allowed to
+   differ: placement defensively wipes the DTU suspended flag when a
+   scheduler is attached, which is itself a visible ext command.) *)
+let test_unused_scheduler_changes_nothing () =
+  let off = run_scenario ~with_sched:false ~suspend_mid:false () in
+  let on_ = run_scenario ~with_sched:true ~suspend_mid:false () in
+  check_string "identical replies" off.o_replies on_.o_replies;
+  check_int "identical exit code" off.o_exit on_.o_exit;
+  check_int "zero captures" 0 on_.o_suspends;
+  check_int "zero restores" 0 on_.o_resumes
+
+(* --- reclamation ------------------------------------------------------- *)
+
+let test_suspend_resume_leaks_nothing () =
+  let plain = run_scenario ~with_sched:true ~suspend_mid:false () in
+  let susp = run_scenario ~with_sched:true ~suspend_mid:true () in
+  check_int "no capability survived the child" 0 susp.o_child_caps;
+  check_int "no endpoint binding survived the child" 0 susp.o_child_eps;
+  check_int "no parked image survived" 0 susp.o_susp_after;
+  check_int "free PEs match the uninterrupted run" plain.o_free_pes
+    susp.o_free_pes
+
+(* Crash-abort of a VPE that is parked off its PE: the kernel holds
+   its only copy (image + stashed memory caps); the abort must discard
+   all of it and release everything the VPE owned. *)
+let test_abort_of_suspended_vpe () =
+  let engine = Engine.create () in
+  let sched = Sched.create () in
+  let sys = Bootstrap.start ~no_fs:true ~sched engine in
+  let k = sys.Bootstrap.kernel in
+  let child_id = ref (-1) in
+  let waited = ref None in
+  let exit =
+    Bootstrap.launch sys ~name:"parent" (fun env ->
+        let child =
+          ok
+            (Vpe_api.create env ~name:"victim"
+               ~core:M3_hw.Core_type.General_purpose)
+        in
+        child_id := child.Vpe_api.vpe_id;
+        ok (Vpe_api.run env child child_body);
+        let sel = M3.Env.alloc_sel env in
+        ok
+          (obtain_with_retry env ~vpe_sel:child.Vpe_api.vpe_sel ~own_sel:sel
+             ~other_sel:child_sel);
+        ok (Vpe_api.suspend env child);
+        ok (Vpe_api.await_parked env child ());
+        check_int "image parked" 1 (Kernel.suspended_count k);
+        let v = Option.get (Kernel.find_vpe k ~vpe_id:child.Vpe_api.vpe_id) in
+        Kernel.abort k v ~reason:"test";
+        waited := Some (Vpe_api.wait env child);
+        0)
+  in
+  ignore (Engine.run engine);
+  Bootstrap.expect_exit sys exit;
+  (match !waited with
+  | Some (Error Errno.E_vpe_dead) -> ()
+  | Some (Ok code) ->
+    check_int "abort exit code surfaced" Kernel.abort_exit_code code
+  | Some (Error e) ->
+    Alcotest.failf "unexpected wait result: %s" (Errno.to_string e)
+  | None -> Alcotest.fail "parent never waited");
+  check_int "no parked image survived the abort" 0 (Kernel.suspended_count k);
+  let v = Option.get (Kernel.find_vpe k ~vpe_id:!child_id) in
+  check_bool "victim is dead" true (v.Kdata.v_state = Kdata.V_dead);
+  check_int "no capability survived" 0 (Kdata.count_caps v);
+  check_int "no endpoint binding survived" 0
+    (Kernel.ep_entries k ~vpe_id:!child_id)
+
+let tc name f = Alcotest.test_case name `Quick f
+
+let suites =
+  [
+    ( "sched.roundtrip",
+      [
+        tc "suspend/resume is bit-identical" test_round_trip_is_bit_identical;
+        tc "suspended run is deterministic" test_suspended_run_is_deterministic;
+      ] );
+    ( "sched.off",
+      [
+        tc "no-scheduler run is byte-identical"
+          test_no_scheduler_is_byte_identical;
+        tc "unused scheduler changes nothing"
+          test_unused_scheduler_changes_nothing;
+      ] );
+    ( "sched.reclaim",
+      [
+        tc "suspend/resume leaks nothing" test_suspend_resume_leaks_nothing;
+        tc "abort of a parked VPE tears down" test_abort_of_suspended_vpe;
+      ] );
+  ]

@@ -394,6 +394,26 @@ let test_figs_mix () =
   let t = Lazy.force figs_quick in
   check_bool "mixed-kind requests all completed" true (Figs.mix_verdict t)
 
+let test_figs_autoscale () =
+  let t = Lazy.force figs_quick in
+  let u = t.Figs.g_autoscale in
+  check_bool "the dispatcher grew the pool" true (u.Figs.u_scale_ups >= 1);
+  check_bool "the dispatcher shrank it back" true (u.Figs.u_scale_downs >= 1);
+  check_int "both pools completed the same work" u.Figs.u_elastic_completed
+    u.Figs.u_static_completed;
+  let bound = Figs.autoscale_p99_factor *. u.Figs.u_low_p99 in
+  check_bool
+    (Printf.sprintf "elastic p99 %.0f held under %.0f across the ramp"
+       u.Figs.u_elastic_p99 bound)
+    true
+    (u.Figs.u_elastic_p99 <= bound);
+  check_bool
+    (Printf.sprintf "static floor p99 %.0f blew through %.0f"
+       u.Figs.u_static_p99 bound)
+    true
+    (u.Figs.u_static_p99 > bound);
+  check_bool "autoscale verdict" true (Figs.autoscale_verdict t)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -434,5 +454,6 @@ let suites =
         tc "admission SLO" test_figs_admission_slo;
         tc "crash restart" test_figs_crash_restart;
         tc "mixed kinds" test_figs_mix;
+        tc "autoscale" test_figs_autoscale;
       ] );
   ]
