@@ -198,6 +198,31 @@ let kernel_fig7 () =
   let im = Array.make points 0.0 in
   M3_hw.Fft.transform re im
 
+(* Warm-cache smoke: the fig3 warm-read and fig6x warm-find cells with
+   their >= 1.5x fewer-round-trips gates enforced — a gate violation
+   fails the kernel (and the CI job). The measured cells are retained
+   so the cache hit rate lands in BENCH_results.json. *)
+let results_warm_read = ref None
+let results_warm_find = ref None
+
+let kernel_warm_cache () =
+  let wr = Fig3.m3_warm_read () in
+  results_warm_read := Some wr;
+  if not (Fig3.warm_cell_ok wr) then
+    failwith
+      (Printf.sprintf
+         "warm read gate: cold %d -> warm %d service round-trips (need >= \
+          1.5x fewer)"
+         wr.Fig3.w_cold_rt wr.Fig3.w_warm_rt);
+  let wf = Fig6x.warm_find () in
+  results_warm_find := Some wf;
+  if not (Fig6x.warm_find_ok wf) then
+    failwith
+      (Printf.sprintf
+         "warm find gate: cold %d -> warm %d service round-trips (need >= \
+          1.5x fewer)"
+         wf.Fig6x.wf_cold_rt wf.Fig6x.wf_warm_rt)
+
 let kernel_t1 () = kernel_fig3 ()
 
 let kernel_t2 () =
@@ -280,6 +305,17 @@ let experiments_json () =
              ("read", bars_json t.Fig3.read);
              ("write", bars_json t.Fig3.write);
              ("pipe", bars_json t.Fig3.pipe);
+             ( "warm_read",
+               jobj
+                 [
+                   ("cold", measure_json t.Fig3.warm_read.Fig3.w_cold);
+                   ("warm", measure_json t.Fig3.warm_read.Fig3.w_warm);
+                   ( "cold_round_trips",
+                     string_of_int t.Fig3.warm_read.Fig3.w_cold_rt );
+                   ( "warm_round_trips",
+                     string_of_int t.Fig3.warm_read.Fig3.w_warm_rt );
+                   ("pass", if Fig3.warm_ok t then "true" else "false");
+                 ] );
            ])
        results_fig3
   |> opt "fig4"
@@ -367,11 +403,57 @@ let experiments_json () =
        results_t2
   |> List.rev
 
+(* Cache hit-rate and round-trip savings of the warm-cache cells, when
+   they ran (quick smoke, or a full fig3/fig6x pass). *)
+let warm_cache_json () =
+  let wr =
+    match (!results_warm_read, !results_fig3) with
+    | Some w, _ -> Some w
+    | None, Some t -> Some t.Fig3.warm_read
+    | None, None -> None
+  in
+  let wf =
+    match (!results_warm_find, !results_fig6x) with
+    | Some w, _ -> Some w
+    | None, Some t -> Some t.Fig6x.r_warm
+    | None, None -> None
+  in
+  let cell name json = function Some v -> [ (name, json v) ] | None -> [] in
+  match (wr, wf) with
+  | None, None -> []
+  | _ ->
+    [
+      ( "warm_cache",
+        jobj
+          (cell "read"
+             (fun (w : Fig3.warm_cell) ->
+               jobj
+                 [
+                   ("cold_round_trips", string_of_int w.Fig3.w_cold_rt);
+                   ("warm_round_trips", string_of_int w.Fig3.w_warm_rt);
+                   ("pass", if Fig3.warm_cell_ok w then "true" else "false");
+                 ])
+             wr
+          @ cell "find"
+              (fun (w : Fig6x.warm_find) ->
+                jobj
+                  [
+                    ("cold_round_trips", string_of_int w.Fig6x.wf_cold_rt);
+                    ("warm_round_trips", string_of_int w.Fig6x.wf_warm_rt);
+                    ("hit_rate", jfloat w.Fig6x.wf_hit_rate);
+                    ("pass", if Fig6x.warm_find_ok w then "true" else "false");
+                  ])
+              wf) );
+    ]
+
 let write_results_json ~bechamel_rows path =
   let fields =
     [
       ("schema", jstr "m3-repro-bench/1");
       ("simulated", jobj (experiments_json ()));
+    ]
+    @ warm_cache_json ()
+    @ [
       ( "host_ms_per_run",
         jobj
           (List.map
@@ -406,6 +488,7 @@ let run_quick () =
       ("fig7/fft-2048", kernel_fig7);
       ("figS/serve-pool-sim", kernel_figs);
       ("sched/elastic-pool-sim", kernel_sched);
+      ("cache/warm-read-find-sim", kernel_warm_cache);
       ("t2/linux-create-model", kernel_t2);
     ]
   in

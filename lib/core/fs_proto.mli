@@ -14,6 +14,7 @@ type op =
   | Fs_mkdir     (** path → () *)
   | Fs_unlink    (** path → () *)
   | Fs_readdir   (** path, index → name, inode (E_not_found past end) *)
+  | Fs_rename    (** src path, dst path → () (regular files only) *)
 
 val op_to_int : op -> int
 val op_of_int : int -> op option
@@ -25,6 +26,10 @@ val op_name : op -> string
 type xop =
   | Fs_get_locs  (** fid, first extent index, count → extents + caps *)
   | Fs_append    (** fid, blocks → new extent + cap *)
+  | Fs_fstat     (** fid → current size (cache revalidation) *)
+  | Fs_reg_notify
+      (** sgate sel (service side) → (); registers the session for
+          cache-invalidation notifications *)
 
 val xop_to_int : xop -> int
 val xop_of_int : int -> xop option
@@ -57,3 +62,27 @@ val srv_msg_order : int
 val srv_slots : int
 val srv_kchannel_order : int
 val srv_kchannel_slots : int
+
+(** {1 Cache-invalidation notifications}
+
+    m3fs broadcasts an invalidation to every registered session when a
+    mutation changes data or namespace state another client may have
+    cached. The wire format is [u8 kind; u64 seq; u64 ino; u64 size;
+    str path]; [seq] counts attempted sends per session, so receivers
+    detect dropped notifications as sequence gaps and flush. *)
+
+type inval_kind =
+  | Inval_ino  (** extent/size change: ino + new size are valid *)
+  | Inval_path  (** namespace entry appeared: path is valid *)
+  | Inval_both  (** entry removed/renamed away: ino and path valid *)
+
+val inval_kind_to_int : inval_kind -> int
+val inval_kind_of_int : int -> inval_kind option
+
+(** Stable short name ("ino", "path", "both") for tracing/metrics. *)
+val inval_kind_name : inval_kind -> string
+
+(** Slot sizing of the client-side notify receive gate. *)
+
+val notify_msg_order : int
+val notify_slots : int

@@ -1744,6 +1744,35 @@ let h_exchange_sess t requester r =
     | e -> reply_err e)
   | Ok _ -> reply_err Errno.E_inv_args
 
+(* Session-scoped delegation: derive an exchangeable capability of the
+   requester into the table of the service VPE behind one of the
+   requester's sessions. The kernel picks the service-side selector —
+   from a reserved high range, scanned deterministically, so it never
+   collides with selectors the service allocates itself — and the new
+   capability is a child of the requester's, so the requester dying
+   (or revoking) pulls it back out of the service automatically. *)
+let delegate_sel_base = 1 lsl 20
+
+let h_delegate_sess _t requester r =
+  let sess_sel = R.u64 r in
+  let own_sel = R.u64 r in
+  match get requester ~sel:sess_sel with
+  | Error e -> reply_err e
+  | Ok { c_obj = O_sess sess; _ } -> (
+    match get requester ~sel:own_sel with
+    | Error e -> reply_err e
+    | Ok cap when exchangeable cap.c_obj -> (
+      let dst = sess.sess_srv.srv_vpe in
+      let rec pick sel =
+        if Hashtbl.mem dst.v_caps sel then pick (sel + 1) else sel
+      in
+      let dst_sel = pick delegate_sel_base in
+      match derive_to ~cap ~dst ~dst_sel cap.c_obj with
+      | Ok _ -> reply_ok (fun w -> W.u64 w dst_sel)
+      | Error e -> reply_err e)
+    | Ok _ -> reply_err Errno.E_no_perm)
+  | Ok _ -> reply_err Errno.E_inv_args
+
 (* Interrupts as messages (§4.4.2): point the device's send endpoint
    at the requester's receive gate and write the period register. The
    handed-out capability is a child of the receive-gate capability, so
@@ -1828,7 +1857,8 @@ let dispatch t requester r ~slot =
     | Proto.Vpe_suspend -> h_vpe_suspend t requester r
     | Proto.Vpe_resume -> h_vpe_resume t requester r
     | Proto.Sched_join -> h_sched_join t requester r
-    | Proto.Vpe_sched_state -> h_vpe_sched_state t requester r)
+    | Proto.Vpe_sched_state -> h_vpe_sched_state t requester r
+    | Proto.Delegate_sess -> h_delegate_sess t requester r)
 
 (* --- kernel main loop ------------------------------------------------ *)
 

@@ -65,10 +65,32 @@ type file_open = {
   fo_open_size : int;
 }
 
+(* A session that registered for cache invalidations. [n_seq] counts
+   *attempted* sends: a dropped notification (full ringbuffer, dead
+   client) leaves a gap the receiver detects and answers with a
+   conservative flush. *)
+type notify_st = {
+  n_gate : Gate.send_gate;
+  mutable n_seq : int;
+}
+
 type session = {
   ident : int64;
   files : (int, file_open) Hashtbl.t; (* fid -> open file *)
   mutable next_fid : int;
+  mutable notify : notify_st option;
+}
+
+(* A notification marshaled but not yet sent: broadcasts are deferred
+   until after the triggering request is answered. Sending inline can
+   deadlock — the first send must activate an endpoint, which is a
+   syscall, and during an exchange-channel operation the kernel is
+   itself blocked waiting for this server's reply. *)
+type pending_inval = {
+  pi_sess : int64;
+  pi_gate : Gate.send_gate;
+  pi_kind : string;
+  pi_bytes : Bytes.t;
 }
 
 type server = {
@@ -76,6 +98,8 @@ type server = {
   fs : Fs_image.t;
   image_sel : int; (* memory capability covering the whole image *)
   sessions : (int64, session) Hashtbl.t;
+  srv_name : string;
+  mutable pending : pending_inval list; (* newest first; flushed reversed *)
 }
 
 (* Server registry keyed like [images]: lets tests and the crash
@@ -112,12 +136,85 @@ let reply_ok fill =
   fill w;
   w
 
+(* --- cache-invalidation broadcast -------------------------------------- *)
+
+(* Fire-and-forget: one notify message per registered session, except
+   the mutating one (its client invalidates locally as part of the
+   operation). Sessions are walked in ident order so event logs stay
+   deterministic. The sequence number is claimed here, at the mutation,
+   but the send itself is deferred to [flush_invals] after the request
+   is answered (see {!pending_inval}). A failed send is tolerated: the
+   sequence number was already bumped, so the receiver sees a gap and
+   flushes wholesale instead of trusting stale entries. Costs nothing —
+   no charges, no events — while no session is registered, which keeps
+   cache-off runs byte-identical. *)
+let broadcast_inval t ~except kind ~ino ~size ~path =
+  let targets =
+    Hashtbl.fold
+      (fun _ s acc ->
+        match s.notify with
+        | Some _ when not (Int64.equal s.ident except) -> s :: acc
+        | _ -> acc)
+      t.sessions []
+    |> List.sort (fun a b -> Int64.compare a.ident b.ident)
+  in
+  List.iter
+    (fun s ->
+      match s.notify with
+      | None -> ()
+      | Some n ->
+        let seq = n.n_seq in
+        n.n_seq <- seq + 1;
+        let w = W.create () in
+        W.u8 w (Fs_proto.inval_kind_to_int kind);
+        W.u64 w seq;
+        W.u64 w ino;
+        W.u64 w size;
+        W.str w path;
+        t.pending <-
+          {
+            pi_sess = s.ident;
+            pi_gate = n.n_gate;
+            pi_kind = Fs_proto.inval_kind_name kind;
+            pi_bytes = W.contents w;
+          }
+          :: t.pending)
+    targets
+
+let flush_invals t =
+  match t.pending with
+  | [] -> ()
+  | pending ->
+    t.pending <- [];
+    let obs = Fabric.obs t.env.Env.fabric in
+    let pe = M3_hw.Pe.id t.env.Env.pe in
+    List.iter
+      (fun pi ->
+        Env.charge t.env Account.Os Cost_model.fs_inval_notify;
+        if Obs.enabled obs then
+          Obs.emit obs
+            (Event.Fs_inval_send
+               {
+                 pe;
+                 srv = t.srv_name;
+                 session = Int64.to_int pi.pi_sess;
+                 kind = pi.pi_kind;
+               });
+        match Gate.send t.env pi.pi_gate pi.pi_bytes () with
+        | Ok () -> ()
+        | Error e ->
+          Log.debug (fun m ->
+              m "%s: inval notify to sess%Ld dropped: %s" t.srv_name pi.pi_sess
+                (Errno.to_string e)))
+      (List.rev pending)
+
 (* --- session (client-channel) operations ------------------------------ *)
 
 let h_open t sess r =
   let path = R.str r in
   let flags = R.u64 r in
   let want_create = flags land Fs_proto.o_create <> 0 in
+  let created = ref false in
   let resolved =
     match Fs_image.lookup t.fs path with
     | Ok (ino, scanned) ->
@@ -127,6 +224,7 @@ let h_open t sess r =
       match Fs_image.create_file t.fs path with
       | Ok ino ->
         charge_meta t ~scanned:4;
+        created := true;
         Ok ino
       | Error e -> Error e)
     | Error e ->
@@ -137,6 +235,12 @@ let h_open t sess r =
   | Error e -> reply_err e
   | Ok ino ->
     if flags land Fs_proto.o_trunc <> 0 then Fs_image.truncate t.fs ~ino ~size:0;
+    if !created then
+      broadcast_inval t ~except:sess.ident Fs_proto.Inval_path ~ino ~size:0
+        ~path
+    else if flags land Fs_proto.o_trunc <> 0 then
+      broadcast_inval t ~except:sess.ident Fs_proto.Inval_ino ~ino ~size:0
+        ~path:"";
     let fid = sess.next_fid in
     sess.next_fid <- fid + 1;
     Hashtbl.replace sess.files fid
@@ -144,7 +248,17 @@ let h_open t sess r =
     reply_ok (fun w ->
         W.u64 w fid;
         W.u64 w (Fs_image.file_size t.fs ~ino);
-        W.u64 w ino)
+        (* Caching clients (identified by their notify registration)
+           also get the inode number and extent count, so they can key
+           their mount cache without a stat round-trip. Plain clients
+           get the unchanged two-word reply — byte-identical wire
+           traffic when the cache is off. *)
+        if sess.notify <> None then begin
+          W.u64 w ino;
+          match Fs_image.stat t.fs ~ino with
+          | Ok st -> W.u64 w st.extents
+          | Error _ -> W.u64 w 0
+        end)
 
 let h_close t sess r =
   let fid = R.u64 r in
@@ -154,8 +268,14 @@ let h_close t sess r =
   | Some { fo_ino = ino; _ } ->
     charge_meta t ~scanned:0;
     (* A writer reports its final size; the over-allocated tail blocks
-       return to the bitmap (§4.5.8). *)
-    if final_size >= 0 then Fs_image.truncate t.fs ~ino ~size:final_size;
+       return to the bitmap (§4.5.8). The close is the commit point
+       other clients may have cached the old size across, so it
+       broadcasts the new one. *)
+    if final_size >= 0 then begin
+      Fs_image.truncate t.fs ~ino ~size:final_size;
+      broadcast_inval t ~except:sess.ident Fs_proto.Inval_ino ~ino
+        ~size:final_size ~path:""
+    end;
     Hashtbl.remove sess.files fid;
     reply_ok (fun _ -> ())
 
@@ -176,18 +296,53 @@ let h_stat t r =
           W.u64 w st.ino;
           W.u64 w st.extents))
 
-let h_mkdir t r =
+let h_mkdir t sess r =
   let path = R.str r in
   charge_meta t ~scanned:3;
   match Fs_image.mkdir t.fs path with
-  | Ok () -> reply_ok (fun _ -> ())
+  | Ok () ->
+    broadcast_inval t ~except:sess.ident Fs_proto.Inval_path ~ino:0 ~size:0
+      ~path;
+    reply_ok (fun _ -> ())
   | Error e -> reply_err e
 
-let h_unlink t r =
+let h_unlink t sess r =
   let path = R.str r in
   charge_meta t ~scanned:3;
+  (* The inode number must be captured before the dirent goes away;
+     size 0 in the broadcast sends surviving handles to EOF — the
+     blocks return to the bitmap and may be reallocated. *)
+  let ino =
+    match Fs_image.lookup t.fs path with Ok (ino, _) -> ino | Error _ -> -1
+  in
   match Fs_image.unlink t.fs path with
-  | Ok () -> reply_ok (fun _ -> ())
+  | Ok () ->
+    broadcast_inval t ~except:sess.ident Fs_proto.Inval_both ~ino ~size:0
+      ~path;
+    (* A caching requester is excluded from its own broadcast; the ino
+       in the reply lets it invalidate its own tables locally. *)
+    reply_ok (fun w -> if sess.notify <> None then W.u64 w ino)
+  | Error e -> reply_err e
+
+let h_rename t sess r =
+  let src = R.str r in
+  let dst = R.str r in
+  charge_meta t ~scanned:4;
+  match Fs_image.rename t.fs ~src ~dst with
+  | Ok ino ->
+    (* The inode and its extents are untouched, so the broadcast
+       carries the current size: receivers unbind [src] and refetch
+       locations, but surviving handles keep reading. *)
+    let size = Fs_image.file_size t.fs ~ino in
+    broadcast_inval t ~except:sess.ident Fs_proto.Inval_both ~ino ~size
+      ~path:src;
+    broadcast_inval t ~except:sess.ident Fs_proto.Inval_path ~ino ~size
+      ~path:dst;
+    reply_ok (fun w ->
+        if sess.notify <> None then begin
+          W.u64 w ino;
+          W.u64 w size
+        end)
   | Error e -> reply_err e
 
 let h_readdir t r =
@@ -226,9 +381,10 @@ let handle_client t sess r =
   | Some Fs_proto.Fs_open -> h_open t sess r
   | Some Fs_proto.Fs_close -> h_close t sess r
   | Some Fs_proto.Fs_stat -> h_stat t r
-  | Some Fs_proto.Fs_mkdir -> h_mkdir t r
-  | Some Fs_proto.Fs_unlink -> h_unlink t r
+  | Some Fs_proto.Fs_mkdir -> h_mkdir t sess r
+  | Some Fs_proto.Fs_unlink -> h_unlink t sess r
   | Some Fs_proto.Fs_readdir -> h_readdir t r
+  | Some Fs_proto.Fs_rename -> h_rename t sess r
   | None -> reply_err Errno.E_inv_args
 
 (* --- kernel-channel operations (session open + cap exchanges) ---------- *)
@@ -304,7 +460,13 @@ let h_append t sess r =
     | Error e -> reply_err e
     | Ok e ->
       (* Zero blocks are prepared by the DTU in the background (§5.4),
-         so no zeroing cost appears here. *)
+         so no zeroing cost appears here. Other sessions caching this
+         file learn the allocation moved under them; the size they
+         receive is still the committed one — data only becomes
+         visible at the writer's close. *)
+      broadcast_inval t ~except:sess.ident Fs_proto.Inval_ino ~ino
+        ~size:(Fs_image.file_size t.fs ~ino)
+        ~path:"";
       let out = W.create () in
       W.u64 out 1;
       put_extent t out ~file_off_blocks:off_blocks e;
@@ -313,13 +475,41 @@ let h_append t sess r =
           W.u64 w 1;
           put_cap_descr t w e))
 
+(* Revalidation by fid: a client whose cached size may be stale (after
+   a notification gap or crash flush) asks for the current committed
+   size without a path walk. Exchange-channel reply shape: payload
+   bytes + zero capabilities. *)
+let h_fstat t sess r =
+  let fid = R.u64 r in
+  match find_file t sess fid with
+  | Error e -> reply_err e
+  | Ok ino ->
+    Env.charge t.env Account.Os Cost_model.fs_meta_op;
+    let out = W.create () in
+    W.u64 out (Fs_image.file_size t.fs ~ino);
+    reply_ok (fun w ->
+        W.bytes w (W.contents out);
+        W.u64 w 0)
+
+(* The client delegated a send gate to us via [delegate_sess] and now
+   tells us which service-side selector it landed at. The capability
+   is a child of the client's, so a dead client takes it down with
+   itself — no watchdog needed here. *)
+let h_reg_notify t sess r =
+  let sel = R.u64 r in
+  Env.charge t.env Account.Os Cost_model.fs_meta_op;
+  sess.notify <- Some { n_gate = Gate.send_gate_of_sel sel; n_seq = 0 };
+  reply_ok (fun w ->
+      W.bytes w Bytes.empty;
+      W.u64 w 0)
+
 let handle_kernel t r =
   match Proto.srv_opcode_of_int (R.u8 r) with
   | Some Proto.Srv_open ->
     let _arg = R.u64 r in
     let ident = Int64.of_int (Hashtbl.length t.sessions + 1) in
     Hashtbl.replace t.sessions ident
-      { ident; files = Hashtbl.create 8; next_fid = 1 };
+      { ident; files = Hashtbl.create 8; next_fid = 1; notify = None };
     Env.charge t.env Account.Os Cost_model.fs_meta_op;
     reply_ok (fun w -> W.i64 w ident)
   | Some Proto.Srv_exchange -> (
@@ -332,6 +522,8 @@ let handle_kernel t r =
       match Fs_proto.xop_of_int (R.u8 xr) with
       | Some Fs_proto.Fs_get_locs -> h_get_locs t sess xr
       | Some Fs_proto.Fs_append -> h_append t sess xr
+      | Some Fs_proto.Fs_fstat -> h_fstat t sess xr
+      | Some Fs_proto.Fs_reg_notify -> h_reg_notify t sess xr
       | None -> reply_err Errno.E_inv_args))
   | Some Proto.Srv_client_gone -> (
     let ident = R.i64 r in
@@ -357,7 +549,7 @@ let handle_kernel t r =
 
 (* --- server main ------------------------------------------------------- *)
 
-let main config (env : Env.t) =
+let main (config : config) (env : Env.t) =
   let mgate, addr =
     Errno.ok_exn (Gate.req_mem env ~size:config.fs_size ~perm:M3_mem.Perm.rw)
   in
@@ -403,6 +595,8 @@ let main config (env : Env.t) =
       fs;
       image_sel = mgate.Gate.mg_user.Env.eu_sel;
       sessions = Hashtbl.create 8;
+      srv_name = config.srv_name;
+      pending = [];
     }
   in
   Hashtbl.replace servers key t;
@@ -462,6 +656,12 @@ let main config (env : Env.t) =
           | None -> reply_err Errno.E_not_found)
       with Msgbuf.R.Underflow -> reply_err Errno.E_inv_args
     in
+    (* Session-channel mutations deliver their invalidations BEFORE
+       the reply: the kernel is not involved, so the endpoint
+       activation a first send needs cannot deadlock, and a client
+       that synchronizes with the mutator (e.g. waits for its exit)
+       is guaranteed to have the invalidation in its buffer. *)
+    if which = 1 then flush_invals t;
     (match Gate.reply env gate ~slot:msg.slot (W.contents answer) with
     | Ok () -> ()
     | Error e ->
@@ -470,10 +670,16 @@ let main config (env : Env.t) =
       Obs.emit obs
         (Event.Fs_response
            { pe; session; op; cycles = M3_sim.Engine.now env.Env.engine - t0 });
+    (* Exchange-channel mutations (append) must defer theirs to here:
+       during the exchange the kernel is blocked on our reply, so a
+       send needing an activate syscall would deadlock. The committed
+       size only changes at close (session channel), so the weaker
+       ordering is safe. *)
+    flush_invals t;
     serve ()
   in
   serve ()
 
-let register ?prog_name config =
+let register ?prog_name (config : config) =
   let name = Option.value prog_name ~default:config.srv_name in
   Program.register ~name ~image_bytes:(24 * 1024) (main config)

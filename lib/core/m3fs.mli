@@ -46,6 +46,12 @@ val program_name : string
     configuration. *)
 val register : ?prog_name:string -> config -> unit
 
+(** [main config env] is the server body itself — exported so tests
+    and the crash harness can run an instance under
+    {!Bootstrap.supervise} (restart-on-abort) instead of the
+    bootstrapper's fire-and-forget launch. *)
+val main : config -> Env.t -> int
+
 (** [current_image engine] is the image of [engine]'s default
     instance ("m3fs"), for white-box tests and fsck; set when the
     server initializes. *)

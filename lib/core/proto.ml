@@ -20,13 +20,15 @@ type opcode =
   | Vpe_resume
   | Sched_join
   | Vpe_sched_state
+  (* session-scoped delegation — appended *)
+  | Delegate_sess
 
 let all_opcodes =
   [
     Noop; Create_vpe; Vpe_start; Vpe_wait; Vpe_exit; Create_rgate;
     Create_sgate; Req_mem; Derive_mem; Activate; Exchange; Create_srv;
     Open_sess; Exchange_sess; Revoke; Route_irq; Vpe_suspend; Vpe_resume;
-    Sched_join; Vpe_sched_state;
+    Sched_join; Vpe_sched_state; Delegate_sess;
   ]
 
 let opcode_to_int op =
@@ -59,6 +61,7 @@ let opcode_name = function
   | Vpe_resume -> "vpe_resume"
   | Sched_join -> "sched_join"
   | Vpe_sched_state -> "vpe_sched_state"
+  | Delegate_sess -> "delegate_sess"
 
 let core_kind_to_int = function
   | M3_hw.Core_type.General_purpose -> 0

@@ -27,6 +27,12 @@ type opcode =
   | Vpe_sched_state
       (** vpe sel — query where the child is in the suspend/resume
           life cycle (placed, mid-suspension, parked, queued) *)
+  | Delegate_sess
+      (** sess sel, own sel → service-side sel; derives an
+          exchangeable capability of the caller into the VPE of the
+          service behind the session — how a client hands a service a
+          send gate for notifications without holding the service's
+          VPE capability *)
 
 val opcode_to_int : opcode -> int
 val opcode_of_int : int -> opcode option

@@ -280,6 +280,15 @@ let exchange_sess env ~sess_sel ~args ~caps =
     let out = R.bytes r in
     Ok (out, List.filteri (fun i _ -> i < ncaps) sels)
 
+let delegate_sess env ~sess_sel ~own_sel =
+  match
+    syscall env Proto.Delegate_sess (fun w ->
+        W.u64 w sess_sel;
+        W.u64 w own_sel)
+  with
+  | Error e -> Error e
+  | Ok r -> Ok (R.u64 r)
+
 let revoke env ~sel = unit_reply (syscall env Proto.Revoke (fun w -> W.u64 w sel))
 
 let route_irq env ~device_pe ~rgate_sel ~period =

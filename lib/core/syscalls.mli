@@ -109,6 +109,15 @@ val open_sess : Env.t -> srv:string -> arg:int -> (int * int) result_
 val exchange_sess :
   Env.t -> sess_sel:int -> args:Bytes.t -> caps:int -> (Bytes.t * int list) result_
 
+(** [delegate_sess env ~sess_sel ~own_sel] derives the (exchangeable)
+    capability at [own_sel] into the table of the service VPE behind
+    session [sess_sel], and returns the service-side selector the
+    kernel chose. The derived capability is a child of the caller's,
+    so revoking the caller's (or the caller dying) pulls it back.
+    This is how a client hands a service a send gate for
+    notifications without holding the service's VPE capability. *)
+val delegate_sess : Env.t -> sess_sel:int -> own_sel:int -> int result_
+
 (** [revoke env ~sel] recursively revokes a capability. *)
 val revoke : Env.t -> sel:int -> unit result_
 

@@ -13,6 +13,10 @@ type shard_set = {
   sh_services : string array;
   sh_mounts : File.mount option array;
   sh_ring : Shard.t;
+  (* caching policy for this shard set: shard sessions open lazily, so
+     the choice must be remembered and applied at open time *)
+  mutable sh_cache : Fs_cache.config option;
+  mutable sh_cache_on : bool;
 }
 
 type entry = Single of File.mount | Sharded of shard_set
@@ -58,6 +62,8 @@ let mount_sharded env ~path ~services =
             sh_services;
             sh_mounts = Array.map (fun _ -> None) sh_services;
             sh_ring = Shard.create ~names:sh_services ();
+            sh_cache = None;
+            sh_cache_on = false;
           } )
       :: s.mounts;
     Ok ()
@@ -70,9 +76,13 @@ let shard_mount env sh shard =
   | None -> (
     match File.mount_m3fs env ~service:sh.sh_services.(shard) with
     | Error e -> Error e
-    | Ok m ->
+    | Ok m -> (
       sh.sh_mounts.(shard) <- Some m;
-      Ok m)
+      if not sh.sh_cache_on then Ok m
+      else
+        match File.enable_cache ?config:sh.sh_cache env m with
+        | Ok () -> Ok m
+        | Error e -> Error e))
 
 let resolve env path =
   let path = normalize path in
@@ -144,3 +154,56 @@ let readdir env path ~index =
   match resolve env path with
   | Error e -> Error e
   | Ok (m, rel) -> File.readdir env m rel ~index
+
+(* Rename stays within one service: m3fs owns both dirents or the
+   operation cannot be atomic. Cross-mount (or cross-shard, where the
+   hash ring puts src and dst on different instances) is rejected. *)
+let rename env ~src ~dst =
+  match (resolve env src, resolve env dst) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok (m_src, rel_src), Ok (m_dst, rel_dst) ->
+    if m_src != m_dst then Error Errno.E_inv_args
+    else File.rename env m_src ~src:rel_src ~dst:rel_dst
+
+(* [enable_cache env ~path] switches the mount entry at prefix [path]
+   to coherent caching; for a shard set, already-open shard sessions
+   switch now and lazily-opened ones at open time. *)
+let enable_cache ?config env ~path =
+  let path = normalize path in
+  match List.assoc_opt path (state env).mounts with
+  | None -> Error Errno.E_not_found
+  | Some (Single m) -> File.enable_cache ?config env m
+  | Some (Sharded sh) ->
+    sh.sh_cache <- config;
+    sh.sh_cache_on <- true;
+    Array.fold_left
+      (fun acc m ->
+        match (acc, m) with
+        | Error e, _ -> Error e
+        | Ok (), None -> Ok ()
+        | Ok (), Some m -> File.enable_cache ?config env m)
+      (Ok ()) sh.sh_mounts
+
+let entry_mounts = function
+  | Single m -> [ m ]
+  | Sharded sh -> List.filter_map Fun.id (Array.to_list sh.sh_mounts)
+
+let all_mounts env =
+  List.concat_map (fun (_, e) -> entry_mounts e) (state env).mounts
+
+(* Aggregate service round-trips over every mount of this VPE — the
+   denominator of the warm/cold comparisons. *)
+let round_trips env =
+  List.fold_left (fun acc m -> acc + File.round_trips m) 0 (all_mounts env)
+
+(* Summed cache counters over every caching mount of this VPE. *)
+let cache_totals env =
+  List.fold_left
+    (fun (h, m_, i) mt ->
+      match File.cache_stats mt with
+      | None -> (h, m_, i)
+      | Some s ->
+        ( h + s.Fs_cache.s_hits,
+          m_ + s.Fs_cache.s_misses,
+          i + s.Fs_cache.s_invals ))
+    (0, 0, 0) (all_mounts env)

@@ -33,3 +33,20 @@ val stat : Env.t -> string -> Fs_proto.stat result_
 val mkdir : Env.t -> string -> unit result_
 val unlink : Env.t -> string -> unit result_
 val readdir : Env.t -> string -> index:int -> (string * int) option result_
+
+(** [rename env ~src ~dst] renames within one mount (and, under a
+    shard set, one shard — m3fs must own both dirents for atomicity);
+    [E_inv_args] otherwise. *)
+val rename : Env.t -> src:string -> dst:string -> unit result_
+
+(** [enable_cache ?config env ~path] switches the mount entry at
+    prefix [path] (as given to {!mount} / {!mount_sharded}) to
+    coherent caching ({!File.enable_cache}). Shard sessions that open
+    lazily later inherit the setting. *)
+val enable_cache : ?config:Fs_cache.config -> Env.t -> path:string -> unit result_
+
+(** Aggregate service round-trips over every mount of this VPE. *)
+val round_trips : Env.t -> int
+
+(** [(hits, misses, invals)] summed over every caching mount. *)
+val cache_totals : Env.t -> int * int * int

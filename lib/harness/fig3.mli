@@ -12,12 +12,33 @@ type bars = {
   lx : Runner.measure;
 }
 
+(** Warm re-read of the 2 MiB file through the mount cache: the cold
+    pass pays the open/location round-trips, the warm pass is served
+    from the cached attr + extent entries. *)
+type warm_cell = {
+  w_cold : Runner.measure;
+  w_warm : Runner.measure;
+  w_cold_rt : int;  (** service round-trips inside the cold bracket *)
+  w_warm_rt : int;  (** ... inside the warm bracket *)
+}
+
 type t = {
   syscall : bars;
   read : bars;
   write : bars;
   pipe : bars;
+  warm_read : warm_cell;
 }
+
+(** [m3_warm_read ()] measures just the warm cell (cheap — two runs of
+    one 2 MiB read); {!run} embeds the same cell in the full figure. *)
+val m3_warm_read : unit -> warm_cell
+
+(** The acceptance gate: the warm pass costs at least 1.5x fewer
+    service round-trips than the cold one. *)
+val warm_cell_ok : warm_cell -> bool
+
+val warm_ok : t -> bool
 
 (** 2 MiB *)
 val total_bytes : int

@@ -32,11 +32,31 @@ type curve = {
   v_cells : cell list;
 }
 
+(** Warm find through the mount cache: the §5.6 find workload replayed
+    cold and warm — the warm walk's stats are served from the cached
+    attrs instead of service round-trips. *)
+type warm_find = {
+  wf_cold : Runner.measure;
+  wf_warm : Runner.measure;
+  wf_cold_rt : int;  (** service round-trips, cold walk *)
+  wf_warm_rt : int;  (** ... warm walk *)
+  wf_hit_rate : float;  (** cache hit rate over the primed run *)
+}
+
 type t = {
   r_counts : int list;
   r_shards : int list;
   r_curves : curve list;
+  r_warm : warm_find;
 }
+
+(** [warm_find ()] measures just the warm-find cell (cheap — two find
+    replays); {!run} embeds the same cell in the full sweep. *)
+val warm_find : unit -> warm_find
+
+(** The warm-cache acceptance gate: the warm walk costs at least 1.5x
+    fewer service round-trips than the cold one. *)
+val warm_find_ok : warm_find -> bool
 
 (** [run ?quick ()] — the full sweep is find/untar x shards {1,2,4} x
     instances {1,2,4,8,16}; [quick] (CI smoke) is find x shards {1,4} x

@@ -247,6 +247,26 @@ let print_obs ppf m =
     List.iter
       (fun (srv, n) -> Format.fprintf ppf "    %-14s %8d@." srv n)
       resolves);
+  (let hits = Metrics.cache_hits m
+   and misses = Metrics.cache_misses m
+   and invals = Metrics.cache_invals m in
+   if hits <> [] || misses <> [] || invals <> [] then begin
+     Format.fprintf ppf "  mount cache (hit rate %.0f%%):@."
+       (100.0 *. Metrics.cache_hit_rate m);
+     let n kind alist = Option.value ~default:0 (List.assoc_opt kind alist) in
+     let kinds =
+       List.sort_uniq compare
+         (List.map fst hits @ List.map fst misses @ List.map fst invals)
+     in
+     List.iter
+       (fun kind ->
+         Format.fprintf ppf "    %-14s %6d hits  %6d misses  %6d invals@."
+           kind (n kind hits) (n kind misses) (n kind invals))
+       kinds;
+     if Metrics.cache_flushes m > 0 then
+       Format.fprintf ppf "    %-14s %6d wholesale flushes@." ""
+         (Metrics.cache_flushes m)
+   end);
   (if
      Metrics.sched_suspends m > 0
      || Metrics.sched_switches m > 0

@@ -23,6 +23,7 @@ let fs_meta_op = 120
 let fs_dirent_scan = 15
 let fs_get_locs = 2300
 let fs_append = 2600
+let fs_inval_notify = 45
 
 let vpe_clone_setup = 400
 let vpe_exec_setup = 600

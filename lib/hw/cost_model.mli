@@ -61,6 +61,10 @@ val fs_get_locs : int
 val fs_append : int
 (** allocating an extent: bitmap scan plus inode update *)
 
+val fs_inval_notify : int
+(** building and issuing one cache-invalidation notification to a
+    registered client session (fire-and-forget send) *)
+
 (** {1 Process-like operations} *)
 
 val vpe_clone_setup : int

@@ -199,6 +199,26 @@ let record t ~at (ev : Event.t) =
       ~name:(Printf.sprintf "fs.queue:%s" srv)
       ~cat:"fs"
       (args_of [ ("depth", depth) ])
+  | Event.Fs_cache_hit { pe; kind } ->
+    marker t ~pid:(pe_pid t pe) ~tid:0 ~at ~name:("fs.cache.hit:" ^ kind)
+      ~cat:"fs" []
+  | Event.Fs_cache_miss { pe; kind } ->
+    marker t ~pid:(pe_pid t pe) ~tid:0 ~at ~name:("fs.cache.miss:" ^ kind)
+      ~cat:"fs" []
+  | Event.Fs_cache_inval { pe; kind } ->
+    marker t ~pid:(pe_pid t pe) ~tid:0 ~at ~name:("fs.cache.inval:" ^ kind)
+      ~cat:"fs" []
+  | Event.Fs_cache_flush { pe; gen; reason } ->
+    marker t ~pid:(pe_pid t pe) ~tid:0 ~at ~name:("fs.cache.flush:" ^ reason)
+      ~cat:"fs"
+      (args_of [ ("gen", gen) ])
+  | Event.Fs_inval_send { pe; srv; session; kind } ->
+    let pid = pe_pid t pe in
+    let tid = tid_sess_base + session in
+    ensure_tid t pid tid ~name:(Printf.sprintf "fs.sess%d" session);
+    marker t ~pid ~tid ~at
+      ~name:(Printf.sprintf "fs.inval:%s:%s" srv kind)
+      ~cat:"fs" []
   | Event.Vpe_create { vpe; pe; name } ->
     let pid = pe_pid t pe in
     let tid = vpe_tid t pid vpe in

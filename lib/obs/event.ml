@@ -34,6 +34,11 @@ type t =
   | Fs_response of { pe : int; session : int; op : string; cycles : int }
   | Fs_shard of { pe : int; shard : int; srv : string }
   | Fs_queue of { pe : int; srv : string; depth : int }
+  | Fs_cache_hit of { pe : int; kind : string }
+  | Fs_cache_miss of { pe : int; kind : string }
+  | Fs_cache_inval of { pe : int; kind : string }
+  | Fs_cache_flush of { pe : int; gen : int; reason : string }
+  | Fs_inval_send of { pe : int; srv : string; session : int; kind : string }
   | Vpe_create of { vpe : int; pe : int; name : string }
   | Vpe_start of { vpe : int; pe : int; name : string }
   | Vpe_exit of { vpe : int; pe : int; code : int }
@@ -76,6 +81,11 @@ let name = function
   | Fs_response _ -> "fs.response"
   | Fs_shard _ -> "fs.shard.resolve"
   | Fs_queue _ -> "fs.shard.queue"
+  | Fs_cache_hit _ -> "fs.cache.hit"
+  | Fs_cache_miss _ -> "fs.cache.miss"
+  | Fs_cache_inval _ -> "fs.cache.inval"
+  | Fs_cache_flush _ -> "fs.cache.flush"
+  | Fs_inval_send _ -> "fs.inval.send"
   | Vpe_create _ -> "vpe.create"
   | Vpe_start _ -> "vpe.start"
   | Vpe_exit _ -> "vpe.exit"
@@ -134,6 +144,13 @@ let pp ppf t =
     f "fs.response pe%d sess%d %s cycles=%d" pe session op cycles
   | Fs_shard { pe; shard; srv } -> f "fs.shard.resolve pe%d -> %s[%d]" pe srv shard
   | Fs_queue { pe; srv; depth } -> f "fs.shard.queue pe%d %s depth=%d" pe srv depth
+  | Fs_cache_hit { pe; kind } -> f "fs.cache.hit pe%d %s" pe kind
+  | Fs_cache_miss { pe; kind } -> f "fs.cache.miss pe%d %s" pe kind
+  | Fs_cache_inval { pe; kind } -> f "fs.cache.inval pe%d %s" pe kind
+  | Fs_cache_flush { pe; gen; reason } ->
+    f "fs.cache.flush pe%d gen=%d (%s)" pe gen reason
+  | Fs_inval_send { pe; srv; session; kind } ->
+    f "fs.inval.send pe%d %s sess%d %s" pe srv session kind
   | Vpe_create { vpe; pe; name } -> f "vpe.create vpe%d pe%d %s" vpe pe name
   | Vpe_start { vpe; pe; name } -> f "vpe.start vpe%d pe%d %s" vpe pe name
   | Vpe_exit { vpe; pe; code } -> f "vpe.exit vpe%d pe%d code=%d" vpe pe code

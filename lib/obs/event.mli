@@ -59,6 +59,20 @@ type t =
       (** server-side: ringbuffer backlog observed by instance [srv]
           when it picked up a request (emitted only when the instance
           runs with [emit_queue]) *)
+  | Fs_cache_hit of { pe : int; kind : string }
+      (** client-side mount cache served this lookup; [kind] is
+          "attr", "extent", "open" or "dir" *)
+  | Fs_cache_miss of { pe : int; kind : string }
+  | Fs_cache_inval of { pe : int; kind : string }
+      (** client-side: a notification (or local mutation) dropped or
+          refreshed cached state; [kind] is the wire kind ("ino",
+          "path", "both") or "local" *)
+  | Fs_cache_flush of { pe : int; gen : int; reason : string }
+      (** client-side wholesale flush; [gen] is the new cache
+          generation, [reason] "gap", "crash" or "manual" *)
+  | Fs_inval_send of { pe : int; srv : string; session : int; kind : string }
+      (** server-side: m3fs broadcast one invalidation to a registered
+          session (attempted — the send may still be dropped) *)
   | Vpe_create of { vpe : int; pe : int; name : string }
   | Vpe_start of { vpe : int; pe : int; name : string }
   | Vpe_exit of { vpe : int; pe : int; code : int }

@@ -11,6 +11,11 @@ type t = {
   fs_lat : (string, Stats.t) Hashtbl.t;
   fs_queue : (string, Stats.t) Hashtbl.t;
   shard_hits : (string, int ref) Hashtbl.t;
+  cache_hits : (string, int ref) Hashtbl.t;
+  cache_misses : (string, int ref) Hashtbl.t;
+  cache_invals : (string, int ref) Hashtbl.t;
+  inval_sends : (string, int ref) Hashtbl.t;
+  mutable cache_flushes : int;
   serve_queue : (string, Stats.t) Hashtbl.t;
   serve_batch : (string, Stats.t) Hashtbl.t;
   serve_lat : (string, Stats.t) Hashtbl.t;
@@ -53,6 +58,11 @@ let create () =
     fs_lat = Hashtbl.create 8;
     fs_queue = Hashtbl.create 8;
     shard_hits = Hashtbl.create 8;
+    cache_hits = Hashtbl.create 4;
+    cache_misses = Hashtbl.create 4;
+    cache_invals = Hashtbl.create 4;
+    inval_sends = Hashtbl.create 4;
+    cache_flushes = 0;
     serve_queue = Hashtbl.create 4;
     serve_batch = Hashtbl.create 4;
     serve_lat = Hashtbl.create 4;
@@ -124,6 +134,11 @@ let record t (ev : Event.t) =
   | Event.Fs_response { op; cycles; _ } ->
     observe t.fs_lat op (float_of_int cycles)
   | Event.Fs_shard { srv; _ } -> bump t.shard_hits srv 1
+  | Event.Fs_cache_hit { kind; _ } -> bump t.cache_hits kind 1
+  | Event.Fs_cache_miss { kind; _ } -> bump t.cache_misses kind 1
+  | Event.Fs_cache_inval { kind; _ } -> bump t.cache_invals kind 1
+  | Event.Fs_cache_flush _ -> t.cache_flushes <- t.cache_flushes + 1
+  | Event.Fs_inval_send { srv; _ } -> bump t.inval_sends srv 1
   | Event.Fs_queue { srv; depth; _ } ->
     observe t.fs_queue srv (float_of_int depth)
   | Event.Pipe_push { bytes; _ } -> t.pipe_pushed <- t.pipe_pushed + bytes
@@ -195,6 +210,17 @@ let syscalls t = sorted_bindings t.syscall_lat
 let fs_ops t = sorted_bindings t.fs_lat
 let fs_queues t = sorted_bindings t.fs_queue
 let shard_resolves t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.shard_hits)
+let cache_hits t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.cache_hits)
+let cache_misses t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.cache_misses)
+let cache_invals t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.cache_invals)
+let inval_sends t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.inval_sends)
+let cache_flushes t = t.cache_flushes
+
+let cache_hit_rate t =
+  let total tbl = Hashtbl.fold (fun _ r acc -> acc + !r) tbl 0 in
+  let hits = total t.cache_hits and misses = total t.cache_misses in
+  if hits + misses = 0 then 0.0
+  else float_of_int hits /. float_of_int (hits + misses)
 let serve_queues t = sorted_bindings t.serve_queue
 let serve_batches t = sorted_bindings t.serve_batch
 let serve_latencies t = sorted_bindings t.serve_lat

@@ -37,6 +37,25 @@ val fs_queues : t -> (string * M3_sim.Stats.t) list
     ([fs.shard.resolve] events), keyed by service name. *)
 val shard_resolves : t -> (string * int) list
 
+(** {1 Mount-cache table}
+
+    Client-side mount-cache activity, keyed by lookup kind ("attr",
+    "extent", "open", "dir") for hits/misses and by invalidation kind
+    ("ino", "path", "both", "local") for invals. *)
+
+val cache_hits : t -> (string * int) list
+val cache_misses : t -> (string * int) list
+val cache_invals : t -> (string * int) list
+
+(** Server-side invalidation broadcasts, keyed by service name. *)
+val inval_sends : t -> (string * int) list
+
+(** Client-side wholesale cache flushes (gap/crash/manual). *)
+val cache_flushes : t -> int
+
+(** hits / (hits + misses) over all kinds; 0.0 when no cache traffic. *)
+val cache_hit_rate : t -> float
+
 (** Per serving pool (keyed by pool name): queue depth at each
     admission decision ([serve.admit] + [serve.reject] events). *)
 val serve_queues : t -> (string * M3_sim.Stats.t) list

@@ -206,6 +206,30 @@ let test_t2 () =
     (near 3_200_000 xtensa.Tables.copy_overhead
     && near 3_200_000 arm.Tables.copy_overhead)
 
+(* --- warm-cache cells (this PR's acceptance gates) -------------------- *)
+
+let test_fig3_warm_read () =
+  let t = Lazy.force fig3 in
+  let w = t.Fig3.warm_read in
+  check_bool
+    (Printf.sprintf "cold pass hits the service (got %d round-trips)"
+       w.Fig3.w_cold_rt)
+    true (w.Fig3.w_cold_rt > 0);
+  check_bool
+    (Printf.sprintf "warm read >= 1.5x fewer round-trips (cold %d, warm %d)"
+       w.Fig3.w_cold_rt w.Fig3.w_warm_rt)
+    true (Fig3.warm_ok t);
+  check_bool "warm read not slower than cold" true
+    (w.Fig3.w_warm.Runner.m_cycles <= w.Fig3.w_cold.Runner.m_cycles)
+
+let test_fig6x_warm_find () =
+  let w = Fig6x.warm_find () in
+  check_bool
+    (Printf.sprintf "warm find >= 1.5x fewer round-trips (cold %d, warm %d)"
+       w.Fig6x.wf_cold_rt w.Fig6x.wf_warm_rt)
+    true (Fig6x.warm_find_ok w);
+  check_bool "warm run sees cache hits" true (w.Fig6x.wf_hit_rate > 0.0)
+
 let tc name f = Alcotest.test_case name `Quick f
 let slow name f = Alcotest.test_case name `Slow f
 
@@ -230,6 +254,11 @@ let suites =
     ("repro.fig7", [ tc "accelerator chain" test_fig7_shape ]);
     ( "repro.extensions",
       [ tc "multiple m3fs instances scale" test_multi_instance_m3fs ] );
+    ( "repro.warmcache",
+      [
+        tc "fig3 warm read: >= 1.5x fewer round-trips" test_fig3_warm_read;
+        tc "fig6x warm find: >= 1.5x fewer round-trips" test_fig6x_warm_find;
+      ] );
     ( "repro.tables",
       [ tc "T1 syscall decomposition" test_t1; tc "T2 Xtensa vs ARM" test_t2 ]
     );
