@@ -158,7 +158,7 @@ let kernel_figs () =
            M3_serve.Load.poisson
              ~rng:(M3_sim.Rng.create ~seed:42)
              ~mean_gap:500.0 ~count:32
-             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000))
+             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000)) ()
          in
          let pool =
            M3.Errno.ok_exn
@@ -180,7 +180,7 @@ let kernel_sched () =
            M3_serve.Load.poisson
              ~rng:(M3_sim.Rng.create ~seed:43)
              ~mean_gap:250.0 ~count:32
-             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000))
+             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000)) ()
          in
          let cfg =
            M3_serve.Pool.default_config ~name:"bsched" ~min_workers:1
@@ -222,6 +222,137 @@ let kernel_warm_cache () =
          "warm find gate: cold %d -> warm %d service round-trips (need >= \
           1.5x fewer)"
          wf.Fig6x.wf_cold_rt wf.Fig6x.wf_warm_rt)
+
+(* Gateway smoke with its gates enforced: a single-seat breaker pool
+   under an injected stall must trip, fast-fail at least one request
+   while open, recover through a half-open probe and fail nothing (the
+   stalled batch's late reply is harvested); a token bucket in front
+   of a two-client mix must shed the flooding client. A gate violation
+   fails the kernel (and the CI job). The counters are retained so the
+   gateway block lands in BENCH_results.json. *)
+let results_gateway = ref None
+
+let kernel_gateway () =
+  let brk = ref None in
+  ignore
+    (Runner.run_m3 ~pe_count:8 ~dram_mib:4 ~no_fs:true (fun env ~measured ->
+         let schedule =
+           M3_serve.Load.poisson
+             ~rng:(M3_sim.Rng.create ~seed:51)
+             ~mean_gap:2_500.0 ~count:60
+             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 2000)) ()
+         in
+         (* Poison one request: the first App execution stalls past the
+            watchdog, everything after runs at normal speed. *)
+         schedule.(5) <-
+           {
+             (schedule.(5)) with
+             M3_serve.Load.req =
+               {
+                 schedule.(5).M3_serve.Load.req with
+                 M3_serve.Wire.rk = M3_serve.Wire.App 1;
+               };
+           };
+         let stalled = ref false in
+         let cfg =
+           {
+             (M3_serve.Pool.default_config ~name:"gwb" ~workers:1 ()) with
+             M3_serve.Pool.watchdog = 30_000;
+             gateway =
+               Some
+                 (M3_serve.Gateway.config
+                    ~breaker:(M3_serve.Gateway.breaker ~cooldown:50_000 ())
+                    ());
+             app =
+               Some
+                 (fun _ ->
+                   if !stalled then 500
+                   else begin
+                     stalled := true;
+                     60_000
+                   end);
+           }
+         in
+         let pool = M3.Errno.ok_exn (M3_serve.Pool.start env cfg) in
+         measured (fun () ->
+             let cr = M3_serve.Pool.run_open env pool ~schedule in
+             brk := Some (cr, M3_serve.Pool.stats pool));
+         M3.Errno.ok_exn (M3_serve.Pool.stop env pool)));
+  let bkt = ref None in
+  ignore
+    (Runner.run_m3 ~pe_count:8 ~dram_mib:4 ~no_fs:true (fun env ~measured ->
+         let wb =
+           M3_serve.Load.poisson
+             ~rng:(M3_sim.Rng.create ~seed:52)
+             ~clients:(fun rng -> 1 + M3_serve.Load.uniform_clients ~n:2 rng)
+             ~mean_gap:1_500.0 ~count:40
+             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000)) ()
+         in
+         let hot =
+           M3_serve.Load.poisson
+             ~rng:(M3_sim.Rng.create ~seed:53)
+             ~clients:(fun _ -> 0)
+             ~mean_gap:200.0 ~count:40
+             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000)) ()
+         in
+         let all = Array.append wb hot in
+         Array.stable_sort
+           (fun a b -> compare a.M3_serve.Load.at b.M3_serve.Load.at)
+           all;
+         let schedule =
+           Array.mapi
+             (fun i a ->
+               {
+                 a with
+                 M3_serve.Load.req =
+                   { a.M3_serve.Load.req with M3_serve.Wire.seq = i };
+               })
+             all
+         in
+         let cfg =
+           {
+             (M3_serve.Pool.default_config ~name:"gwt" ~workers:2 ()) with
+             M3_serve.Pool.gateway =
+               Some
+                 (M3_serve.Gateway.config
+                    ~bucket:(M3_serve.Gateway.bucket ~refill:2_000 ())
+                    ());
+           }
+         in
+         let pool = M3.Errno.ok_exn (M3_serve.Pool.start env cfg) in
+         measured (fun () ->
+             let cr = M3_serve.Pool.run_open env pool ~schedule in
+             bkt := Some (cr, M3_serve.Pool.stats pool));
+         M3.Errno.ok_exn (M3_serve.Pool.stop env pool)));
+  match (!brk, !bkt) with
+  | Some (bcr, bst), Some (tcr, tst) ->
+    if
+      bst.M3_serve.Pool.p_trips < 1
+      || bst.M3_serve.Pool.p_probes < 1
+      || bst.M3_serve.Pool.p_closes < 1
+    then
+      failwith
+        (Printf.sprintf
+           "gateway breaker gate: %d trip(s), %d probe(s), %d close(s) (need \
+            a full trip/probe/close cycle)"
+           bst.M3_serve.Pool.p_trips bst.M3_serve.Pool.p_probes
+           bst.M3_serve.Pool.p_closes);
+    if bcr.M3_serve.Pool.cr_unavail < 1 then
+      failwith "gateway breaker gate: nothing fast-failed while open";
+    if bst.M3_serve.Pool.p_deduped < 1 then
+      failwith "gateway breaker gate: the stalled batch was never harvested";
+    if bcr.M3_serve.Pool.cr_failed > 0 then
+      failwith
+        (Printf.sprintf "gateway breaker gate: %d request(s) failed"
+           bcr.M3_serve.Pool.cr_failed);
+    if tst.M3_serve.Pool.p_throttled < 1 then
+      failwith "gateway bucket gate: the flood was never throttled";
+    if tcr.M3_serve.Pool.cr_failed > 0 then
+      failwith
+        (Printf.sprintf "gateway bucket gate: %d request(s) failed"
+           tcr.M3_serve.Pool.cr_failed);
+    results_gateway := Some (bcr, bst, tcr, tst)
+  | _ -> failwith "gateway kernel: a pool run produced no result"
 
 let kernel_t1 () = kernel_fig3 ()
 
@@ -377,6 +508,32 @@ let experiments_json () =
            ])
        results_fig7
   |> opt "figS" Figs.to_json results_figs
+  |> opt "gateway"
+       (fun (bcr, bst, tcr, tst) ->
+         jobj
+           [
+             ( "breaker",
+               jobj
+                 [
+                   ("trips", string_of_int bst.M3_serve.Pool.p_trips);
+                   ("probes", string_of_int bst.M3_serve.Pool.p_probes);
+                   ("closes", string_of_int bst.M3_serve.Pool.p_closes);
+                   ("fast_failed", string_of_int bcr.M3_serve.Pool.cr_unavail);
+                   ("harvested", string_of_int bst.M3_serve.Pool.p_deduped);
+                   ("failed", string_of_int bcr.M3_serve.Pool.cr_failed);
+                   ("completed", string_of_int bcr.M3_serve.Pool.cr_completed);
+                   ("sent", string_of_int bcr.M3_serve.Pool.cr_sent);
+                 ] );
+             ( "bucket",
+               jobj
+                 [
+                   ("throttled", string_of_int tst.M3_serve.Pool.p_throttled);
+                   ("failed", string_of_int tcr.M3_serve.Pool.cr_failed);
+                   ("completed", string_of_int tcr.M3_serve.Pool.cr_completed);
+                   ("sent", string_of_int tcr.M3_serve.Pool.cr_sent);
+                 ] );
+           ])
+       results_gateway
   |> opt "t1"
        (fun (t : Tables.t1) ->
          jobj
@@ -489,6 +646,7 @@ let run_quick () =
       ("figS/serve-pool-sim", kernel_figs);
       ("sched/elastic-pool-sim", kernel_sched);
       ("cache/warm-read-find-sim", kernel_warm_cache);
+      ("gateway/breaker-bucket-sim", kernel_gateway);
       ("t2/linux-create-model", kernel_t2);
     ]
   in

@@ -18,6 +18,8 @@ type t =
   | E_vpe_dead
   | E_pipe_broken
   | E_overload
+  | E_throttled
+  | E_unavailable
   | E_dtu of string
 
 let to_string = function
@@ -40,6 +42,8 @@ let to_string = function
   | E_vpe_dead -> "VPE crashed"
   | E_pipe_broken -> "pipe peer died"
   | E_overload -> "service overloaded"
+  | E_throttled -> "client over rate budget"
+  | E_unavailable -> "backend unavailable (breaker open)"
   | E_dtu m -> "hardware error: " ^ m
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
@@ -64,6 +68,8 @@ let to_int = function
   | E_vpe_dead -> 17
   | E_pipe_broken -> 18
   | E_overload -> 19
+  | E_throttled -> 20
+  | E_unavailable -> 21
   | E_dtu _ -> 14
 
 let of_int = function
@@ -86,6 +92,8 @@ let of_int = function
   | 17 -> E_vpe_dead
   | 18 -> E_pipe_broken
   | 19 -> E_overload
+  | 20 -> E_throttled
+  | 21 -> E_unavailable
   | _ -> E_dtu "remote"
 
 let equal a b = to_int a = to_int b

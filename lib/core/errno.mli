@@ -28,6 +28,18 @@ type t =
                          design — the reply carries no payload beyond the
                          sequence number, so overload answers cost one
                          message each way. *)
+  | E_throttled      (** request shed by the gateway's per-client token
+                         bucket.  Unlike {!E_overload} (global queue
+                         depth) this is a verdict on one client's rate:
+                         the service is healthy, the caller is over its
+                         budget and must slow down.  The request was
+                         never enqueued. *)
+  | E_unavailable    (** request fast-failed by an open circuit breaker.
+                         The backend recently exceeded its error/timeout
+                         budget; the gateway answers immediately instead
+                         of burning a per-request watchdog wait.  The
+                         request was never enqueued; retry after the
+                         breaker's half-open probe succeeds. *)
   | E_dtu of string  (** unexpected hardware-level failure *)
 
 val equal : t -> t -> bool

@@ -837,6 +837,27 @@ let rename env mount ~src ~dst =
         | None -> ());
         Ok ())
 
+(* Hot-upgrade barrier: one [Fs_drain] round trip. The service flushes
+   every pending invalidation broadcast before its reply leaves the
+   session channel, so the post-reply notification drain below applies
+   everything the old generation still owed us; the returned number is
+   the shard's new generation. *)
+let drain_service env mount =
+  drain env mount;
+  with_recovery env mount (fun () ->
+      Env.charge env Account.Os
+        (Cost_model.file_call_overhead + Cost_model.file_meta_client);
+      match
+        call env mount (fun w -> W.u8 w (Fs_proto.op_to_int Fs_proto.Fs_drain))
+      with
+      | Error e -> Error e
+      | Ok r ->
+        let gen = R.u64 r in
+        drain env mount;
+        Ok gen)
+
+let service_name mount = mount.m_service
+
 (* The server answers readdir with a batch of entries (like getdents);
    libm3 caches the batch so a directory walk costs one message per
    [Fs_proto.readdir_batch] entries. *)

@@ -47,6 +47,17 @@ val cache_stats : mount -> Fs_cache.stats option
     gate on. *)
 val round_trips : mount -> int
 
+(** The m3fs service this mount is a session of. *)
+val service_name : mount -> string
+
+(** [drain_service env m] runs the hot-upgrade barrier: one
+    {!Fs_proto.Fs_drain} round trip. The service flushes every pending
+    invalidation broadcast before replying and the client applies any
+    notifications that arrived with the reply, so afterwards no cache
+    state from the old generation is outstanding anywhere. Returns the
+    service's new generation number. *)
+val drain_service : Env.t -> mount -> int result_
+
 type t
 
 (** [open_ env m path ~flags] opens (or with [o_create] creates) a

@@ -6,6 +6,7 @@ type op =
   | Fs_unlink
   | Fs_readdir
   | Fs_rename
+  | Fs_drain
 
 let op_to_int = function
   | Fs_open -> 0
@@ -15,6 +16,7 @@ let op_to_int = function
   | Fs_unlink -> 4
   | Fs_readdir -> 5
   | Fs_rename -> 6
+  | Fs_drain -> 7
 
 let op_of_int = function
   | 0 -> Some Fs_open
@@ -24,6 +26,7 @@ let op_of_int = function
   | 4 -> Some Fs_unlink
   | 5 -> Some Fs_readdir
   | 6 -> Some Fs_rename
+  | 7 -> Some Fs_drain
   | _ -> None
 
 let op_name = function
@@ -34,6 +37,7 @@ let op_name = function
   | Fs_unlink -> "unlink"
   | Fs_readdir -> "readdir"
   | Fs_rename -> "rename"
+  | Fs_drain -> "drain"
 
 type xop =
   | Fs_get_locs

@@ -15,6 +15,12 @@ type op =
   | Fs_unlink    (** path → () *)
   | Fs_readdir   (** path, index → name, inode (E_not_found past end) *)
   | Fs_rename    (** src path, dst path → () (regular files only) *)
+  | Fs_drain
+      (** () → new generation number.  Hot-upgrade barrier: because it
+          travels the session channel, the service flushes every
+          pending invalidation broadcast {e before} replying — once the
+          reply is in hand, no stale-cache window can survive the
+          handoff — then bumps its generation counter. *)
 
 val op_to_int : op -> int
 val op_of_int : int -> op option

@@ -100,6 +100,7 @@ type server = {
   sessions : (int64, session) Hashtbl.t;
   srv_name : string;
   mutable pending : pending_inval list; (* newest first; flushed reversed *)
+  mutable gen : int; (* bumped by Fs_drain; survives across drains *)
 }
 
 (* Server registry keyed like [images]: lets tests and the crash
@@ -110,6 +111,11 @@ let open_sessions ~engine ~srv_name =
   match Hashtbl.find_opt servers (engine_key engine srv_name) with
   | None -> None
   | Some t -> Some (Hashtbl.length t.sessions)
+
+let generation ~engine ~srv_name =
+  match Hashtbl.find_opt servers (engine_key engine srv_name) with
+  | None -> None
+  | Some t -> Some t.gen
 
 let forget ~engine =
   let eid = M3_sim.Engine.id engine in
@@ -376,6 +382,17 @@ let h_readdir t r =
               entries)
     end
 
+(* Hot-upgrade barrier.  The generation bump itself is trivial; the
+   guarantee is positional: drain answers travel the session channel,
+   whose serve loop flushes every pending invalidation broadcast
+   before the reply leaves — so once the caller holds the new
+   generation number, no registered cache can still owe a flush from
+   the old one. *)
+let h_drain t _sess =
+  charge_meta t ~scanned:1;
+  t.gen <- t.gen + 1;
+  reply_ok (fun w -> W.u64 w t.gen)
+
 let handle_client t sess r =
   match Fs_proto.op_of_int (R.u8 r) with
   | Some Fs_proto.Fs_open -> h_open t sess r
@@ -385,6 +402,7 @@ let handle_client t sess r =
   | Some Fs_proto.Fs_unlink -> h_unlink t sess r
   | Some Fs_proto.Fs_readdir -> h_readdir t r
   | Some Fs_proto.Fs_rename -> h_rename t sess r
+  | Some Fs_proto.Fs_drain -> h_drain t sess
   | None -> reply_err Errno.E_inv_args
 
 (* --- kernel-channel operations (session open + cap exchanges) ---------- *)
@@ -597,6 +615,7 @@ let main (config : config) (env : Env.t) =
       sessions = Hashtbl.create 8;
       srv_name = config.srv_name;
       pending = [];
+      gen = 0;
     }
   in
   Hashtbl.replace servers key t;

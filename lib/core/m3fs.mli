@@ -67,6 +67,12 @@ val image_of : engine:M3_sim.Engine.t -> srv_name:string -> Fs_image.t option
     harness assert that a dead client's session was reaped. *)
 val open_sessions : engine:M3_sim.Engine.t -> srv_name:string -> int option
 
+(** [generation ~engine ~srv_name] — how many {!Fs_proto.Fs_drain}
+    barriers this instance has served ([None] until initialized). The
+    upgrade-under-load harness reads it to assert the shard really
+    turned its generation over. *)
+val generation : engine:M3_sim.Engine.t -> srv_name:string -> int option
+
 (** [forget ~engine] drops every m3fs registry entry belonging to
     [engine]. Long-lived processes that run many simulations (bench,
     the harness sweeps) call this after inspecting a finished run so

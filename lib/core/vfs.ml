@@ -188,6 +188,53 @@ let entry_mounts = function
   | Single m -> [ m ]
   | Sharded sh -> List.filter_map Fun.id (Array.to_list sh.sh_mounts)
 
+(* Hot-upgrade barrier over a whole mount entry: every shard behind
+   prefix [path] serves one [Fs_drain] round trip. The generation bump
+   is server-wide (other VPEs' sessions cache against the same
+   instance), so unlike the data path the barrier is NOT lazy — shards
+   this VPE never resolved get their session opened here. Emits one
+   [gw.upgrade] slice per shard with the barrier's round-trip time. *)
+let drain env ~path =
+  let path = normalize path in
+  match List.assoc_opt path (state env).mounts with
+  | None -> Error Errno.E_not_found
+  | Some entry ->
+    let mounts_of = function
+      | Single m -> Ok [ m ]
+      | Sharded sh ->
+        let n = Array.length sh.sh_services in
+        let rec open_all i acc =
+          if i = n then Ok (List.rev acc)
+          else
+            match shard_mount env sh i with
+            | Error e -> Error e
+            | Ok m -> open_all (i + 1) (m :: acc)
+        in
+        open_all 0 []
+    in
+    let obs = Fabric.obs env.Env.fabric in
+    let now () = M3_sim.Engine.now env.Env.engine in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | m :: rest -> (
+        let t0 = now () in
+        match File.drain_service env m with
+        | Error e -> Error e
+        | Ok gen ->
+          let srv = File.service_name m in
+          if Obs.enabled obs then
+            Obs.emit obs
+              (Event.Gw_upgrade
+                 {
+                   pe = M3_hw.Pe.id env.Env.pe;
+                   pool = srv;
+                   target = "m3fs";
+                   cycles = now () - t0;
+                 });
+          go ((srv, gen) :: acc) rest)
+    in
+    (match mounts_of entry with Error e -> Error e | Ok ms -> go [] ms)
+
 let all_mounts env =
   List.concat_map (fun (_, e) -> entry_mounts e) (state env).mounts
 

@@ -45,6 +45,16 @@ val rename : Env.t -> src:string -> dst:string -> unit result_
     lazily later inherit the setting. *)
 val enable_cache : ?config:Fs_cache.config -> Env.t -> path:string -> unit result_
 
+(** [drain env ~path] runs the hot-upgrade barrier on every shard of
+    the mount entry at prefix [path] (as given to {!mount} /
+    {!mount_sharded}): each serves one {!Fs_proto.Fs_drain} round trip,
+    flushing its pending invalidation broadcasts before replying and
+    bumping its generation. The bump is server-wide, so the barrier is
+    not lazy — shards this VPE never resolved get their session opened
+    here. Returns [(service, new generation)] per shard, in shard
+    order. Emits one [gw.upgrade] slice per shard. *)
+val drain : Env.t -> path:string -> (string * int) list result_
+
 (** Aggregate service round-trips over every mount of this VPE. *)
 val round_trips : Env.t -> int
 

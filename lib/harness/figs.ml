@@ -6,6 +6,7 @@ module Plan = M3_fault.Plan
 module Pool = M3_serve.Pool
 module Load = M3_serve.Load
 module Wire = M3_serve.Wire
+module Gateway = M3_serve.Gateway
 
 type sweep_point = {
   s_util : float;
@@ -64,6 +65,41 @@ type autoscale_out = {
   u_static_completed : int;
 }
 
+type hotclient_out = {
+  h_wb_clients : int;
+  h_baseline_p99 : float;
+  h_guarded_p99 : float;
+  h_hot_sent : int;
+  h_hot_throttled : int;
+  h_throttled : int;
+  h_completed : int;
+}
+
+type breaker_out = {
+  b_trips : int;
+  b_probes : int;
+  b_closes : int;
+  b_unavail : int;
+  b_failed : int;
+  b_deduped : int;
+  b_completed : int;
+  b_sent : int;
+}
+
+type upgrade_out = {
+  up_workers : int;
+  up_upgrades : int;
+  up_seen : int;
+  up_fs_gens : (string * int) list;
+  up_failed : int;
+  up_completed : int;
+  up_sent : int;
+  up_swap_mean : float;
+  up_retired : int;
+  up_leaked_eps : int;
+  up_leaked_caps : int;
+}
+
 type t = {
   g_quick : bool;
   g_service : int;
@@ -74,6 +110,9 @@ type t = {
   g_crash : crash_out;
   g_mix : mix_out;
   g_autoscale : autoscale_out;
+  g_hotclient : hotclient_out;
+  g_breaker : breaker_out;
+  g_upgrade : upgrade_out;
 }
 
 (* --- knobs ------------------------------------------------------------ *)
@@ -129,7 +168,7 @@ let run_sim ?fs_seed ?fs_instances ?plan ?pe_count ?(sched = false) ~label main 
   ignore (Engine.run engine);
   if fs then M3.M3fs.forget ~engine;
   match Process.Ivar.peek exit with
-  | Some 0 -> ()
+  | Some 0 -> sys
   | Some code -> failwith (Printf.sprintf "figS %s: client exited %d" label code)
   | None -> failwith (Printf.sprintf "figS %s: client never exited" label)
 
@@ -138,17 +177,19 @@ let run_sim ?fs_seed ?fs_instances ?plan ?pe_count ?(sched = false) ~label main 
 let run_pool ?fs_seed ?fs_instances ?plan ?pe_count ?sched ~label ~cfg ~schedule
     () =
   let out = ref None in
-  run_sim ?fs_seed ?fs_instances ?plan ?pe_count ?sched ~label (fun sys env ->
-      let cfg = { cfg with Pool.fs_services = sys.M3.Bootstrap.fs_services } in
-      match Pool.start env cfg with
-      | Error _ -> 1
-      | Ok pool -> (
-        let cr = Pool.run_open env pool ~schedule in
-        match Pool.stop env pool with
-        | Ok () ->
-          out := Some (cr, Pool.stats pool);
-          0
-        | Error _ -> 1));
+  let _sys =
+    run_sim ?fs_seed ?fs_instances ?plan ?pe_count ?sched ~label (fun sys env ->
+        let cfg = { cfg with Pool.fs_services = sys.M3.Bootstrap.fs_services } in
+        match Pool.start env cfg with
+        | Error _ -> 1
+        | Ok pool -> (
+          let cr = Pool.run_open env pool ~schedule in
+          match Pool.stop env pool with
+          | Ok () ->
+            out := Some (cr, Pool.stats pool);
+            0
+          | Error _ -> 1))
+  in
   match !out with
   | Some r -> r
   | None -> failwith (Printf.sprintf "figS %s: no result" label)
@@ -161,7 +202,7 @@ let sweep_cell ~workers ~util ~requests ~seed =
     Load.poisson ~rng
       ~mean_gap:(mean_gap ~workers ~util)
       ~count:requests
-      ~mix:(Load.pure (Wire.Echo echo_service))
+      ~mix:(Load.pure (Wire.Echo echo_service)) ()
   in
   let label = Printf.sprintf "sweep w%d u%.2f" workers util in
   let cfg = Pool.default_config ~name:"sweep" ~workers () in
@@ -185,7 +226,7 @@ let admission_cell ~workers ~requests ~seed ~low_p99 =
     Load.poisson ~rng
       ~mean_gap:(mean_gap ~workers ~util:overload_util)
       ~count:requests
-      ~mix:(Load.pure (Wire.Echo echo_service))
+      ~mix:(Load.pure (Wire.Echo echo_service)) ()
   in
   let cfg =
     { (Pool.default_config ~name:"admit" ~workers ()) with Pool.queue_limit }
@@ -223,7 +264,7 @@ let crash_cell ~workers ~requests ~seed =
     Load.poisson ~rng:(Rng.create ~seed:s)
       ~mean_gap:(mean_gap ~workers ~util:crash_util)
       ~count:requests
-      ~mix:(Load.pure (Wire.Echo echo_service))
+      ~mix:(Load.pure (Wire.Echo echo_service)) ()
   in
   let cfg = Pool.default_config ~name:"crash" ~workers () in
   let healthy_cr, _ =
@@ -291,6 +332,7 @@ let mix_cell ~requests ~seed =
   in
   let schedule =
     Load.poisson ~rng ~mean_gap:(float_of_int echo_service) ~count:requests ~mix
+      ()
   in
   let cfg =
     { (Pool.default_config ~name:"mix" ~workers ()) with Pool.files = mix_files }
@@ -342,13 +384,13 @@ let autoscale_cell ~requests ~seed =
     Load.ramp ~rng:(Rng.create ~seed:s)
       ~phases:
         [ (gap autoscale_low_util, low_n); (gap autoscale_high_util, high_n) ]
-      ~mix:(Load.pure (Wire.Echo echo_service))
+      ~mix:(Load.pure (Wire.Echo echo_service)) ()
   in
   let low_schedule =
     Load.poisson ~rng:(Rng.create ~seed)
       ~mean_gap:(gap autoscale_low_util)
       ~count:low_n
-      ~mix:(Load.pure (Wire.Echo echo_service))
+      ~mix:(Load.pure (Wire.Echo echo_service)) ()
   in
   let run ~label ~elastic ~schedule =
     run_pool ~pe_count:autoscale_pe_count ~sched:true ~label
@@ -373,6 +415,239 @@ let autoscale_cell ~requests ~seed =
     u_scale_downs = elastic_st.Pool.p_scale_downs;
     u_elastic_completed = elastic_cr.Pool.cr_completed;
     u_static_completed = static_cr.Pool.cr_completed;
+  }
+
+(* --- gateway cells -----------------------------------------------------
+
+   Three robustness cells for the gateway tier. [hotclient]: three
+   well-behaved clients plus one flooding client against a
+   bucket-guarded pool — the bucket sheds the flood at admission and
+   the survivors' p99 stays near the no-flood baseline. [breaker]: a
+   single-seat pool with one poisoned request that stalls the worker
+   past the watchdog — the breaker trips, requests fast-fail while it
+   is open, a half-open probe closes it, and the harvested late reply
+   keeps every request exactly-once. [upgrade]: a live worker seat and
+   the mounted m3fs shards turn their generation over under load with
+   zero failed requests and zero capability/endpoint leaks. *)
+
+let hotclient_wb = 3
+let hotclient_factor = 1.5
+
+(* One token back every [refill] cycles. The well-behaved per-client
+   rate (one request per ~3750 cycles at 0.4 pool utilization split
+   three ways) stays under it; the flooding client (one per 250) runs
+   12x over, so the bucket sheds ~11/12 of the flood and what leaks
+   through adds only a sixth of the pool's capacity. *)
+let hotclient_refill = 3_000
+let hotclient_wb_util = 0.4
+
+let hotclient_cell ~requests ~seed =
+  let workers = 4 in
+  let wb_of s =
+    Load.poisson ~rng:(Rng.create ~seed:s)
+      ~clients:(fun rng -> 1 + Load.uniform_clients ~n:hotclient_wb rng)
+      ~mean_gap:(mean_gap ~workers ~util:hotclient_wb_util)
+      ~count:requests
+      ~mix:(Load.pure (Wire.Echo echo_service)) ()
+  in
+  let hot_of s =
+    Load.poisson ~rng:(Rng.create ~seed:s)
+      ~clients:(fun _ -> 0)
+      ~mean_gap:(mean_gap ~workers ~util:2.0)
+      ~count:requests
+      ~mix:(Load.pure (Wire.Echo echo_service)) ()
+  in
+  (* Interleave the flood into the well-behaved schedule by arrival
+     time and renumber: seq must stay the array index. *)
+  let merge a b =
+    let all = Array.append a b in
+    Array.stable_sort (fun x y -> compare x.Load.at y.Load.at) all;
+    Array.mapi
+      (fun i a -> { a with Load.req = { a.Load.req with Wire.seq = i } })
+      all
+  in
+  let cfg =
+    {
+      (Pool.default_config ~name:"hot" ~workers ()) with
+      Pool.gateway =
+        Some
+          (Gateway.config
+             ~bucket:(Gateway.bucket ~refill:hotclient_refill ())
+             ());
+    }
+  in
+  (* p99 over the well-behaved clients only (the flood's own latency
+     is not an isolation claim). *)
+  let guarded_p99 cr =
+    let merged =
+      List.fold_left
+        (fun acc (c, pc) ->
+          if c = 0 then acc else Stats.merge acc pc.Pool.pc_latency)
+        (Stats.create ()) cr.Pool.cr_clients
+    in
+    pct merged 99.0
+  in
+  let base_cr, _ =
+    run_pool ~label:"hotclient-base" ~cfg ~schedule:(wb_of (seed + 1)) ()
+  in
+  let hot_cr, hot_st =
+    run_pool ~label:"hotclient-hot" ~cfg
+      ~schedule:(merge (wb_of (seed + 1)) (hot_of (seed + 2)))
+      ()
+  in
+  let hot_pc = List.assoc_opt 0 hot_cr.Pool.cr_clients in
+  {
+    h_wb_clients = hotclient_wb;
+    h_baseline_p99 = guarded_p99 base_cr;
+    h_guarded_p99 = guarded_p99 hot_cr;
+    h_hot_sent = (match hot_pc with Some pc -> pc.Pool.pc_sent | None -> 0);
+    h_hot_throttled =
+      (match hot_pc with Some pc -> pc.Pool.pc_throttled | None -> 0);
+    h_throttled = hot_st.Pool.p_throttled;
+    h_completed = hot_cr.Pool.cr_completed;
+  }
+
+(* Stall (60k) > watchdog (30k), so the poisoned request trips the
+   breaker; the worker frees (and its late reply is harvested) before
+   the cooldown (50k past the trip) admits the half-open probe. *)
+let breaker_watchdog = 30_000
+let breaker_cooldown = 50_000
+let breaker_stall = 60_000
+let breaker_poison_idx = 10
+
+let breaker_cell ~requests ~seed =
+  let requests = Stdlib.max requests 120 in
+  let schedule =
+    Load.poisson ~rng:(Rng.create ~seed) ~mean_gap:2_500.0 ~count:requests
+      ~mix:(Load.pure (Wire.Echo echo_service)) ()
+  in
+  let idx = Stdlib.min breaker_poison_idx (requests - 1) in
+  schedule.(idx) <-
+    {
+      (schedule.(idx)) with
+      Load.req = { schedule.(idx).Load.req with Wire.rk = Wire.App 1 };
+    };
+  (* The stall fires exactly once: the harvested re-execution (and the
+     probe) must run at normal speed or the breaker never closes. *)
+  let stalled = ref false in
+  let cfg =
+    {
+      (Pool.default_config ~name:"brk" ~workers:1 ()) with
+      Pool.watchdog = breaker_watchdog;
+      gateway =
+        Some
+          (Gateway.config
+             ~breaker:(Gateway.breaker ~cooldown:breaker_cooldown ())
+             ());
+      app =
+        Some
+          (fun _ ->
+            if !stalled then 500
+            else begin
+              stalled := true;
+              breaker_stall
+            end);
+    }
+  in
+  let cr, st = run_pool ~label:"breaker" ~cfg ~schedule () in
+  {
+    b_trips = st.Pool.p_trips;
+    b_probes = st.Pool.p_probes;
+    b_closes = st.Pool.p_closes;
+    b_unavail = cr.Pool.cr_unavail;
+    b_failed = cr.Pool.cr_failed;
+    b_deduped = st.Pool.p_deduped;
+    b_completed = cr.Pool.cr_completed;
+    b_sent = cr.Pool.cr_sent;
+  }
+
+(* Upgrade under load: echo + m3fs stat traffic against a 3-seat pool
+   mounting two shards; a third of the way in, worker seat 0 turns its
+   generation over ({!Pool.upgrade_worker}); two thirds in, the client
+   drains both mounted shards ({!M3.Vfs.drain}). Zero failed requests,
+   and the retired worker generation leaves no endpoint bindings or
+   capabilities behind. *)
+let upgrade_workers = 3
+
+let upgrade_cell ~requests ~seed =
+  let requests = Stdlib.max 120 requests in
+  let mix =
+    [ (3, fun _ -> Wire.Echo echo_service); (1, fun s -> Wire.Fs_stat s) ]
+  in
+  let schedule =
+    Load.poisson ~rng:(Rng.create ~seed) ~mean_gap:1_200.0 ~count:requests ~mix
+      ()
+  in
+  let fs_gens = ref [] in
+  let res = ref None in
+  let sys =
+    run_sim ~fs_seed:mix_seed_files ~fs_instances:2 ~sched:true ~label:"upgrade"
+      (fun sys env ->
+        match
+          M3.Vfs.mount_sharded env ~path:"/"
+            ~services:sys.M3.Bootstrap.fs_services
+        with
+        | Error _ -> 1
+        | Ok () -> (
+          let cfg =
+            {
+              (Pool.default_config ~name:"upg" ~workers:upgrade_workers ()) with
+              Pool.fs_services = sys.M3.Bootstrap.fs_services;
+              files = mix_files;
+            }
+          in
+          match Pool.start env cfg with
+          | Error _ -> 1
+          | Ok pool -> (
+            let actions =
+              [
+                ( requests / 3,
+                  fun () -> ignore (Pool.upgrade_worker env pool ~worker:0) );
+                ( 2 * requests / 3,
+                  fun () ->
+                    match M3.Vfs.drain env ~path:"/" with
+                    | Ok gens -> fs_gens := gens
+                    | Error _ -> () );
+              ]
+            in
+            let cr = Pool.run_open ~actions env pool ~schedule in
+            let seen = Pool.upgrades_seen pool in
+            match Pool.stop env pool with
+            | Error _ -> 1
+            | Ok () ->
+              res := Some (cr, Pool.stats pool, seen);
+              0)))
+  in
+  let cr, st, seen =
+    match !res with
+    | Some r -> r
+    | None -> failwith "figS upgrade: no result"
+  in
+  let k = sys.M3.Bootstrap.kernel in
+  let leaked_eps, leaked_caps =
+    List.fold_left
+      (fun (eps, caps) vpe_id ->
+        let e = M3.Kernel.ep_entries k ~vpe_id in
+        let c =
+          match M3.Kernel.find_vpe k ~vpe_id with
+          | Some v -> M3.Kdata.count_caps v
+          | None -> 0
+        in
+        (eps + e, caps + c))
+      (0, 0) st.Pool.p_retired_vpes
+  in
+  {
+    up_workers = upgrade_workers;
+    up_upgrades = st.Pool.p_upgrades;
+    up_seen = seen;
+    up_fs_gens = !fs_gens;
+    up_failed = cr.Pool.cr_failed;
+    up_completed = cr.Pool.cr_completed;
+    up_sent = cr.Pool.cr_sent;
+    up_swap_mean = Stats.mean st.Pool.p_upgrade_cycles;
+    up_retired = List.length st.Pool.p_retired_vpes;
+    up_leaked_eps = leaked_eps;
+    up_leaked_caps = leaked_caps;
   }
 
 (* --- the experiment ---------------------------------------------------- *)
@@ -427,6 +702,9 @@ let run ?(quick = false) ?pools ?utils ?requests ?(seed = 0x5E5E) () =
   let autoscale =
     autoscale_cell ~requests:(max 240 requests) ~seed:(seed + 241)
   in
+  let hotclient = hotclient_cell ~requests ~seed:(seed + 307) in
+  let breaker = breaker_cell ~requests ~seed:(seed + 353) in
+  let upgrade = upgrade_cell ~requests ~seed:(seed + 401) in
   {
     g_quick = quick;
     g_service = echo_service;
@@ -437,6 +715,9 @@ let run ?(quick = false) ?pools ?utils ?requests ?(seed = 0x5E5E) () =
     g_crash = crash;
     g_mix = mix;
     g_autoscale = autoscale;
+    g_hotclient = hotclient;
+    g_breaker = breaker;
+    g_upgrade = upgrade;
   }
 
 (* --- verdicts ---------------------------------------------------------- *)
@@ -487,9 +768,28 @@ let autoscale_verdict t =
   && u.u_elastic_p99 <= bound
   && u.u_static_p99 > bound
 
+let hotclient_verdict t =
+  let h = t.g_hotclient in
+  h.h_throttled > 0
+  && h.h_hot_throttled > 0
+  && h.h_guarded_p99 <= hotclient_factor *. h.h_baseline_p99
+
+let breaker_verdict t =
+  let b = t.g_breaker in
+  b.b_trips >= 1 && b.b_probes >= 1 && b.b_closes >= 1 && b.b_unavail > 0
+  && b.b_failed = 0
+
+let upgrade_verdict t =
+  let u = t.g_upgrade in
+  u.up_failed = 0 && u.up_upgrades >= 1 && u.up_seen >= 1
+  && u.up_fs_gens <> []
+  && List.for_all (fun (_, g) -> g >= 1) u.up_fs_gens
+  && u.up_leaked_eps = 0 && u.up_leaked_caps = 0
+
 let all_pass t =
   knee_verdict t && admission_verdict t && crash_verdict t && mix_verdict t
-  && autoscale_verdict t
+  && autoscale_verdict t && hotclient_verdict t && breaker_verdict t
+  && upgrade_verdict t
 
 (* --- printing ---------------------------------------------------------- *)
 
@@ -549,6 +849,31 @@ let print ppf t =
     u.u_static_p99 u.u_low_p99 autoscale_p99_factor u.u_scale_ups
     u.u_scale_downs
     (if autoscale_verdict t then "PASS" else "FAIL");
+  let h = t.g_hotclient in
+  Format.fprintf ppf
+    "  hotclient: %d guarded clients + 1 flood -> guarded p99 %.0f vs \
+     baseline %.0f (bound %.1fx), flood %d/%d throttled (%d total) %s@."
+    h.h_wb_clients h.h_guarded_p99 h.h_baseline_p99 hotclient_factor
+    h.h_hot_throttled h.h_hot_sent h.h_throttled
+    (if hotclient_verdict t then "PASS" else "FAIL");
+  let b = t.g_breaker in
+  Format.fprintf ppf
+    "  breaker: %d trip(s), %d probe(s), %d close(s); %d fast-failed while \
+     open, %d harvested, %d/%d completed, %d failed %s@."
+    b.b_trips b.b_probes b.b_closes b.b_unavail b.b_deduped b.b_completed
+    b.b_sent b.b_failed
+    (if breaker_verdict t then "PASS" else "FAIL");
+  let u = t.g_upgrade in
+  Format.fprintf ppf
+    "  upgrade: %d worker swap(s) (client saw %d, mean %.0f cycles), fs gens \
+     [%s]; %d/%d completed, %d failed, %d retired VPE(s) leak %d eps %d caps \
+     %s@."
+    u.up_upgrades u.up_seen u.up_swap_mean
+    (String.concat "; "
+       (List.map (fun (s, g) -> Printf.sprintf "%s:%d" s g) u.up_fs_gens))
+    u.up_completed u.up_sent u.up_failed u.up_retired u.up_leaked_eps
+    u.up_leaked_caps
+    (if upgrade_verdict t then "PASS" else "FAIL");
   Format.fprintf ppf
     "  knee: p99 %s by >= %.0fx at saturation while throughput holds 80%% of \
      peak -> %s@."
@@ -672,6 +997,56 @@ let to_json t =
             ("static_completed", string_of_int u.u_static_completed);
             ("target_factor", jfloat autoscale_p99_factor);
             ("pass", jbool (autoscale_verdict t));
+          ] );
+      ( "hotclient",
+        let h = t.g_hotclient in
+        jobj
+          [
+            ("wb_clients", string_of_int h.h_wb_clients);
+            ("baseline_p99", jfloat h.h_baseline_p99);
+            ("guarded_p99", jfloat h.h_guarded_p99);
+            ("hot_sent", string_of_int h.h_hot_sent);
+            ("hot_throttled", string_of_int h.h_hot_throttled);
+            ("throttled", string_of_int h.h_throttled);
+            ("completed", string_of_int h.h_completed);
+            ("target_factor", jfloat hotclient_factor);
+            ("pass", jbool (hotclient_verdict t));
+          ] );
+      ( "breaker",
+        let b = t.g_breaker in
+        jobj
+          [
+            ("trips", string_of_int b.b_trips);
+            ("probes", string_of_int b.b_probes);
+            ("closes", string_of_int b.b_closes);
+            ("unavail", string_of_int b.b_unavail);
+            ("failed", string_of_int b.b_failed);
+            ("deduped", string_of_int b.b_deduped);
+            ("completed", string_of_int b.b_completed);
+            ("sent", string_of_int b.b_sent);
+            ("pass", jbool (breaker_verdict t));
+          ] );
+      ( "upgrade",
+        let u = t.g_upgrade in
+        jobj
+          [
+            ("workers", string_of_int u.up_workers);
+            ("upgrades", string_of_int u.up_upgrades);
+            ("seen", string_of_int u.up_seen);
+            ( "fs_gens",
+              jarr
+                (List.map
+                   (fun (s, g) ->
+                     jobj [ ("service", jstr s); ("gen", string_of_int g) ])
+                   u.up_fs_gens) );
+            ("failed", string_of_int u.up_failed);
+            ("completed", string_of_int u.up_completed);
+            ("sent", string_of_int u.up_sent);
+            ("swap_mean", jfloat u.up_swap_mean);
+            ("retired", string_of_int u.up_retired);
+            ("leaked_eps", string_of_int u.up_leaked_eps);
+            ("leaked_caps", string_of_int u.up_leaked_caps);
+            ("pass", jbool (upgrade_verdict t));
           ] );
       ("knee_pass", jbool (knee_verdict t));
       ("all_pass", jbool (all_pass t));

@@ -21,7 +21,19 @@
       seats above the floor parked off their PEs) and a static
       floor-sized pool fed the same low→overload load ramp — the
       elastic pool resumes parked workers and holds accepted p99 near
-      the low-load baseline while the static pool knees. *)
+      the low-load baseline while the static pool knees;
+    - a {e hotclient} cell: three well-behaved clients plus one
+      flooding client against a bucket-guarded pool — the gateway
+      sheds the flood at admission and the survivors' p99 stays
+      within {!hotclient_factor} of a no-flood baseline;
+    - a {e breaker} cell: a single-seat pool with an injected backend
+      stall — the breaker trips on the watchdog timeout, requests
+      fast-fail ([E_unavailable]) while it is open, a half-open probe
+      closes it, and the stalled batch's late reply is harvested so
+      nothing fails or runs twice;
+    - an {e upgrade} cell: a live worker seat and the mounted m3fs
+      shards turn their generation over under load — zero failed
+      client requests, zero capability/endpoint leaks. *)
 
 type sweep_point = {
   s_util : float;  (** target utilization the schedule was drawn for *)
@@ -80,6 +92,41 @@ type autoscale_out = {
   u_static_completed : int;
 }
 
+type hotclient_out = {
+  h_wb_clients : int;  (** well-behaved client count *)
+  h_baseline_p99 : float;  (** their p99 with no flood present *)
+  h_guarded_p99 : float;  (** their p99 with the flood being throttled *)
+  h_hot_sent : int;
+  h_hot_throttled : int;  (** flood requests shed by the bucket *)
+  h_throttled : int;  (** dispatcher-side total *)
+  h_completed : int;
+}
+
+type breaker_out = {
+  b_trips : int;
+  b_probes : int;
+  b_closes : int;
+  b_unavail : int;  (** fast-failed [E_unavailable] while open *)
+  b_failed : int;
+  b_deduped : int;  (** completions harvested from the stalled batch *)
+  b_completed : int;
+  b_sent : int;
+}
+
+type upgrade_out = {
+  up_workers : int;
+  up_upgrades : int;  (** worker swaps the dispatcher committed *)
+  up_seen : int;  (** commit replies the client observed *)
+  up_fs_gens : (string * int) list;  (** shard generations after drain *)
+  up_failed : int;
+  up_completed : int;
+  up_sent : int;
+  up_swap_mean : float;  (** mean swap latency, cycles *)
+  up_retired : int;  (** cleanly retired worker generations *)
+  up_leaked_eps : int;  (** endpoint bindings they left behind (want 0) *)
+  up_leaked_caps : int;  (** capabilities they left behind (want 0) *)
+}
+
 type t = {
   g_quick : bool;
   g_service : int;  (** echo service time, cycles *)
@@ -90,6 +137,9 @@ type t = {
   g_crash : crash_out;
   g_mix : mix_out;
   g_autoscale : autoscale_out;
+  g_hotclient : hotclient_out;
+  g_breaker : breaker_out;
+  g_upgrade : upgrade_out;
 }
 
 (** [run ()] executes every cell and returns the collected results.
@@ -140,6 +190,23 @@ val mix_verdict : t -> bool
 val autoscale_verdict : t -> bool
 
 val autoscale_p99_factor : float
+
+(** The flood was throttled (at the bucket and per-client) and the
+    well-behaved clients' p99 stayed within [hotclient_factor] of the
+    no-flood baseline. *)
+val hotclient_verdict : t -> bool
+
+val hotclient_factor : float
+
+(** The breaker tripped on the injected stall, fast-failed at least
+    one request while open (no watchdog wait on the fast-fail path),
+    recovered through a half-open probe, and no request failed. *)
+val breaker_verdict : t -> bool
+
+(** A worker swap and an m3fs shard generation turnover both committed
+    under load with zero failed requests, and the retired worker
+    generation left no endpoint bindings or capabilities behind. *)
+val upgrade_verdict : t -> bool
 
 (** The autoscale cell alone (exposed for focused tests): an elastic
     and a static pool on the same ramp, under a scheduler-enabled

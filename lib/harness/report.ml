@@ -290,7 +290,7 @@ let print_obs ppf m =
            Format.fprintf ppf "    %-14s %5d up  %5d down@." pool ups downs)
          scales
    end);
-  match Metrics.serve_latencies m with
+  (match Metrics.serve_latencies m with
   | [] -> ()
   | lats ->
     Format.fprintf ppf "  serve pools (per pool):@.";
@@ -317,4 +317,25 @@ let print_obs ppf m =
         if rej > 0 || rst > 0 then
           Format.fprintf ppf "    %-14s %5d rejected, %d worker restarts@." ""
             rej rst)
-      lats
+      lats);
+  let throttles = Metrics.gw_throttles m
+  and breaks = Metrics.gw_breaks m
+  and upgrades = Metrics.gw_upgrades m in
+  if throttles <> [] || breaks <> [] || upgrades <> [] then begin
+    Format.fprintf ppf "  gateway:@.";
+    List.iter
+      (fun (pool, n) ->
+        Format.fprintf ppf "    %-14s %5d throttled@." pool n)
+      throttles;
+    List.iter
+      (fun (pool, trips, probes, closes) ->
+        Format.fprintf ppf
+          "    %-14s breaker: %d trips, %d probes, %d closes@." pool trips
+          probes closes)
+      breaks;
+    List.iter
+      (fun (target, st) ->
+        Format.fprintf ppf "    %-14s %5d upgrades  swap %s@." target
+          (Stats.count st) (pcts st))
+      upgrades
+  end

@@ -356,6 +356,24 @@ let record t ~at (ev : Event.t) =
         (Printf.sprintf "pool.scale:%s:%s" pool (if dir > 0 then "up" else "down"))
       ~cat:"sched"
       (args_of [ ("active", active) ])
+  | Event.Gw_throttle { pe; pool; client; seq } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at ~name:("gw.throttle:" ^ pool) ~cat:"serve"
+      (args_of [ ("client", client); ("seq", seq) ])
+  | Event.Gw_break { pe; pool; worker; phase } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at
+      ~name:(Printf.sprintf "gw.break.%s:%s" phase pool)
+      ~cat:"serve"
+      (args_of [ ("worker", worker) ])
+  | Event.Gw_upgrade { pe; pool; target; cycles } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    slice t ~pid ~tid:tid_core ~ts:(at - cycles) ~dur:cycles
+      ~name:(Printf.sprintf "gw.upgrade:%s:%s" pool target)
+      ~cat:"serve" []
 
 let sink t =
   { Obs.sink_name = "chrome"; sink_emit = (fun ~at ev -> record t ~at ev) }

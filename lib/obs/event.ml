@@ -65,6 +65,9 @@ type t =
   | Vpe_resume of { vpe : int; pe : int; from_pe : int; cold : bool }
   | Sched_switch of { pe : int; out_vpe : int; in_vpe : int }
   | Pool_scale of { pe : int; pool : string; dir : int; active : int }
+  | Gw_throttle of { pe : int; pool : string; client : int; seq : int }
+  | Gw_break of { pe : int; pool : string; worker : int; phase : string }
+  | Gw_upgrade of { pe : int; pool : string; target : string; cycles : int }
 
 let name = function
   | Dtu_send { reply = false; _ } -> "dtu.send"
@@ -112,6 +115,9 @@ let name = function
   | Vpe_resume _ -> "vpe.resume"
   | Sched_switch _ -> "sched.switch"
   | Pool_scale _ -> "pool.scale"
+  | Gw_throttle _ -> "gw.throttle"
+  | Gw_break { phase; _ } -> "gw.break." ^ phase
+  | Gw_upgrade _ -> "gw.upgrade"
 
 let pp ppf t =
   let f fmt = Format.fprintf ppf fmt in
@@ -196,5 +202,11 @@ let pp ppf t =
     f "pool.scale pe%d %s %s active=%d" pe pool
       (if dir > 0 then "up" else "down")
       active
+  | Gw_throttle { pe; pool; client; seq } ->
+    f "gw.throttle pe%d %s client=%d seq=%d" pe pool client seq
+  | Gw_break { pe; pool; worker; phase } ->
+    f "gw.break.%s pe%d %s worker=%d" phase pe pool worker
+  | Gw_upgrade { pe; pool; target; cycles } ->
+    f "gw.upgrade pe%d %s %s cycles=%d" pe pool target cycles
 
 let to_string t = Format.asprintf "%a" pp t

@@ -134,6 +134,18 @@ type t =
   | Pool_scale of { pe : int; pool : string; dir : int; active : int }
       (** an elastic pool grew ([dir = +1]) or shrank ([dir = -1]) its
           worker set; [active] is the new live-worker count *)
+  | Gw_throttle of { pe : int; pool : string; client : int; seq : int }
+      (** the gateway's token bucket shed request [seq] from [client]
+          with [E_throttled] — the request was never enqueued *)
+  | Gw_break of { pe : int; pool : string; worker : int; phase : string }
+      (** circuit-breaker transition on worker seat [worker]; [phase]
+          is "trip" (Closed/Half-open → Open), "probe" (Open →
+          Half-open, one probe request in flight) or "close" (probe
+          succeeded).  The event name is [gw.break.<phase>]. *)
+  | Gw_upgrade of { pe : int; pool : string; target : string; cycles : int }
+      (** a planned hot upgrade committed: [target] names the swapped
+          unit (["worker<i>"] or an m3fs service), [cycles] is the
+          swap latency from drain start to the new generation serving *)
 
 (** [name t] is the stable dotted kind name, e.g. ["dtu.send"]. *)
 val name : t -> string

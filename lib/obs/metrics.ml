@@ -44,6 +44,11 @@ type t = {
   mutable sched_suspend_bytes : int;
   pool_scale_ups : (string, int ref) Hashtbl.t;
   pool_scale_downs : (string, int ref) Hashtbl.t;
+  gw_throttles : (string, int ref) Hashtbl.t;
+  gw_trips : (string, int ref) Hashtbl.t;
+  gw_probes : (string, int ref) Hashtbl.t;
+  gw_closes : (string, int ref) Hashtbl.t;
+  gw_upgrade_lat : (string, Stats.t) Hashtbl.t;
 }
 
 let create () =
@@ -91,6 +96,11 @@ let create () =
     sched_suspend_bytes = 0;
     pool_scale_ups = Hashtbl.create 4;
     pool_scale_downs = Hashtbl.create 4;
+    gw_throttles = Hashtbl.create 4;
+    gw_trips = Hashtbl.create 4;
+    gw_probes = Hashtbl.create 4;
+    gw_closes = Hashtbl.create 4;
+    gw_upgrade_lat = Hashtbl.create 4;
   }
 
 let bump tbl key n =
@@ -170,6 +180,17 @@ let record t (ev : Event.t) =
   | Event.Sched_switch _ -> t.sched_switches <- t.sched_switches + 1
   | Event.Pool_scale { pool; dir; _ } ->
     bump (if dir > 0 then t.pool_scale_ups else t.pool_scale_downs) pool 1
+  | Event.Gw_throttle { pool; _ } -> bump t.gw_throttles pool 1
+  | Event.Gw_break { pool; phase; _ } ->
+    let tbl =
+      match phase with
+      | "trip" -> t.gw_trips
+      | "probe" -> t.gw_probes
+      | _ -> t.gw_closes
+    in
+    bump tbl pool 1
+  | Event.Gw_upgrade { pool; cycles; _ } ->
+    observe t.gw_upgrade_lat pool (float_of_int cycles)
   (* Aborted VPEs still emit Vpe_exit, so the abort marker itself only
      counts into the per-kind table. *)
   | Event.Dtu_receive _ | Event.Syscall_enter _ | Event.Fs_request _
@@ -262,3 +283,23 @@ let pool_scales t =
       in
       (pool, n t.pool_scale_ups, n t.pool_scale_downs))
     pools
+
+let gw_throttles t =
+  List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.gw_throttles)
+
+let gw_breaks t =
+  let pools =
+    List.sort_uniq compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) t.gw_trips []
+      @ Hashtbl.fold (fun k _ acc -> k :: acc) t.gw_probes []
+      @ Hashtbl.fold (fun k _ acc -> k :: acc) t.gw_closes [])
+  in
+  List.map
+    (fun pool ->
+      let n tbl =
+        match Hashtbl.find_opt tbl pool with Some r -> !r | None -> 0
+      in
+      (pool, n t.gw_trips, n t.gw_probes, n t.gw_closes))
+    pools
+
+let gw_upgrades t = sorted_bindings t.gw_upgrade_lat

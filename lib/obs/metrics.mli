@@ -126,3 +126,17 @@ val sched_suspend_bytes : t -> int
 (** Per elastic pool: [(pool, scale_ups, scale_downs)] sorted by
     name ([pool.scale] events). *)
 val pool_scales : t -> (string * int * int) list
+
+(** {1 Gateway table} *)
+
+(** Per pool: requests shed by per-client token buckets
+    ([gw.throttle] events). *)
+val gw_throttles : t -> (string * int) list
+
+(** Per pool: [(pool, trips, probes, closes)] circuit-breaker
+    transitions sorted by name ([gw.break.*] events). *)
+val gw_breaks : t -> (string * int * int * int) list
+
+(** Per pool: hot-upgrade swap latency in cycles, drain start to the
+    new generation serving ([gw.upgrade] events). *)
+val gw_upgrades : t -> (string * M3_sim.Stats.t) list

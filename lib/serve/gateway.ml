@@ -1,0 +1,149 @@
+(* Gateway tier: per-client token buckets and per-backend circuit
+   breakers.  Pure state machines driven by the sim clock — no gates, no
+   VPEs, no side effects.  The pool dispatcher owns the instances, feeds
+   them cycles and outcomes, and emits the observability events for the
+   transitions these functions report. *)
+
+type bucket_config = { refill : int; burst : int }
+
+let bucket ?(burst = 8) ~refill () =
+  if refill < 1 then invalid_arg "Gateway.bucket: refill < 1";
+  if burst < 1 then invalid_arg "Gateway.bucket: burst < 1";
+  { refill; burst }
+
+(* One bucket per client id, created lazily at the client's burst
+   allowance.  Refill is integer and remainder-preserving: [last] only
+   advances by whole refill periods, so fractional credit is never lost
+   and never invented, and the outcome depends only on the cycle
+   numbers — identical schedules give identical verdicts. *)
+type bucket_state = { mutable tokens : int; mutable last : int }
+
+type buckets = { b_cfg : bucket_config; b_tbl : (int, bucket_state) Hashtbl.t }
+
+let buckets cfg = { b_cfg = cfg; b_tbl = Hashtbl.create 16 }
+
+let take t ~client ~now =
+  let st =
+    match Hashtbl.find_opt t.b_tbl client with
+    | Some st -> st
+    | None ->
+        let st = { tokens = t.b_cfg.burst; last = now } in
+        Hashtbl.replace t.b_tbl client st;
+        st
+  in
+  let elapsed = now - st.last in
+  if elapsed >= t.b_cfg.refill then begin
+    let whole = elapsed / t.b_cfg.refill in
+    st.tokens <- min t.b_cfg.burst (st.tokens + whole);
+    st.last <- st.last + (whole * t.b_cfg.refill)
+  end;
+  if st.tokens > 0 then begin
+    st.tokens <- st.tokens - 1;
+    true
+  end
+  else false
+
+type breaker_config = {
+  window : int;
+  trip : int;
+  cooldown : int;
+  lethal : int;
+}
+
+let breaker ?(window = 200_000) ?(trip = 2) ?(lethal = 0) ~cooldown () =
+  if window < 1 then invalid_arg "Gateway.breaker: window < 1";
+  if trip < 1 then invalid_arg "Gateway.breaker: trip < 1";
+  if cooldown < 1 then invalid_arg "Gateway.breaker: cooldown < 1";
+  { window; trip; cooldown; lethal }
+
+type phase = Closed | Open | Half_open
+
+let phase_name = function
+  | Closed -> "close"
+  | Open -> "trip"
+  | Half_open -> "probe"
+
+type breaker_state = {
+  k_cfg : breaker_config;
+  mutable k_phase : phase;
+  mutable k_since : int;  (* cycle the current phase was entered *)
+  mutable k_errors : int list;  (* error cycles, newest first *)
+  mutable k_strikes : int;  (* consecutive trips without a close *)
+}
+
+let breaker_state cfg =
+  { k_cfg = cfg; k_phase = Closed; k_since = 0; k_errors = []; k_strikes = 0 }
+
+type verdict = Allow | Probe | Deny
+
+(* Pure form of [admit]: no Open -> Half_open transition, so the
+   admission path can test whole-pool availability without consuming
+   the single probe slot. *)
+let would_allow t ~now =
+  match t.k_phase with
+  | Closed | Half_open -> true
+  | Open -> now - t.k_since >= t.k_cfg.cooldown
+
+let admit t ~now =
+  match t.k_phase with
+  | Closed -> Allow
+  | Half_open -> Deny (* single probe already in flight *)
+  | Open ->
+      if now - t.k_since >= t.k_cfg.cooldown then begin
+        t.k_phase <- Half_open;
+        t.k_since <- now;
+        Probe
+      end
+      else Deny
+
+let trip t ~now =
+  t.k_phase <- Open;
+  t.k_since <- now;
+  t.k_errors <- [];
+  t.k_strikes <- t.k_strikes + 1
+
+let on_error t ~now =
+  match t.k_phase with
+  | Half_open ->
+      (* The probe failed: straight back to Open for another cooldown. *)
+      trip t ~now;
+      true
+  | Open -> false
+  | Closed ->
+      let floor = now - t.k_cfg.window in
+      t.k_errors <- now :: List.filter (fun c -> c > floor) t.k_errors;
+      if List.length t.k_errors >= t.k_cfg.trip then begin
+        trip t ~now;
+        true
+      end
+      else false
+
+let on_timeout t ~now =
+  (* A watchdog expiry is conclusive evidence — trip immediately rather
+     than waiting for [trip] occurrences, since each one costs a full
+     watchdog wait. *)
+  match t.k_phase with
+  | Open -> false
+  | Closed | Half_open ->
+      trip t ~now;
+      true
+
+let on_success t =
+  match t.k_phase with
+  | Half_open ->
+      t.k_phase <- Closed;
+      t.k_errors <- [];
+      t.k_strikes <- 0;
+      true
+  | Closed | Open -> false
+
+let breaker_phase t = t.k_phase
+let strikes t = t.k_strikes
+let is_lethal t = t.k_cfg.lethal > 0 && t.k_strikes >= t.k_cfg.lethal
+
+type config = {
+  g_bucket : bucket_config option;
+  g_breaker : breaker_config option;
+}
+
+let config ?bucket ?breaker () = { g_bucket = bucket; g_breaker = breaker }

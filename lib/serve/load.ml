@@ -1,11 +1,29 @@
 module Rng = M3_sim.Rng
 
-type arrival = { at : int; req : Wire.request }
+type arrival = { at : int; client : int; req : Wire.request }
 type mix = (int * (int -> Wire.kind)) list
+type picker = Rng.t -> int
 
 let pure k = [ (1, fun _ -> k) ]
+let uniform_clients ~n rng = Rng.int rng n
 
-let poisson ~rng ~mean_gap ~count ~mix =
+let zipf_clients ~n ~theta =
+  if n < 1 then invalid_arg "Load.zipf_clients: n < 1";
+  if theta < 0.0 then invalid_arg "Load.zipf_clients: negative theta";
+  (* Inverse-transform over the precomputed CDF of p(i) ~ 1/(i+1)^theta.
+     Client 0 is the hottest; theta = 0 degenerates to uniform. *)
+  let cdf = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (i + 1)) theta);
+    cdf.(i) <- !total
+  done;
+  fun rng ->
+    let u = Rng.float rng *. !total in
+    let rec go i = if i >= n - 1 || cdf.(i) > u then i else go (i + 1) in
+    go 0
+
+let poisson ?clients ~rng ~mean_gap ~count ~mix () =
   if mix = [] then invalid_arg "Load.poisson: empty mix";
   if List.exists (fun (w, _) -> w <= 0) mix then
     invalid_arg "Load.poisson: non-positive weight";
@@ -18,7 +36,9 @@ let poisson ~rng ~mean_gap ~count ~mix =
     in
     go (Rng.int rng total) mix
   in
-  let arrivals = Array.make count { at = 0; req = { Wire.seq = 0; rk = Echo 0 } } in
+  let arrivals =
+    Array.make count { at = 0; client = 0; req = { Wire.seq = 0; rk = Echo 0 } }
+  in
   let t = ref 0 in
   for seq = 0 to count - 1 do
     (* Inverse-transform sampling; [Rng.float] is in [0, 1) so the log
@@ -26,26 +46,40 @@ let poisson ~rng ~mean_gap ~count ~mix =
     let u = Rng.float rng in
     let gap = int_of_float (Float.round (-.mean_gap *. log (1.0 -. u))) in
     t := !t + Stdlib.max 1 gap;
-    arrivals.(seq) <- { at = !t; req = { Wire.seq; rk = pick seq } }
+    let rk = pick seq in
+    arrivals.(seq) <- { at = !t; client = 0; req = { Wire.seq; rk } }
   done;
+  (* Client ids draw from the tail of the stream, after every gap and
+     kind: attaching a picker never perturbs the arrival times or
+     kinds of an existing seed, and pickerless schedules burn no extra
+     draws at all. *)
+  (match clients with
+  | None -> ()
+  | Some p ->
+    for seq = 0 to count - 1 do
+      arrivals.(seq) <- { arrivals.(seq) with client = p rng }
+    done);
   arrivals
 
-let ramp ~rng ~phases ~mix =
+let ramp ?clients ~rng ~phases ~mix () =
   if phases = [] then invalid_arg "Load.ramp: no phases";
   let segments =
     List.map
-      (fun (mean_gap, count) -> poisson ~rng ~mean_gap ~count ~mix)
+      (fun (mean_gap, count) -> poisson ?clients ~rng ~mean_gap ~count ~mix ())
       phases
   in
   let total = List.fold_left (fun acc s -> acc + Array.length s) 0 segments in
-  let out = Array.make total { at = 0; req = { Wire.seq = 0; rk = Echo 0 } } in
+  let out =
+    Array.make total { at = 0; client = 0; req = { Wire.seq = 0; rk = Echo 0 } }
+  in
   let seq = ref 0 in
   let base = ref 0 in
   List.iter
     (fun seg ->
       Array.iter
         (fun a ->
-          out.(!seq) <- { at = !base + a.at; req = { a.req with Wire.seq = !seq } };
+          out.(!seq) <-
+            { a with at = !base + a.at; req = { a.req with Wire.seq = !seq } };
           incr seq)
         seg;
       if Array.length seg > 0 then base := !base + seg.(Array.length seg - 1).at)

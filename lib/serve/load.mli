@@ -9,7 +9,11 @@
     closed-loop clients (who slow down with the service) cannot
     show. *)
 
-type arrival = { at : int; req : Wire.request }
+type arrival = { at : int; client : int; req : Wire.request }
+(** [client] is the id stamped on the client→dispatcher message for
+    per-client gateway accounting; schedules drawn without a picker
+    use 0 throughout (and burn no extra Rng draws, so they are
+    identical to pre-gateway schedules). *)
 
 (** A weighted request mix. Each entry is [(weight, make)]; [make]
     receives the request's sequence number and builds its kind, so
@@ -17,25 +21,54 @@ type arrival = { at : int; req : Wire.request }
     requests over the seed files deterministically. *)
 type mix = (int * (int -> Wire.kind)) list
 
+(** A client-id distribution: one draw per arrival. *)
+type picker = M3_sim.Rng.t -> int
+
 (** [pure k] is the single-kind mix. *)
 val pure : Wire.kind -> mix
 
-(** [poisson ~rng ~mean_gap ~count ~mix] draws [count] arrivals with
+(** [uniform_clients ~n] picks ids 0..n-1 uniformly. *)
+val uniform_clients : n:int -> picker
+
+(** [zipf_clients ~n ~theta] picks ids 0..n-1 with Zipfian skew
+    [p(i) ~ 1/(i+1)^theta] via inverse-transform over the precomputed
+    CDF — client 0 is the hottest, [theta = 0] degenerates to uniform.
+    This is the realistic adversary for the hot-client gateway cell: a
+    few ids dominate the offered load the way hot keys dominate a
+    production keyspace.
+    @raise Invalid_argument on [n < 1] or negative [theta]. *)
+val zipf_clients : n:int -> theta:float -> picker
+
+(** [poisson ~rng ~mean_gap ~count ~mix ()] draws [count] arrivals with
     exponentially distributed inter-arrival gaps of mean [mean_gap]
     cycles (clamped to at least 1), i.e. an open-loop Poisson process
     with rate [1 / mean_gap]. Arrival [i] carries sequence number [i].
+    [clients] draws each arrival's client id from the tail of the Rng
+    stream, after every gap and kind, so attaching a picker never
+    perturbs the arrival times or kinds of an existing seed.
     @raise Invalid_argument on an empty mix, non-positive weights or
     [mean_gap <= 0]. *)
 val poisson :
-  rng:M3_sim.Rng.t -> mean_gap:float -> count:int -> mix:mix -> arrival array
+  ?clients:picker ->
+  rng:M3_sim.Rng.t ->
+  mean_gap:float ->
+  count:int ->
+  mix:mix ->
+  unit ->
+  arrival array
 
-(** [ramp ~rng ~phases ~mix] concatenates Poisson segments — one
+(** [ramp ~rng ~phases ~mix ()] concatenates Poisson segments — one
     [(mean_gap, count)] phase after another, each starting where the
     previous ended — into a single open-loop schedule with
     schedule-wide sequence numbers. The autoscale experiment uses it
     to step the offered load mid-run. *)
 val ramp :
-  rng:M3_sim.Rng.t -> phases:(float * int) list -> mix:mix -> arrival array
+  ?clients:picker ->
+  rng:M3_sim.Rng.t ->
+  phases:(float * int) list ->
+  mix:mix ->
+  unit ->
+  arrival array
 
 (** [offered_rate schedule] is the realized arrival rate in requests
     per cycle (0 for fewer than two arrivals). *)

@@ -81,6 +81,15 @@ type config = {
   files : int;
   watchdog : int;
   max_restarts : int;
+  gateway : Gateway.config option;
+      (* front tier: per-client token buckets and per-seat circuit
+         breakers. [None] keeps the request path bit-identical to a
+         pre-gateway pool. *)
+  app : (int -> int) option;
+      (* host callback behind [Wire.App]: receives the request argument
+         and returns the cycles to charge. Its host-side side effects
+         witness every execution, which is what the exactly-once
+         regression tests need. *)
 }
 
 let default_config ?(name = "pool") ?min_workers ~workers () =
@@ -98,6 +107,8 @@ let default_config ?(name = "pool") ?min_workers ~workers () =
     files = 0;
     watchdog = 150_000;
     max_restarts = 1;
+    gateway = None;
+    app = None;
   }
 
 type pool_stats = {
@@ -113,6 +124,15 @@ type pool_stats = {
   mutable p_max_depth : int;
   mutable p_scale_ups : int;
   mutable p_scale_downs : int;
+  mutable p_throttled : int;
+  mutable p_unavail : int;
+  mutable p_deduped : int;
+  mutable p_trips : int;
+  mutable p_probes : int;
+  mutable p_closes : int;
+  mutable p_upgrades : int;
+  mutable p_retired_vpes : int list;
+  p_upgrade_cycles : Stats.t;
   p_worker_service : Stats.t array;
   p_disp_latency : Stats.t;
 }
@@ -131,6 +151,15 @@ let make_stats ~workers =
     p_max_depth = 0;
     p_scale_ups = 0;
     p_scale_downs = 0;
+    p_throttled = 0;
+    p_unavail = 0;
+    p_deduped = 0;
+    p_trips = 0;
+    p_probes = 0;
+    p_closes = 0;
+    p_upgrades = 0;
+    p_retired_vpes = [];
+    p_upgrade_cycles = Stats.create ();
     p_worker_service = Array.init workers (fun _ -> Stats.create ());
     p_disp_latency = Stats.create ();
   }
@@ -164,6 +193,26 @@ module Dq = struct
       else match pop t with None -> List.rev acc | Some x -> go (k - 1) (x :: acc)
     in
     go k []
+
+  (* Remove and return the first element matching [pred] (harvesting a
+     late completion strikes its requeued copy out of the queue). *)
+  let remove t pred =
+    let found = ref None in
+    let keep x =
+      if !found = None && pred x then begin
+        found := Some x;
+        false
+      end
+      else true
+    in
+    t.front <- List.filter keep t.front;
+    if !found = None then begin
+      let kept = Queue.create () in
+      Queue.iter (fun x -> if keep x then Queue.push x kept) t.q;
+      Queue.clear t.q;
+      Queue.transfer kept t.q
+    end;
+    !found
 end
 
 (* The partner publishes its send gate at a well-known selector; poll
@@ -227,6 +276,12 @@ let worker_body cfg ~widx (cenv : Env.t) =
       ignore (Fft.transform_bytes buf);
       Env.charge cenv Account.App (Cost_model.fft_cycles ~accel:false ~points);
       Errno.E_ok
+    | Wire.App arg -> (
+      match cfg.app with
+      | None -> Errno.E_inv_args
+      | Some f ->
+        Env.charge cenv Account.App (f arg);
+        Errno.E_ok)
   in
   let rec loop () =
     let msg = Gate.recv cenv rgate in
@@ -342,39 +397,149 @@ let dispatcher_body cfg stats (cenv : Env.t) =
   let _published =
     ok (Gate.create_send ~sel:handoff_req_sel cenv req ~label:0L ~credits:req_credits)
   in
+  (* --- gateway state -------------------------------------------------- *)
+  let buckets =
+    match cfg.gateway with
+    | Some { Gateway.g_bucket = Some bc; _ } -> Some (Gateway.buckets bc)
+    | _ -> None
+  in
+  let breaker_cfg =
+    match cfg.gateway with
+    | Some { Gateway.g_breaker = Some kc; _ } -> Some kc
+    | _ -> None
+  in
+  let breakers =
+    match breaker_cfg with
+    | Some kc -> Some (Array.init cfg.workers (fun _ -> Gateway.breaker_state kc))
+    | None -> None
+  in
+  let breaker_on = breakers <> None in
   let pending : (Wire.request * int) Dq.t = Dq.create () in
   let notices : Wire.done_item Dq.t = Dq.create () in
+  (* Seqs whose completion was already processed: the dedup set that
+     turns crash/trip recovery's at-least-once into exactly-once
+     delivery (late replies are harvested, re-dispatched copies
+     suppressed). *)
+  let completed : (int, unit) Hashtbl.t = Hashtbl.create 256 in
   let inflight = ref 0 in
   let drain_slot = ref None in
+  (* At most one planned upgrade in flight: (seat, reply slot, start). *)
+  let upgrading : (int * int * int) option ref = ref None in
+  let seat_upgrading w =
+    match !upgrading with Some (i, _, _) -> i = w.w_idx | None -> false
+  in
+  (* The pool is unavailable when every live seat's breaker is Open
+     with its cooldown still running — then fast-fail instead of
+     queueing behind a watchdog wait. *)
+  let breaker_denied () =
+    match breakers with
+    | None -> false
+    | Some arr ->
+      let avail = ref false in
+      Array.iteri
+        (fun i w ->
+          if w.w_state <> W_dead && Gateway.would_allow arr.(i) ~now:(now ())
+          then avail := true)
+        workers;
+      not !avail
+  in
   let handle_req (msg : Endpoint.message) =
     match Wire.decode_client_msg msg.payload with
     | Wire.Drain -> drain_slot := Some msg.slot
-    | Wire.Request rq ->
-      let depth = Dq.length pending + !inflight + Gate.backlog cenv req in
-      if depth >= cfg.queue_limit then begin
-        stats.p_rejected <- stats.p_rejected + 1;
-        emit (Event.Serve_reject { pe = my_pe; pool = cfg.name; seq = rq.seq; depth });
+    | Wire.Upgrade widx ->
+      if widx < 0 || widx >= Array.length workers || !upgrading <> None then
         ignore
           (Gate.reply cenv req ~slot:msg.slot
-             (Wire.encode_admit ~err:Errno.E_overload ~seq:rq.seq))
+             (Wire.encode_admit ~err:Errno.E_inv_args ~seq:Wire.upgrade_seq))
+      else
+        (* Deferred reply: the slot is answered once the new generation
+           is serving, so the caller observes the commit point. *)
+        upgrading := Some (widx, msg.slot, now ())
+    | Wire.Request { client; req = rq } ->
+      let throttled =
+        match buckets with
+        | Some b -> not (Gateway.take b ~client ~now:(now ()))
+        | None -> false
+      in
+      if throttled then begin
+        stats.p_throttled <- stats.p_throttled + 1;
+        emit (Event.Gw_throttle { pe = my_pe; pool = cfg.name; client; seq = rq.seq });
+        ignore
+          (Gate.reply cenv req ~slot:msg.slot
+             (Wire.encode_admit ~err:Errno.E_throttled ~seq:rq.seq))
+      end
+      else if breaker_denied () then begin
+        stats.p_unavail <- stats.p_unavail + 1;
+        ignore
+          (Gate.reply cenv req ~slot:msg.slot
+             (Wire.encode_admit ~err:Errno.E_unavailable ~seq:rq.seq))
       end
       else begin
-        stats.p_admitted <- stats.p_admitted + 1;
-        if depth > stats.p_max_depth then stats.p_max_depth <- depth;
-        emit (Event.Serve_admit { pe = my_pe; pool = cfg.name; seq = rq.seq; depth });
-        Dq.push pending (rq, now ());
-        ignore
-          (Gate.reply cenv req ~slot:msg.slot
-             (Wire.encode_admit ~err:Errno.E_ok ~seq:rq.seq))
+        let depth = Dq.length pending + !inflight + Gate.backlog cenv req in
+        if depth >= cfg.queue_limit then begin
+          stats.p_rejected <- stats.p_rejected + 1;
+          emit (Event.Serve_reject { pe = my_pe; pool = cfg.name; seq = rq.seq; depth });
+          ignore
+            (Gate.reply cenv req ~slot:msg.slot
+               (Wire.encode_admit ~err:Errno.E_overload ~seq:rq.seq))
+        end
+        else begin
+          stats.p_admitted <- stats.p_admitted + 1;
+          if depth > stats.p_max_depth then stats.p_max_depth <- depth;
+          emit (Event.Serve_admit { pe = my_pe; pool = cfg.name; seq = rq.seq; depth });
+          Dq.push pending (rq, now ());
+          ignore
+            (Gate.reply cenv req ~slot:msg.slot
+               (Wire.encode_admit ~err:Errno.E_ok ~seq:rq.seq))
+        end
       end
+  in
+  let complete_done ~widx ?admitted_at (d : Wire.done_item) =
+    Hashtbl.replace completed d.d_seq ();
+    (match admitted_at with
+    | Some at ->
+      let lat = now () - at in
+      Stats.add stats.p_disp_latency (float_of_int lat);
+      emit
+        (Event.Serve_done
+           { pe = my_pe; pool = cfg.name; seq = d.d_seq; cycles = lat })
+    | None -> ());
+    Stats.add stats.p_worker_service.(widx) (float_of_int d.d_cycles);
+    if Errno.equal d.d_err Errno.E_ok then
+      stats.p_completed <- stats.p_completed + 1
+    else stats.p_failed <- stats.p_failed + 1;
+    Dq.push notices d
+  in
+  let breaker_trip w =
+    stats.p_trips <- stats.p_trips + 1;
+    emit
+      (Event.Gw_break
+         { pe = my_pe; pool = cfg.name; worker = w.w_idx; phase = "trip" })
+  in
+  let breaker_feedback w dones =
+    match breakers with
+    | None -> ()
+    | Some arr ->
+      let k = arr.(w.w_idx) in
+      if
+        List.for_all
+          (fun (d : Wire.done_item) -> Errno.equal d.d_err Errno.E_ok)
+          dones
+      then begin
+        if Gateway.on_success k then begin
+          stats.p_closes <- stats.p_closes + 1;
+          emit
+            (Event.Gw_break
+               { pe = my_pe; pool = cfg.name; worker = w.w_idx; phase = "close" })
+        end
+      end
+      else if Gateway.on_error k ~now:(now ()) then breaker_trip w
   in
   let handle_wreply (msg : Endpoint.message) =
     let widx, gen, dones = Wire.decode_worker_reply msg.payload in
     Gate.ack cenv wreply ~slot:msg.slot;
     if widx >= 0 && widx < Array.length workers then begin
       let w = workers.(widx) in
-      (* a stale generation is a ghost: the batch was already
-         re-enqueued when this worker was declared dead *)
       if gen = w.w_gen then
         match w.w_state with
         | W_busy { batch; _ } ->
@@ -383,25 +548,40 @@ let dispatcher_body cfg stats (cenv : Env.t) =
           inflight := !inflight - List.length batch;
           List.iter
             (fun (d : Wire.done_item) ->
-              (match
-                 List.find_opt
-                   (fun ((r : Wire.request), _) -> r.seq = d.d_seq)
-                   batch
-               with
-              | Some (_, admitted_at) ->
-                let lat = now () - admitted_at in
-                Stats.add stats.p_disp_latency (float_of_int lat);
-                emit
-                  (Event.Serve_done
-                     { pe = my_pe; pool = cfg.name; seq = d.d_seq; cycles = lat })
-              | None -> ());
-              Stats.add stats.p_worker_service.(widx) (float_of_int d.d_cycles);
-              if Errno.equal d.d_err Errno.E_ok then
-                stats.p_completed <- stats.p_completed + 1
-              else stats.p_failed <- stats.p_failed + 1;
-              Dq.push notices d)
-            dones
+              if Hashtbl.mem completed d.d_seq then
+                (* the late reply of an earlier generation already
+                   delivered this completion *)
+                stats.p_deduped <- stats.p_deduped + 1
+              else
+                let admitted_at =
+                  Option.map snd
+                    (List.find_opt
+                       (fun ((r : Wire.request), _) -> r.seq = d.d_seq)
+                       batch)
+                in
+                complete_done ~widx ?admitted_at d)
+            dones;
+          breaker_feedback w dones
         | W_idle | W_parked | W_dead -> ()
+      else
+        (* A reply from a retired generation: the worker was declared
+           slow or dead after these requests were front-requeued.
+           Harvesting the completions — and striking the requeued
+           copies from the queue — is what turns crash/trip recovery's
+           at-least-once into exactly-once for work that did execute
+           before the watchdog fired. *)
+        List.iter
+          (fun (d : Wire.done_item) ->
+            if not (Hashtbl.mem completed d.d_seq) then begin
+              stats.p_deduped <- stats.p_deduped + 1;
+              let admitted_at =
+                Option.map snd
+                  (Dq.remove pending (fun ((r : Wire.request), _) ->
+                       r.seq = d.d_seq))
+              in
+              complete_done ~widx ?admitted_at d
+            end)
+          dones
     end
   in
   let handle_ack (msg : Endpoint.message) = Gate.ack cenv ackg ~slot:msg.slot in
@@ -435,17 +615,54 @@ let dispatcher_body cfg stats (cenv : Env.t) =
         | W_busy { batch; since } when now () - since > cfg.watchdog ->
           inflight := !inflight - List.length batch;
           w.w_state <- W_idle;
-          replace_worker w ~requeue:batch;
+          (match breakers with
+          | Some arr ->
+            (* Slow is not provably dead: trip the breaker and requeue,
+               but keep the worker and its gate alive so a half-open
+               probe can test it. The generation bump stale-ifies the
+               reply it still owes us, which the harvest path then
+               turns into completions instead of duplicates. *)
+            let k = arr.(w.w_idx) in
+            if Gateway.on_timeout k ~now:(now ()) then breaker_trip w;
+            Dq.push_front_list pending batch;
+            stats.p_retried <- stats.p_retried + List.length batch;
+            w.w_gen <- w.w_gen + 1;
+            w.w_idle_since <- now ();
+            if Gateway.is_lethal k then begin
+              (* the seat failed every probe it was given: give up on
+                 the hardware and respawn on a fresh PE *)
+              replace_worker w ~requeue:[];
+              match breaker_cfg with
+              | Some kc -> arr.(w.w_idx) <- Gateway.breaker_state kc
+              | None -> ()
+            end
+          | None -> replace_worker w ~requeue:batch);
           progress := true
         | _ -> ())
       workers
   in
-  let find_idle () =
+  (* Pick the first seat that is idle, not mid-upgrade, and whose
+     breaker admits traffic. [Probe] marks the batch that must carry
+     exactly one request — the half-open probe. *)
+  let find_seat () =
     let rec go i =
       if i >= Array.length workers then None
-      else match workers.(i).w_state with
-        | W_idle -> Some workers.(i)
-        | _ -> go (i + 1)
+      else
+        let w = workers.(i) in
+        if w.w_state <> W_idle || seat_upgrading w then go (i + 1)
+        else
+          match breakers with
+          | None -> Some (w, false)
+          | Some arr -> (
+            match Gateway.admit arr.(i) ~now:(now ()) with
+            | Gateway.Allow -> Some (w, false)
+            | Gateway.Probe ->
+              stats.p_probes <- stats.p_probes + 1;
+              emit
+                (Event.Gw_break
+                   { pe = my_pe; pool = cfg.name; worker = i; phase = "probe" });
+              Some (w, true)
+            | Gateway.Deny -> go (i + 1))
     in
     go 0
   in
@@ -492,7 +709,9 @@ let dispatcher_body cfg stats (cenv : Env.t) =
         Array.iter
           (fun w ->
             match w.w_state with
-            | W_idle when now () - w.w_idle_since >= cfg.shrink_idle ->
+            | W_idle
+              when now () - w.w_idle_since >= cfg.shrink_idle
+                   && not (seat_upgrading w) ->
               victim := Some w
             | _ -> ())
           workers;
@@ -511,39 +730,134 @@ let dispatcher_body cfg stats (cenv : Env.t) =
       end
     end
   in
+  (* Take up to [k] not-yet-completed requests; requeued copies whose
+     completion was harvested in the meantime are dropped here. *)
+  let take_fresh k =
+    let rec go k acc =
+      if k = 0 then List.rev acc
+      else
+        match Dq.pop pending with
+        | None -> List.rev acc
+        | Some ((rq, _) as item) ->
+          if Hashtbl.mem completed rq.Wire.seq then begin
+            stats.p_deduped <- stats.p_deduped + 1;
+            go k acc
+          end
+          else go (k - 1) (item :: acc)
+    in
+    go k []
+  in
   let dispatch progress =
     let rec go () =
       if Dq.length pending > 0 then
-        match find_idle () with
+        match find_seat () with
         | None -> ()
-        | Some w ->
+        | Some (w, probe) ->
           let depth = Dq.length pending in
           let bsz =
-            if depth > cfg.batch_threshold then Stdlib.min cfg.batch_max depth
+            if probe then 1 (* half-open: a single canary request *)
+            else if depth > cfg.batch_threshold then
+              Stdlib.min cfg.batch_max depth
             else 1
           in
-          let batch = Dq.take pending bsz in
-          let payload = Wire.encode_batch ~gen:w.w_gen (List.map fst batch) in
-          (match
-             Gate.send cenv w.w_sgate payload
-               ~reply:(wreply, Int64.of_int w.w_idx) ()
-           with
-          | Ok () ->
-            w.w_state <- W_busy { batch; since = now () };
-            inflight := !inflight + List.length batch;
-            stats.p_batches <- stats.p_batches + 1;
-            stats.p_batched <- stats.p_batched + List.length batch;
-            emit
-              (Event.Serve_batch
-                 { pe = my_pe; pool = cfg.name; worker = w.w_idx;
-                   size = List.length batch })
-          | Error _ ->
-            (* the send gate died with its worker *)
-            replace_worker w ~requeue:batch);
+          let batch = take_fresh bsz in
+          (if batch = [] then () (* everything taken was a duplicate *)
+           else
+             let payload = Wire.encode_batch ~gen:w.w_gen (List.map fst batch) in
+             match
+               Gate.send cenv w.w_sgate payload
+                 ~reply:(wreply, Int64.of_int w.w_idx) ()
+             with
+             | Ok () ->
+               w.w_state <- W_busy { batch; since = now () };
+               inflight := !inflight + List.length batch;
+               stats.p_batches <- stats.p_batches + 1;
+               stats.p_batched <- stats.p_batched + List.length batch;
+               emit
+                 (Event.Serve_batch
+                    { pe = my_pe; pool = cfg.name; worker = w.w_idx;
+                      size = List.length batch })
+             | Error _ ->
+               (* the send gate died with its worker; a half-open
+                  breaker must trip back to Open or its probe slot
+                  would leak *)
+               (match breakers with
+               | Some arr ->
+                 if Gateway.on_error arr.(w.w_idx) ~now:(now ()) then
+                   breaker_trip w
+               | None -> ());
+               replace_worker w ~requeue:batch);
           progress := true;
           go ()
     in
     go ()
+  in
+  (* Planned hot upgrade of one worker seat: stop admitting to it
+     (find_seat skips it), let the in-flight batch drain, shut the old
+     generation down cleanly (empty batch = shutdown, then reap the
+     exit), boot the next generation on a fresh PE, and only then
+     answer the deferred upgrade request — the commit point. Client
+     requests keep flowing through the other seats the whole time, and
+     requests bound for this seat simply wait in [pending]. *)
+  let try_upgrade progress =
+    match !upgrading with
+    | None -> ()
+    | Some (widx, slot, started) -> (
+      let w = workers.(widx) in
+      match w.w_state with
+      | W_busy _ -> () (* still draining; the reply will wake us *)
+      | W_parked ->
+        (match Vpe_api.resume cenv w.w_vpe with
+        | Ok () ->
+          w.w_state <- W_idle;
+          w.w_idle_since <- now ()
+        | Error _ -> w.w_state <- W_dead);
+        progress := true
+      | W_dead ->
+        ignore
+          (Gate.reply cenv req ~slot
+             (Wire.encode_admit ~err:Errno.E_vpe_gone ~seq:Wire.upgrade_seq));
+        upgrading := None;
+        progress := true
+      | W_idle ->
+        let old_vpe = w.w_vpe.Vpe_api.vpe_id in
+        let old_sel = w.w_sgate.Gate.sg_user.Env.eu_sel in
+        ignore
+          (Gate.send cenv w.w_sgate
+             (Wire.encode_batch ~gen:w.w_gen [])
+             ~reply:(wreply, 0L) ());
+        ignore (Vpe_api.wait cenv w.w_vpe);
+        (* drop our gate into the dead generation so the dispatcher's
+           selector space does not leak across upgrades *)
+        ignore (Syscalls.revoke cenv ~sel:old_sel);
+        stats.p_retired_vpes <- old_vpe :: stats.p_retired_vpes;
+        w.w_gen <- w.w_gen + 1;
+        (match spawn_worker widx with
+        | Error _ ->
+          w.w_state <- W_dead;
+          ignore
+            (Gate.reply cenv req ~slot
+               (Wire.encode_admit ~err:Errno.E_vpe_gone ~seq:Wire.upgrade_seq))
+        | Ok (vpe, sg) ->
+          w.w_vpe <- vpe;
+          w.w_sgate <- sg;
+          w.w_state <- W_idle;
+          w.w_idle_since <- now ();
+          (match (breakers, breaker_cfg) with
+          | Some arr, Some kc -> arr.(widx) <- Gateway.breaker_state kc
+          | _ -> ());
+          let cycles = now () - started in
+          stats.p_upgrades <- stats.p_upgrades + 1;
+          Stats.add stats.p_upgrade_cycles (float_of_int cycles);
+          emit
+            (Event.Gw_upgrade
+               { pe = my_pe; pool = cfg.name;
+                 target = Printf.sprintf "worker%d" widx; cycles });
+          ignore
+            (Gate.reply cenv req ~slot
+               (Wire.encode_admit ~err:Errno.E_ok ~seq:Wire.upgrade_seq)));
+        upgrading := None;
+        progress := true)
   in
   let flush_notices progress =
     let rec go () =
@@ -564,7 +878,8 @@ let dispatcher_body cfg stats (cenv : Env.t) =
   let try_finish () =
     match !drain_slot with
     | Some slot
-      when Dq.length pending = 0 && !inflight = 0 && Dq.length notices = 0 ->
+      when Dq.length pending = 0 && !inflight = 0 && Dq.length notices = 0
+           && !upgrading = None ->
       ignore
         (Gate.reply cenv req ~slot
            (Wire.encode_admit ~err:Errno.E_ok ~seq:Wire.drain_seq));
@@ -609,15 +924,19 @@ let dispatcher_body cfg stats (cenv : Env.t) =
     drain_gate req handle_req progress;
     drain_gate wreply handle_wreply progress;
     drain_gate ackg handle_ack progress;
-    if plan_enabled then check_watchdogs progress;
+    if plan_enabled || breaker_on then check_watchdogs progress;
     try_scale progress;
+    try_upgrade progress;
     dispatch progress;
     flush_notices progress;
     if try_finish () then 0
     else if !progress then loop ()
-    else if plan_enabled || elastic then begin
-      (* a crashed worker never answers (watchdog), and scale decisions
-         run on a clock: poll instead of parking on the gates *)
+    else if plan_enabled || elastic || breaker_on then begin
+      (* a crashed worker never answers (watchdog), and scale/breaker
+         decisions run on a clock: poll instead of parking on the
+         gates. A bucket-only gateway deliberately does NOT arm
+         polling — throttling is decided at message arrival, so its
+         idle behavior stays bit-identical to a gateway-less pool. *)
       Process.wait disp_poll;
       loop ()
     end
@@ -642,21 +961,33 @@ type t = {
   t_resp : Gate.recv_gate;
   t_comp : Gate.recv_gate;
   t_drained : bool ref;
+  t_upgraded : int ref; (* upgrade commits acknowledged so far *)
 }
 
 let config t = t.t_cfg
 let stats t = t.t_stats
+let upgrades_seen t = !(t.t_upgraded)
+
+type per_client = {
+  pc_sent : int;
+  pc_completed : int;
+  pc_throttled : int;
+  pc_latency : Stats.t;
+}
 
 type client_result = {
   cr_sent : int;
   cr_admitted : int;
   cr_rejected : int;
+  cr_throttled : int;
+  cr_unavail : int;
   cr_completed : int;
   cr_failed : int;
   cr_latency : Stats.t;
   cr_first_send : int;
   cr_last_done : int;
   cr_completions : (int * int) list;
+  cr_clients : (int * per_client) list;
 }
 
 let start env cfg =
@@ -693,18 +1024,30 @@ let start env cfg =
         t_resp = resp;
         t_comp = comp;
         t_drained = ref false;
+        t_upgraded = ref 0;
       }
   end
 
 (* Request lifecycle on the client: 0 unsent, 1 sent, 3 final.
    (Admit-ok replies carry no new information — only rejects and
    completions resolve a request.) *)
+type pc_mut = {
+  mutable m_sent : int;
+  mutable m_completed : int;
+  mutable m_throttled : int;
+  m_latency : Stats.t;
+}
+
 type session = {
   s_n : int;
   s_send_cycle : int array;
   s_state : int array;
+  s_client : int array; (* client id per seq, for per-client accounting *)
+  s_clients : (int, pc_mut) Hashtbl.t;
   mutable s_sent : int;
   mutable s_rejected : int;
+  mutable s_throttled : int;
+  mutable s_unavail : int;
   mutable s_completed : int;
   mutable s_failed : int;
   mutable s_unresolved : int;
@@ -719,8 +1062,12 @@ let make_session n =
     s_n = n;
     s_send_cycle = Array.make (Stdlib.max n 1) 0;
     s_state = Array.make (Stdlib.max n 1) 0;
+    s_client = Array.make (Stdlib.max n 1) 0;
+    s_clients = Hashtbl.create 8;
     s_sent = 0;
     s_rejected = 0;
+    s_throttled = 0;
+    s_unavail = 0;
     s_completed = 0;
     s_failed = 0;
     s_unresolved = 0;
@@ -730,15 +1077,33 @@ let make_session n =
     s_completions = [];
   }
 
+let client_slot sess client =
+  match Hashtbl.find_opt sess.s_clients client with
+  | Some m -> m
+  | None ->
+    let m =
+      { m_sent = 0; m_completed = 0; m_throttled = 0; m_latency = Stats.create () }
+    in
+    Hashtbl.add sess.s_clients client m;
+    m
+
 let handle_resp env t sess (msg : Endpoint.message) =
   let err, seq = Wire.decode_admit msg.payload in
   Gate.ack env t.t_resp ~slot:msg.slot;
   if seq = Wire.drain_seq then t.t_drained := true
+  else if seq = Wire.upgrade_seq then t.t_upgraded := !(t.t_upgraded) + 1
   else if seq >= 0 && seq < sess.s_n && sess.s_state.(seq) = 1 then
     if not (Errno.equal err Errno.E_ok) then begin
       sess.s_state.(seq) <- 3;
-      sess.s_rejected <- sess.s_rejected + 1;
-      sess.s_unresolved <- sess.s_unresolved - 1
+      sess.s_unresolved <- sess.s_unresolved - 1;
+      if Errno.equal err Errno.E_throttled then begin
+        sess.s_throttled <- sess.s_throttled + 1;
+        let m = client_slot sess sess.s_client.(seq) in
+        m.m_throttled <- m.m_throttled + 1
+      end
+      else if Errno.equal err Errno.E_unavailable then
+        sess.s_unavail <- sess.s_unavail + 1
+      else sess.s_rejected <- sess.s_rejected + 1
     end
 
 let handle_comp env t sess (msg : Endpoint.message) =
@@ -756,7 +1121,10 @@ let handle_comp env t sess (msg : Endpoint.message) =
           sess.s_completed <- sess.s_completed + 1;
           sess.s_last_done <- now;
           Stats.add sess.s_latency (float_of_int lat);
-          sess.s_completions <- (now, lat) :: sess.s_completions
+          sess.s_completions <- (now, lat) :: sess.s_completions;
+          let m = client_slot sess sess.s_client.(seq) in
+          m.m_completed <- m.m_completed + 1;
+          Stats.add m.m_latency (float_of_int lat)
         end
         else sess.s_failed <- sess.s_failed + 1
       end)
@@ -816,33 +1184,56 @@ let await_tail env t sess ~extra =
     done
 
 let result_of sess =
+  let clients =
+    List.sort compare
+      (Hashtbl.fold
+         (fun client m acc ->
+           ( client,
+             {
+               pc_sent = m.m_sent;
+               pc_completed = m.m_completed;
+               pc_throttled = m.m_throttled;
+               pc_latency = m.m_latency;
+             } )
+           :: acc)
+         sess.s_clients [])
+  in
   {
     cr_sent = sess.s_sent;
     cr_admitted = sess.s_completed + sess.s_failed + sess.s_unresolved;
     cr_rejected = sess.s_rejected;
+    cr_throttled = sess.s_throttled;
+    cr_unavail = sess.s_unavail;
     cr_completed = sess.s_completed;
     cr_failed = sess.s_failed;
     cr_latency = sess.s_latency;
     cr_first_send = sess.s_first_send;
     cr_last_done = sess.s_last_done;
     cr_completions = List.rev sess.s_completions;
+    cr_clients = clients;
   }
 
-let send_one env t sess (rq : Wire.request) =
-  match send_bp env t sess (Wire.encode_request rq) with
+let send_one env t sess ?(client = 0) (rq : Wire.request) =
+  match send_bp env t sess (Wire.encode_request ~client rq) with
   | Ok () ->
     let now = Engine.now env.Env.engine in
     if sess.s_sent = 0 then sess.s_first_send <- now;
     sess.s_send_cycle.(rq.seq) <- now;
     sess.s_state.(rq.seq) <- 1;
+    sess.s_client.(rq.seq) <- client;
     sess.s_sent <- sess.s_sent + 1;
-    sess.s_unresolved <- sess.s_unresolved + 1
+    sess.s_unresolved <- sess.s_unresolved + 1;
+    let m = client_slot sess client in
+    m.m_sent <- m.m_sent + 1
   | Error _ ->
     (* count a lost send as a failure so accounting still closes *)
     sess.s_state.(rq.seq) <- 3;
     sess.s_failed <- sess.s_failed + 1
 
-let run_open env t ~schedule =
+let upgrade_worker env t ~worker =
+  Gate.send env t.t_req (Wire.encode_upgrade ~worker) ~reply:(t.t_resp, 0L) ()
+
+let run_open ?(actions = []) env t ~schedule =
   let n = Array.length schedule in
   let sess = make_session n in
   (* Arrival times are relative to the start of the run, not to boot —
@@ -850,10 +1241,11 @@ let run_open env t ~schedule =
   let t0 = Engine.now env.Env.engine in
   for i = 0 to n - 1 do
     let a = schedule.(i) in
+    List.iter (fun (at, act) -> if at = i then act ()) actions;
     drain_client env t sess;
     let now = Engine.now env.Env.engine in
     if now < t0 + a.Load.at then Process.wait (t0 + a.Load.at - now);
-    send_one env t sess a.Load.req
+    send_one env t sess ~client:a.Load.client a.Load.req
   done;
   await_tail env t sess ~extra:(fun () -> false);
   result_of sess

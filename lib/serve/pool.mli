@@ -29,7 +29,28 @@
     starts a replacement on a spare PE (the crashed PE was
     quarantined by the kernel), up to [max_restarts] times per seat.
     Without a plan the watchdog code never runs and the pool costs
-    nothing extra. *)
+    nothing extra.
+
+    An optional {!Gateway} config puts a front tier on the admission
+    path: per-client token buckets shed over-budget clients with
+    {!M3.Errno.E_throttled} before they can queue, and per-seat circuit
+    breakers fast-fail with {!M3.Errno.E_unavailable} while every live
+    seat is in cooldown after tripping on watchdog timeouts — a tripped
+    seat keeps its worker and gate (slow is not provably dead) and is
+    retested with a single half-open probe, replacing the worker only
+    after [lethal] consecutive trips. Completion processing is
+    deduplicated by sequence number, and late replies from retired
+    generations are {e harvested} — their completions delivered, their
+    front-requeued copies struck from the queue — so crash/trip
+    recovery delivers exactly-once even though dispatch is
+    at-least-once.
+
+    Planned {e hot upgrade} ({!upgrade_worker}) reuses the same
+    generation machinery as a first-class operation: the seat stops
+    admitting, drains its in-flight batch, shuts the old generation
+    down cleanly, boots a replacement on a fresh PE, and only then
+    answers the upgrade request — zero failed client requests across
+    the swap. *)
 
 type config = {
   name : string;  (** pool name carried by serve.* events and metrics *)
@@ -58,6 +79,13 @@ type config = {
       (** cycles a batch may be outstanding before the worker is
           declared dead (armed only under a fault plan) *)
   max_restarts : int;  (** replacement workers per seat *)
+  gateway : Gateway.config option;
+      (** front tier (buckets/breakers); [None] (the default) keeps
+          the request path bit-identical to a pre-gateway pool *)
+  app : (int -> int) option;
+      (** host callback behind {!Wire.App} requests: receives the
+          argument, returns cycles to charge. Side effects witness
+          every execution (exactly-once regression tests). *)
 }
 
 (** 8-deep batches above a 2-deep queue, effectively unbounded
@@ -83,6 +111,18 @@ type pool_stats = {
   mutable p_max_depth : int;  (** deepest queue seen at admission *)
   mutable p_scale_ups : int;  (** parked workers resumed on load *)
   mutable p_scale_downs : int;  (** idle workers parked *)
+  mutable p_throttled : int;  (** shed by per-client token buckets *)
+  mutable p_unavail : int;  (** fast-failed while every breaker was open *)
+  mutable p_deduped : int;
+      (** duplicate completions suppressed / harvested from late
+          replies of retired worker generations *)
+  mutable p_trips : int;  (** breaker Closed/Half-open → Open transitions *)
+  mutable p_probes : int;  (** half-open probes dispatched *)
+  mutable p_closes : int;  (** probes that closed a breaker *)
+  mutable p_upgrades : int;  (** planned worker swaps committed *)
+  mutable p_retired_vpes : int list;
+      (** VPE ids of cleanly retired worker generations (leak checks) *)
+  p_upgrade_cycles : M3_sim.Stats.t;  (** swap latency per upgrade *)
   p_worker_service : M3_sim.Stats.t array;  (** service cycles per seat *)
   p_disp_latency : M3_sim.Stats.t;  (** admission → completion, dispatcher clock *)
 }
@@ -96,6 +136,17 @@ type t
 val config : t -> config
 val stats : t -> pool_stats
 
+(** Upgrade commits this client has been notified of so far. *)
+val upgrades_seen : t -> int
+
+(** Per-client slice of a {!client_result}. *)
+type per_client = {
+  pc_sent : int;
+  pc_completed : int;
+  pc_throttled : int;
+  pc_latency : M3_sim.Stats.t;
+}
+
 (** What the load-generating client observed. Latency is client clock:
     request send to completion notice, for requests that were admitted
     and completed. *)
@@ -103,6 +154,8 @@ type client_result = {
   cr_sent : int;
   cr_admitted : int;
   cr_rejected : int;  (** answered [E_overload] *)
+  cr_throttled : int;  (** answered [E_throttled] (over rate budget) *)
+  cr_unavail : int;  (** answered [E_unavailable] (breakers open) *)
   cr_completed : int;
   cr_failed : int;
   cr_latency : M3_sim.Stats.t;
@@ -112,6 +165,9 @@ type client_result = {
       (** (completion cycle, latency) per completed request, in
           completion order — windowed-throughput analysis for the
           degraded-mode run *)
+  cr_clients : (int * per_client) list;
+      (** per-client breakdown sorted by client id — the hot-client
+          isolation cell reads guarded SLAs from here *)
 }
 
 (** [start env cfg] creates the dispatcher VPE (which in turn creates
@@ -122,8 +178,19 @@ val start : M3.Env.t -> config -> (t, M3.Errno.t) result
 (** [run_open env t ~schedule] plays an open-loop schedule: request
     [i] is sent [schedule.(i).at] cycles after the run started (or as
     soon after as send-credit backpressure allows), then the client
-    waits for every outstanding verdict and completion. *)
-val run_open : M3.Env.t -> t -> schedule:Load.arrival array -> client_result
+    waits for every outstanding verdict and completion. Each entry of
+    [actions] is [(index, act)]: [act] runs just before arrival
+    [index] is sent — the upgrade-under-load cell fires
+    {!upgrade_worker} and m3fs drains from here. *)
+val run_open :
+  ?actions:(int * (unit -> unit)) list ->
+  M3.Env.t -> t -> schedule:Load.arrival array -> client_result
+
+(** [upgrade_worker env t ~worker] asks the dispatcher for a planned
+    hot upgrade of worker seat [worker]: fire-and-forget — the commit
+    is observed later as an {!upgrades_seen} increment when the
+    deferred reply arrives. *)
+val upgrade_worker : M3.Env.t -> t -> worker:int -> (unit, M3.Errno.t) result
 
 (** [run_closed env t ~clients ~total ~make] models [clients] virtual
     closed-loop users: at most [clients] requests are unresolved at

@@ -7,6 +7,7 @@ type kind =
   | Fs_stat of int
   | Fs_read of int
   | Fft of int
+  | App of int
 
 type request = { seq : int; rk : kind }
 type done_item = { d_seq : int; d_err : Errno.t; d_cycles : int }
@@ -16,9 +17,16 @@ let kind_name = function
   | Fs_stat _ -> "fs_stat"
   | Fs_read _ -> "fs_read"
   | Fft _ -> "fft"
+  | App _ -> "app"
 
-let tag_of = function Echo _ -> 0 | Fs_stat _ -> 1 | Fs_read _ -> 2 | Fft _ -> 3
-let arg_of = function Echo n | Fs_stat n | Fs_read n | Fft n -> n
+let tag_of = function
+  | Echo _ -> 0
+  | Fs_stat _ -> 1
+  | Fs_read _ -> 2
+  | Fft _ -> 3
+  | App _ -> 4
+
+let arg_of = function Echo n | Fs_stat n | Fs_read n | Fft n | App n -> n
 
 let kind_of ~tag ~arg =
   match tag with
@@ -26,10 +34,13 @@ let kind_of ~tag ~arg =
   | 1 -> Fs_stat arg
   | 2 -> Fs_read arg
   | 3 -> Fft arg
+  | 4 -> App arg
   | _ -> invalid_arg "Serve wire: unknown request kind"
 
 let drain_tag = 255
 let drain_seq = 0xFFFF_FFFF
+let upgrade_tag = 254
+let upgrade_seq = 0xFFFF_FFFE
 
 let put_request w r =
   W.u64 w r.seq;
@@ -49,18 +60,33 @@ let read_seq count get r =
   go count []
 
 type client_msg =
-  | Request of request
+  | Request of { client : int; req : request }
   | Drain
+  | Upgrade of int
 
-let encode_request req =
+(* Client messages carry a trailing u64 client id (25 bytes, still
+   inside the order-6 request slots).  Batches do NOT — 13 requests at
+   26 bytes each would overflow the order-8 batch slots — so client
+   identity lives only between client and dispatcher. *)
+let encode_request ?(client = 0) req =
   let w = W.create () in
   put_request w req;
+  W.u64 w client;
   W.contents w
 
 let encode_drain () =
   let w = W.create () in
   W.u64 w drain_seq;
   W.u8 w drain_tag;
+  W.u64 w 0;
+  W.u64 w 0;
+  W.contents w
+
+let encode_upgrade ~worker =
+  let w = W.create () in
+  W.u64 w upgrade_seq;
+  W.u8 w upgrade_tag;
+  W.u64 w worker;
   W.u64 w 0;
   W.contents w
 
@@ -69,7 +95,10 @@ let decode_client_msg payload =
   let seq = R.u64 r in
   let tag = R.u8 r in
   let arg = R.u64 r in
-  if tag = drain_tag then Drain else Request { seq; rk = kind_of ~tag ~arg }
+  let client = R.u64 r in
+  if tag = drain_tag then Drain
+  else if tag = upgrade_tag then Upgrade arg
+  else Request { client; req = { seq; rk = kind_of ~tag ~arg } }
 
 let encode_admit ~err ~seq =
   let w = W.create () in

@@ -23,6 +23,10 @@ type kind =
   | Fs_stat of int  (** stat a seed file via the shard ring *)
   | Fs_read of int  (** read the first 4 KiB of a seed file *)
   | Fft of int      (** software-FFT this many complex points *)
+  | App of int      (** run the pool's registered host callback with
+                        this argument; used by tests that need a
+                        non-idempotent workload (the callback's side
+                        effects witness every execution) *)
 
 type request = { seq : int; rk : kind }
 
@@ -35,17 +39,31 @@ val kind_name : kind -> string
 (** {1 Client requests} *)
 
 type client_msg =
-  | Request of request
+  | Request of { client : int; req : request }
+      (** [client] identifies the sender for per-client gateway
+          accounting; it travels only on the client→dispatcher leg
+          (batches stay id-free so 13 of them still fit one DTU
+          message) *)
   | Drain  (** "no more requests; answer when everything finished" *)
+  | Upgrade of int
+      (** planned hot upgrade of worker seat [n]: drain it, boot the
+          next generation, answer with an admission verdict carrying
+          {!upgrade_seq} once the swap committed *)
 
-val encode_request : request -> Bytes.t
+val encode_request : ?client:int -> request -> Bytes.t
+(** [client] defaults to 0 (the anonymous client). *)
+
 val encode_drain : unit -> Bytes.t
+val encode_upgrade : worker:int -> Bytes.t
 val decode_client_msg : Bytes.t -> client_msg
 
 (** {1 Admission verdicts (dispatcher's immediate reply)} *)
 
 (** The sequence number a drain reply carries. *)
 val drain_seq : int
+
+(** The sequence number an upgrade-complete reply carries. *)
+val upgrade_seq : int
 
 val encode_admit : err:M3.Errno.t -> seq:int -> Bytes.t
 val decode_admit : Bytes.t -> M3.Errno.t * int

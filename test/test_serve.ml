@@ -11,13 +11,20 @@
    - a pool serves an open-loop schedule and a closed-loop client set
      to completion; a bounded queue rejects overload with
      [E_overload] while every accepted request still completes,
+   - trip recovery is exactly-once: a non-idempotent [App] workload
+     under an injected stall never executes a request twice (the
+     harvest of late replies strikes the front-requeued copies), and
+     the whole trip/probe/close cycle is deterministic,
    - merely constructing serve values (schedules, configs, encoded
      requests) costs zero simulated cycles: a run that never starts a
-     pool is byte-identical to one that never mentions serve,
+     pool is byte-identical to one that never mentions serve, and a
+     gateway that never fires (generous bucket, no breaker) is
+     byte-identical to no gateway at all,
    - the figS experiment is deterministic (same seed, same JSON) and
      its acceptance criteria hold on the CI-sized sweep: the
-     throughput-latency knee, the admission-control SLO, and the
-     crash-restart throughput floor. *)
+     throughput-latency knee, the admission-control SLO, the
+     crash-restart throughput floor, elastic autoscale, hot-client
+     isolation, breaker trip/recovery, and hot upgrade under load. *)
 
 module Engine = M3_sim.Engine
 module Rng = M3_sim.Rng
@@ -31,6 +38,7 @@ module Metrics = M3_obs.Metrics
 module Wire = M3_serve.Wire
 module Load = M3_serve.Load
 module Pool = M3_serve.Pool
+module Gateway = M3_serve.Gateway
 module Figs = M3_harness.Figs
 
 let check_int = Alcotest.(check int)
@@ -45,15 +53,41 @@ let test_request_round_trip () =
     (fun rk ->
       let rq = { Wire.seq = 12345; rk } in
       match Wire.decode_client_msg (Wire.encode_request rq) with
-      | Wire.Request rq' ->
-        check_bool (Wire.kind_name rk ^ " round-trips") true (rq = rq')
-      | Wire.Drain -> Alcotest.fail "request decoded as drain")
-    [ Wire.Echo 2000; Wire.Fs_stat 7; Wire.Fs_read 3; Wire.Fft 64 ]
+      | Wire.Request { client; req = rq' } ->
+          check_bool (Wire.kind_name rk ^ " round-trips") true (rq = rq');
+          check_int "default client id" 0 client
+      | Wire.Drain -> Alcotest.fail "request decoded as drain"
+      | Wire.Upgrade _ -> Alcotest.fail "request decoded as upgrade")
+    [
+      Wire.Echo 2000; Wire.Fs_stat 7; Wire.Fs_read 3; Wire.Fft 64; Wire.App 99;
+    ]
+
+let test_request_client_round_trip () =
+  List.iter
+    (fun client ->
+      let rq = { Wire.seq = 7; rk = Wire.Echo 100 } in
+      match Wire.decode_client_msg (Wire.encode_request ~client rq) with
+      | Wire.Request { client = c'; req = rq' } ->
+          check_int "client id rides the request" client c';
+          check_bool "request intact" true (rq = rq')
+      | Wire.Drain | Wire.Upgrade _ ->
+          Alcotest.fail "client request decoded as control message")
+    [ 0; 1; 5; 255 ]
 
 let test_drain_round_trip () =
   match Wire.decode_client_msg (Wire.encode_drain ()) with
   | Wire.Drain -> ()
-  | Wire.Request _ -> Alcotest.fail "drain decoded as request"
+  | Wire.Request _ | Wire.Upgrade _ ->
+      Alcotest.fail "drain decoded as something else"
+
+let test_upgrade_round_trip () =
+  List.iter
+    (fun worker ->
+      match Wire.decode_client_msg (Wire.encode_upgrade ~worker) with
+      | Wire.Upgrade w -> check_int "upgrade target round-trips" worker w
+      | Wire.Request _ | Wire.Drain ->
+          Alcotest.fail "upgrade decoded as something else")
+    [ 0; 3; 31 ]
 
 let test_admit_round_trip () =
   List.iter
@@ -108,6 +142,15 @@ let test_overload_errno () =
   check_bool "has a message" true
     (String.length (Errno.to_string Errno.E_overload) > 0)
 
+(* Same for the two gateway verdicts. *)
+let test_gateway_errnos () =
+  List.iter
+    (fun (e, code) ->
+      check_int "stable wire encoding" code (Errno.to_int e);
+      check_bool "of_int inverts to_int" true (Errno.equal e (Errno.of_int code));
+      check_bool "has a message" true (String.length (Errno.to_string e) > 0))
+    [ (Errno.E_throttled, 20); (Errno.E_unavailable, 21) ]
+
 (* --- stats satellites --------------------------------------------------- *)
 
 let test_stats_merge_is_exact () =
@@ -147,7 +190,7 @@ let test_percentile_fractional_and_negative () =
 
 let schedule ~seed ~count =
   Load.poisson ~rng:(Rng.create ~seed) ~mean_gap:700.0 ~count
-    ~mix:(Load.pure (Wire.Echo 2000))
+    ~mix:(Load.pure (Wire.Echo 2000)) ()
 
 let test_poisson_is_deterministic () =
   let a = schedule ~seed:11 ~count:300 in
@@ -182,15 +225,65 @@ let test_poisson_validates () =
     | _ -> false
   in
   check_bool "empty mix" true
-    (raises (fun () -> Load.poisson ~rng ~mean_gap:10.0 ~count:1 ~mix:[]));
+    (raises (fun () -> Load.poisson ~rng ~mean_gap:10.0 ~count:1 ~mix:[] ()));
   check_bool "non-positive weight" true
     (raises (fun () ->
          Load.poisson ~rng ~mean_gap:10.0 ~count:1
-           ~mix:[ (0, fun _ -> Wire.Echo 1) ]));
+           ~mix:[ (0, fun _ -> Wire.Echo 1) ] ()));
   check_bool "non-positive gap" true
     (raises (fun () ->
          Load.poisson ~rng ~mean_gap:0.0 ~count:1
-           ~mix:(Load.pure (Wire.Echo 1))))
+           ~mix:(Load.pure (Wire.Echo 1)) ()))
+
+(* Zipf client ids: a pure function of the Rng (the figS hot-client
+   schedules rely on it), visibly head-heavy, and validated. *)
+let test_zipf_deterministic_and_skewed () =
+  let draws seed =
+    let rng = Rng.create ~seed in
+    let pick = Load.zipf_clients ~n:8 ~theta:1.2 in
+    Array.init 4_000 (fun _ -> pick rng)
+  in
+  let a = draws 5 in
+  check_bool "same seed, same draws" true (a = draws 5);
+  let counts = Array.make 8 0 in
+  Array.iter
+    (fun c ->
+      check_bool "id in range" true (c >= 0 && c < 8);
+      counts.(c) <- counts.(c) + 1)
+    a;
+  check_bool "client 0 is the hottest" true
+    (Array.for_all (fun n -> counts.(0) >= n) counts);
+  check_bool "the head dominates the tail" true (counts.(0) > 3 * counts.(7));
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check_bool "n < 1 rejected" true
+    (raises (fun () -> Load.zipf_clients ~n:0 ~theta:1.0));
+  check_bool "negative theta rejected" true
+    (raises (fun () -> Load.zipf_clients ~n:2 ~theta:(-0.1)))
+
+(* Adding a client picker must not perturb the arrival times or kinds
+   of an existing seed — ids are drawn after the gap and kind. *)
+let test_clients_do_not_perturb_arrivals () =
+  let base = schedule ~seed:11 ~count:200 in
+  let mixed =
+    Load.poisson
+      ~clients:(Load.zipf_clients ~n:4 ~theta:1.0)
+      ~rng:(Rng.create ~seed:11) ~mean_gap:700.0 ~count:200
+      ~mix:(Load.pure (Wire.Echo 2000)) ()
+  in
+  let some_nonzero = ref false in
+  Array.iteri
+    (fun i a ->
+      check_int "same arrival time" base.(i).Load.at a.Load.at;
+      check_bool "same request" true (base.(i).Load.req = a.Load.req);
+      if a.Load.client <> 0 then some_nonzero := true)
+    mixed;
+  check_bool "picker actually assigned ids" true !some_nonzero;
+  check_bool "pickerless schedules stay client 0" true
+    (Array.for_all (fun a -> a.Load.client = 0) base)
 
 (* --- pools end to end --------------------------------------------------- *)
 
@@ -261,7 +354,7 @@ let test_closed_loop_completes () =
 let test_admission_rejects_overload () =
   let sched =
     Load.poisson ~rng:(Rng.create ~seed:31) ~mean_gap:120.0 ~count:80
-      ~mix:(Load.pure (Wire.Echo 3000))
+      ~mix:(Load.pure (Wire.Echo 3000)) ()
   in
   let metrics = Metrics.create () in
   let out = ref None in
@@ -302,6 +395,123 @@ let test_admission_rejects_overload () =
                 (Stats.count s)
   | None -> Alcotest.fail "no serve batch metrics"
 
+(* --- exactly-once under trip recovery ----------------------------------- *)
+
+(* The at-least-once regression: a single-seat breaker pool serving
+   non-idempotent [App] requests (a host-side counter witnesses every
+   execution). One request stalls past the watchdog, the breaker trips
+   and the batch is front-requeued; the worker's late reply is then
+   harvested — completions delivered, requeued copies struck — so no
+   argument may ever execute twice even though dispatch is
+   at-least-once. *)
+let test_trip_recovery_is_exactly_once () =
+  let sched =
+    Load.poisson ~rng:(Rng.create ~seed:47) ~mean_gap:2_500.0 ~count:80
+      ~mix:[ (1, fun s -> Wire.App s) ]
+      ()
+  in
+  let execs : (int, int) Hashtbl.t = Hashtbl.create 128 in
+  let stalled = ref false in
+  let out = ref None in
+  run_app (fun env ->
+      let cfg =
+        {
+          (Pool.default_config ~name:"dd" ~workers:1 ()) with
+          Pool.watchdog = 30_000;
+          gateway =
+            Some
+              (Gateway.config ~breaker:(Gateway.breaker ~cooldown:50_000 ()) ());
+          app =
+            Some
+              (fun arg ->
+                Hashtbl.replace execs arg
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt execs arg));
+                if !stalled then 500
+                else begin
+                  stalled := true;
+                  60_000
+                end);
+        }
+      in
+      let pool = ok (Pool.start env cfg) in
+      let cr = Pool.run_open env pool ~schedule:sched in
+      ok (Pool.stop env pool);
+      out := Some (cr, Pool.stats pool);
+      0);
+  let cr, st = Option.get !out in
+  check_bool "the stall tripped the breaker" true (st.Pool.p_trips >= 1);
+  check_bool "late completions were harvested" true (st.Pool.p_deduped >= 1);
+  Hashtbl.iter
+    (fun arg n ->
+      check_int (Printf.sprintf "request %d executed exactly once" arg) 1 n)
+    execs;
+  check_int "every completion is one execution" cr.Pool.cr_completed
+    (Hashtbl.length execs);
+  check_int "no request failed" 0 cr.Pool.cr_failed;
+  check_int "every request resolved" 80
+    (cr.Pool.cr_completed + cr.Pool.cr_unavail + cr.Pool.cr_rejected
+   + cr.Pool.cr_failed)
+
+(* --- gateway determinism ------------------------------------------------- *)
+
+(* A full trip/probe/close cycle is a function of the seed alone: two
+   runs of the same stall scenario must agree byte for byte on the
+   event log and on the final simulated cycle. *)
+let breaker_logged_run () =
+  let engine = Engine.create () in
+  let mem = Obs.Memory.create () in
+  let obs = Obs.of_engine engine in
+  Obs.attach obs (Obs.Memory.sink mem);
+  let sys = Bootstrap.start ~no_fs:true ~obs engine in
+  let sched =
+    Load.poisson ~rng:(Rng.create ~seed:91) ~mean_gap:2_500.0 ~count:60
+      ~mix:(Load.pure (Wire.Echo 2000)) ()
+  in
+  sched.(5) <-
+    { (sched.(5)) with Load.req = { sched.(5).Load.req with Wire.rk = Wire.App 1 } };
+  let stalled = ref false in
+  let out = ref None in
+  let exit =
+    Bootstrap.launch sys ~name:"app" (fun env ->
+        let cfg =
+          {
+            (Pool.default_config ~name:"det" ~workers:1 ()) with
+            Pool.watchdog = 30_000;
+            gateway =
+              Some
+                (Gateway.config
+                   ~breaker:(Gateway.breaker ~cooldown:50_000 ())
+                   ());
+            app =
+              Some
+                (fun _ ->
+                  if !stalled then 500
+                  else begin
+                    stalled := true;
+                    60_000
+                  end);
+          }
+        in
+        let pool = ok (Pool.start env cfg) in
+        let cr = Pool.run_open env pool ~schedule:sched in
+        ok (Pool.stop env pool);
+        out := Some (cr, Pool.stats pool);
+        0)
+  in
+  let final = Engine.run engine in
+  Bootstrap.expect_exit sys exit;
+  let cr, st = Option.get !out in
+  (Obs.Memory.to_string mem, final, cr, st)
+
+let test_breaker_is_deterministic () =
+  let log_a, cyc_a, cr_a, st_a = breaker_logged_run () in
+  let log_b, cyc_b, _, _ = breaker_logged_run () in
+  check_bool "the breaker tripped" true (st_a.Pool.p_trips >= 1);
+  check_bool "and closed again" true (st_a.Pool.p_closes >= 1);
+  check_int "no failed requests" 0 cr_a.Pool.cr_failed;
+  check_string "byte-identical event logs" log_a log_b;
+  check_int "identical final cycle" cyc_a cyc_b
+
 (* --- zero-cost guard ---------------------------------------------------- *)
 
 (* The same no-pool workload, once oblivious to serve and once
@@ -338,6 +548,46 @@ let test_no_pool_is_zero_cost () =
   check_bool "log not empty" true (String.length log_plain > 0);
   check_string "byte-identical event logs" log_plain log_values;
   check_int "identical final cycle" cycles_plain cycles_values
+
+(* A gateway that never fires must be invisible: the same seeded pool
+   run with [gateway = None] and with a bucket generous enough to
+   admit everything (burst covers the whole schedule) must produce
+   byte-identical event logs and the same final cycle — bucket checks
+   are host-side and a bucket-only gateway never arms dispatcher
+   polling. *)
+let gateway_cost_run gateway =
+  let engine = Engine.create () in
+  let mem = Obs.Memory.create () in
+  let obs = Obs.of_engine engine in
+  Obs.attach obs (Obs.Memory.sink mem);
+  let sys = Bootstrap.start ~no_fs:true ~obs engine in
+  let sched = schedule ~seed:83 ~count:50 in
+  let exit =
+    Bootstrap.launch sys ~name:"app" (fun env ->
+        let cfg =
+          {
+            (Pool.default_config ~name:"zc" ~workers:2 ()) with
+            Pool.gateway = gateway;
+          }
+        in
+        let pool = ok (Pool.start env cfg) in
+        let cr = Pool.run_open env pool ~schedule:sched in
+        ok (Pool.stop env pool);
+        if cr.Pool.cr_completed <> 50 || cr.Pool.cr_throttled <> 0 then 1 else 0)
+  in
+  let final = Engine.run engine in
+  Bootstrap.expect_exit sys exit;
+  (Obs.Memory.to_string mem, final)
+
+let test_idle_gateway_is_zero_cost () =
+  let generous =
+    Gateway.config ~bucket:(Gateway.bucket ~burst:64 ~refill:1 ()) ()
+  in
+  let log_off, cycles_off = gateway_cost_run None in
+  let log_on, cycles_on = gateway_cost_run (Some generous) in
+  check_bool "log not empty" true (String.length log_off > 0);
+  check_string "byte-identical event logs" log_off log_on;
+  check_int "identical final cycle" cycles_off cycles_on
 
 (* --- figS: determinism and acceptance ----------------------------------- *)
 
@@ -414,6 +664,48 @@ let test_figs_autoscale () =
     (u.Figs.u_static_p99 > bound);
   check_bool "autoscale verdict" true (Figs.autoscale_verdict t)
 
+let test_figs_hotclient () =
+  let t = Lazy.force figs_quick in
+  let h = t.Figs.g_hotclient in
+  check_bool "the flood was throttled" true (h.Figs.h_hot_throttled > 0);
+  check_bool "the flood dominates the throttle count" true
+    (h.Figs.h_hot_throttled <= h.Figs.h_throttled
+    && 10 * (h.Figs.h_throttled - h.Figs.h_hot_throttled)
+       <= h.Figs.h_throttled);
+  let bound = Figs.hotclient_factor *. h.Figs.h_baseline_p99 in
+  check_bool
+    (Printf.sprintf "guarded p99 %.0f within %.0f of the no-flood baseline"
+       h.Figs.h_guarded_p99 bound)
+    true
+    (h.Figs.h_guarded_p99 <= bound);
+  check_bool "hotclient verdict" true (Figs.hotclient_verdict t)
+
+let test_figs_breaker () =
+  let t = Lazy.force figs_quick in
+  let b = t.Figs.g_breaker in
+  check_bool "the stall tripped the breaker" true (b.Figs.b_trips >= 1);
+  check_bool "requests fast-failed while open" true (b.Figs.b_unavail >= 1);
+  check_bool "a half-open probe went out" true (b.Figs.b_probes >= 1);
+  check_bool "and closed the breaker" true (b.Figs.b_closes >= 1);
+  check_bool "the stalled batch was harvested" true (b.Figs.b_deduped >= 1);
+  check_int "no request failed" 0 b.Figs.b_failed;
+  check_bool "breaker verdict" true (Figs.breaker_verdict t)
+
+let test_figs_upgrade () =
+  let t = Lazy.force figs_quick in
+  let u = t.Figs.g_upgrade in
+  check_bool "a worker swap committed" true (u.Figs.up_upgrades >= 1);
+  check_bool "the client observed the commit" true
+    (u.Figs.up_seen >= u.Figs.up_upgrades);
+  check_bool "every mounted shard turned its generation over" true
+    (u.Figs.up_fs_gens <> []
+    && List.for_all (fun (_, g) -> g >= 1) u.Figs.up_fs_gens);
+  check_int "zero failed requests across the swap" 0 u.Figs.up_failed;
+  check_int "every request completed" u.Figs.up_sent u.Figs.up_completed;
+  check_int "retired generation leaked no endpoints" 0 u.Figs.up_leaked_eps;
+  check_int "retired generation leaked no capabilities" 0 u.Figs.up_leaked_caps;
+  check_bool "upgrade verdict" true (Figs.upgrade_verdict t)
+
 let tc name f = Alcotest.test_case name `Quick f
 
 let suites =
@@ -421,12 +713,15 @@ let suites =
     ( "serve.wire",
       [
         tc "request round-trips" test_request_round_trip;
+        tc "client id round-trips" test_request_client_round_trip;
         tc "drain round-trips" test_drain_round_trip;
+        tc "upgrade round-trips" test_upgrade_round_trip;
         tc "admission verdict round-trips" test_admit_round_trip;
         tc "batch round-trips" test_batch_round_trip;
         tc "worker reply round-trips" test_worker_reply_round_trip;
         tc "notice round-trips" test_notice_round_trip;
         tc "E_overload encoding is stable" test_overload_errno;
+        tc "gateway errno encodings are stable" test_gateway_errnos;
       ] );
     ( "serve.stats",
       [
@@ -439,13 +734,19 @@ let suites =
         tc "poisson is deterministic" test_poisson_is_deterministic;
         tc "poisson shape" test_poisson_shape;
         tc "poisson validates arguments" test_poisson_validates;
+        tc "zipf is deterministic and skewed" test_zipf_deterministic_and_skewed;
+        tc "client ids do not perturb arrivals"
+          test_clients_do_not_perturb_arrivals;
       ] );
     ( "serve.pool",
       [
         tc "open loop completes" test_open_loop_completes;
         tc "closed loop completes" test_closed_loop_completes;
         tc "admission rejects overload" test_admission_rejects_overload;
+        tc "trip recovery is exactly-once" test_trip_recovery_is_exactly_once;
+        tc "breaker runs are deterministic" test_breaker_is_deterministic;
         tc "no pool, no cost" test_no_pool_is_zero_cost;
+        tc "idle gateway, no cost" test_idle_gateway_is_zero_cost;
       ] );
     ( "serve.figS",
       [
@@ -455,5 +756,8 @@ let suites =
         tc "crash restart" test_figs_crash_restart;
         tc "mixed kinds" test_figs_mix;
         tc "autoscale" test_figs_autoscale;
+        tc "hot-client isolation" test_figs_hotclient;
+        tc "breaker trip and recovery" test_figs_breaker;
+        tc "upgrade under load" test_figs_upgrade;
       ] );
   ]
