@@ -9,11 +9,21 @@
      dune exec bench/main.exe --no-bechamel
      dune exec bench/main.exe --bechamel-only
      dune exec bench/main.exe --quick     # CI smoke: one pass over the
-                                          # scaled-down kernels, no bechamel *)
+                                          # scaled-down kernels, no bechamel
+     dune exec bench/main.exe --quick --domains 4
+                                          # same, running the warm-cache
+                                          # kernel's independent sims on a
+                                          # pool of 4 OCaml domains *)
 
 open M3_harness
 
 let ppf = Format.std_formatter
+
+(* [--domains N]: host-side domain-pool width for kernels built from
+   independent simulations (currently the warm-cache kernel's four
+   passes). Pure execution-width knob — simulated results are
+   bit-identical for any value. *)
+let opt_domains = ref 1
 
 let line () = Format.fprintf ppf "%s@." (String.make 78 '-')
 
@@ -205,8 +215,27 @@ let kernel_fig7 () =
 let results_warm_read = ref None
 let results_warm_find = ref None
 
-let kernel_warm_cache () =
-  let wr = Fig3.m3_warm_read () in
+(* The four passes (fig3 cold/warm, fig6x cold/warm) are complete,
+   independent systems, so the whole kernel fans out over one domain
+   pool — the host-speedup measurement below runs it at 1 and 4
+   domains and the results are bit-identical. *)
+let kernel_warm_cache_at ~domains () =
+  let f3_cold = ref None and f3_warm = ref None in
+  let f6_cold = ref None and f6_warm = ref None in
+  ignore
+    (M3_sim.Domainpool.run ~domains
+       [
+         (fun () -> f3_cold := Some (Fig3.warm_read_pass ~primed:false ()));
+         (fun () -> f3_warm := Some (Fig3.warm_read_pass ~primed:true ()));
+         (fun () -> f6_cold := Some (Fig6x.warm_find_pass ~primed:false ()));
+         (fun () -> f6_warm := Some (Fig6x.warm_find_pass ~primed:true ()));
+       ]);
+  let get r = match !r with Some v -> v | None -> assert false in
+  let cold, cold_rt = get f3_cold and warm, warm_rt = get f3_warm in
+  let wr =
+    { Fig3.w_cold = cold; w_warm = warm; w_cold_rt = cold_rt;
+      w_warm_rt = warm_rt }
+  in
   results_warm_read := Some wr;
   if not (Fig3.warm_cell_ok wr) then
     failwith
@@ -214,7 +243,19 @@ let kernel_warm_cache () =
          "warm read gate: cold %d -> warm %d service round-trips (need >= \
           1.5x fewer)"
          wr.Fig3.w_cold_rt wr.Fig3.w_warm_rt);
-  let wf = Fig6x.warm_find () in
+  let wf_cold, wf_cold_rt, _, _ = get f6_cold in
+  let wf_warm, wf_warm_rt, hits, misses = get f6_warm in
+  let wf =
+    {
+      Fig6x.wf_cold;
+      wf_warm;
+      wf_cold_rt;
+      wf_warm_rt;
+      wf_hit_rate =
+        (if hits + misses = 0 then 0.0
+         else float_of_int hits /. float_of_int (hits + misses));
+    }
+  in
   results_warm_find := Some wf;
   if not (Fig6x.warm_find_ok wf) then
     failwith
@@ -222,6 +263,8 @@ let kernel_warm_cache () =
          "warm find gate: cold %d -> warm %d service round-trips (need >= \
           1.5x fewer)"
          wf.Fig6x.wf_cold_rt wf.Fig6x.wf_warm_rt)
+
+let kernel_warm_cache () = kernel_warm_cache_at ~domains:!opt_domains ()
 
 (* Gateway smoke with its gates enforced: a single-seat breaker pool
    under an injected stall must trip, fast-fail at least one request
@@ -603,6 +646,29 @@ let warm_cache_json () =
               wf) );
     ]
 
+(* Host-side speedup of the warm-cache kernel on a domain pool,
+   measured by the quick smoke: wall ms at 1 and 4 domains. On a
+   single-core host the two are expected to tie — [host_cores] is
+   recorded so consumers (CI) can decide whether a speedup gate is
+   meaningful. *)
+let results_host_parallel = ref None
+
+let host_parallel_json () =
+  match !results_host_parallel with
+  | None -> []
+  | Some (ms1, ms4) ->
+    [
+      ( "host_parallel",
+        jobj
+          [
+            ("kernel", jstr "cache/warm-read-find-sim");
+            ("host_ms_domains_1", jfloat ms1);
+            ("host_ms_domains_4", jfloat ms4);
+            ("speedup", jfloat (if ms4 > 0.0 then ms1 /. ms4 else 0.0));
+            ("host_cores", string_of_int (Domain.recommended_domain_count ()));
+          ] );
+    ]
+
 let write_results_json ~bechamel_rows path =
   let fields =
     [
@@ -610,6 +676,7 @@ let write_results_json ~bechamel_rows path =
       ("simulated", jobj (experiments_json ()));
     ]
     @ warm_cache_json ()
+    @ host_parallel_json ()
     @ [
       ( "host_ms_per_run",
         jobj
@@ -662,6 +729,23 @@ let run_quick () =
       kernels
   in
   Format.fprintf ppf "quick smoke passed (%d kernels)@." (List.length kernels);
+  (* Host-speedup trajectory: the warm-cache kernel once more at 1 and
+     4 domains (simulated results are bit-identical; only host wall
+     time differs). *)
+  let time_warm domains =
+    let t0 = Unix.gettimeofday () in
+    kernel_warm_cache_at ~domains ();
+    (Unix.gettimeofday () -. t0) *. 1e3
+  in
+  let ms1 = time_warm 1 in
+  let ms4 = time_warm 4 in
+  results_host_parallel := Some (ms1, ms4);
+  Format.fprintf ppf
+    "  warm-cache host speedup: %.3f ms @ 1 domain, %.3f ms @ 4 domains \
+     (%.2fx, %d host cores)@."
+    ms1 ms4
+    (if ms4 > 0.0 then ms1 /. ms4 else 0.0)
+    (Domain.recommended_domain_count ());
   rows
 
 (* --- bechamel ---------------------------------------------------------- *)
@@ -706,6 +790,19 @@ let run_bechamel () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Strip [--domains N] (flag + value) before positional parsing. *)
+  let rec strip_domains = function
+    | "--domains" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some d when d >= 1 -> opt_domains := d
+      | Some _ | None ->
+        prerr_endline "bench: --domains expects a positive integer";
+        exit 2);
+      strip_domains rest
+    | a :: rest -> a :: strip_domains rest
+    | [] -> []
+  in
+  let args = strip_domains args in
   let quick = List.mem "--quick" args in
   let no_bechamel = List.mem "--no-bechamel" args in
   let bechamel_only = List.mem "--bechamel-only" args in

@@ -6,23 +6,27 @@ type t = {
   prog_image_bytes : int;
 }
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+(* Process-global and touched from concurrent simulations (domain
+   pool, partitioned runs): the table is mutex-protected and lambda
+   names are minted atomically. *)
+let registry : (string, t) M3_sim.Locked.Table.t = M3_sim.Locked.Table.create 32
 
 let default_image_bytes = 16 * 1024
 
 let register ~name ~image_bytes main =
-  Hashtbl.replace registry name
+  M3_sim.Locked.Table.replace registry name
     { prog_name = name; prog_main = main; prog_image_bytes = image_bytes }
 
-let lambda_counter = ref 0
+let lambda_counter = Atomic.make 0
 
 let register_lambda ~image_bytes main =
-  incr lambda_counter;
-  let name = Printf.sprintf "lambda.%d" !lambda_counter in
+  let name =
+    Printf.sprintf "lambda.%d" (Atomic.fetch_and_add lambda_counter 1 + 1)
+  in
   register ~name ~image_bytes main;
   name
 
-let find name = Hashtbl.find_opt registry name
+let find name = M3_sim.Locked.Table.find_opt registry name
 
 let shebang name = "#!m3 " ^ name ^ "\n"
 

@@ -50,9 +50,17 @@ type t = {
   r_warm : warm_find;
 }
 
+(** [warm_find_pass ~primed ()] runs one pass of the warm-find cell on
+    a fresh system and returns (measure, round-trips, cache hits,
+    cache misses). Exposed so the bench can run the four warm-cache
+    passes (this cell's two plus fig3's two) on one domain pool. *)
+val warm_find_pass : primed:bool -> unit -> Runner.measure * int * int * int
+
 (** [warm_find ()] measures just the warm-find cell (cheap — two find
-    replays); {!run} embeds the same cell in the full sweep. *)
-val warm_find : unit -> warm_find
+    replays); {!run} embeds the same cell in the full sweep.
+    [?domains] runs the two independent passes on that many domains
+    (default 1) — the results are bit-identical either way. *)
+val warm_find : ?domains:int -> unit -> warm_find
 
 (** The warm-cache acceptance gate: the warm walk costs at least 1.5x
     fewer service round-trips than the cold one. *)

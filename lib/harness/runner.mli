@@ -40,7 +40,13 @@ val serialized : measure -> measure
     parameter plumbing. [faults] attaches a fault plan before boot;
     [inspect] runs against the platform after the app has exited
     (e.g. to collect DTU retry/refund statistics). [sched] boots the
-    kernel with a VPE scheduler (suspend/resume, time-multiplexing). *)
+    kernel with a VPE scheduler (suspend/resume, time-multiplexing).
+    [partitions]/[domains] build a partitioned engine (parallel host
+    execution of one simulation; see {!M3_sim.Engine.create}) and
+    [partition_of] maps NoC nodes onto those partitions — scenario
+    parameters: the partition count shapes the committed schedule, the
+    domain count is pure host-side width. Defaults: one partition, one
+    domain, everything on partition 0. *)
 val run_m3 :
   ?pe_count:int ->
   ?dram_mib:int ->
@@ -49,6 +55,9 @@ val run_m3 :
   ?no_fs:bool ->
   ?sched:bool ->
   ?faults:M3_fault.Plan.t ->
+  ?partitions:int ->
+  ?domains:int ->
+  ?partition_of:(int -> int) ->
   ?inspect:(M3_hw.Platform.t -> unit) ->
   (M3.Env.t -> measured:((unit -> unit) -> unit) -> unit) ->
   measure

@@ -1,7 +1,13 @@
 type 'a entry = { key : int; seq : int; value : 'a }
 
+(* Slots at index >= size hold [None] so that popped events — and
+   everything their closures capture — become collectable immediately.
+   The previous representation kept the moved last entry (and, in
+   [grow], whole arrays of one pinned entry) referenced beyond [size]
+   for the life of the heap, which over a long sweep pinned dead event
+   closures and their captured simulation state. *)
 type 'a t = {
-  mutable data : 'a entry array;
+  mutable data : 'a entry option array;
   mutable size : int;
   mutable next_seq : int;
 }
@@ -12,14 +18,19 @@ let is_empty h = h.size = 0
 
 let length h = h.size
 
+let get h i =
+  match h.data.(i) with
+  | Some e -> e
+  | None -> assert false (* slots < size are always populated *)
+
 (* [before a b]: does entry [a] come out of the heap before [b]? *)
 let before a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 
-let grow h entry =
+let grow h =
   let capacity = Array.length h.data in
   if h.size = capacity then begin
     let capacity' = if capacity = 0 then 64 else capacity * 2 in
-    let data' = Array.make capacity' entry in
+    let data' = Array.make capacity' None in
     Array.blit h.data 0 data' 0 h.size;
     h.data <- data'
   end
@@ -27,7 +38,7 @@ let grow h entry =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if before h.data.(i) h.data.(parent) then begin
+    if before (get h i) (get h parent) then begin
       let tmp = h.data.(i) in
       h.data.(i) <- h.data.(parent);
       h.data.(parent) <- tmp;
@@ -38,9 +49,9 @@ let rec sift_up h i =
 let rec sift_down h i =
   let left = (2 * i) + 1 and right = (2 * i) + 2 in
   let smallest = ref i in
-  if left < h.size && before h.data.(left) h.data.(!smallest) then
+  if left < h.size && before (get h left) (get h !smallest) then
     smallest := left;
-  if right < h.size && before h.data.(right) h.data.(!smallest) then
+  if right < h.size && before (get h right) (get h !smallest) then
     smallest := right;
   if !smallest <> i then begin
     let tmp = h.data.(i) in
@@ -52,21 +63,23 @@ let rec sift_down h i =
 let push h ~key value =
   let entry = { key; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;
-  grow h entry;
-  h.data.(h.size) <- entry;
+  grow h;
+  h.data.(h.size) <- Some entry;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let min_key h = if h.size = 0 then None else Some h.data.(0).key
+let min_key h = if h.size = 0 then None else Some (get h 0).key
 
 let pop h =
   if h.size = 0 then None
   else begin
-    let top = h.data.(0) in
+    let top = get h 0 in
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- None;
       sift_down h 0
-    end;
+    end
+    else h.data.(0) <- None;
     Some (top.key, top.value)
   end

@@ -1,0 +1,310 @@
+(* Tests for the parallel host engine: heap slot clearing, partitioned
+   windows with cross-partition delivery, the domain pool, and — the
+   load-bearing property — byte-identical simulated results at 1, 2
+   and 4 domains. *)
+
+module Engine = M3_sim.Engine
+module Heap = M3_sim.Heap
+module Domainpool = M3_sim.Domainpool
+module Obs = M3_obs.Obs
+module Fabric = M3_noc.Fabric
+module Topology = M3_noc.Topology
+module Runner = M3_harness.Runner
+module Fig6x = M3_harness.Fig6x
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- heap: popped slots must not pin their entries ------------------- *)
+
+(* Kept out of the test body so the payload cannot stay live in the
+   caller's frame: once this returns, only the heap's backing array
+   could still reference it. *)
+let[@inline never] push_pop_cycle h =
+  let payload = Array.make 1024 0 in
+  let w = Weak.create 1 in
+  Weak.set w 0 (Some payload);
+  Heap.push h ~key:1 payload;
+  (match Heap.pop h with
+  | Some (_, v) -> assert (v == payload)
+  | None -> assert false);
+  w
+
+let test_heap_no_pinning () =
+  let h = Heap.create () in
+  (* A surviving entry, so the heap stays allocated across the pop. *)
+  Heap.push h ~key:5 (Array.make 1 0);
+  let w = push_pop_cycle h in
+  Gc.full_major ();
+  check_bool "drained slot holds no reference to the popped entry" true
+    (Weak.get w 0 = None)
+
+(* --- heap: property test against a sorted-list oracle ---------------- *)
+
+(* [Some k] pushes with key [k], [None] pops; the oracle is a stable
+   sorted association list, so FIFO-among-equal-keys is checked too. *)
+let qcheck_heap_oracle =
+  QCheck.Test.make ~name:"heap matches a sorted-list oracle under push/pop"
+    ~count:300
+    QCheck.(list (option (int_bound 30)))
+    (fun ops ->
+      let h = Heap.create () in
+      let oracle = ref [] in
+      let seq = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some k ->
+            Heap.push h ~key:k !seq;
+            let rec ins = function
+              | (k', v) :: rest when k' <= k -> (k', v) :: ins rest
+              | rest -> (k, !seq) :: rest
+            in
+            oracle := ins !oracle;
+            incr seq;
+            Heap.length h = List.length !oracle
+            && Heap.min_key h = Option.map fst (List.nth_opt !oracle 0)
+          | None -> (
+            match !oracle with
+            | [] -> Heap.pop h = None
+            | entry :: rest ->
+              oracle := rest;
+              Heap.pop h = Some entry))
+        ops)
+
+(* --- atomic id minting across domains -------------------------------- *)
+
+let test_engine_ids_atomic () =
+  let per_domain = 16 in
+  let ids =
+    Domainpool.run ~domains:4
+      (List.init 4 (fun _ () ->
+           List.init per_domain (fun _ -> Engine.id (Engine.create ()))))
+    |> List.concat
+  in
+  let distinct = List.sort_uniq compare ids in
+  check_int "engine ids minted concurrently are distinct"
+    (4 * per_domain) (List.length distinct)
+
+(* --- domain pool ------------------------------------------------------ *)
+
+let test_domainpool_order () =
+  let expected = List.init 20 (fun i -> i * i) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "results keep input order at %d domains" domains)
+        expected
+        (Domainpool.run ~domains (List.init 20 (fun i () -> i * i))))
+    [ 1; 3; 8 ]
+
+let test_domainpool_errors () =
+  match
+    Domainpool.run ~domains:2
+      [ (fun () -> 1); (fun () -> failwith "boom"); (fun () -> 3) ]
+  with
+  | _ -> Alcotest.fail "expected the thunk's exception to propagate"
+  | exception Failure m -> Alcotest.(check string) "first error wins" "boom" m
+
+(* --- partitioned engine ----------------------------------------------- *)
+
+let test_lookahead_enforced () =
+  let e = Engine.create ~partitions:2 () in
+  Engine.set_lookahead e 5;
+  let violated = ref false and landed = ref false in
+  Engine.schedule_on e ~partition:0 ~time:10 (fun () ->
+      (* From partition 0 at cycle 10: cycle 12 is inside the 5-cycle
+         lookahead window, cycle 15 is exactly on the horizon. *)
+      (match Engine.schedule_on e ~partition:1 ~time:12 (fun () -> ()) with
+      | () -> ()
+      | exception Invalid_argument _ -> violated := true);
+      Engine.schedule_on e ~partition:1 ~time:15 (fun () -> landed := true));
+  ignore (Engine.run e);
+  check_bool "sub-lookahead delivery rejected" true !violated;
+  check_bool "on-horizon delivery committed" true !landed
+
+(* A deterministic token storm over 4 partitions: every event adds a
+   value derived from its (partition, time, ttl) into its partition's
+   private cell and forwards two tokens across partitions. The final
+   clock, event count and per-partition sums must not depend on the
+   domain count. *)
+let run_token_storm ~domains =
+  let parts = 4 in
+  let e = Engine.create ~partitions:parts ~domains () in
+  Engine.set_lookahead e 3;
+  let acc = Array.make parts 0 in
+  let rec hop ~p ~time ~ttl =
+    if ttl > 0 then
+      Engine.schedule_on e ~partition:p ~time (fun () ->
+          acc.(p) <- acc.(p) + (time * 7) + ttl;
+          let now = Engine.now e in
+          hop ~p:((p + 1) mod parts) ~time:(now + 3 + (ttl mod 5)) ~ttl:(ttl - 1);
+          hop ~p:((p + 3) mod parts) ~time:(now + 4) ~ttl:(ttl - 2))
+  in
+  for i = 0 to parts - 1 do
+    hop ~p:i ~time:(i + 1) ~ttl:12
+  done;
+  let final = Engine.run e in
+  (final, Engine.processed e, Array.to_list acc)
+
+let test_partition_determinism () =
+  let base = run_token_storm ~domains:1 in
+  let _, processed, _ = base in
+  check_bool "the storm actually ran" true (processed > 100);
+  List.iter
+    (fun domains ->
+      Alcotest.(check (triple int int (list int)))
+        (Printf.sprintf "token storm identical at %d domains" domains)
+        base
+        (run_token_storm ~domains))
+    [ 2; 4 ]
+
+(* --- cross-partition NoC traffic: byte-identical event logs ---------- *)
+
+(* Chained transfers over a fabric whose 8 nodes are spread across 4
+   engine partitions: each delivery re-sends from its destination, so
+   traffic keeps crossing partitions (transaction-level path) and
+   bouncing within them (full link model). The merged observability
+   log — link occupancies, transfer records, message ids — must be
+   byte-identical for any domain count. *)
+let run_fabric_storm ~domains =
+  let parts = 4 and nodes = 8 in
+  let e = Engine.create ~partitions:parts ~domains () in
+  let part_of n = n mod parts in
+  let fab =
+    Fabric.create ~partition_of:part_of e (Topology.for_nodes nodes)
+      ~config:Fabric.default_config
+  in
+  let obs = Obs.of_engine e in
+  let mem = Obs.Memory.create () in
+  Obs.attach obs (Obs.Memory.sink mem);
+  Fabric.set_obs fab obs;
+  let rec send ~src ~ttl =
+    if ttl > 0 then begin
+      let dst = (src + 1 + (ttl mod 5)) mod nodes in
+      let dst = if dst = src then (dst + 1) mod nodes else dst in
+      let msg = Obs.next_msg obs in
+      Fabric.transfer ~msg fab ~src ~dst ~bytes:(64 * ttl) ~on_deliver:(fun () ->
+          send ~src:dst ~ttl:(ttl - 1))
+    end
+  in
+  for src = 0 to nodes - 1 do
+    Engine.schedule_on e ~partition:(part_of src) ~time:src (fun () ->
+        send ~src ~ttl:10)
+  done;
+  let final = Engine.run e in
+  (final, Obs.Memory.count mem, Obs.Memory.to_string mem)
+
+let test_fabric_determinism () =
+  let f1, c1, log1 = run_fabric_storm ~domains:1 in
+  check_bool "traffic was traced" true (c1 > 50);
+  List.iter
+    (fun domains ->
+      let f, c, log = run_fabric_storm ~domains in
+      check_int (Printf.sprintf "final cycle at %d domains" domains) f1 f;
+      check_int (Printf.sprintf "event count at %d domains" domains) c1 c;
+      check_bool
+        (Printf.sprintf "event log byte-identical at %d domains" domains)
+        true (String.equal log1 log))
+    [ 2; 4 ]
+
+(* --- full-system replicas: byte-identical event logs ------------------ *)
+
+(* Each sim runs wholly inside one thunk on one domain, so the bus the
+   observer hook hands out is parked in domain-local storage and read
+   back by the same thunk. *)
+let captured : Obs.Memory.mem option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_capture f =
+  let prev = !Runner.observer in
+  Runner.observer :=
+    Some
+      (fun o ->
+        let m = Obs.Memory.create () in
+        Obs.attach o (Obs.Memory.sink m);
+        Domain.DLS.get captured := Some m);
+  Fun.protect ~finally:(fun () -> Runner.observer := prev) f
+
+let logged run () =
+  let cell = Domain.DLS.get captured in
+  cell := None;
+  run ();
+  match !cell with
+  | Some m -> Obs.Memory.to_string m
+  | None -> Alcotest.fail "observer hook did not fire"
+
+(* A figS-style serving-pool sim: boot, pool bring-up, a short seeded
+   open-loop burst, drain. *)
+let figs_sim () =
+  ignore
+    (Runner.run_m3 ~pe_count:8 ~dram_mib:4 ~no_fs:true (fun env ~measured ->
+         let schedule =
+           M3_serve.Load.poisson
+             ~rng:(M3_sim.Rng.create ~seed:42)
+             ~mean_gap:500.0 ~count:16
+             ~mix:(M3_serve.Load.pure (M3_serve.Wire.Echo 1000))
+             ()
+         in
+         let pool =
+           M3.Errno.ok_exn
+             (M3_serve.Pool.start env
+                (M3_serve.Pool.default_config ~name:"tpar" ~workers:2 ()))
+         in
+         measured (fun () ->
+             ignore (M3_serve.Pool.run_open env pool ~schedule));
+         M3.Errno.ok_exn (M3_serve.Pool.stop env pool)))
+
+(* Seeded figS- and fig6x-style sims, replicated on 1, 2 and 4 domains:
+   every replica's event log must be byte-identical to the sequential
+   run's — concurrent sims must not leak into each other through any
+   process-global table. *)
+let test_replica_determinism () =
+  with_capture (fun () ->
+      let jobs =
+        [
+          logged (fun () -> ignore (Fig6x.warm_find_pass ~primed:false ()));
+          logged (fun () -> ignore (Fig6x.warm_find_pass ~primed:true ()));
+          logged figs_sim;
+        ]
+      in
+      let base = Domainpool.run ~domains:1 jobs in
+      List.iter
+        (fun log ->
+          check_bool "sequential logs are non-trivial" true
+            (String.length log > 1000))
+        base;
+      List.iter
+        (fun domains ->
+          List.iteri
+            (fun i (expect, got) ->
+              check_bool
+                (Printf.sprintf "sim %d log byte-identical at %d domains" i
+                   domains)
+                true (String.equal expect got))
+            (List.combine base (Domainpool.run ~domains jobs)))
+        [ 2; 4 ])
+
+let suites =
+  [
+    ( "parallel",
+      [
+        Alcotest.test_case "heap: popped slots are cleared" `Quick
+          test_heap_no_pinning;
+        QCheck_alcotest.to_alcotest qcheck_heap_oracle;
+        Alcotest.test_case "engine ids are atomic across domains" `Quick
+          test_engine_ids_atomic;
+        Alcotest.test_case "domain pool keeps input order" `Quick
+          test_domainpool_order;
+        Alcotest.test_case "domain pool propagates errors" `Quick
+          test_domainpool_errors;
+        Alcotest.test_case "cross-partition lookahead is enforced" `Quick
+          test_lookahead_enforced;
+        Alcotest.test_case "partitioned engine: domain-count invariant" `Quick
+          test_partition_determinism;
+        Alcotest.test_case "cross-partition NoC: byte-identical logs" `Quick
+          test_fabric_determinism;
+        Alcotest.test_case "full-system replicas: byte-identical logs" `Slow
+          test_replica_determinism;
+      ] );
+  ]
