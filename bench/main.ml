@@ -397,6 +397,32 @@ let kernel_gateway () =
     results_gateway := Some (bcr, bst, tcr, tst)
   | _ -> failwith "gateway kernel: a pool run produced no result"
 
+(* KV-tier smoke with its gates enforced: one capacity-grid point of
+   Fig. S2 — a Zipfian read-leaning stream against a 2-shard store —
+   must complete every request, fail none, and hit the mount cache
+   (the store routes reads through Vfs, so zero hits would mean the
+   cache tier fell out of the path). The point is retained so the kv
+   block lands in BENCH_results.json. *)
+let results_kv = ref None
+
+let kv_requests = 48
+
+let kernel_kv () =
+  let p =
+    Figs2.capacity_cell ~keys:32 ~requests:kv_requests ~seed:0xBE2C ~shards:2
+      ~reads:3 ~writes:1
+  in
+  if p.Figs2.c_failed > 0 then
+    failwith
+      (Printf.sprintf "kv gate: %d request(s) failed" p.Figs2.c_failed);
+  if p.Figs2.c_completed <> kv_requests then
+    failwith
+      (Printf.sprintf "kv gate: %d of %d requests completed"
+         p.Figs2.c_completed kv_requests);
+  if p.Figs2.c_cache_hits <= 0 then
+    failwith "kv gate: the mount cache never hit (reads bypassed the cache)";
+  results_kv := Some p
+
 let kernel_t1 () = kernel_fig3 ()
 
 let kernel_t2 () =
@@ -577,6 +603,23 @@ let experiments_json () =
                  ] );
            ])
        results_gateway
+  |> opt "kv"
+       (fun (p : Figs2.capacity_point) ->
+         jobj
+           [
+             ("shards", string_of_int p.Figs2.c_shards);
+             ("mix", jstr p.Figs2.c_mix);
+             ("p50", jfloat p.Figs2.c_p50);
+             ("p99", jfloat p.Figs2.c_p99);
+             ("completed", string_of_int p.Figs2.c_completed);
+             ("failed", string_of_int p.Figs2.c_failed);
+             ("cache_hits", string_of_int p.Figs2.c_cache_hits);
+             ("cache_misses", string_of_int p.Figs2.c_cache_misses);
+             ("cache_invals", string_of_int p.Figs2.c_cache_invals);
+             ("kept", string_of_int p.Figs2.c_kept);
+             ("dup_skips", string_of_int p.Figs2.c_dup_skips);
+           ])
+       results_kv
   |> opt "t1"
        (fun (t : Tables.t1) ->
          jobj
@@ -714,6 +757,7 @@ let run_quick () =
       ("sched/elastic-pool-sim", kernel_sched);
       ("cache/warm-read-find-sim", kernel_warm_cache);
       ("gateway/breaker-bucket-sim", kernel_gateway);
+      ("kv/sharded-store-sim", kernel_kv);
       ("t2/linux-create-model", kernel_t2);
     ]
   in

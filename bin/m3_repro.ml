@@ -41,6 +41,12 @@ let experiments =
         M3_harness.Figs.print ppf t;
         M3_harness.Figs.write_json t "SERVE_results.json";
         Format.fprintf ppf "results written to SERVE_results.json@." );
+    ( "figS2",
+      fun ~quick ->
+        let t = M3_harness.Figs2.run ~quick () in
+        M3_harness.Figs2.print ppf t;
+        M3_harness.Figs2.write_json t "FIGS2_results.json";
+        Format.fprintf ppf "results written to FIGS2_results.json@." );
     ( "t1",
       fun ~quick:_ -> M3_harness.Tables.print_t1 ppf (M3_harness.Tables.run_t1 ())
     );
@@ -74,7 +80,9 @@ let run_cmd =
     Arg.(
       value & flag
       & info [ "quick" ]
-          ~doc:"Shrink sweeps to a CI-sized smoke (honored by fig6x and figS).")
+          ~doc:
+            "Shrink sweeps to a CI-sized smoke (honored by fig6x, figS and \
+             figS2).")
   in
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Enable debug logging.")

@@ -12,19 +12,6 @@ let counter (env : Env.t) =
 
 let activations env = !(counter env)
 
-let reserve (env : Env.t) =
-  let slots = env.ep_slots in
-  let rec find i =
-    if i >= Array.length slots then raise (Errno.Error Errno.E_no_ep)
-    else
-      match slots.(i) with
-      | Env.Ep_free ->
-        slots.(i) <- Env.Ep_reserved;
-        i + Env.first_free_ep
-      | Env.Ep_reserved | Env.Ep_used _ -> find (i + 1)
-  in
-  find 0
-
 (* Picks an endpoint for a gate that needs one: a free slot if
    possible, otherwise the next multiplexed slot in round-robin order
    (never a reserved one). *)
@@ -54,6 +41,19 @@ let pick_slot (env : Env.t) =
       end
     in
     find_victim 0
+
+(* A reservation pins a slot permanently (receive gates cannot move),
+   but it need not fail just because every slot currently holds a
+   multiplexed send/mem gate activation: those users reactivate on
+   their next use, so one can be evicted exactly as [pick_slot] does
+   for a new multiplexed gate. Only a PE whose every slot is already
+   pinned is truly out of endpoints. *)
+let reserve (env : Env.t) =
+  match pick_slot env with
+  | Error e -> raise (Errno.Error e)
+  | Ok slot ->
+    env.ep_slots.(slot) <- Env.Ep_reserved;
+    slot + Env.first_free_ep
 
 let acquire (env : Env.t) (user : Env.ep_user) =
   match user.eu_ep with

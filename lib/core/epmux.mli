@@ -8,9 +8,12 @@
     gates get pinned endpoints, because moving a configured receive
     buffer is unsafe while senders exist. *)
 
-(** [reserve env] claims a free endpoint permanently (for a receive
-    gate). Returns the endpoint number.
-    @raise Errno.Error [E_no_ep] when none is free. *)
+(** [reserve env] claims an endpoint permanently (for a receive gate):
+    a free slot when one exists, else it evicts a multiplexed
+    send/mem-gate activation (round-robin, same policy as gate use) —
+    the evicted gate reactivates on its next use. Returns the endpoint
+    number.
+    @raise Errno.Error [E_no_ep] when every slot is already pinned. *)
 val reserve : Env.t -> int
 
 (** [acquire env user] ensures [user]'s capability is configured on

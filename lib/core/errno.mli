@@ -40,6 +40,17 @@ type t =
                          of burning a per-request watchdog wait.  The
                          request was never enqueued; retry after the
                          breaker's half-open probe succeeds. *)
+  | E_kv_too_large   (** KV put whose value exceeds the store's
+                         per-value budget.  The put was not applied —
+                         the store's value files are sized for
+                         single-extent writes so a put is atomic in
+                         the crash model, and an oversized value would
+                         break that guarantee silently. *)
+  | E_kv_cursor      (** KV scan with a cursor past the end of the
+                         bucket (or otherwise malformed).  Cursors are
+                         plain resumption indices handed out by the
+                         previous page, so a bad one means the caller
+                         lost the pagination protocol. *)
   | E_dtu of string  (** unexpected hardware-level failure *)
 
 val equal : t -> t -> bool

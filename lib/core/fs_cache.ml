@@ -50,6 +50,9 @@ type stats = {
   mutable s_invals : int;
   mutable s_evictions : int;
   mutable s_flushes : int;
+  mutable s_kept : int;
+      (* extents preserved across ino invalidations: each one is a
+         delegated mem cap the trim saved from re-derivation *)
 }
 
 type t = {
@@ -70,7 +73,7 @@ let create ?(config = default_config) () =
     expected_seq = 0;
     stats =
       { s_hits = 0; s_misses = 0; s_invals = 0; s_evictions = 0;
-        s_flushes = 0 };
+        s_flushes = 0; s_kept = 0 };
   }
 
 let generation t = t.gen
@@ -218,18 +221,32 @@ let insert_attr t ~now ~path st =
 
 (* Extent/size change (append, truncate): refresh the size in place —
    open handles share the record, so they observe the new size without
-   a round-trip — and drop the extent list, whose tail may have grown.
-   [fe_alloc_end] tracks cached-extent coverage, so it drops to zero
-   with them; the next access refetches locations. *)
+   a round-trip — and trim the extent list to the prefix that is still
+   provably mapped.  An extent lying entirely inside the new size
+   covers committed blocks the commit cannot have moved, so its
+   delegated mem cap stays valid and the handles sharing this record
+   keep reading through it with zero re-derivation — the common case
+   for an in-place overwrite from another VPE, where nothing is
+   trimmed at all.  Anything at or past [size] may have been truncated
+   or reallocated by the commit and is dropped; the next access past
+   the kept prefix refetches locations from [fe_fetched] on. *)
 let inval_ino t ~ino ~size =
   let found = ref false in
   (match Hashtbl.find_opt t.files ino with
   | Some e ->
     found := true;
     e.fe_size <- size;
-    e.fe_extents <- [];
-    e.fe_fetched <- 0;
-    e.fe_alloc_end <- 0;
+    let rec keep n last = function
+      | x :: tl when x.x_foff + x.x_len <= size ->
+        keep (n + 1) (x.x_foff + x.x_len) tl
+      | _ -> (n, last)
+    in
+    let kept, cover = keep 0 0 e.fe_extents in
+    if kept < List.length e.fe_extents then
+      e.fe_extents <- List.filteri (fun i _ -> i < kept) e.fe_extents;
+    t.stats.s_kept <- t.stats.s_kept + kept;
+    e.fe_fetched <- kept;
+    e.fe_alloc_end <- cover;
     e.fe_valid <- true
   | None -> ());
   Hashtbl.iter

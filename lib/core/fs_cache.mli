@@ -48,6 +48,10 @@ type stats = {
   mutable s_invals : int;
   mutable s_evictions : int;
   mutable s_flushes : int;
+  mutable s_kept : int;
+      (** extents preserved across {!inval_ino} trims — delegated mem
+          caps the sharing handles kept using instead of re-deriving
+          via [Fs_get_locs] (hot keys under write skew live here) *)
 }
 
 type t
@@ -75,8 +79,12 @@ val attr : t -> now:int -> path:string -> Fs_proto.stat option
 val insert_attr : t -> now:int -> path:string -> Fs_proto.stat -> unit
 
 (** Targeted invalidations; each returns whether anything was hit.
-    [inval_ino] refreshes size in place and drops extents (append /
-    truncate); [inval_path] drops an attr entry (create / mkdir /
+    [inval_ino] refreshes size in place and {e trims} the extent list
+    to the prefix still fully inside the new size — extents covering
+    committed blocks keep their delegated mem caps, so an in-place
+    overwrite from another VPE costs sharing handles zero location
+    refetches; only the tail past [size] (append growth, truncation)
+    is dropped. [inval_path] drops an attr entry (create / mkdir /
     rename destination); [inval_remove] evicts the inode for good
     (unlink / rename source) — with [size = 0] (unlink) surviving
     handles are zeroed to EOF, with the current size (rename) they

@@ -45,14 +45,14 @@ let req_mem ?sel env ~size ~perm =
   | Error e -> Error e
   | Ok (sel, addr) -> Ok (mem_gate_of_sel ~sel ~size, addr)
 
-let send (env : Env.t) g payload ?reply () =
+let send ?(block = true) (env : Env.t) g payload ?reply () =
   match Epmux.acquire env g.sg_user with
   | Error e -> Error e
   | Ok ep -> (
     Env.charge_marshal env (Bytes.length payload);
     Env.charge env Account.Os Cost_model.syscall_program_dtu;
     let reply = Option.map (fun (rg, label) -> (rg.rg_ep, label)) reply in
-    match Dtu.send env.dtu ~ep ~payload ?reply () with
+    match Dtu.send ~block env.dtu ~ep ~payload ?reply () with
     | Error e -> Error (dtu_err e)
     | Ok () -> Ok ())
 

@@ -43,8 +43,11 @@ val req_mem :
 
 (** [send env g payload ?reply ()] transmits a message through the
     gate; [reply] names a receive gate (and reply label) for a direct
-    reply. *)
+    reply. [block:false] refuses to wait when the destination VPE is
+    suspended and returns an error instead — for fire-and-forget
+    notifications whose receiver may stay parked indefinitely. *)
 val send :
+  ?block:bool ->
   Env.t -> send_gate -> Bytes.t -> ?reply:recv_gate * int64 -> unit ->
   unit result_
 

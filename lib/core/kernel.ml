@@ -64,6 +64,9 @@ type t = {
   irq_claims : (int, int) Hashtbl.t; (* device pe -> owning vpe id *)
   mutable syscalls_handled : int;
   mutable kills_ignored : int; (* exits/aborts that lost the race to die first *)
+  deferred_syscalls : Endpoint.message Queue.t;
+      (* syscalls fetched while blocked in a service round-trip; the
+         main loop drains them (in arrival order) before waiting *)
   mutable prober_running : bool;
   (* --- VPE scheduler state (None: time-multiplexing disabled) ------- *)
   sched : Sched.t option;
@@ -100,6 +103,7 @@ let create ?sched platform ~kernel_pe =
     irq_claims = Hashtbl.create 4;
     syscalls_handled = 0;
     kills_ignored = 0;
+    deferred_syscalls = Queue.create ();
     prober_running = false;
     sched;
     envs = Hashtbl.create 16;
@@ -1200,6 +1204,12 @@ let rec sched_sweep t sched =
 
 (* --- kernel <-> service channel ------------------------------------- *)
 
+(* Forward reference to the syscall dispatcher (defined after the
+   handlers): [service_request] services [Activate] syscalls
+   re-entrantly while blocked on a service reply. *)
+let reentrant_syscall : (t -> Endpoint.message -> unit) ref =
+  ref (fun _ _ -> assert false)
+
 let service_request t (srv : srv_obj) ~payload =
   let rg = srv.srv_krgate in
   let plan = M3_noc.Fabric.faults t.fabric in
@@ -1226,11 +1236,41 @@ let service_request t (srv : srv_obj) ~payload =
             credits = Endpoint.Unlimited;
           }));
   dtu_exn (Dtu.send (kdtu t) ~ep:kep_service ~payload ~reply:(kep_reply, 0L) ());
-  let reply_msg =
-    if M3_fault.Plan.enabled plan then
-      Dtu.wait_msg_for (kdtu t) ~ep:kep_reply ~timeout:service_watchdog
-    else Some (Dtu.wait_msg (kdtu t) ~ep:kep_reply)
+  (* While blocked on the service's reply, keep watching the syscall
+     channel. An [Activate] may come from the service itself, needing
+     an endpoint to finish the very work we are waiting for (e.g.
+     m3fs flushing cache invalidation notifies mid-request) — handling
+     it here breaks that circular wait. Every other syscall is
+     deferred to the main loop in arrival order: its handler could
+     nest another service round-trip, which this channel cannot. *)
+  let deadline = Engine.now t.engine + service_watchdog in
+  let rec await () =
+    let hit =
+      if M3_fault.Plan.enabled plan then begin
+        let remaining = deadline - Engine.now t.engine in
+        if remaining <= 0 then None
+        else
+          Dtu.wait_any_for (kdtu t)
+            ~eps:[ kep_reply; kep_syscall ]
+            ~timeout:remaining
+      end
+      else Some (Dtu.wait_any (kdtu t) ~eps:[ kep_reply; kep_syscall ])
+    in
+    match hit with
+    | None -> None
+    | Some (ep, msg) when ep = kep_reply -> Some msg
+    | Some (_, msg) ->
+      let is_activate =
+        try
+          Proto.opcode_of_int (R.u8 (R.of_bytes msg.payload))
+          = Some Proto.Activate
+        with Msgbuf.R.Underflow -> false
+      in
+      if is_activate then !reentrant_syscall t msg
+      else Queue.add msg t.deferred_syscalls;
+      await ()
   in
+  let reply_msg = await () in
   match reply_msg with
   | Some msg ->
     Dtu.ack (kdtu t) ~ep:kep_reply ~slot:msg.slot;
@@ -1862,33 +1902,40 @@ let dispatch t requester r ~slot =
 
 (* --- kernel main loop ------------------------------------------------ *)
 
+let handle_syscall t (msg : Endpoint.message) =
+  let dtu = kdtu t in
+  Process.wait Cost_model.kernel_dispatch;
+  match Hashtbl.find_opt t.vpes (Int64.to_int msg.header.label) with
+  | None ->
+    Log.warn (fun m -> m "syscall with unknown label %Ld" msg.header.label);
+    Dtu.ack dtu ~ep:kep_syscall ~slot:msg.slot
+  | Some requester -> (
+    let action =
+      try dispatch t requester (R.of_bytes msg.payload) ~slot:msg.slot
+      with Msgbuf.R.Underflow -> reply_err Errno.E_inv_args
+    in
+    match action with
+    | Reply w ->
+      Process.wait Cost_model.kernel_reply_marshal;
+      (match Dtu.reply dtu ~ep:kep_syscall ~slot:msg.slot ~payload:(W.contents w) with
+      | Ok () -> ()
+      | Error e ->
+        Log.err (fun m ->
+            m "syscall reply failed: %s" (M3_dtu.Dtu_error.to_string e)))
+    | Deferred -> () (* slot stays occupied; replied on VPE exit *)
+    | No_reply -> Dtu.ack dtu ~ep:kep_syscall ~slot:msg.slot)
+
+let () = reentrant_syscall := handle_syscall
+
 let kernel_loop t =
   let dtu = kdtu t in
   let rec loop () =
-    let msg = Dtu.wait_msg dtu ~ep:kep_syscall in
-    Process.wait Cost_model.kernel_dispatch;
-    let requester =
-      Hashtbl.find_opt t.vpes (Int64.to_int msg.header.label)
+    let msg =
+      match Queue.take_opt t.deferred_syscalls with
+      | Some msg -> msg
+      | None -> Dtu.wait_msg dtu ~ep:kep_syscall
     in
-    (match requester with
-    | None ->
-      Log.warn (fun m -> m "syscall with unknown label %Ld" msg.header.label);
-      Dtu.ack dtu ~ep:kep_syscall ~slot:msg.slot
-    | Some requester -> (
-      let action =
-        try dispatch t requester (R.of_bytes msg.payload) ~slot:msg.slot
-        with Msgbuf.R.Underflow -> reply_err Errno.E_inv_args
-      in
-      match action with
-      | Reply w ->
-        Process.wait Cost_model.kernel_reply_marshal;
-        (match Dtu.reply dtu ~ep:kep_syscall ~slot:msg.slot ~payload:(W.contents w) with
-        | Ok () -> ()
-        | Error e ->
-          Log.err (fun m ->
-              m "syscall reply failed: %s" (M3_dtu.Dtu_error.to_string e)))
-      | Deferred -> () (* slot stays occupied; replied on VPE exit *)
-      | No_reply -> Dtu.ack dtu ~ep:kep_syscall ~slot:msg.slot));
+    handle_syscall t msg;
     loop ()
   in
   loop ()

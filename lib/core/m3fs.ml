@@ -206,7 +206,13 @@ let flush_invals t =
                  session = Int64.to_int pi.pi_sess;
                  kind = pi.pi_kind;
                });
-        match Gate.send t.env pi.pi_gate pi.pi_bytes () with
+        (* [block:false]: a registered client may sit suspended for an
+           unbounded time (an elastic pool parks idle workers); waiting
+           for its resume would wedge the whole server. The dropped
+           notify leaves a sequence gap, so the client flushes
+           wholesale when it comes back — exactly the drop-tolerant
+           contract described above. *)
+        match Gate.send ~block:false t.env pi.pi_gate pi.pi_bytes () with
         | Ok () -> ()
         | Error e ->
           Log.debug (fun m ->

@@ -246,6 +246,17 @@ let all_mounts env =
 let round_trips env =
   List.fold_left (fun acc m -> acc + File.round_trips m) 0 (all_mounts env)
 
+(* Extents preserved across inval_ino trims, summed over every caching
+   mount — the witness that in-place overwrites from other VPEs did
+   not cost this VPE its delegated mem caps. *)
+let cache_kept env =
+  List.fold_left
+    (fun acc mt ->
+      match File.cache_stats mt with
+      | None -> acc
+      | Some s -> acc + s.Fs_cache.s_kept)
+    0 (all_mounts env)
+
 (* Summed cache counters over every caching mount of this VPE. *)
 let cache_totals env =
   List.fold_left

@@ -60,3 +60,8 @@ val round_trips : Env.t -> int
 
 (** [(hits, misses, invals)] summed over every caching mount. *)
 val cache_totals : Env.t -> int * int * int
+
+(** Extents preserved across invalidation trims ({!Fs_cache} [s_kept])
+    summed over every caching mount — delegated mem caps this VPE kept
+    using when other VPEs overwrote files in place. *)
+val cache_kept : Env.t -> int

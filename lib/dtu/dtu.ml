@@ -507,15 +507,20 @@ let accept_command t =
 
 (* --- software-facing commands --------------------------------------- *)
 
-let rec send t ~ep ~payload ?reply () =
+let rec send ?(block = true) t ~ep ~payload ?reply () =
   check_ep t ep;
   match t.eps.(ep) with
+  | S_park _ when not block ->
+    (* Destination VPE is suspended and the caller would rather drop
+       than wait for a resume that may never come (fire-and-forget
+       notifications). *)
+    Error Dtu_error.Suspended
   | S_park _ ->
     (* Destination VPE is suspended. Block until the kernel rewrites
        the EP at resume (the Config broadcast wakes the waitq); the
        caller observes only added latency. *)
     Process.Waitq.park t.ep_waiters.(ep);
-    send t ~ep ~payload ?reply ()
+    send ~block t ~ep ~payload ?reply ()
   | S_send s ->
     let size = Header.size + Bytes.length payload in
     if size > 1 lsl s.s_msg_order then Error Dtu_error.Msg_too_big
@@ -751,6 +756,56 @@ let wait_msg_for t ~ep ~timeout =
         match woke with
         | `Signal -> loop ()
         | `Timeout -> fetch t ~ep
+      end
+  in
+  loop ()
+
+let wait_any_for t ~eps ~timeout =
+  List.iter (fun ep -> check_ep t ep) eps;
+  if timeout <= 0 then invalid_arg "Dtu.wait_any_for: timeout must be positive";
+  let deadline = Engine.now t.engine + timeout in
+  let rec poll = function
+    | [] -> None
+    | ep :: rest -> (
+      match fetch t ~ep with
+      | Some msg -> Some (ep, msg)
+      | None -> poll rest)
+  in
+  let rec loop () =
+    let t =
+      if List.for_all suspendable_ep eps then quiesce_point t else t
+    in
+    match poll eps with
+    | Some hit ->
+      t.idle_since <- None;
+      Some hit
+    | None ->
+      let remaining = deadline - Engine.now t.engine in
+      if remaining <= 0 then None
+      else begin
+        if List.for_all suspendable_ep eps && t.idle_since = None then
+          t.idle_since <- Some (Engine.now t.engine);
+        let was_recv = List.map (fun ep -> (ep, is_recv t ep)) eps in
+        let woke =
+          Process.suspend (fun resume ->
+              let entries = ref [] in
+              let fire v =
+                List.iter Process.Waitq.cancel !entries;
+                resume v
+              in
+              entries :=
+                List.map
+                  (fun ep ->
+                    Process.Waitq.register t.ep_waiters.(ep) (fun () ->
+                        fire `Signal))
+                  eps;
+              Engine.schedule t.engine ~delay:remaining (fun () ->
+                  fire `Timeout))
+        in
+        List.iter (fun (ep, was_recv) -> check_revoked t ~ep ~was_recv) was_recv;
+        match woke with
+        | `Signal -> loop ()
+        | `Timeout -> poll eps
       end
   in
   loop ()

@@ -53,8 +53,13 @@ val config_local : t -> ep:int -> Endpoint.config -> (unit, Dtu_error.t) result
     endpoint [ep]. [reply = (reply_ep, reply_label)] grants the
     receiver a one-shot direct reply into [reply_ep]. Returns once the
     command has been accepted and the payload has left the PE; delivery
-    completes asynchronously. *)
+    completes asynchronously. When the destination VPE is suspended
+    (the kernel parked this endpoint) the command blocks until the
+    resume rewrites the endpoint — unless [block] is [false], in which
+    case it returns [Error Suspended] instead, for fire-and-forget
+    traffic that must never wait on a VPE that may stay parked. *)
 val send :
+  ?block:bool ->
   t ->
   ep:int ->
   payload:Bytes.t ->
@@ -99,6 +104,14 @@ val wait_msg_for : t -> ep:int -> timeout:int -> Endpoint.message option
     @raise Dtu_error.Error [Invalid_ep] as {!wait_msg}, for any watched
     endpoint. *)
 val wait_any : t -> eps:int list -> int * Endpoint.message
+
+(** [wait_any_for t ~eps ~timeout] is {!wait_any} with a deadline:
+    [None] if no watched endpoint receives a message within
+    [timeout > 0] cycles — lets the kernel watchdog a service
+    round-trip while staying responsive on its syscall channel.
+    @raise Dtu_error.Error [Invalid_ep] as {!wait_any}. *)
+val wait_any_for :
+  t -> eps:int list -> timeout:int -> (int * Endpoint.message) option
 
 (** [wait_reconfig t ~ep] parks the calling process until endpoint
     [ep] is externally reconfigured or invalidated — how a device core

@@ -7,6 +7,7 @@ type t =
   | No_reply_cap
   | Not_privileged
   | Abort
+  | Suspended
 
 let to_string = function
   | Invalid_ep -> "invalid endpoint"
@@ -17,6 +18,7 @@ let to_string = function
   | No_reply_cap -> "no reply capability"
   | Not_privileged -> "not privileged"
   | Abort -> "aborted"
+  | Suspended -> "destination suspended"
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

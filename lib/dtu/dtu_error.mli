@@ -9,6 +9,7 @@ type t =
   | No_reply_cap      (** reply requested on a message that forbids it *)
   | Not_privileged    (** external command from an unprivileged DTU *)
   | Abort             (** command aborted (endpoint reconfigured) *)
+  | Suspended         (** destination VPE parked; non-blocking send refused *)
 
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -458,14 +458,8 @@ let hotclient_cell ~requests ~seed =
       ~mix:(Load.pure (Wire.Echo echo_service)) ()
   in
   (* Interleave the flood into the well-behaved schedule by arrival
-     time and renumber: seq must stay the array index. *)
-  let merge a b =
-    let all = Array.append a b in
-    Array.stable_sort (fun x y -> compare x.Load.at y.Load.at) all;
-    Array.mapi
-      (fun i a -> { a with Load.req = { a.Load.req with Wire.seq = i } })
-      all
-  in
+     time and renumber (seq must stay the array index). *)
+  let merge = Load.merge in
   let cfg =
     {
       (Pool.default_config ~name:"hot" ~workers ()) with

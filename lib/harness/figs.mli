@@ -217,3 +217,16 @@ val all_pass : t -> bool
 val print : Format.formatter -> t -> unit
 val to_json : t -> string
 val write_json : t -> string -> unit
+
+(** {1 JSON emitters}
+
+    The hand-rolled emitters behind {!to_json}, shared with the other
+    figure harnesses ({!Figs2}) so every results file renders the same
+    way. [jobj] takes pre-rendered values ([string_of_int] for
+    integers). *)
+
+val jstr : string -> string
+val jobj : (string * string) list -> string
+val jarr : string list -> string
+val jfloat : float -> string
+val jbool : bool -> string

@@ -1,0 +1,39 @@
+(** The KV store as a standalone service VPE — the M3 service model
+    end to end: clients reach it only through a delegated send gate
+    and the binary {!Kv_wire} protocol (real keys, real payloads),
+    never through shared memory.
+
+    The pool data plane ({!Kv_store.pool_exec}) is the throughput
+    path; this VPE is the protocol-correctness path — scan pagination,
+    value round-trips and service-assigned put tokens are exercised
+    here with actual bytes on the wire. *)
+
+type t
+
+(** [start env store ~fs_services] creates a VPE named ["kv"], runs
+    the service loop there ([store]'s durable state lives in the
+    mounted shard set; the host object is captured by value like any
+    [VPE::run] lambda), obtains its published send gate and builds the
+    caller's reply gate. *)
+val start :
+  M3.Env.t -> Kv_store.t -> fs_services:string list -> (t, M3.Errno.t) result
+
+(** [call env t req] is one blocking request/response round trip. *)
+val call : M3.Env.t -> t -> Kv_wire.req -> (Kv_wire.resp, M3.Errno.t) result
+
+val get : M3.Env.t -> t -> key:string -> (Kv_wire.resp, M3.Errno.t) result
+
+(** Put without a client-side token ([seq = 0]): the service assigns
+    the next monotonic sequence number. Retries that resend an
+    explicit token instead hit the store's exactly-once header. *)
+val put :
+  M3.Env.t -> t -> key:string -> value:string -> (Kv_wire.resp, M3.Errno.t) result
+
+val delete : M3.Env.t -> t -> key:string -> (Kv_wire.resp, M3.Errno.t) result
+
+val scan :
+  M3.Env.t -> t -> bucket:int -> cursor:int -> limit:int ->
+  (Kv_wire.resp, M3.Errno.t) result
+
+(** [stop env t] sends [R_stop] and waits for the VPE's exit code. *)
+val stop : M3.Env.t -> t -> (int, M3.Errno.t) result

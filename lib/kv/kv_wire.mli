@@ -1,0 +1,66 @@
+(** Wire protocol of the KV service tier, in the {!M3_serve.Wire}
+    style: fixed-size integers and length-prefixed strings via
+    {!M3.Msgbuf}, so message sizes are predictable and slot orders can
+    be stated as constants.
+
+    Two forms exist because the tier has two data planes:
+
+    - the {e packed} form squeezes a whole operation into the u64
+      argument of a {!M3_serve.Wire.Kv} request, so KV load rides the
+      pool's 17-byte request slots, 13-deep batches and completion
+      dedup unchanged (keys are keyspace indices against the
+      pre-agreed {!Kv_store} layout; values are generated
+      deterministically from key and seq);
+    - the {e binary} form carries real string keys and value payloads
+      for the standalone service VPE ({!Kv_service}), including scan
+      pagination pages. *)
+
+(** {1 Packed form (pool data plane)} *)
+
+type op =
+  | Get of { key : int }
+  | Put of { key : int; len : int }
+  | Delete of { key : int }
+  | Scan of { bucket : int; cursor : int; limit : int }
+
+val op_name : op -> string
+
+(** [pack op] encodes [op] into the low 50 bits of an int:
+    [op:2 | a:24 | b:24] (scan packs cursor and limit into [b]).
+    @raise Invalid_argument when a field exceeds its width (keys and
+    lengths 24 bits, cursors 16, limits 8). *)
+val pack : op -> int
+
+(** @raise Invalid_argument on a malformed argument. *)
+val unpack : int -> op
+
+(** {1 Binary protocol (service control plane)} *)
+
+type req =
+  | R_get of { key : string }
+  | R_put of { key : string; seq : int; value : string }
+      (** [seq] is the put's idempotency token: the store applies it
+          only if it is newer than the sequence number already stored
+          under [key] (see {!Kv_store}) *)
+  | R_delete of { key : string }
+  | R_scan of { bucket : int; cursor : int; limit : int }
+  | R_stop  (** shut the service VPE down (answered with [P_done]) *)
+
+type resp =
+  | P_value of { seq : int; value : string }
+  | P_done
+  | P_page of { keys : string list; next : int; more : bool }
+      (** one scan page: [next] is the cursor to resume from, [more]
+          whether resuming will yield anything *)
+  | P_err of M3.Errno.t
+
+val req_name : req -> string
+val encode_req : req -> Bytes.t
+
+(** @raise Invalid_argument on an unknown tag. *)
+val decode_req : Bytes.t -> req
+
+val encode_resp : resp -> Bytes.t
+
+(** @raise Invalid_argument on an unknown tag. *)
+val decode_resp : Bytes.t -> resp

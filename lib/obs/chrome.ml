@@ -374,6 +374,13 @@ let record t ~at (ev : Event.t) =
     slice t ~pid ~tid:tid_core ~ts:(at - cycles) ~dur:cycles
       ~name:(Printf.sprintf "gw.upgrade:%s:%s" pool target)
       ~cat:"serve" []
+  | Event.Kv_op { pe; store; op; bucket; dup } ->
+    let pid = pe_pid t pe in
+    ensure_tid t pid tid_core ~name:"core";
+    marker t ~pid ~tid:tid_core ~at
+      ~name:(Printf.sprintf "kv.%s:%s" op store)
+      ~cat:"kv"
+      (args_of [ ("bucket", bucket); ("dup", (if dup then 1 else 0)) ])
 
 let sink t =
   { Obs.sink_name = "chrome"; sink_emit = (fun ~at ev -> record t ~at ev) }

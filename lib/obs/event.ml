@@ -68,6 +68,7 @@ type t =
   | Gw_throttle of { pe : int; pool : string; client : int; seq : int }
   | Gw_break of { pe : int; pool : string; worker : int; phase : string }
   | Gw_upgrade of { pe : int; pool : string; target : string; cycles : int }
+  | Kv_op of { pe : int; store : string; op : string; bucket : int; dup : bool }
 
 let name = function
   | Dtu_send { reply = false; _ } -> "dtu.send"
@@ -118,6 +119,7 @@ let name = function
   | Gw_throttle _ -> "gw.throttle"
   | Gw_break { phase; _ } -> "gw.break." ^ phase
   | Gw_upgrade _ -> "gw.upgrade"
+  | Kv_op { op; _ } -> "kv." ^ op
 
 let pp ppf t =
   let f fmt = Format.fprintf ppf fmt in
@@ -208,5 +210,7 @@ let pp ppf t =
     f "gw.break.%s pe%d %s worker=%d" phase pe pool worker
   | Gw_upgrade { pe; pool; target; cycles } ->
     f "gw.upgrade pe%d %s %s cycles=%d" pe pool target cycles
+  | Kv_op { pe; store; op; bucket; dup } ->
+    f "kv.%s pe%d %s b%d%s" op pe store bucket (if dup then " dup" else "")
 
 let to_string t = Format.asprintf "%a" pp t

@@ -146,6 +146,11 @@ type t =
       (** a planned hot upgrade committed: [target] names the swapped
           unit (["worker<i>"] or an m3fs service), [cycles] is the
           swap latency from drain start to the new generation serving *)
+  | Kv_op of { pe : int; store : string; op : string; bucket : int; dup : bool }
+      (** store [store] executed a KV operation ([op] one of "get"
+          "put" "delete" "scan") against bucket directory [bucket];
+          [dup] marks a put skipped by the exactly-once dedup header.
+          The event name is [kv.<op>]. *)
 
 (** [name t] is the stable dotted kind name, e.g. ["dtu.send"]. *)
 val name : t -> string

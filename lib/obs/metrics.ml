@@ -49,6 +49,8 @@ type t = {
   gw_probes : (string, int ref) Hashtbl.t;
   gw_closes : (string, int ref) Hashtbl.t;
   gw_upgrade_lat : (string, Stats.t) Hashtbl.t;
+  kv_op_counts : (string, int ref) Hashtbl.t;
+  kv_dup_counts : (string, int ref) Hashtbl.t;
 }
 
 let create () =
@@ -101,6 +103,8 @@ let create () =
     gw_probes = Hashtbl.create 4;
     gw_closes = Hashtbl.create 4;
     gw_upgrade_lat = Hashtbl.create 4;
+    kv_op_counts = Hashtbl.create 4;
+    kv_dup_counts = Hashtbl.create 4;
   }
 
 let bump tbl key n =
@@ -191,6 +195,9 @@ let record t (ev : Event.t) =
     bump tbl pool 1
   | Event.Gw_upgrade { pool; cycles; _ } ->
     observe t.gw_upgrade_lat pool (float_of_int cycles)
+  | Event.Kv_op { op; dup; _ } ->
+    bump t.kv_op_counts op 1;
+    if dup then bump t.kv_dup_counts op 1
   (* Aborted VPEs still emit Vpe_exit, so the abort marker itself only
      counts into the per-kind table. *)
   | Event.Dtu_receive _ | Event.Syscall_enter _ | Event.Fs_request _
@@ -303,3 +310,5 @@ let gw_breaks t =
     pools
 
 let gw_upgrades t = sorted_bindings t.gw_upgrade_lat
+let kv_ops t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.kv_op_counts)
+let kv_dups t = List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.kv_dup_counts)

@@ -140,3 +140,13 @@ val gw_breaks : t -> (string * int * int * int) list
 (** Per pool: hot-upgrade swap latency in cycles, drain start to the
     new generation serving ([gw.upgrade] events). *)
 val gw_upgrades : t -> (string * M3_sim.Stats.t) list
+
+(** {1 KV table} *)
+
+(** Per operation ("get", "put", ...): executions at any store
+    ([kv.*] events), sorted by name. *)
+val kv_ops : t -> (string * int) list
+
+(** Per operation: executions flagged as exactly-once duplicates
+    (puts skipped because the stored sequence number was newer). *)
+val kv_dups : t -> (string * int) list

@@ -92,3 +92,136 @@ let offered_rate schedule =
   else
     let span = schedule.(n - 1).at - schedule.(0).at in
     if span <= 0 then 0.0 else float_of_int (n - 1) /. float_of_int span
+
+(* --- composition -------------------------------------------------------- *)
+
+(* Interleave two schedules by arrival time and renumber: seq must
+   stay the array index (the pool's client tracks request state in a
+   seq-indexed array). The sort is stable, so equal-time arrivals keep
+   a-before-b order and the result is deterministic. *)
+let merge a b =
+  let all = Array.append a b in
+  Array.stable_sort (fun x y -> compare x.at y.at) all;
+  Array.mapi (fun i a -> { a with req = { a.req with Wire.seq = i } }) all
+
+(* --- non-Poisson load models -------------------------------------------- *)
+
+(* Every model draws in a fixed order — all gaps and kinds first, then
+   (only if a picker is attached) one client id per arrival from the
+   tail of the stream — so attaching a picker never perturbs arrival
+   times, and schedules drawn before another model touches the same
+   Rng are byte-identical to a run without it. *)
+
+let exp_gap rng ~mean =
+  let u = Rng.float rng in
+  Stdlib.max 1 (int_of_float (Float.round (-.mean *. log (1.0 -. u))))
+
+let assign_clients ?clients ~rng arrivals =
+  (match clients with
+  | None -> ()
+  | Some p ->
+    for i = 0 to Array.length arrivals - 1 do
+      arrivals.(i) <- { arrivals.(i) with client = p rng }
+    done);
+  arrivals
+
+let pick_of ~rng ~mix =
+  if mix = [] then invalid_arg "Load: empty mix";
+  if List.exists (fun (w, _) -> w <= 0) mix then
+    invalid_arg "Load: non-positive weight";
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 mix in
+  fun seq ->
+    let rec go draw = function
+      | [] -> assert false
+      | (w, make) :: tl -> if draw < w then make seq else go (draw - w) tl
+    in
+    go (Rng.int rng total) mix
+
+(* Markov-modulated Poisson: two phases (calm / burst) with their own
+   mean gaps; after each arrival one draw decides whether the phase
+   flips, so sojourns are geometric with means [1/p_burst] and
+   [1/p_calm] arrivals. This is the canonical "bursty" adversary: the
+   long-run rate can equal a plain Poisson stream's while the burst
+   phase transiently runs far past pool capacity. *)
+let mmpp ?clients ~rng ~calm_gap ~burst_gap ~p_burst ~p_calm ~count ~mix () =
+  if calm_gap <= 0.0 || burst_gap <= 0.0 then
+    invalid_arg "Load.mmpp: non-positive mean gap";
+  if p_burst < 0.0 || p_burst > 1.0 || p_calm < 0.0 || p_calm > 1.0 then
+    invalid_arg "Load.mmpp: switch probabilities must be in [0,1]";
+  let pick = pick_of ~rng ~mix in
+  let arrivals =
+    Array.make count { at = 0; client = 0; req = { Wire.seq = 0; rk = Echo 0 } }
+  in
+  let t = ref 0 in
+  let bursting = ref false in
+  for seq = 0 to count - 1 do
+    t := !t + exp_gap rng ~mean:(if !bursting then burst_gap else calm_gap);
+    let rk = pick seq in
+    arrivals.(seq) <- { at = !t; client = 0; req = { Wire.seq = seq; rk } };
+    let u = Rng.float rng in
+    if !bursting then (if u < p_calm then bursting := false)
+    else if u < p_burst then bursting := true
+  done;
+  assign_clients ?clients ~rng arrivals
+
+(* Diurnal ramp: a Poisson process whose instantaneous rate swings
+   sinusoidally around [1 / mean_gap] with relative amplitude [amp]
+   and period [period] cycles — the compressed day/night cycle every
+   capacity planner sizes against. *)
+let diurnal ?clients ~rng ~mean_gap ~amp ~period ~count ~mix () =
+  if mean_gap <= 0.0 then invalid_arg "Load.diurnal: non-positive mean gap";
+  if amp < 0.0 || amp >= 1.0 then
+    invalid_arg "Load.diurnal: amplitude must be in [0,1)";
+  if period <= 0 then invalid_arg "Load.diurnal: non-positive period";
+  let pick = pick_of ~rng ~mix in
+  let arrivals =
+    Array.make count { at = 0; client = 0; req = { Wire.seq = 0; rk = Echo 0 } }
+  in
+  let t = ref 0 in
+  let two_pi = 8.0 *. atan 1.0 in
+  for seq = 0 to count - 1 do
+    let phase = two_pi *. float_of_int !t /. float_of_int period in
+    let rate_scale = 1.0 +. (amp *. sin phase) in
+    t := !t + exp_gap rng ~mean:(mean_gap /. rate_scale);
+    let rk = pick seq in
+    arrivals.(seq) <- { at = !t; client = 0; req = { Wire.seq = seq; rk } }
+  done;
+  assign_clients ?clients ~rng arrivals
+
+(* Flash crowd: a well-behaved base stream plus a sudden crowd — extra
+   arrivals at [flash_factor] times the base rate confined to
+   [flash_at, flash_at + flash_len), each from one of [crowd_n] fresh
+   client ids starting at [crowd_base]. The base stream (including its
+   client tail) is drawn first and is byte-identical to plain
+   {!poisson} from the same Rng — the flash is a pure extension of the
+   draw stream, which is what the non-perturbation test pins. *)
+let flash ?clients ~rng ~mean_gap ~count ~mix ~flash_at ~flash_len ~flash_factor
+    ~crowd_base ~crowd_n () =
+  if flash_factor <= 0.0 then invalid_arg "Load.flash: non-positive factor";
+  if crowd_n < 1 then invalid_arg "Load.flash: empty crowd";
+  let base = poisson ?clients ~rng ~mean_gap ~count ~mix () in
+  let pick = pick_of ~rng ~mix in
+  let burst_gap = mean_gap /. flash_factor in
+  let rec draw t seq acc =
+    let t = t + exp_gap rng ~mean:burst_gap in
+    if t >= flash_at + flash_len then List.rev acc
+    else
+      let rk = pick seq in
+      draw t (seq + 1)
+        ({ at = t; client = 0; req = { Wire.seq = seq; rk } } :: acc)
+  in
+  let burst = Array.of_list (draw flash_at 0 []) in
+  for i = 0 to Array.length burst - 1 do
+    burst.(i) <- { burst.(i) with client = crowd_base + Rng.int rng crowd_n }
+  done;
+  merge base burst
+
+(* Pre-drawn exponential think times for {!Pool.run_closed}: the k-th
+   resolution thinks [samples.(k mod count)] cycles, so the closed
+   loop stays deterministic without threading the Rng through the
+   client. *)
+let think_times ~rng ~mean ~count =
+  if mean <= 0.0 then invalid_arg "Load.think_times: non-positive mean";
+  if count < 1 then invalid_arg "Load.think_times: no samples";
+  let samples = Array.init count (fun _ -> exp_gap rng ~mean) in
+  fun k -> samples.(k mod count)

@@ -27,6 +27,11 @@ type picker = M3_sim.Rng.t -> int
 (** [pure k] is the single-kind mix. *)
 val pure : Wire.kind -> mix
 
+(** [pick_of ~rng ~mix] validates [mix] and returns the weighted kind
+    picker the generators use — one Rng draw per call.
+    @raise Invalid_argument on an empty mix or non-positive weight. *)
+val pick_of : rng:M3_sim.Rng.t -> mix:mix -> int -> Wire.kind
+
 (** [uniform_clients ~n] picks ids 0..n-1 uniformly. *)
 val uniform_clients : n:int -> picker
 
@@ -73,3 +78,87 @@ val ramp :
 (** [offered_rate schedule] is the realized arrival rate in requests
     per cycle (0 for fewer than two arrivals). *)
 val offered_rate : arrival array -> float
+
+(** [merge a b] interleaves two schedules by arrival time (stable:
+    ties keep [a] before [b]) and renumbers sequence numbers to array
+    indices — the composition primitive behind the hot-client and
+    flash-crowd cells. *)
+val merge : arrival array -> arrival array -> arrival array
+
+(** {1 Non-Poisson load models}
+
+    All models follow the PR 8 draw-order convention: gaps and kinds
+    first, then one client id per arrival from the tail of the stream
+    (only when [clients] is attached) — so attaching a picker never
+    perturbs arrival times, and a schedule drawn from an Rng before
+    any of these models touches it is byte-identical to a run without
+    them. *)
+
+(** [mmpp ~rng ~calm_gap ~burst_gap ~p_burst ~p_calm ~count ~mix ()]
+    draws a two-phase Markov-modulated Poisson stream: mean gap
+    [calm_gap] in the calm phase, [burst_gap] in the burst phase, with
+    one switch draw after each arrival ([p_burst]: calm→burst,
+    [p_calm]: burst→calm; geometric sojourns). The long-run rate can
+    match a plain Poisson stream while bursts transiently exceed pool
+    capacity — the adversary admission control and elastic scaling are
+    sized against.
+    @raise Invalid_argument on non-positive gaps or probabilities
+    outside [0,1]. *)
+val mmpp :
+  ?clients:picker ->
+  rng:M3_sim.Rng.t ->
+  calm_gap:float ->
+  burst_gap:float ->
+  p_burst:float ->
+  p_calm:float ->
+  count:int ->
+  mix:mix ->
+  unit ->
+  arrival array
+
+(** [diurnal ~rng ~mean_gap ~amp ~period ~count ~mix ()] draws a
+    Poisson stream whose instantaneous rate swings sinusoidally around
+    [1 / mean_gap] with relative amplitude [amp] (in [0,1)) and period
+    [period] cycles — a compressed day/night cycle.
+    @raise Invalid_argument on bad gap, amplitude or period. *)
+val diurnal :
+  ?clients:picker ->
+  rng:M3_sim.Rng.t ->
+  mean_gap:float ->
+  amp:float ->
+  period:int ->
+  count:int ->
+  mix:mix ->
+  unit ->
+  arrival array
+
+(** [flash ~rng ~mean_gap ~count ~mix ~flash_at ~flash_len
+    ~flash_factor ~crowd_base ~crowd_n ()] is a well-behaved Poisson
+    base stream plus a flash crowd: extra arrivals at [flash_factor]×
+    the base rate confined to [flash_at, flash_at + flash_len), each
+    stamped with a fresh client id drawn uniformly from
+    [crowd_base .. crowd_base + crowd_n - 1]. The base stream
+    (including its client tail) is drawn first, so it is byte-identical
+    to plain {!poisson} from the same Rng — the flash is a pure
+    extension of the draw stream.
+    @raise Invalid_argument on a non-positive factor or empty crowd. *)
+val flash :
+  ?clients:picker ->
+  rng:M3_sim.Rng.t ->
+  mean_gap:float ->
+  count:int ->
+  mix:mix ->
+  flash_at:int ->
+  flash_len:int ->
+  flash_factor:float ->
+  crowd_base:int ->
+  crowd_n:int ->
+  unit ->
+  arrival array
+
+(** [think_times ~rng ~mean ~count] pre-draws [count] exponential
+    think times (mean [mean] cycles, clamped ≥ 1) and returns the
+    lookup {!Pool.run_closed} expects: resolution [k] thinks
+    [samples.(k mod count)] cycles.
+    @raise Invalid_argument on non-positive mean or count. *)
+val think_times : rng:M3_sim.Rng.t -> mean:float -> count:int -> int -> int

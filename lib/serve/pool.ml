@@ -90,6 +90,12 @@ type config = {
          and returns the cycles to charge. Its host-side side effects
          witness every execution, which is what the exactly-once
          regression tests need. *)
+  kv : (Env.t -> seq:int -> int -> Errno.t) option;
+      (* handler behind [Wire.Kv]: runs in the worker VPE against its
+         own mounts with the request's sequence number (the put
+         idempotency token) and packed argument. [None] answers
+         [E_inv_args] and the request path stays bit-identical to a
+         kv-less pool. *)
 }
 
 let default_config ?(name = "pool") ?min_workers ~workers () =
@@ -109,6 +115,7 @@ let default_config ?(name = "pool") ?min_workers ~workers () =
     max_restarts = 1;
     gateway = None;
     app = None;
+    kv = None;
   }
 
 type pool_stats = {
@@ -253,8 +260,8 @@ let worker_body cfg ~widx (cenv : Env.t) =
       scratch := Some a;
       a
   in
-  let serve_one (rk : Wire.kind) =
-    match rk with
+  let serve_one (it : Wire.request) =
+    match it.Wire.rk with
     | Wire.Echo cycles ->
       Env.charge cenv Account.App cycles;
       Errno.E_ok
@@ -282,6 +289,10 @@ let worker_body cfg ~widx (cenv : Env.t) =
       | Some f ->
         Env.charge cenv Account.App (f arg);
         Errno.E_ok)
+    | Wire.Kv arg -> (
+      match cfg.kv with
+      | None -> Errno.E_inv_args
+      | Some f -> f cenv ~seq:it.Wire.seq arg)
   in
   let rec loop () =
     let msg = Gate.recv cenv rgate in
@@ -300,7 +311,7 @@ let worker_body cfg ~widx (cenv : Env.t) =
           (List.fold_left
              (fun acc (it : Wire.request) ->
                let t0 = Engine.now cenv.engine in
-               let err = serve_one it.rk in
+               let err = serve_one it in
                {
                  Wire.d_seq = it.seq;
                  d_err = err;
@@ -1250,35 +1261,97 @@ let run_open ?(actions = []) env t ~schedule =
   await_tail env t sess ~extra:(fun () -> false);
   result_of sess
 
-let run_closed env t ~clients ~total ~make =
+let run_closed ?think env t ~clients ~total ~make =
   let clients = Stdlib.max 1 clients in
   let sess = make_session total in
   let next = ref 0 in
-  let pump () =
-    while !next < total && sess.s_unresolved < clients do
-      send_one env t sess { Wire.seq = !next; rk = make !next };
-      incr next
-    done
-  in
-  pump ();
-  if plan_enabled env then begin
-    let deadline = Engine.now env.Env.engine + tail_deadline in
+  match think with
+  | None ->
+    (* Think-less users reissue the instant a slot frees, so the client
+       can park on the gates: every state change arrives as a message.
+       This arm is byte-identical to the pre-think implementation. *)
+    let pump () =
+      while !next < total && sess.s_unresolved < clients do
+        send_one env t sess { Wire.seq = !next; rk = make !next };
+        incr next
+      done
+    in
+    pump ();
+    if plan_enabled env then begin
+      let deadline = Engine.now env.Env.engine + tail_deadline in
+      while
+        (!next < total || sess.s_unresolved > 0)
+        && Engine.now env.Env.engine < deadline
+      do
+        drain_client env t sess;
+        pump ();
+        if !next < total || sess.s_unresolved > 0 then Process.wait client_poll
+      done
+    end
+    else
+      while !next < total || sess.s_unresolved > 0 do
+        let i, msg = Gate.recv_any env [ t.t_resp; t.t_comp ] in
+        if i = 0 then handle_resp env t sess msg else handle_comp env t sess msg;
+        pump ()
+      done;
+    result_of sess
+  | Some think ->
+    (* With think time a user may be neither waiting on the pool nor
+       ready to send — no message will wake the client — so this arm
+       polls on a quantum instead of parking (think times are
+       effectively quantized to [client_poll], which is fine: they are
+       orders of magnitude larger). [ready] holds the cycle each idle
+       user's think ends, sorted ascending; every resolution (complete,
+       fail or reject) returns its user to the thinking state. *)
+    let t0 = Engine.now env.Env.engine in
+    let ready = ref (List.init clients (fun _ -> t0)) in
+    let insert at =
+      let rec go = function
+        | x :: tl when x <= at -> x :: go tl
+        | rest -> at :: rest
+      in
+      ready := go !ready
+    in
+    let thinks = ref 0 in
+    let resolved_seen = ref 0 in
+    let note_resolutions () =
+      let resolved = !next - sess.s_unresolved in
+      let now = Engine.now env.Env.engine in
+      for _ = !resolved_seen + 1 to resolved do
+        insert (now + Stdlib.max 0 (think !thinks));
+        incr thinks
+      done;
+      resolved_seen := resolved
+    in
+    let pump () =
+      let now = Engine.now env.Env.engine in
+      let rec go () =
+        if !next < total && sess.s_unresolved < clients then
+          match !ready with
+          | at :: tl when at <= now ->
+            ready := tl;
+            send_one env t sess { Wire.seq = !next; rk = make !next };
+            incr next;
+            go ()
+          | _ -> ()
+      in
+      go ()
+    in
+    let deadline =
+      if plan_enabled env then Engine.now env.Env.engine + tail_deadline
+      else max_int
+    in
+    pump ();
     while
       (!next < total || sess.s_unresolved > 0)
       && Engine.now env.Env.engine < deadline
     do
       drain_client env t sess;
+      note_resolutions ();
       pump ();
       if !next < total || sess.s_unresolved > 0 then Process.wait client_poll
-    done
-  end
-  else
-    while !next < total || sess.s_unresolved > 0 do
-      let i, msg = Gate.recv_any env [ t.t_resp; t.t_comp ] in
-      if i = 0 then handle_resp env t sess msg else handle_comp env t sess msg;
-      pump ()
     done;
-  result_of sess
+    result_of sess
 
 let stop env t =
   let sess = make_session 0 in

@@ -86,6 +86,13 @@ type config = {
       (** host callback behind {!Wire.App} requests: receives the
           argument, returns cycles to charge. Side effects witness
           every execution (exactly-once regression tests). *)
+  kv : (M3.Env.t -> seq:int -> int -> M3.Errno.t) option;
+      (** handler behind {!Wire.Kv} requests, run in the worker VPE
+          against its own mounts (see [M3_kv.Store.pool_exec]). The
+          sequence number is the put idempotency token: a crash-retried
+          put re-executes here and must deduplicate against durable
+          state. [None] (the default) answers [E_inv_args] and keeps
+          the request path bit-identical to a kv-less pool. *)
 }
 
 (** 8-deep batches above a 2-deep queue, effectively unbounded
@@ -195,8 +202,16 @@ val upgrade_worker : M3.Env.t -> t -> worker:int -> (unit, M3.Errno.t) result
 (** [run_closed env t ~clients ~total ~make] models [clients] virtual
     closed-loop users: at most [clients] requests are unresolved at
     any time, new ones (kinds from [make seq]) issue as completions
-    arrive, [total] requests in all. *)
+    arrive, [total] requests in all.
+
+    [think] adds think time: after a user's request resolves it idles
+    [think k] cycles (k counts resolutions in order — feed it a
+    pre-drawn deterministic sample) before its next send. This is what
+    moves the knee: a closed-loop population self-throttles as latency
+    grows, where the open-loop schedule keeps arriving regardless.
+    Omitting [think] keeps the pre-think code path byte-identical. *)
 val run_closed :
+  ?think:(int -> int) ->
   M3.Env.t -> t -> clients:int -> total:int -> make:(int -> Wire.kind) ->
   client_result
 

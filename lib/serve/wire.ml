@@ -8,6 +8,10 @@ type kind =
   | Fs_read of int
   | Fft of int
   | App of int
+  | Kv of int
+      (* KV-store operation, the whole op packed into the u64 argument
+         (see [M3_kv.Kv_wire.pack]) so it rides the same 17-byte
+         request slots and 13-deep batches as every other kind *)
 
 type request = { seq : int; rk : kind }
 type done_item = { d_seq : int; d_err : Errno.t; d_cycles : int }
@@ -18,6 +22,7 @@ let kind_name = function
   | Fs_read _ -> "fs_read"
   | Fft _ -> "fft"
   | App _ -> "app"
+  | Kv _ -> "kv"
 
 let tag_of = function
   | Echo _ -> 0
@@ -25,8 +30,10 @@ let tag_of = function
   | Fs_read _ -> 2
   | Fft _ -> 3
   | App _ -> 4
+  | Kv _ -> 5
 
-let arg_of = function Echo n | Fs_stat n | Fs_read n | Fft n | App n -> n
+let arg_of = function
+  | Echo n | Fs_stat n | Fs_read n | Fft n | App n | Kv n -> n
 
 let kind_of ~tag ~arg =
   match tag with
@@ -35,6 +42,7 @@ let kind_of ~tag ~arg =
   | 2 -> Fs_read arg
   | 3 -> Fft arg
   | 4 -> App arg
+  | 5 -> Kv arg
   | _ -> invalid_arg "Serve wire: unknown request kind"
 
 let drain_tag = 255

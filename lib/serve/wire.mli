@@ -27,6 +27,11 @@ type kind =
                         this argument; used by tests that need a
                         non-idempotent workload (the callback's side
                         effects witness every execution) *)
+  | Kv of int       (** KV-store operation against the pool's attached
+                        store, the whole op (opcode, key index, length
+                        or cursor) packed into the u64 argument by
+                        [M3_kv.Kv_wire.pack] — same 17-byte slots,
+                        same batching as every other kind *)
 
 type request = { seq : int; rk : kind }
 

@@ -121,12 +121,19 @@ let test_inval_semantics () =
   e.Fs_cache.fe_extents <- [ fake_extent ~foff:0 ~len:100 ];
   e.Fs_cache.fe_fetched <- 1;
   e.Fs_cache.fe_alloc_end <- 100;
-  (* append/truncate: size refreshed in place, extents dropped *)
+  (* append: size refreshed in place; extents lying wholly inside the
+     committed size survive (the cross-open reuse the kept counter
+     measures) *)
   check_bool "inval_ino hits" true (Fs_cache.inval_ino c ~ino:7 ~size:150);
   check_int "shared handle sees the new size" 150 e.Fs_cache.fe_size;
-  check_bool "extents dropped" true (e.Fs_cache.fe_extents = []);
-  check_int "coverage reset with them" 0 e.Fs_cache.fe_alloc_end;
+  check_bool "covered extent kept" true
+    (List.length e.Fs_cache.fe_extents = 1);
+  check_int "coverage preserved with it" 100 e.Fs_cache.fe_alloc_end;
   check_bool "still valid (no revalidation round-trip)" true e.Fs_cache.fe_valid;
+  (* truncate below the extent: now it must go *)
+  ignore (Fs_cache.inval_ino c ~ino:7 ~size:50);
+  check_bool "truncated extent dropped" true (e.Fs_cache.fe_extents = []);
+  check_int "coverage reset with it" 0 e.Fs_cache.fe_alloc_end;
   (* unlink: entry leaves the table, surviving handles read EOF *)
   check_bool "inval_remove hits" true
     (Fs_cache.inval_remove c ~ino:7 ~size:0 ~path:"/x");
